@@ -1,0 +1,181 @@
+// Package distlock is a from-scratch implementation of
+//
+//	Ouri Wolfson and Mihalis Yannakakis,
+//	"Deadlock-Freedom (and Safety) of Transactions in a Distributed
+//	Database", PODS 1985 (full version: JCSS 33, 161–178, 1986),
+//
+// covering the model of distributed locked transactions (partial orders of
+// Lock/Unlock operations over entities partitioned into sites), the
+// deadlock-prefix characterization (Theorem 1), the coNP-hardness gadget
+// (Theorem 2), the polynomial safe-and-deadlock-free tests for pairs
+// (Theorem 3), copies (Corollary 3 / Theorem 5), and many transactions
+// (Theorem 4) — plus exhaustive oracles, a discrete-event distributed-DB
+// simulator and a goroutine message-passing engine for end-to-end
+// experiments.
+//
+// This package is the public facade: it re-exports the types and functions
+// a typical user needs. The implementation lives in the internal/...
+// packages; see DESIGN.md for the full inventory.
+//
+// # Quick start
+//
+//	db := distlock.NewDDB()
+//	db.MustEntity("x", "site1")
+//	db.MustEntity("y", "site2")
+//
+//	b := distlock.NewBuilder(db, "T1")
+//	lx := b.Lock("x")
+//	ly := b.Lock("y")
+//	ux := b.Unlock("x")
+//	uy := b.Unlock("y")
+//	b.Chain(lx, ly, ux, uy)
+//	t1 := b.MustFreeze()
+//	t2 := ... // another transaction
+//
+//	rep := distlock.PairSafeDF(t1, t2) // Theorem 3, O(n²)
+//	if rep.SafeDF { ... }
+package distlock
+
+import (
+	"distlock/internal/baseline"
+	"distlock/internal/core"
+	"distlock/internal/model"
+	"distlock/internal/optimize"
+	"distlock/internal/reduction"
+	"distlock/internal/sat"
+	"distlock/internal/schedule"
+	"distlock/internal/sim"
+)
+
+// Model types.
+type (
+	// DDB is a distributed database: entities partitioned into sites.
+	DDB = model.DDB
+	// Transaction is an immutable locked transaction (a partial order of
+	// Lock/Unlock nodes, same-site nodes totally ordered).
+	Transaction = model.Transaction
+	// Builder constructs transactions.
+	Builder = model.Builder
+	// System is a set of transactions over one DDB.
+	System = model.System
+	// Prefix is a downward-closed subset of a transaction's nodes.
+	Prefix = model.Prefix
+	// EntityID identifies a database entity.
+	EntityID = model.EntityID
+	// SiteID identifies a database site.
+	SiteID = model.SiteID
+	// NodeID identifies an operation node within a transaction.
+	NodeID = model.NodeID
+)
+
+// Model constructors.
+var (
+	// NewDDB returns an empty distributed database.
+	NewDDB = model.NewDDB
+	// NewBuilder starts building a transaction over a DDB.
+	NewBuilder = model.NewBuilder
+	// NewSystem bundles transactions into a system.
+	NewSystem = model.NewSystem
+	// Copies builds a system of d syntactic copies of a transaction.
+	Copies = model.Copies
+	// CommonEntities returns R(T1) ∩ R(T2).
+	CommonEntities = model.CommonEntities
+)
+
+// Schedule machinery.
+type (
+	// Step is one operation of a schedule.
+	Step = schedule.Step
+	// Exec is a replayable execution state of a partial schedule.
+	Exec = schedule.Exec
+	// ReductionGraph is the paper's R(A′).
+	ReductionGraph = schedule.ReductionGraph
+)
+
+var (
+	// Replay validates a step sequence as a legal partial schedule.
+	Replay = schedule.Replay
+	// IsSerializable tests a complete schedule via D(S) acyclicity.
+	IsSerializable = schedule.IsSerializable
+	// NewReductionGraph builds R(A′) from per-transaction prefixes.
+	NewReductionGraph = schedule.NewReductionGraph
+)
+
+// Static analysis — the paper's contribution.
+type (
+	// PairReport explains a Theorem 3 verdict.
+	PairReport = core.PairReport
+	// MultiViolation witnesses a Theorem 4 failure.
+	MultiViolation = core.MultiViolation
+	// BruteOptions bounds the exhaustive oracles.
+	BruteOptions = core.BruteOptions
+)
+
+var (
+	// PairSafeDF is Theorem 3: O(n²) safe-and-deadlock-free test for two
+	// distributed transactions.
+	PairSafeDF = core.PairSafeDF
+	// PairSafeDFMinimalPrefix is the O(n³) Section 5 algorithm.
+	PairSafeDFMinimalPrefix = core.PairSafeDFMinimalPrefix
+	// TwoCopiesSafeDF is Corollary 3.
+	TwoCopiesSafeDF = core.TwoCopiesSafeDF
+	// CopiesSafeDF is Theorem 5.
+	CopiesSafeDF = core.CopiesSafeDF
+	// SystemSafeDF is Theorem 4: polynomial in the number of interaction-
+	// graph cycles.
+	SystemSafeDF = core.SystemSafeDF
+	// FindDeadlock searches exhaustively for a reachable deadlock.
+	FindDeadlock = core.FindDeadlock
+	// FindDeadlockPrefix searches exhaustively for a Theorem 1 deadlock
+	// prefix.
+	FindDeadlockPrefix = core.FindDeadlockPrefix
+	// IsSafeAndDeadlockFreeBrute is the Lemma 1 exhaustive oracle.
+	IsSafeAndDeadlockFreeBrute = core.IsSafeAndDeadlockFreeBrute
+	// TirriDeadlockFree is the (flawed) baseline test from [T].
+	TirriDeadlockFree = baseline.TirriDeadlockFree
+	// CentralizedPairSafeDF is Lemma 2 for total orders.
+	CentralizedPairSafeDF = baseline.CentralizedPairSafeDF
+)
+
+// Theorem 2 reduction.
+type (
+	// Formula is a CNF formula; the reduction needs 3SAT' form.
+	Formula = sat.Formula
+	// Gadget is the two-transaction system encoding a 3SAT' formula.
+	Gadget = reduction.Gadget
+)
+
+var (
+	// BuildGadget constructs the Theorem 2 gadget from a 3SAT' formula.
+	BuildGadget = reduction.Build
+	// SolveSAT decides satisfiability by DPLL.
+	SolveSAT = sat.Solve
+)
+
+// Runtime experimentation.
+type (
+	// SimConfig parameterizes the discrete-event simulator.
+	SimConfig = sim.Config
+	// SimMetrics summarize a simulation run.
+	SimMetrics = sim.Metrics
+)
+
+var (
+	// RunSim executes a deterministic discrete-event simulation.
+	RunSim = sim.Run
+)
+
+// Optimization — the application the paper's introduction cites ([W2]).
+type (
+	// OptimizeResult reports an early-unlock optimization.
+	OptimizeResult = optimize.Result
+)
+
+var (
+	// EarlyUnlock hoists Unlock operations while preserving safety and
+	// deadlock-freedom (re-verified with Theorem 4 after every move).
+	EarlyUnlock = optimize.EarlyUnlock
+	// HoldingCost is the schedule-independent lock-holding metric the
+	// optimizer reduces.
+	HoldingCost = optimize.HoldingCost
+)

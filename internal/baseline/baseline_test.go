@@ -1,0 +1,198 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/baseline"
+	"distlock/internal/core"
+	"distlock/internal/model"
+	"distlock/internal/workload"
+)
+
+func buildChain(d *model.DDB, name, spec string) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	var prev model.NodeID = -1
+	for _, tok := range strings.Fields(spec) {
+		var id model.NodeID
+		if tok[0] == 'L' {
+			id = b.Lock(tok[1:])
+		} else {
+			id = b.Unlock(tok[1:])
+		}
+		if prev >= 0 {
+			b.Arc(prev, id)
+		}
+		prev = id
+	}
+	return b.MustFreeze()
+}
+
+func xyDB() *model.DDB {
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	return d
+}
+
+func TestTirriDetectsClassicCrossLock(t *testing.T) {
+	d := xyDB()
+	t1 := buildChain(d, "T1", "Lx Ly Ux Uy")
+	t2 := buildChain(d, "T2", "Ly Lx Uy Ux")
+	if baseline.TirriDeadlockFree(t1, t2) {
+		t.Fatal("Tirri's test missed the classic two-entity deadlock pattern")
+	}
+}
+
+func TestTirriAcceptsOrderedPair(t *testing.T) {
+	d := xyDB()
+	t1 := buildChain(d, "T1", "Lx Ly Ux Uy")
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	if !baseline.TirriDeadlockFree(t1, t2) {
+		t.Fatal("Tirri's test rejected an ordered (deadlock-free) pair")
+	}
+}
+
+// fig2Txn is the reconstruction of the paper's Figure 2 transaction: a
+// 4-entity "rotational" partial order where each lock precedes the unlock
+// of the next entity around a ring — no two-entity crossing pattern exists,
+// yet two copies deadlock through a 4-entity reduction cycle.
+func fig2Txn(name string, d *model.DDB) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	lv, uv := b.LockUnlock("v")
+	lt, ut := b.LockUnlock("t")
+	lz, uz := b.LockUnlock("z")
+	lw, uw := b.LockUnlock("w")
+	// Ring arcs: Lv->Ut, Lt->Uz, Lz->Uw, Lw->Uv.
+	b.Arc(lv, ut)
+	b.Arc(lt, uz)
+	b.Arc(lz, uw)
+	b.Arc(lw, uv)
+	return b.MustFreeze()
+}
+
+func fig2DB() *model.DDB {
+	d := model.NewDDB()
+	for _, n := range []string{"v", "t", "z", "w"} {
+		d.MustEntity(n, "s"+n)
+	}
+	return d
+}
+
+// TestTirriCounterexample is the paper's core point about [T]: Tirri's
+// premise reports two copies of the Figure-2 transaction deadlock-free,
+// but the exhaustive oracle finds a deadlock (through four entities).
+func TestTirriCounterexample(t *testing.T) {
+	d := fig2DB()
+	t1 := fig2Txn("T1", d)
+	t2 := fig2Txn("T2", d)
+	if !baseline.TirriDeadlockFree(t1, t2) {
+		t.Fatal("Tirri's premise unexpectedly fired — reconstruction wrong?")
+	}
+	sys := model.MustSystem(d, t1, t2)
+	w, err := core.FindDeadlock(sys, core.BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("Figure-2 system is actually deadlock-free — reconstruction wrong?")
+	}
+}
+
+// TestTirriSoundOnCentralizedChains documents the direction of Tirri's
+// premise that IS valid for two centralized transactions (total orders):
+// a deadlock implies the two-entity crossing pattern, so pattern-absence
+// implies deadlock-freedom. (The pattern firing does NOT imply a deadlock —
+// a common gate entity locked first by both can prevent it — and the
+// paper's Figure 2 shows the premise fails altogether for distributed
+// transactions.)
+func TestTirriSoundOnCentralizedChains(t *testing.T) {
+	fired, cleared := 0, 0
+	for seed := int64(0); seed < 80; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 1, EntitiesPerSite: 3, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.PolicyTwoPhase, Seed: seed,
+		})
+		if !baseline.TirriDeadlockFree(sys.Txns[0], sys.Txns[1]) {
+			fired++
+			continue
+		}
+		cleared++
+		w, err := core.FindDeadlock(sys, core.BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != nil {
+			t.Fatalf("seed %d: Tirri cleared a centralized pair that deadlocks\nT1=%v\nT2=%v",
+				seed, sys.Txns[0], sys.Txns[1])
+		}
+	}
+	if fired == 0 || cleared == 0 {
+		t.Fatalf("degenerate corpus: fired=%d cleared=%d", fired, cleared)
+	}
+}
+
+func TestCentralizedRequiresTotalOrders(t *testing.T) {
+	d := xyDB()
+	b := model.NewBuilder(d, "T1")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	partial := b.MustFreeze()
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	if _, err := baseline.CentralizedPairSafeDF(partial, t2); err == nil {
+		t.Fatal("accepted a partial order")
+	}
+}
+
+func TestCentralizedVerdicts(t *testing.T) {
+	d := xyDB()
+	t1 := buildChain(d, "T1", "Lx Ly Ux Uy")
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	ok, err := baseline.CentralizedPairSafeDF(t1, t2)
+	if err != nil || !ok {
+		t.Fatalf("ordered pair: ok=%v err=%v", ok, err)
+	}
+	t3 := buildChain(d, "T3", "Ly Lx Uy Ux")
+	ok, err = baseline.CentralizedPairSafeDF(t1, t3)
+	if err != nil || ok {
+		t.Fatalf("cross-lock pair: ok=%v err=%v", ok, err)
+	}
+	t4 := buildChain(d, "T4", "Lx Ux Ly Uy")
+	ok, err = baseline.CentralizedPairSafeDF(t1, t4)
+	if err != nil || ok {
+		t.Fatalf("unguarded pair: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCentralizedAgreesWithTheorem3 checks Lemma 2 ≡ Theorem 3 on total
+// orders (the distributed criterion must coincide with the centralized one
+// in the one-site case).
+func TestCentralizedAgreesWithTheorem3(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 1, EntitiesPerSite: 4, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.Policy(seed % 3), Seed: seed,
+		})
+		want := core.PairSafeDF(sys.Txns[0], sys.Txns[1]).SafeDF
+		got, err := baseline.CentralizedPairSafeDF(sys.Txns[0], sys.Txns[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("seed %d: Lemma 2 %v vs Theorem 3 %v\nT1=%v\nT2=%v",
+				seed, got, want, sys.Txns[0], sys.Txns[1])
+		}
+	}
+}
+
+func TestCentralizedDisjoint(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("a", "s")
+	d.MustEntity("b", "s")
+	t1 := buildChain(d, "T1", "La Ua")
+	t2 := buildChain(d, "T2", "Lb Ub")
+	ok, err := baseline.CentralizedPairSafeDF(t1, t2)
+	if err != nil || !ok {
+		t.Fatalf("disjoint pair: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"fmt"
+
+	"distlock/internal/model"
+)
+
+// CentralizedPairSafeDF is Lemma 2 ([Y2], Theorem 2): a pair of centralized
+// transactions (total orders) is safe and deadlock-free iff
+//
+//	(1) the first entity of R = R(t1) ∩ R(t2) locked by t1 equals the
+//	    first entity of R locked by t2, and
+//	(2) for every other y ∈ R, the sets Q1(y) = L_t1(Ly) ∩ R_t2(Ly) and
+//	    Q2(y) = L_t2(Ly) ∩ R_t1(Ly) are both nonempty.
+//
+// Both transactions must be total orders; an error is returned otherwise.
+func CentralizedPairSafeDF(t1, t2 *model.Transaction) (bool, error) {
+	for _, t := range []*model.Transaction{t1, t2} {
+		if !isTotalOrder(t) {
+			return false, fmt.Errorf("baseline: transaction %s is not a total order", t.Name())
+		}
+	}
+	common := model.CommonEntities(t1, t2)
+	if len(common) == 0 {
+		return true, nil
+	}
+	x1, ok1 := firstLocked(t1, common)
+	x2, ok2 := firstLocked(t2, common)
+	if !ok1 || !ok2 || x1 != x2 {
+		return false, nil
+	}
+	for _, y := range common {
+		if y == x1 {
+			continue
+		}
+		ly1, _ := t1.LockNode(y)
+		ly2, _ := t2.LockNode(y)
+		if !entityIntersects(t1.LT(ly1), t2.RT(ly2)) {
+			return false, nil
+		}
+		if !entityIntersects(t2.LT(ly2), t1.RT(ly1)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func isTotalOrder(t *model.Transaction) bool {
+	for a := 0; a < t.N(); a++ {
+		for b := a + 1; b < t.N(); b++ {
+			if !t.Precedes(model.NodeID(a), model.NodeID(b)) && !t.Precedes(model.NodeID(b), model.NodeID(a)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// firstLocked returns the entity of R whose Lock comes first in the total
+// order t.
+func firstLocked(t *model.Transaction, r []model.EntityID) (model.EntityID, bool) {
+	best := model.EntityID(-1)
+	var bestNode model.NodeID
+	for _, e := range r {
+		le, _ := t.LockNode(e)
+		if best == -1 || t.Precedes(le, bestNode) {
+			best = e
+			bestNode = le
+		}
+	}
+	return best, best != -1
+}
+
+func entityIntersects(a, b []model.EntityID) bool {
+	set := make(map[model.EntityID]bool, len(a))
+	for _, e := range a {
+		set[e] = true
+	}
+	for _, e := range b {
+		if set[e] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+// Package baseline implements the comparison algorithms the paper measures
+// itself against: Tirri's polynomial deadlock-freedom test for two
+// distributed transactions — whose premise Section 3 shows to be wrong —
+// and the centralized two-transaction safe-and-deadlock-free criterion of
+// Lemma 2 ([Y2], Theorem 2), which the distributed Theorem 3 generalizes.
+package baseline
+
+import "distlock/internal/model"
+
+// TirriDeadlockFree is the (flawed) polynomial test from [T]: it reports a
+// possible deadlock between T1 and T2 only if there are two entities x and
+// y accessed by both such that
+//
+//	L1y precedes U1x, L2x precedes U2y,
+//	L1y does not precede L1x, and L2x does not precede L2y.
+//
+// Section 3 of the paper shows this premise is incomplete: a deadlock can
+// arise from a reduction-graph cycle involving more than two entities, so
+// this test can report "deadlock-free" for systems that do deadlock (see
+// the Figure 2 reconstruction in internal/figures).
+func TirriDeadlockFree(t1, t2 *model.Transaction) bool {
+	common := model.CommonEntities(t1, t2)
+	for _, x := range common {
+		for _, y := range common {
+			if x == y {
+				continue
+			}
+			l1y, _ := t1.LockNode(y)
+			u1x, _ := t1.UnlockNode(x)
+			l1x, _ := t1.LockNode(x)
+			l2x, _ := t2.LockNode(x)
+			u2y, _ := t2.UnlockNode(y)
+			l2y, _ := t2.LockNode(y)
+			if t1.Precedes(l1y, u1x) && t2.Precedes(l2x, u2y) &&
+				!t1.Precedes(l1y, l1x) && !t2.Precedes(l2x, l2y) {
+				return false // the two-entity crossing pattern exists
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,252 @@
+// Package core implements the paper's results: the deadlock-prefix
+// characterization (Theorem 1), exhaustive oracles for deadlock-freedom and
+// safety (Section 3 and Lemma 1), the polynomial pairwise safe-and-
+// deadlock-free tests (Theorem 3 and the O(n³) minimal-prefix algorithm of
+// Section 5), the copy criteria (Corollary 3, Theorem 5), and the
+// many-transaction cycle algorithm (Theorem 4).
+//
+// The exhaustive oracles are exponential — deciding deadlock-freedom alone
+// is coNP-complete even for two transactions (Theorem 2) — and exist to
+// validate the polynomial algorithms on small systems and to serve as the
+// ground truth in tests and experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"distlock/internal/model"
+	"distlock/internal/schedule"
+)
+
+// ErrStateLimit is returned when an exhaustive search exceeds its state
+// budget.
+var ErrStateLimit = errors.New("core: state limit exceeded")
+
+// BruteOptions bounds the exhaustive searches.
+type BruteOptions struct {
+	// MaxStates caps the number of distinct states explored (0 = default).
+	MaxStates int
+}
+
+func (o BruteOptions) maxStates() int {
+	if o.MaxStates <= 0 {
+		return 1 << 20
+	}
+	return o.MaxStates
+}
+
+// DeadlockWitness describes a reachable deadlock: the partial schedule that
+// leads to the blocked state.
+type DeadlockWitness struct {
+	Steps []schedule.Step
+}
+
+// FindDeadlock searches the reachable lock-respecting executions of sys for
+// a deadlock partial schedule (Section 3's operational definition). It
+// returns a witness if one exists, nil if the system is deadlock-free, or
+// ErrStateLimit.
+func FindDeadlock(sys *model.System, opt BruteOptions) (*DeadlockWitness, error) {
+	type qent struct {
+		ex    *schedule.Exec
+		steps []schedule.Step
+	}
+	seen := map[string]bool{}
+	start := schedule.NewExec(sys)
+	queue := []qent{{ex: start}}
+	seen[start.Key()] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.ex.IsDeadlocked() {
+			return &DeadlockWitness{Steps: cur.steps}, nil
+		}
+		for _, s := range cur.ex.EligibleSteps() {
+			next := cur.ex.Clone()
+			if err := next.Apply(s); err != nil {
+				return nil, fmt.Errorf("core: internal apply error: %w", err)
+			}
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= opt.maxStates() {
+				return nil, ErrStateLimit
+			}
+			seen[k] = true
+			steps := append(append([]schedule.Step(nil), cur.steps...), s)
+			queue = append(queue, qent{ex: next, steps: steps})
+		}
+	}
+	return nil, nil
+}
+
+// IsDeadlockFreeBrute reports whether sys has no reachable deadlock.
+func IsDeadlockFreeBrute(sys *model.System, opt BruteOptions) (bool, error) {
+	w, err := FindDeadlock(sys, opt)
+	if err != nil {
+		return false, err
+	}
+	return w == nil, nil
+}
+
+// PrefixWitness is a deadlock prefix in the sense of Theorem 1: a prefix of
+// the system that has a schedule and whose reduction graph contains a cycle.
+type PrefixWitness struct {
+	Prefixes []*model.Prefix
+	Schedule []schedule.Step       // a schedule realizing the prefixes
+	Cycle    []schedule.GlobalNode // a cycle of the reduction graph
+}
+
+// FindDeadlockPrefix searches for a deadlock prefix (Theorem 1). Every
+// reachable execution state corresponds to exactly the prefixes that have a
+// schedule, so the search walks reachable states and tests each state's
+// reduction graph for a cycle.
+func FindDeadlockPrefix(sys *model.System, opt BruteOptions) (*PrefixWitness, error) {
+	type qent struct {
+		ex    *schedule.Exec
+		steps []schedule.Step
+	}
+	seen := map[string]bool{}
+	start := schedule.NewExec(sys)
+	queue := []qent{{ex: start}}
+	seen[start.Key()] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		prefixes := cur.ex.Prefixes()
+		rg, err := schedule.NewReductionGraph(sys, prefixes)
+		if err != nil {
+			return nil, err
+		}
+		if cyc := rg.Cycle(); cyc != nil {
+			return &PrefixWitness{Prefixes: prefixes, Schedule: cur.steps, Cycle: cyc}, nil
+		}
+		for _, s := range cur.ex.EligibleSteps() {
+			next := cur.ex.Clone()
+			if err := next.Apply(s); err != nil {
+				return nil, err
+			}
+			k := next.Key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= opt.maxStates() {
+				return nil, ErrStateLimit
+			}
+			seen[k] = true
+			steps := append(append([]schedule.Step(nil), cur.steps...), s)
+			queue = append(queue, qent{ex: next, steps: steps})
+		}
+	}
+	return nil, nil
+}
+
+// lockOrderKey serializes the per-entity lock-acquisition history, which —
+// together with the executed sets — determines the digraph D(S′).
+func lockOrderKey(ex *schedule.Exec) string {
+	n := ex.Sys().DDB.NumEntities()
+	keys := make([]string, 0, n)
+	for e := 0; e < n; e++ {
+		ord := ex.LockOrder(model.EntityID(e))
+		if len(ord) == 0 {
+			continue
+		}
+		k := fmt.Sprintf("%d:", e)
+		for _, t := range ord {
+			k += fmt.Sprintf("%d,", t)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += k + ";"
+	}
+	return out
+}
+
+// UnsafeWitness is a partial schedule whose digraph D(S′) is cyclic —
+// by Lemma 1 the system is then not safe-and-deadlock-free.
+type UnsafeWitness struct {
+	Steps    []schedule.Step
+	Complete bool // whether the witness is a complete schedule
+}
+
+// IsSafeAndDeadlockFreeBrute decides Lemma 1 exhaustively: sys is safe and
+// deadlock-free iff no reachable partial schedule has a cyclic D(S′).
+// Returns (verdict, witness, error); the witness is nil when safe.
+func IsSafeAndDeadlockFreeBrute(sys *model.System, opt BruteOptions) (bool, *UnsafeWitness, error) {
+	type qent struct {
+		ex    *schedule.Exec
+		steps []schedule.Step
+	}
+	seen := map[string]bool{}
+	start := schedule.NewExec(sys)
+	queue := []qent{{ex: start}}
+	seen[start.Key()] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !schedule.DigraphD(cur.ex).IsAcyclic() {
+			return false, &UnsafeWitness{Steps: cur.steps, Complete: cur.ex.IsComplete()}, nil
+		}
+		for _, s := range cur.ex.EligibleSteps() {
+			next := cur.ex.Clone()
+			if err := next.Apply(s); err != nil {
+				return false, nil, err
+			}
+			k := next.Key() + lockOrderKey(next)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= opt.maxStates() {
+				return false, nil, ErrStateLimit
+			}
+			seen[k] = true
+			steps := append(append([]schedule.Step(nil), cur.steps...), s)
+			queue = append(queue, qent{ex: next, steps: steps})
+		}
+	}
+	return true, nil, nil
+}
+
+// IsSafeBrute decides safety alone exhaustively: sys is safe iff every
+// complete schedule is serializable, i.e. no reachable complete execution
+// has a cyclic D(S). Returns (verdict, witness) where the witness is a
+// non-serializable complete schedule.
+func IsSafeBrute(sys *model.System, opt BruteOptions) (bool, *UnsafeWitness, error) {
+	type qent struct {
+		ex    *schedule.Exec
+		steps []schedule.Step
+	}
+	seen := map[string]bool{}
+	start := schedule.NewExec(sys)
+	queue := []qent{{ex: start}}
+	seen[start.Key()] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.ex.IsComplete() && !schedule.DigraphD(cur.ex).IsAcyclic() {
+			return false, &UnsafeWitness{Steps: cur.steps, Complete: true}, nil
+		}
+		for _, s := range cur.ex.EligibleSteps() {
+			next := cur.ex.Clone()
+			if err := next.Apply(s); err != nil {
+				return false, nil, err
+			}
+			k := next.Key() + lockOrderKey(next)
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= opt.maxStates() {
+				return false, nil, ErrStateLimit
+			}
+			seen[k] = true
+			steps := append(append([]schedule.Step(nil), cur.steps...), s)
+			queue = append(queue, qent{ex: next, steps: steps})
+		}
+	}
+	return true, nil, nil
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/model"
+	"distlock/internal/schedule"
+	"distlock/internal/workload"
+)
+
+// buildChain builds a totally ordered transaction from "Lx Ly Ux Uy".
+func buildChain(d *model.DDB, name, spec string) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	var prev model.NodeID = -1
+	for _, tok := range strings.Fields(spec) {
+		var id model.NodeID
+		if tok[0] == 'L' {
+			id = b.Lock(tok[1:])
+		} else {
+			id = b.Unlock(tok[1:])
+		}
+		if prev >= 0 {
+			b.Arc(prev, id)
+		}
+		prev = id
+	}
+	return b.MustFreeze()
+}
+
+func xyDB() *model.DDB {
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	return d
+}
+
+// crossLockSystem deadlocks: T1 = Lx Ly ..., T2 = Ly Lx ...
+func crossLockSystem() *model.System {
+	d := xyDB()
+	return model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ly Ux Uy"),
+		buildChain(d, "T2", "Ly Lx Uy Ux"))
+}
+
+// orderedSystem is safe and deadlock-free: both lock x before y.
+func orderedSystem() *model.System {
+	d := xyDB()
+	return model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ly Ux Uy"),
+		buildChain(d, "T2", "Lx Ly Ux Uy"))
+}
+
+func TestFindDeadlockCrossLock(t *testing.T) {
+	w, err := FindDeadlock(crossLockSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("cross-lock system reported deadlock-free")
+	}
+	// The witness must replay to a deadlocked state.
+	ex, err := schedule.Replay(crossLockSystem(), w.Steps)
+	if err != nil {
+		t.Fatalf("witness illegal: %v", err)
+	}
+	if !ex.IsDeadlocked() {
+		t.Fatal("witness state not deadlocked")
+	}
+}
+
+func TestFindDeadlockOrderedSystem(t *testing.T) {
+	w, err := FindDeadlock(orderedSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatalf("ordered system deadlocks: %v", w.Steps)
+	}
+}
+
+func TestFindDeadlockPrefixCrossLock(t *testing.T) {
+	sys := crossLockSystem()
+	w, err := FindDeadlockPrefix(sys, BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("no deadlock prefix found")
+	}
+	// Witness validity: the schedule realizes the prefixes and the cycle is
+	// a real cycle of the reduction graph.
+	ex, err := schedule.Replay(sys, w.Schedule)
+	if err != nil {
+		t.Fatalf("prefix schedule illegal: %v", err)
+	}
+	for i, p := range ex.Prefixes() {
+		if !p.Equal(w.Prefixes[i]) {
+			t.Fatalf("schedule realizes %v, witness claims %v", p, w.Prefixes[i])
+		}
+	}
+	if len(w.Cycle) < 2 {
+		t.Fatalf("cycle too short: %v", w.Cycle)
+	}
+}
+
+func TestFindDeadlockPrefixOrderedSystem(t *testing.T) {
+	w, err := FindDeadlockPrefix(orderedSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != nil {
+		t.Fatal("ordered system has deadlock prefix")
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	if _, err := FindDeadlock(crossLockSystem(), BruteOptions{MaxStates: 2}); err != ErrStateLimit {
+		t.Fatalf("want ErrStateLimit, got %v", err)
+	}
+}
+
+func TestSafeBruteUnsafeEarlyUnlock(t *testing.T) {
+	// Non-two-phase transactions produce a non-serializable schedule.
+	d := xyDB()
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ux Ly Uy"),
+		buildChain(d, "T2", "Lx Ux Ly Uy"))
+	safe, w, err := IsSafeBrute(sys, BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("early-unlock system reported safe")
+	}
+	if w == nil || !w.Complete {
+		t.Fatalf("want complete-schedule witness, got %+v", w)
+	}
+	ok, err := schedule.IsSerializable(sys, w.Steps)
+	if err != nil {
+		t.Fatalf("witness not a legal complete schedule: %v", err)
+	}
+	if ok {
+		t.Fatal("witness schedule is serializable")
+	}
+}
+
+func TestSafeBruteTwoPhaseSafe(t *testing.T) {
+	// Cross-lock is two-phase: safe (every complete schedule serializable)
+	// though not deadlock-free.
+	safe, _, err := IsSafeBrute(crossLockSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !safe {
+		t.Fatal("two-phase cross-lock system reported unsafe")
+	}
+	df, err := IsDeadlockFreeBrute(crossLockSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if df {
+		t.Fatal("cross-lock system reported deadlock-free")
+	}
+}
+
+func TestSafeAndDFBruteVerdicts(t *testing.T) {
+	okSys, w, err := IsSafeAndDeadlockFreeBrute(orderedSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okSys || w != nil {
+		t.Fatalf("ordered system: safeDF=%v w=%v", okSys, w)
+	}
+	bad, w2, err := IsSafeAndDeadlockFreeBrute(crossLockSystem(), BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("cross-lock system reported safe and deadlock-free")
+	}
+	if w2 == nil {
+		t.Fatal("no witness for unsafe verdict")
+	}
+	// Witness: legal partial schedule with cyclic D.
+	ex, err := schedule.Replay(crossLockSystem(), w2.Steps)
+	if err != nil {
+		t.Fatalf("witness illegal: %v", err)
+	}
+	if schedule.DigraphD(ex).IsAcyclic() {
+		t.Fatal("witness D(S') acyclic")
+	}
+}
+
+// TestTheorem1Equivalence is the paper's Theorem 1 as a property test:
+// a system has a reachable deadlock iff it has a deadlock prefix.
+func TestTheorem1Equivalence(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		for _, policy := range []workload.Policy{workload.PolicyRandom, workload.PolicyTwoPhase} {
+			sys := workload.MustGenerate(workload.Config{
+				Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 3,
+				Policy: policy, CrossArcProb: 0.3, Seed: seed,
+			})
+			dl, err := FindDeadlock(sys, BruteOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, err := FindDeadlockPrefix(sys, BruteOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (dl == nil) != (dp == nil) {
+				t.Fatalf("seed %d policy %v: operational deadlock %v but deadlock prefix %v",
+					seed, policy, dl != nil, dp != nil)
+			}
+		}
+	}
+}
+
+// TestLemma1Decomposition checks safe∧DF ⟺ (safe alone) ∧ (DF alone).
+func TestLemma1Decomposition(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.PolicyRandom, Seed: seed,
+		})
+		both, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		safe, _, err := IsSafeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		df, err := IsDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if both != (safe && df) {
+			t.Fatalf("seed %d: combined=%v but safe=%v df=%v", seed, both, safe, df)
+		}
+	}
+}
+
+func TestOrderedPolicyAlwaysSafeDF(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 3,
+			Policy: workload.PolicyOrdered, Seed: seed,
+		})
+		ok, w, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: ordered 2PL system not safe+DF: %v", seed, w)
+		}
+	}
+}
+
+func TestTwoPhaseAlwaysSafe(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.PolicyTwoPhase, Seed: seed,
+		})
+		safe, w, err := IsSafeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !safe {
+			t.Fatalf("seed %d: two-phase system unsafe: %v", seed, w)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "distlock/internal/model"
+
+// TwoCopiesSafeDF is Corollary 3: two copies of a distributed transaction T
+// are safe and deadlock-free iff there is an entity x such that Lx precedes
+// all other nodes of T, and for every other entity y there is an entity z
+// locked before Ly and unlocked after Ly.
+func TwoCopiesSafeDF(t *model.Transaction) bool {
+	ents := t.Entities()
+	if len(ents) == 0 {
+		return true
+	}
+	// Find x with Lx preceding all other nodes.
+	var x model.EntityID
+	found := false
+	for _, e := range ents {
+		le, _ := t.LockNode(e)
+		ok := true
+		for id := 0; id < t.N(); id++ {
+			if model.NodeID(id) == le {
+				continue
+			}
+			if !t.Precedes(le, model.NodeID(id)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			x = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	for _, y := range ents {
+		if y == x {
+			continue
+		}
+		ly, _ := t.LockNode(y)
+		// Need z with Lz ≺ Ly and Ly ≺ Uz, i.e. L_T(Ly) ∩ R_T(Ly) ≠ ∅.
+		ok := false
+		for _, z := range t.RT(ly) {
+			uz, _ := t.UnlockNode(z)
+			if t.Precedes(ly, uz) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CopiesSafeDF is Theorem 5: a system of d ≥ 2 copies of a distributed
+// transaction is safe and deadlock-free iff a system of two copies is
+// (equivalently, iff Corollary 3's condition holds). A single copy is
+// trivially safe and deadlock-free.
+func CopiesSafeDF(t *model.Transaction, d int) bool {
+	if d <= 1 {
+		return true
+	}
+	return TwoCopiesSafeDF(t)
+}

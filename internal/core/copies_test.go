@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"distlock/internal/model"
+	"distlock/internal/workload"
+)
+
+func TestTwoCopiesSafeDFGuardedChain(t *testing.T) {
+	// Lx Ly Ux Uy: x locked first and guards y (x unlocked after Ly).
+	d := xyDB()
+	txn := buildChain(d, "T", "Lx Ly Ux Uy")
+	if !TwoCopiesSafeDF(txn) {
+		t.Fatal("guarded chain rejected")
+	}
+}
+
+func TestTwoCopiesSafeDFUnguarded(t *testing.T) {
+	// Lx Ux Ly Uy: x no longer held when y is locked.
+	d := xyDB()
+	txn := buildChain(d, "T", "Lx Ux Ly Uy")
+	if TwoCopiesSafeDF(txn) {
+		t.Fatal("unguarded chain accepted")
+	}
+}
+
+func TestTwoCopiesNoFirstEntity(t *testing.T) {
+	// Parallel chains: no Lx precedes all other nodes.
+	d := xyDB()
+	b := model.NewBuilder(d, "T")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	txn := b.MustFreeze()
+	if TwoCopiesSafeDF(txn) {
+		t.Fatal("parallel transaction accepted")
+	}
+}
+
+func TestTwoCopiesSingleEntity(t *testing.T) {
+	d := xyDB()
+	txn := buildChain(d, "T", "Lx Ux")
+	if !TwoCopiesSafeDF(txn) {
+		t.Fatal("single-entity transaction rejected")
+	}
+}
+
+// TestCorollary3AgainstTheorem3 checks Corollary 3 ≡ Theorem 3 on two
+// actual copies, across random transactions.
+func TestCorollary3AgainstTheorem3(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		sys, err := workload.CopiesOf(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, EntitiesPerTxn: 3, NumTxns: 1,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.4, Seed: seed,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := sys.Txns[0]
+		got := TwoCopiesSafeDF(base)
+		want := PairSafeDF(sys.Txns[0], sys.Txns[1]).SafeDF
+		if got != want {
+			t.Fatalf("seed %d: Corollary 3 %v vs Theorem 3 %v for %v", seed, got, want, base)
+		}
+	}
+}
+
+// TestCorollary3AgainstBrute validates Corollary 3 against the exhaustive
+// Lemma-1 oracle on two copies.
+func TestCorollary3AgainstBrute(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		sys, err := workload.CopiesOf(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, EntitiesPerTxn: 3, NumTxns: 1,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.4, Seed: seed,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := TwoCopiesSafeDF(sys.Txns[0]); got != want {
+			t.Fatalf("seed %d: Corollary 3 %v vs brute %v for %v", seed, got, want, sys.Txns[0])
+		}
+	}
+}
+
+// TestTheorem5ThreeCopies validates Theorem 5: d copies are safe+DF iff two
+// copies are. Checked against brute force for d = 3.
+func TestTheorem5ThreeCopies(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sys, err := workload.CopiesOf(workload.Config{
+			Sites: 2, EntitiesPerSite: 1, EntitiesPerTxn: 2, NumTxns: 1,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.4, Seed: seed,
+		}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := CopiesSafeDF(sys.Txns[0], 3); got != want {
+			t.Fatalf("seed %d: Theorem 5 %v vs brute %v for %v", seed, got, want, sys.Txns[0])
+		}
+	}
+}
+
+func TestCopiesSafeDFSingleCopyTrivial(t *testing.T) {
+	d := xyDB()
+	txn := buildChain(d, "T", "Lx Ux Ly Uy") // fails Corollary 3
+	if !CopiesSafeDF(txn, 1) {
+		t.Fatal("single copy must be trivially safe+DF")
+	}
+	if CopiesSafeDF(txn, 2) {
+		t.Fatal("two copies should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"distlock/internal/baseline"
+	"distlock/internal/model"
+)
+
+// PairSafeDFViaExtensions decides safe-and-deadlock-freedom of a pair by
+// Corollary 1: the distributed pair {T1, T2} is safe and deadlock-free iff
+// {t1, t2} is safe and deadlock-free for every pair of linear extensions
+// t1 ∈ T1, t2 ∈ T2 — each such pair decided by the centralized criterion
+// of Lemma 2.
+//
+// As the paper notes, this does not yield a polynomial algorithm (the
+// number of extensions is exponential); it exists as a third independent
+// oracle for validating Theorem 3, and as an executable statement of
+// Corollary 1 itself. The limit parameter bounds the number of extension
+// pairs examined (0 = unlimited); if the limit is hit the verdict so far
+// is returned with exhausted=false.
+func PairSafeDFViaExtensions(t1, t2 *model.Transaction, limit int) (safeDF, exhausted bool, err error) {
+	// Materialize T2's extensions once (reused for every t1).
+	var exts2 [][]model.NodeID
+	model.LinearExtensions(t2, func(order []model.NodeID) bool {
+		exts2 = append(exts2, append([]model.NodeID(nil), order...))
+		return limit <= 0 || len(exts2) <= limit
+	})
+
+	checked := 0
+	verdict := true
+	var ferr error
+	model.LinearExtensions(t1, func(o1 []model.NodeID) bool {
+		lin1, e := model.Linearize(t1, o1, t1.Name()+"-lin")
+		if e != nil {
+			ferr = e
+			return false
+		}
+		for _, o2 := range exts2 {
+			if limit > 0 && checked >= limit {
+				return false
+			}
+			checked++
+			lin2, e := model.Linearize(t2, o2, t2.Name()+"-lin")
+			if e != nil {
+				ferr = e
+				return false
+			}
+			ok, e := baseline.CentralizedPairSafeDF(lin1, lin2)
+			if e != nil {
+				ferr = e
+				return false
+			}
+			if !ok {
+				verdict = false
+				return false
+			}
+		}
+		return true
+	})
+	if ferr != nil {
+		return false, false, ferr
+	}
+	// A negative verdict is definitive regardless of the budget: a
+	// violating extension pair was exhibited.
+	exhausted = !verdict || limit <= 0 || checked < limit
+	return verdict, exhausted, nil
+}

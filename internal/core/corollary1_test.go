@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"distlock/internal/workload"
+)
+
+// TestCorollary1AgreesWithTheorem3 is Corollary 1 as a property test: the
+// all-extensions centralized reduction must agree with the direct
+// distributed criterion on random pairs.
+func TestCorollary1AgreesWithTheorem3(t *testing.T) {
+	agree, unsafeCount := 0, 0
+	for seed := int64(0); seed < 80; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.4, Seed: seed,
+		})
+		want := PairSafeDF(sys.Txns[0], sys.Txns[1]).SafeDF
+		got, exhausted, err := PairSafeDFViaExtensions(sys.Txns[0], sys.Txns[1], 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exhausted {
+			t.Fatalf("seed %d: unlimited run not exhausted", seed)
+		}
+		if got != want {
+			t.Fatalf("seed %d: Corollary 1 %v vs Theorem 3 %v\nT1=%v\nT2=%v",
+				seed, got, want, sys.Txns[0], sys.Txns[1])
+		}
+		agree++
+		if !want {
+			unsafeCount++
+		}
+	}
+	if unsafeCount == 0 || unsafeCount == agree {
+		t.Fatalf("degenerate corpus: %d/%d unsafe", unsafeCount, agree)
+	}
+}
+
+func TestCorollary1OnChains(t *testing.T) {
+	d := xyDB()
+	t1 := buildChain(d, "T1", "Lx Ly Ux Uy")
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	ok, exhausted, err := PairSafeDFViaExtensions(t1, t2, 0)
+	if err != nil || !ok || !exhausted {
+		t.Fatalf("ordered chains: ok=%v exhausted=%v err=%v", ok, exhausted, err)
+	}
+	t3 := buildChain(d, "T3", "Ly Lx Uy Ux")
+	ok, exhausted, err = PairSafeDFViaExtensions(t1, t3, 0)
+	if err != nil || ok || !exhausted {
+		t.Fatalf("cross-lock chains: ok=%v exhausted=%v err=%v", ok, exhausted, err)
+	}
+}
+
+func TestCorollary1LimitReporting(t *testing.T) {
+	// A big parallel pair: with limit 1, the search cannot be exhaustive
+	// (unless the first extension pair already violates).
+	sys := workload.MustGenerate(workload.Config{
+		Sites: 3, EntitiesPerSite: 1, NumTxns: 2, EntitiesPerTxn: 3,
+		Policy: workload.PolicyRandom, CrossArcProb: 0, Seed: 2,
+	})
+	verdict, exhausted, err := PairSafeDFViaExtensions(sys.Txns[0], sys.Txns[1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict && exhausted {
+		t.Fatal("limit=1 on a many-extension pair claimed an exhaustive positive verdict")
+	}
+}

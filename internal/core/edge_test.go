@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/model"
+)
+
+func TestEmptyTransactionIsHarmless(t *testing.T) {
+	d := xyDB()
+	empty := model.NewBuilder(d, "E").MustFreeze()
+	busy := buildChain(d, "T", "Lx Ly Ux Uy")
+	sys := model.MustSystem(d, empty, busy)
+
+	if rep := PairSafeDF(empty, busy); !rep.SafeDF {
+		t.Fatalf("empty transaction pair rejected: %s", rep.Reason)
+	}
+	if !PairSafeDFMinimalPrefix(empty, busy) {
+		t.Fatal("minimal-prefix rejected empty transaction pair")
+	}
+	ok, viol := SystemSafeDF(sys)
+	if !ok {
+		t.Fatalf("system with empty transaction rejected: %v", viol)
+	}
+	df, err := IsDeadlockFreeBrute(sys, BruteOptions{})
+	if err != nil || !df {
+		t.Fatalf("brute: df=%v err=%v", df, err)
+	}
+}
+
+func TestEmptyTransactionCopies(t *testing.T) {
+	d := xyDB()
+	empty := model.NewBuilder(d, "E").MustFreeze()
+	if !TwoCopiesSafeDF(empty) {
+		t.Fatal("two copies of empty transaction rejected")
+	}
+	if !CopiesSafeDF(empty, 5) {
+		t.Fatal("five copies of empty transaction rejected")
+	}
+}
+
+func TestSingleTransactionSystem(t *testing.T) {
+	d := xyDB()
+	// Even a weirdly shaped single transaction is safe and deadlock-free.
+	txn := buildChain(d, "T", "Lx Ux Ly Uy")
+	sys := model.MustSystem(d, txn)
+	if ok, viol := SystemSafeDF(sys); !ok {
+		t.Fatalf("single-transaction system rejected: %v", viol)
+	}
+	both, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+	if err != nil || !both {
+		t.Fatalf("brute on single transaction: %v %v", both, err)
+	}
+}
+
+func TestPairReportReasonMentionsEntity(t *testing.T) {
+	d := xyDB()
+	t1 := buildChain(d, "T1", "Lx Ux Ly Uy")
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	rep := PairSafeDF(t1, t2)
+	if rep.SafeDF {
+		t.Fatal("unguarded pair accepted")
+	}
+	if !strings.Contains(rep.Reason, "y") || !strings.Contains(rep.Reason, "condition (2)") {
+		t.Fatalf("reason %q should name the failing entity and condition", rep.Reason)
+	}
+}
+
+func TestMultiViolationStringAndPairSchedule(t *testing.T) {
+	sys := crossLockSystem()
+	_, viol := SystemSafeDF(sys)
+	if viol == nil {
+		t.Fatal("no violation")
+	}
+	if !strings.Contains(viol.String(), "pair") {
+		t.Fatalf("pair violation string = %q", viol.String())
+	}
+	if steps := viol.BuildSchedule(); steps != nil {
+		t.Fatal("pair violation should not synthesize a cycle schedule")
+	}
+
+	ring := ringSystem(3)
+	_, viol2 := SystemSafeDF(ring)
+	if viol2 == nil || viol2.Pair != nil {
+		t.Fatalf("want cycle violation, got %v", viol2)
+	}
+	if !strings.Contains(viol2.String(), "cycle") {
+		t.Fatalf("cycle violation string = %q", viol2.String())
+	}
+	if len(viol2.Xs) != len(viol2.Cycle) {
+		t.Fatalf("xs/cycle length mismatch: %d vs %d", len(viol2.Xs), len(viol2.Cycle))
+	}
+}
+
+func TestRingSizesUpToSix(t *testing.T) {
+	// Rings of any size k >= 3 must be rejected by Theorem 4; ordered rings
+	// accepted. This exercises longer interaction-graph cycles.
+	for k := 3; k <= 6; k++ {
+		sys := ringSystem(k)
+		if ok, _ := SystemSafeDF(sys); ok {
+			t.Fatalf("%d-ring accepted", k)
+		}
+	}
+}
+
+func TestDisjointPairsMinimalPrefix(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("a", "s1")
+	d.MustEntity("b", "s2")
+	t1 := buildChain(d, "T1", "La Ua")
+	t2 := buildChain(d, "T2", "Lb Ub")
+	if !PairSafeDFMinimalPrefix(t1, t2) {
+		t.Fatal("disjoint pair rejected by minimal-prefix algorithm")
+	}
+}
+
+func TestBruteOnSharedEntitySingleSite(t *testing.T) {
+	// One entity, both transactions: serialization on the single lock;
+	// always safe and deadlock-free.
+	d := model.NewDDB()
+	d.MustEntity("a", "s1")
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "La Ua"),
+		buildChain(d, "T2", "La Ua"))
+	both, w, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !both {
+		t.Fatalf("single-entity system rejected: %v", w)
+	}
+	if rep := PairSafeDF(sys.Txns[0], sys.Txns[1]); !rep.SafeDF {
+		t.Fatalf("Theorem 3 rejected single-entity pair: %s", rep.Reason)
+	}
+}

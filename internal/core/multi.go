@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"distlock/internal/model"
+	"distlock/internal/schedule"
+)
+
+// MultiViolation witnesses that a transaction system is not safe and
+// deadlock-free (Theorem 4): a directed cycle of the interaction graph and
+// prefixes of the cycle's transactions satisfying properties (1)–(3) of the
+// normal-form theorem. Running any linear extensions of the prefixes
+// serially yields a legal partial schedule whose digraph D(S′) is cyclic.
+type MultiViolation struct {
+	// Pair is set when the violation is already visible at the pair level
+	// (Theorem 3 failed for these two transaction indices).
+	Pair *[2]int
+	// Cycle holds transaction indices in the violating traversal order
+	// T1 -> T2 -> ... -> Tk (Tk is the "last transaction").
+	Cycle []int
+	// Prefixes are the maximal prefixes T1*, ..., Tk* (parallel to Cycle).
+	Prefixes []*model.Prefix
+	// Xs are the entities x_i with arcs Ti -> Ti+1 labelled x_i.
+	Xs  []model.EntityID
+	sys *model.System
+}
+
+// BuildSchedule produces a concrete illegal-certifying partial schedule:
+// a serial execution of the cycle prefixes in order. The result is a legal
+// partial schedule of the system whose digraph D(S′) contains a cycle.
+func (v *MultiViolation) BuildSchedule() []schedule.Step {
+	if v.Pair != nil || v.sys == nil {
+		return nil
+	}
+	var steps []schedule.Step
+	for i, ti := range v.Cycle {
+		p := v.Prefixes[i]
+		t := p.Txn()
+		// Any linear extension of the prefix: repeatedly take an included
+		// node whose predecessors are all emitted.
+		emitted := make(map[model.NodeID]bool)
+		for emittedCount := 0; emittedCount < p.Size(); {
+			progress := false
+			for id := 0; id < t.N(); id++ {
+				nid := model.NodeID(id)
+				if !p.Has(nid) || emitted[nid] {
+					continue
+				}
+				ready := true
+				for _, u := range t.In(nid) {
+					if p.Has(model.NodeID(u)) && !emitted[model.NodeID(u)] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					continue
+				}
+				emitted[nid] = true
+				emittedCount++
+				steps = append(steps, schedule.Step{Txn: ti, Node: nid})
+				progress = true
+			}
+			if !progress {
+				panic("core: prefix not linearizable")
+			}
+		}
+	}
+	return steps
+}
+
+// String summarizes the violation.
+func (v *MultiViolation) String() string {
+	if v.Pair != nil {
+		return fmt.Sprintf("pair (%d,%d) fails Theorem 3", v.Pair[0], v.Pair[1])
+	}
+	return fmt.Sprintf("interaction-graph cycle %v admits normal-form prefixes", v.Cycle)
+}
+
+// SystemSafeDF is Theorem 4: it decides whether a transaction system is
+// safe and deadlock-free in time polynomial in the number of cycles of its
+// interaction graph and the input size.
+//
+// Phase 1 tests every interacting pair with Theorem 3. Phase 2 walks every
+// directed cycle of the interaction graph (each undirected simple cycle, in
+// both directions, with every choice of "last" transaction) and attempts
+// the maximal-prefix construction; the system fails iff some cycle's
+// prefixes all contain their Lx_i step (properties (1)–(3)).
+func SystemSafeDF(sys *model.System) (bool, *MultiViolation) {
+	n := sys.N()
+	// Phase 1: all interacting pairs must pass Theorem 3.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if len(model.CommonEntities(sys.Txns[i], sys.Txns[j])) == 0 {
+				continue
+			}
+			if rep := PairSafeDF(sys.Txns[i], sys.Txns[j]); !rep.SafeDF {
+				p := [2]int{i, j}
+				return false, &MultiViolation{Pair: &p, sys: sys}
+			}
+		}
+	}
+
+	// Phase 2: directed cycles of the interaction graph.
+	ig := sys.InteractionGraph()
+	var viol *MultiViolation
+	ig.SimpleCycles(0, func(cycle []int) bool {
+		for _, oriented := range orientations(cycle) {
+			if v := tryCycle(sys, oriented); v != nil {
+				viol = v
+				return false
+			}
+		}
+		return true
+	})
+	if viol != nil {
+		return false, viol
+	}
+	return true, nil
+}
+
+// orientations returns every rotation of the cycle in both directions:
+// 2k traversals, each fixing a different transaction as the last one.
+func orientations(cycle []int) [][]int {
+	k := len(cycle)
+	out := make([][]int, 0, 2*k)
+	rev := make([]int, k)
+	for i, v := range cycle {
+		rev[k-1-i] = v
+	}
+	for _, base := range [][]int{cycle, rev} {
+		for r := 0; r < k; r++ {
+			rot := make([]int, k)
+			for i := 0; i < k; i++ {
+				rot[i] = base[(r+i)%k]
+			}
+			out = append(out, rot)
+		}
+	}
+	return out
+}
+
+// tryCycle attempts the normal-form prefix construction on the oriented
+// cycle T1 -> ... -> Tk (Tk last). It returns a violation if prefixes
+// satisfying properties (1)–(3) exist, else nil.
+func tryCycle(sys *model.System, cyc []int) *MultiViolation {
+	k := len(cyc)
+	txn := func(i int) *model.Transaction { return sys.Txns[cyc[mod(i, k)]] }
+
+	// x_i: the first-locked common entity of (Ti, Ti+1); exists and is
+	// unique because every interacting pair passed Theorem 3's condition (1).
+	xs := make([]model.EntityID, k)
+	for i := 0; i < k; i++ {
+		common := model.CommonEntities(txn(i), txn(i+1))
+		x, ok := firstCommonLock(txn(i), txn(i+1), common)
+		if !ok {
+			// Cannot happen after phase 1, but keep the check defensive.
+			return nil
+		}
+		xs[i] = x
+	}
+
+	// accessedBy[e] = true if entity e is accessed by any Tj with j∉{i,i+1}:
+	// recomputed per i below via a helper.
+	accessSets := make([]map[model.EntityID]bool, k)
+	for i := 0; i < k; i++ {
+		m := map[model.EntityID]bool{}
+		for _, e := range txn(i).Entities() {
+			m[e] = true
+		}
+		accessSets[i] = m
+	}
+	othersAccess := func(i int) map[model.EntityID]bool {
+		m := map[model.EntityID]bool{}
+		for j := 0; j < k; j++ {
+			if j == mod(i, k) || j == mod(i+1, k) {
+				continue
+			}
+			for e := range accessSets[j] {
+				m[e] = true
+			}
+		}
+		return m
+	}
+
+	prefixes := make([]*model.Prefix, k)
+	// T1*: maximal prefix avoiding every entity accessed by T3..Tk
+	// (j ≠ 1,2).
+	avoid0 := othersAccess(0)
+	prefixes[0] = model.MaximalPrefixAvoiding(txn(0), func(e model.EntityID) bool { return avoid0[e] })
+	// Ti* for i = 2..k: avoid Y(T*_{i-1}) and entities of Tj, j ≠ i, i+1.
+	for i := 1; i < k; i++ {
+		avoid := othersAccess(i)
+		for _, y := range prefixes[i-1].Y() {
+			avoid[y] = true
+		}
+		prefixes[i] = model.MaximalPrefixAvoiding(txn(i), func(e model.EntityID) bool { return avoid[e] })
+	}
+
+	// Property (3): every prefix contains its Lx_i step.
+	for i := 0; i < k; i++ {
+		lx, ok := txn(i).LockNode(xs[i])
+		if !ok || !prefixes[i].Has(lx) {
+			return nil
+		}
+	}
+	return &MultiViolation{Cycle: append([]int(nil), cyc...), Prefixes: prefixes, Xs: xs, sys: sys}
+}
+
+func mod(a, m int) int { return ((a % m) + m) % m }

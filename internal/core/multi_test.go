@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"distlock/internal/model"
+	"distlock/internal/schedule"
+	"distlock/internal/workload"
+)
+
+// ringSystem builds the classic k-transaction deadlock ring: Ti locks e_i
+// then e_{i+1 mod k}, two-phase. Every pair is safe+DF (pairs share one
+// entity), but the whole system deadlocks around the cycle.
+func ringSystem(k int) *model.System {
+	d := model.NewDDB()
+	names := make([]string, k)
+	for i := 0; i < k; i++ {
+		names[i] = string(rune('a' + i))
+		d.MustEntity(names[i], "s"+names[i])
+	}
+	txns := make([]*model.Transaction, k)
+	for i := 0; i < k; i++ {
+		a, b := names[i], names[(i+1)%k]
+		txns[i] = buildChain(d, "T"+names[i], "L"+a+" L"+b+" U"+a+" U"+b)
+	}
+	return model.MustSystem(d, txns...)
+}
+
+func TestSystemSafeDFRingFails(t *testing.T) {
+	sys := ringSystem(3)
+	// Sanity: every pair passes Theorem 3.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if len(model.CommonEntities(sys.Txns[i], sys.Txns[j])) == 0 {
+				continue
+			}
+			if rep := PairSafeDF(sys.Txns[i], sys.Txns[j]); !rep.SafeDF {
+				t.Fatalf("ring pair (%d,%d) fails Theorem 3: %s", i, j, rep.Reason)
+			}
+		}
+	}
+	ok, viol := SystemSafeDF(sys)
+	if ok {
+		t.Fatal("3-ring accepted as safe+DF")
+	}
+	if viol == nil || viol.Pair != nil {
+		t.Fatalf("want cycle violation, got %v", viol)
+	}
+	if len(viol.Cycle) != 3 {
+		t.Fatalf("violating cycle = %v", viol.Cycle)
+	}
+	// The witness schedule must be legal and have cyclic D(S').
+	steps := viol.BuildSchedule()
+	ex, err := schedule.Replay(sys, steps)
+	if err != nil {
+		t.Fatalf("violation schedule illegal: %v", err)
+	}
+	if schedule.DigraphD(ex).IsAcyclic() {
+		t.Fatal("violation schedule has acyclic D(S')")
+	}
+}
+
+func TestSystemSafeDFOrderedRingPasses(t *testing.T) {
+	// Same ring topology but locks acquired in global entity order: T_last
+	// locks e_0 before e_{k-1}. Safe and deadlock-free.
+	k := 3
+	d := model.NewDDB()
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		d.MustEntity(n, "s"+n)
+	}
+	txns := []*model.Transaction{
+		buildChain(d, "T1", "La Lb Ua Ub"),
+		buildChain(d, "T2", "Lb Lc Ub Uc"),
+		buildChain(d, "T3", "La Lc Ua Uc"), // ordered: a before c
+	}
+	sys := model.MustSystem(d, txns...)
+	ok, viol := SystemSafeDF(sys)
+	if !ok {
+		t.Fatalf("ordered ring rejected: %v", viol)
+	}
+	_ = k
+}
+
+func TestSystemSafeDFPairFailureShortCircuits(t *testing.T) {
+	sys := crossLockSystem()
+	ok, viol := SystemSafeDF(sys)
+	if ok {
+		t.Fatal("cross-lock pair accepted")
+	}
+	if viol == nil || viol.Pair == nil {
+		t.Fatalf("want pair violation, got %v", viol)
+	}
+}
+
+func TestSystemSafeDFDisjointTransactions(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("a", "s1")
+	d.MustEntity("b", "s2")
+	d.MustEntity("c", "s3")
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "La Ua"),
+		buildChain(d, "T2", "Lb Ub"),
+		buildChain(d, "T3", "Lc Uc"))
+	if ok, viol := SystemSafeDF(sys); !ok {
+		t.Fatalf("disjoint system rejected: %v", viol)
+	}
+}
+
+// TestTheorem4AgainstBrute is the headline validation: the polynomial
+// cycle algorithm must agree with the exhaustive Lemma-1 oracle on random
+// three-transaction systems.
+func TestTheorem4AgainstBrute(t *testing.T) {
+	agree, unsafeCount := 0, 0
+	for seed := int64(0); seed < 80; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 2,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.3, Seed: seed,
+		})
+		want, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, viol := SystemSafeDF(sys)
+		if got != want {
+			t.Fatalf("seed %d: Theorem 4 says %v, brute says %v\nT1=%v\nT2=%v\nT3=%v",
+				seed, got, want, sys.Txns[0], sys.Txns[1], sys.Txns[2])
+		}
+		agree++
+		if !want {
+			unsafeCount++
+			// Validate cycle witnesses end-to-end.
+			if viol != nil && viol.Pair == nil {
+				steps := viol.BuildSchedule()
+				ex, err := schedule.Replay(sys, steps)
+				if err != nil {
+					t.Fatalf("seed %d: violation schedule illegal: %v", seed, err)
+				}
+				if schedule.DigraphD(ex).IsAcyclic() {
+					t.Fatalf("seed %d: violation schedule acyclic D", seed)
+				}
+			}
+		}
+	}
+	if unsafeCount == 0 || unsafeCount == agree {
+		t.Fatalf("degenerate test corpus: %d/%d unsafe", unsafeCount, agree)
+	}
+}
+
+// TestTheorem4FourTransactions runs the agreement test on 4-transaction
+// systems (more cycle shapes: triangles and squares).
+func TestTheorem4FourTransactions(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 4, EntitiesPerTxn: 2,
+			Policy: workload.PolicyTwoPhase, Seed: seed,
+		})
+		want, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := SystemSafeDF(sys)
+		if got != want {
+			t.Fatalf("seed %d: Theorem 4 %v vs brute %v\n%v\n%v\n%v\n%v",
+				seed, got, want, sys.Txns[0], sys.Txns[1], sys.Txns[2], sys.Txns[3])
+		}
+	}
+}
+
+// TestTheorem5ViaTheorem4 checks that for copies, SystemSafeDF agrees with
+// CopiesSafeDF (Theorem 5's proof runs through the Theorem 4 machinery).
+func TestTheorem5ViaTheorem4(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		sys, err := workload.CopiesOf(workload.Config{
+			Sites: 2, EntitiesPerSite: 1, EntitiesPerTxn: 2, NumTxns: 1,
+			Policy: workload.Policy(seed % 3), Seed: seed,
+		}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := SystemSafeDF(sys)
+		want := CopiesSafeDF(sys.Txns[0], 3)
+		if got != want {
+			t.Fatalf("seed %d: Theorem 4 on 3 copies %v vs Theorem 5 %v for %v",
+				seed, got, want, sys.Txns[0])
+		}
+	}
+}
+
+func TestOrientations(t *testing.T) {
+	got := orientations([]int{1, 2, 3})
+	if len(got) != 6 {
+		t.Fatalf("orientations of a triangle = %d, want 6", len(got))
+	}
+	seen := map[[3]int]bool{}
+	for _, o := range got {
+		if len(o) != 3 {
+			t.Fatalf("bad orientation %v", o)
+		}
+		seen[[3]int{o[0], o[1], o[2]}] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("orientations not distinct: %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"distlock/internal/model"
+)
+
+// PairReport explains the verdict of a pairwise safe-and-deadlock-free test.
+type PairReport struct {
+	SafeDF bool
+	// FirstLock is the entity x of condition (1): the common entity whose
+	// Lock precedes the Lock of every other common entity in both
+	// transactions. Only meaningful when condition (1) holds.
+	FirstLock model.EntityID
+	// Reason is a human-readable explanation of a negative verdict.
+	Reason string
+}
+
+// firstCommonLock returns the entity x of Theorem 3 condition (1): x ∈ R
+// such that for every other y ∈ R, Lx precedes Ly in both transactions.
+// Such an x is unique when it exists.
+func firstCommonLock(t1, t2 *model.Transaction, common []model.EntityID) (model.EntityID, bool) {
+	for _, x := range common {
+		lx1, _ := t1.LockNode(x)
+		lx2, _ := t2.LockNode(x)
+		ok := true
+		for _, y := range common {
+			if y == x {
+				continue
+			}
+			ly1, _ := t1.LockNode(y)
+			ly2, _ := t2.LockNode(y)
+			if !t1.Precedes(lx1, ly1) || !t2.Precedes(lx2, ly2) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+func intersects(a, b []model.EntityID) bool {
+	set := make(map[model.EntityID]bool, len(a))
+	for _, e := range a {
+		set[e] = true
+	}
+	for _, e := range b {
+		if set[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// PairSafeDF is Theorem 3: the pair {T1, T2} is safe and deadlock-free iff
+//
+//	(1) there is an entity x of R = R(T1) ∩ R(T2) such that for all other
+//	    y ∈ R, Lx precedes Ly in both T1 and T2; and
+//	(2) for every y ∈ R, y ≠ x, the sets L_T1(Ly) ∩ R_T2(Ly) and
+//	    L_T2(Ly) ∩ R_T1(Ly) are both nonempty.
+//
+// Runs in O(n²) for transactions given in transitively closed form.
+func PairSafeDF(t1, t2 *model.Transaction) PairReport {
+	common := model.CommonEntities(t1, t2)
+	if len(common) == 0 {
+		return PairReport{SafeDF: true, FirstLock: -1,
+			Reason: "no common entities"}
+	}
+	x, ok := firstCommonLock(t1, t2, common)
+	if !ok {
+		return PairReport{SafeDF: false, FirstLock: -1,
+			Reason: "condition (1) fails: no common entity is locked first in both transactions"}
+	}
+	for _, y := range common {
+		if y == x {
+			continue
+		}
+		ly1, _ := t1.LockNode(y)
+		ly2, _ := t2.LockNode(y)
+		if !intersects(t1.LT(ly1), t2.RT(ly2)) {
+			return PairReport{SafeDF: false, FirstLock: x, Reason: fmt.Sprintf(
+				"condition (2) fails at %s: L_T1(L%s) ∩ R_T2(L%s) = ∅",
+				t1.DDB().EntityName(y), t1.DDB().EntityName(y), t1.DDB().EntityName(y))}
+		}
+		if !intersects(t2.LT(ly2), t1.RT(ly1)) {
+			return PairReport{SafeDF: false, FirstLock: x, Reason: fmt.Sprintf(
+				"condition (2) fails at %s: L_T2(L%s) ∩ R_T1(L%s) = ∅",
+				t1.DDB().EntityName(y), t1.DDB().EntityName(y), t1.DDB().EntityName(y))}
+		}
+	}
+	return PairReport{SafeDF: true, FirstLock: x}
+}

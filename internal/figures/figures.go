@@ -1,0 +1,300 @@
+// Package figures contains executable reconstructions of the paper's six
+// figures. Each constructor returns the transaction system the figure
+// depicts, and each Verify function checks — with the library's independent
+// oracles — exactly the claim the paper makes about that figure.
+//
+// The source scan's Hasse diagrams for Figures 2 and 6 are illegible; those
+// two are minimal reconstructions exhibiting the properties the text proves
+// about them (see DESIGN.md, "Substitutions").
+package figures
+
+import (
+	"fmt"
+
+	"distlock/internal/baseline"
+	"distlock/internal/core"
+	"distlock/internal/model"
+	"distlock/internal/reduction"
+	"distlock/internal/sat"
+	"distlock/internal/schedule"
+)
+
+// Fig1 is the Section 3 worked example: three transactions over two sites
+// whose prefixes (the "cut lines" in the figure) form a deadlock prefix
+// with the reduction-graph cycle L1z U1y L2y U2x L3x U3z.
+//
+// Reconstruction: x and y reside at site 1, z at site 2;
+//
+//	T1 = Ly Lz Uy Uz,  T2 = Lx Ly Ux Uy,  T3 = Lz Lx Uz Ux,
+//
+// with the figure's prefix cut after each transaction's first Lock.
+func Fig1() (*model.System, []*model.Prefix) {
+	d := model.NewDDB()
+	d.MustEntity("x", "site1")
+	d.MustEntity("y", "site1")
+	d.MustEntity("z", "site2")
+	chain := func(name string, specs ...string) *model.Transaction {
+		b := model.NewBuilder(d, name)
+		var prev model.NodeID = -1
+		for _, s := range specs {
+			var id model.NodeID
+			if s[0] == 'L' {
+				id = b.Lock(s[1:])
+			} else {
+				id = b.Unlock(s[1:])
+			}
+			if prev >= 0 {
+				b.Arc(prev, id)
+			}
+			prev = id
+		}
+		return b.MustFreeze()
+	}
+	t1 := chain("T1", "Ly", "Lz", "Uy", "Uz")
+	t2 := chain("T2", "Lx", "Ly", "Ux", "Uy")
+	t3 := chain("T3", "Lz", "Lx", "Uz", "Ux")
+	sys := model.MustSystem(d, t1, t2, t3)
+	prefixes := []*model.Prefix{
+		model.ClosedPrefixOf(t1, 0), // {L1y}
+		model.ClosedPrefixOf(t2, 0), // {L2x}
+		model.ClosedPrefixOf(t3, 0), // {L3z}
+	}
+	return sys, prefixes
+}
+
+// VerifyFig1 checks that the figure's prefix is a deadlock prefix: it has
+// a schedule and its reduction graph contains a cycle through all three
+// transactions and all three entities.
+func VerifyFig1() error {
+	sys, prefixes := Fig1()
+	// Schedulable: the three first Locks in any order.
+	steps := []schedule.Step{{Txn: 0, Node: 0}, {Txn: 1, Node: 0}, {Txn: 2, Node: 0}}
+	ex, err := schedule.Replay(sys, steps)
+	if err != nil {
+		return fmt.Errorf("figures: Fig1 prefix not schedulable: %w", err)
+	}
+	for i, p := range ex.Prefixes() {
+		if !p.Equal(prefixes[i]) {
+			return fmt.Errorf("figures: Fig1 schedule realizes a different prefix")
+		}
+	}
+	rg, err := schedule.NewReductionGraph(sys, prefixes)
+	if err != nil {
+		return err
+	}
+	cyc := rg.Cycle()
+	if cyc == nil {
+		return fmt.Errorf("figures: Fig1 reduction graph acyclic")
+	}
+	if len(cyc) != 6 {
+		return fmt.Errorf("figures: Fig1 cycle has %d nodes, want 6 (got %s)",
+			len(cyc), schedule.FormatCycle(sys, cyc))
+	}
+	seen := map[int]bool{}
+	for _, gn := range cyc {
+		seen[gn.Txn] = true
+	}
+	if len(seen) != 3 {
+		return fmt.Errorf("figures: Fig1 cycle misses a transaction: %s",
+			schedule.FormatCycle(sys, cyc))
+	}
+	return nil
+}
+
+// Fig2 is the Tirri counterexample transaction (reconstructed): four
+// entities v, t, z, w at four sites with the "ring" arcs
+//
+//	Lv -> Ut,  Lt -> Uz,  Lz -> Uw,  Lw -> Uv.
+//
+// No two entities show the two-entity crossing pattern Tirri's algorithm
+// looks for, yet two copies deadlock through a cycle over four entities.
+func Fig2() *model.Transaction {
+	d := model.NewDDB()
+	for _, n := range []string{"v", "t", "z", "w"} {
+		d.MustEntity(n, "site_"+n)
+	}
+	b := model.NewBuilder(d, "T")
+	lv, uv := b.LockUnlock("v")
+	lt, ut := b.LockUnlock("t")
+	lz, uz := b.LockUnlock("z")
+	lw, uw := b.LockUnlock("w")
+	b.Arc(lv, ut)
+	b.Arc(lt, uz)
+	b.Arc(lz, uw)
+	b.Arc(lw, uv)
+	return b.MustFreeze()
+}
+
+// VerifyFig2 checks the paper's claim: Tirri's test declares two copies
+// deadlock-free, the exhaustive oracle finds a deadlock, and the deadlock's
+// reduction cycle involves all four entities.
+func VerifyFig2() error {
+	t := Fig2()
+	sys := model.MustCopies(t, 2)
+	if !baseline.TirriDeadlockFree(sys.Txns[0], sys.Txns[1]) {
+		return fmt.Errorf("figures: Fig2: Tirri's premise fired; reconstruction wrong")
+	}
+	w, err := core.FindDeadlockPrefix(sys, core.BruteOptions{})
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		return fmt.Errorf("figures: Fig2: no deadlock prefix found")
+	}
+	ents := map[model.EntityID]bool{}
+	for _, gn := range w.Cycle {
+		ents[sys.Txns[gn.Txn].Node(gn.Node).Entity] = true
+	}
+	if len(ents) < 3 {
+		return fmt.Errorf("figures: Fig2: cycle uses only %d entities — not the >2-entity phenomenon", len(ents))
+	}
+	return nil
+}
+
+// Fig3 is the transaction showing deadlock-freedom does NOT reduce to
+// linear extensions: two parallel chains Lx Ux and Ly Uy (x and y at
+// different sites). Two copies are deadlock-free, yet the linear
+// extensions t1 = Lx Ly Ux Uy and t2 = Ly Lx Uy Ux deadlock.
+func Fig3() *model.Transaction {
+	d := model.NewDDB()
+	d.MustEntity("x", "site1")
+	d.MustEntity("y", "site2")
+	b := model.NewBuilder(d, "T")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	return b.MustFreeze()
+}
+
+// VerifyFig3 checks both halves of the claim.
+func VerifyFig3() error {
+	t := Fig3()
+	sys := model.MustCopies(t, 2)
+	df, err := core.IsDeadlockFreeBrute(sys, core.BruteOptions{})
+	if err != nil {
+		return err
+	}
+	if !df {
+		return fmt.Errorf("figures: Fig3: two copies deadlock")
+	}
+	// The bad pair of linear extensions.
+	lin1, err := model.Linearize(t, []model.NodeID{0, 2, 1, 3}, "t1") // Lx Ly Ux Uy
+	if err != nil {
+		return err
+	}
+	lin2, err := model.Linearize(t, []model.NodeID{2, 0, 1, 3}, "t2") // Ly Lx Ux Uy
+	if err != nil {
+		return err
+	}
+	linSys := model.MustSystem(t.DDB(), lin1, lin2)
+	df2, err := core.IsDeadlockFreeBrute(linSys, core.BruteOptions{})
+	if err != nil {
+		return err
+	}
+	if df2 {
+		return fmt.Errorf("figures: Fig3: the chosen linear extensions do not deadlock")
+	}
+	return nil
+}
+
+// Figs4And5 is the Theorem 2 gadget for the paper's example formula
+// (x1 + x2)(x1 + !x2)(!x1 + x2) of Figure 5 (Figure 4 is the per-variable
+// arc template, embodied in reduction.Build).
+func Figs4And5() (*reduction.Gadget, error) {
+	f := &sat.Formula{NumVars: 2, Clauses: []sat.Clause{
+		{{Var: 0}, {Var: 1}},
+		{{Var: 0}, {Var: 1, Neg: true}},
+		{{Var: 0, Neg: true}, {Var: 1}},
+	}}
+	return reduction.Build(f)
+}
+
+// VerifyFigs4And5 checks the example end to end: the formula is
+// satisfiable, so the gadget must have a deadlock prefix, the witness
+// construction must produce one, and the decoded cycle must satisfy the
+// formula.
+func VerifyFigs4And5() error {
+	g, err := Figs4And5()
+	if err != nil {
+		return err
+	}
+	assign := sat.Solve(g.Formula)
+	if assign == nil {
+		return fmt.Errorf("figures: Fig5 formula unexpectedly UNSAT")
+	}
+	prefixes, err := g.WitnessPrefix(assign)
+	if err != nil {
+		return err
+	}
+	rg, err := schedule.NewReductionGraph(g.Sys, prefixes)
+	if err != nil {
+		return err
+	}
+	if !rg.HasCycle() {
+		return fmt.Errorf("figures: Fig5 witness prefix acyclic")
+	}
+	if decoded := g.DecodeAssignment(rg.Cycle()); !g.Formula.Eval(decoded) {
+		return fmt.Errorf("figures: Fig5 decoded assignment does not satisfy")
+	}
+	return nil
+}
+
+// Fig6 is the transaction showing Theorem 5 fails for deadlock-freedom
+// alone (reconstructed): three entities a, b, c at three sites with the
+// rotational arcs La -> Ub, Lb -> Uc, Lc -> Ua. Two copies are
+// deadlock-free; three copies deadlock.
+func Fig6() *model.Transaction {
+	d := model.NewDDB()
+	for _, n := range []string{"a", "b", "c"} {
+		d.MustEntity(n, "site_"+n)
+	}
+	b := model.NewBuilder(d, "T")
+	la, ua := b.LockUnlock("a")
+	lb, ub := b.LockUnlock("b")
+	lc, uc := b.LockUnlock("c")
+	b.Arc(la, ub)
+	b.Arc(lb, uc)
+	b.Arc(lc, ua)
+	return b.MustFreeze()
+}
+
+// VerifyFig6 checks both halves of the claim.
+func VerifyFig6() error {
+	t := Fig6()
+	two := model.MustCopies(t, 2)
+	df2, err := core.IsDeadlockFreeBrute(two, core.BruteOptions{})
+	if err != nil {
+		return err
+	}
+	if !df2 {
+		return fmt.Errorf("figures: Fig6: two copies deadlock")
+	}
+	three := model.MustCopies(t, 3)
+	df3, err := core.IsDeadlockFreeBrute(three, core.BruteOptions{})
+	if err != nil {
+		return err
+	}
+	if df3 {
+		return fmt.Errorf("figures: Fig6: three copies are deadlock-free")
+	}
+	return nil
+}
+
+// VerifyAll runs every figure verification and returns the first failure.
+func VerifyAll() error {
+	checks := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Fig1", VerifyFig1},
+		{"Fig2", VerifyFig2},
+		{"Fig3", VerifyFig3},
+		{"Figs4-5", VerifyFigs4And5},
+		{"Fig6", VerifyFig6},
+	}
+	for _, c := range checks {
+		if err := c.fn(); err != nil {
+			return fmt.Errorf("%s: %w", c.name, err)
+		}
+	}
+	return nil
+}

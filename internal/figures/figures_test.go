@@ -1,0 +1,98 @@
+package figures
+
+import (
+	"testing"
+
+	"distlock/internal/core"
+	"distlock/internal/model"
+)
+
+func TestVerifyFig1(t *testing.T) {
+	if err := VerifyFig1(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFig2(t *testing.T) {
+	if err := VerifyFig2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFig3(t *testing.T) {
+	if err := VerifyFig3(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFigs4And5(t *testing.T) {
+	if err := VerifyFigs4And5(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyFig6(t *testing.T) {
+	if err := VerifyFig6(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyAll(t *testing.T) {
+	if err := VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1SystemNotSafeDF(t *testing.T) {
+	sys, _ := Fig1()
+	ok, _ := core.SystemSafeDF(sys)
+	if ok {
+		t.Fatal("Fig1 system (which deadlocks) reported safe+DF by Theorem 4")
+	}
+}
+
+func TestFig2TwoEntityPatternTrulyAbsent(t *testing.T) {
+	// Double-check the reconstruction: for no pair x,y does Ly≺Ux ∧ Lx≺Uy.
+	txn := Fig2()
+	ents := txn.Entities()
+	for _, x := range ents {
+		for _, y := range ents {
+			if x == y {
+				continue
+			}
+			lx, _ := txn.LockNode(x)
+			ly, _ := txn.LockNode(y)
+			ux, _ := txn.UnlockNode(x)
+			uy, _ := txn.UnlockNode(y)
+			if txn.Precedes(ly, ux) && txn.Precedes(lx, uy) {
+				t.Fatalf("entities %v,%v show the two-entity pattern", x, y)
+			}
+		}
+	}
+}
+
+func TestFig3FailsCorollary3(t *testing.T) {
+	// Fig3's transaction is deadlock-free in two copies but NOT safe+DF:
+	// Corollary 3 must reject it (no entity's lock precedes all nodes).
+	if core.TwoCopiesSafeDF(Fig3()) {
+		t.Fatal("Fig3 transaction passes Corollary 3")
+	}
+	// And indeed two copies are unsafe (though deadlock-free).
+	sys := model.MustCopies(Fig3(), 2)
+	safe, _, err := core.IsSafeBrute(sys, core.BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe {
+		t.Fatal("Fig3 two copies reported safe")
+	}
+}
+
+func TestFig6CopiesViaTheorem5Machinery(t *testing.T) {
+	// Fig6's transaction fails Corollary 3, so ANY number of copies >= 2 is
+	// not safe+DF — consistent with 3 copies deadlocking. The point of the
+	// figure is that deadlock-freedom ALONE does not transfer from 2 to 3.
+	if core.TwoCopiesSafeDF(Fig6()) {
+		t.Fatal("Fig6 transaction passes Corollary 3")
+	}
+}

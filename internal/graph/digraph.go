@@ -1,0 +1,272 @@
+package graph
+
+import "fmt"
+
+// Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
+// It tolerates (and deduplicates) parallel arcs.
+type Digraph struct {
+	n   int
+	out [][]int
+	in  [][]int
+	has map[[2]int]bool
+}
+
+// NewDigraph returns an empty directed graph on n nodes.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Digraph{
+		n:   n,
+		out: make([][]int, n),
+		in:  make([][]int, n),
+		has: make(map[[2]int]bool),
+	}
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return g.n }
+
+// AddArc inserts arc u->v; duplicate arcs are ignored. Self-loops are
+// permitted and make the graph cyclic.
+func (g *Digraph) AddArc(u, v int) {
+	g.checkNode(u)
+	g.checkNode(v)
+	if g.has[[2]int{u, v}] {
+		return
+	}
+	g.has[[2]int{u, v}] = true
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+}
+
+// HasArc reports whether arc u->v is present.
+func (g *Digraph) HasArc(u, v int) bool { return g.has[[2]int{u, v}] }
+
+// Out returns the successors of u. The returned slice must not be modified.
+func (g *Digraph) Out(u int) []int { g.checkNode(u); return g.out[u] }
+
+// In returns the predecessors of u. The returned slice must not be modified.
+func (g *Digraph) In(u int) []int { g.checkNode(u); return g.in[u] }
+
+// NumArcs returns the number of distinct arcs.
+func (g *Digraph) NumArcs() int { return len(g.has) }
+
+func (g *Digraph) checkNode(u int) {
+	if u < 0 || u >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", u, g.n))
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Digraph) Clone() *Digraph {
+	c := NewDigraph(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.out[u] {
+			c.AddArc(u, v)
+		}
+	}
+	return c
+}
+
+// TopoSort returns a topological order of the nodes, or ok=false if the
+// graph has a cycle (Kahn's algorithm; ties broken by node index so the
+// result is deterministic).
+func (g *Digraph) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		indeg[v] = len(g.in[v])
+	}
+	// Min-index queue for determinism: a simple sorted frontier.
+	var frontier []int
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			frontier = append(frontier, v)
+		}
+	}
+	order = make([]int, 0, g.n)
+	for len(frontier) > 0 {
+		// Pop smallest.
+		mi := 0
+		for i, v := range frontier {
+			if v < frontier[mi] {
+				mi = i
+			}
+		}
+		u := frontier[mi]
+		frontier[mi] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, u)
+		for _, v := range g.out[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, v)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the graph has no directed cycle.
+func (g *Digraph) IsAcyclic() bool {
+	_, ok := g.TopoSort()
+	return ok
+}
+
+// FindCycle returns a directed cycle as a node sequence v0,v1,...,vk with an
+// arc vi->vi+1 and vk->v0, or nil if the graph is acyclic.
+func (g *Digraph) FindCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	parent := make([]int, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var cycle []int
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		color[u] = gray
+		for _, v := range g.out[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				// Found a back arc u->v: walk parents from u back to v.
+				cycle = []int{v}
+				for w := u; w != v; w = parent[w] {
+					cycle = append(cycle, w)
+				}
+				// cycle currently v, u, ..., child-of-v reversed; reverse to
+				// get v -> ... -> u with arc u->v closing it.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if color[u] == white && dfs(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// TransitiveClosure returns per-node reachability bitsets: row u has bit v
+// set iff there is a non-empty directed path u -> ... -> v. For DAGs this is
+// computed in reverse topological order; for general graphs it falls back to
+// per-node BFS.
+func (g *Digraph) TransitiveClosure() []*Bitset {
+	rows := make([]*Bitset, g.n)
+	order, ok := g.TopoSort()
+	if ok {
+		for i := len(order) - 1; i >= 0; i-- {
+			u := order[i]
+			row := NewBitset(g.n)
+			for _, v := range g.out[u] {
+				row.Set(v)
+				row.Or(rows[v])
+			}
+			rows[u] = row
+		}
+		return rows
+	}
+	for u := 0; u < g.n; u++ {
+		row := NewBitset(g.n)
+		stack := append([]int(nil), g.out[u]...)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if row.Has(v) {
+				continue
+			}
+			row.Set(v)
+			stack = append(stack, g.out[v]...)
+		}
+		rows[u] = row
+	}
+	return rows
+}
+
+// SCC returns the strongly connected components in reverse topological
+// order of the condensation (Tarjan). Each component is a slice of nodes.
+func (g *Digraph) SCC() [][]int {
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	// Iterative Tarjan to avoid deep recursion on long chains.
+	type frame struct {
+		v, i int
+	}
+	for s := 0; s < g.n; s++ {
+		if index[s] != -1 {
+			continue
+		}
+		frames := []frame{{s, 0}}
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, s)
+		onStack[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.i < len(g.out[v]) {
+				w := g.out[v][f.i]
+				f.i++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

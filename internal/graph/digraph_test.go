@@ -1,0 +1,238 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTopoSortChain(t *testing.T) {
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("chain reported cyclic")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want identity", order)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Fatal("cycle not detected")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic = true on a cycle")
+	}
+}
+
+func TestTopoSortRespectsArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		g := NewDigraph(n)
+		// Random DAG: arcs only from lower to higher index.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		order, ok := g.TopoSort()
+		if !ok {
+			t.Fatal("DAG reported cyclic")
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if pos[u] >= pos[v] {
+					t.Fatalf("arc %d->%d violated by order %v", u, v, order)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddArc(1, 1)
+	if g.IsAcyclic() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 1 || cyc[0] != 1 {
+		t.Fatalf("FindCycle = %v, want [1]", cyc)
+	}
+}
+
+func TestFindCycleReturnsRealCycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(15)
+		g := NewDigraph(n)
+		for i := 0; i < n*2; i++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		cyc := g.FindCycle()
+		if cyc == nil {
+			if !g.IsAcyclic() {
+				t.Fatal("FindCycle nil but graph cyclic")
+			}
+			continue
+		}
+		if g.IsAcyclic() {
+			t.Fatal("FindCycle non-nil but graph acyclic")
+		}
+		for i, u := range cyc {
+			v := cyc[(i+1)%len(cyc)]
+			if !g.HasArc(u, v) {
+				t.Fatalf("reported cycle %v missing arc %d->%d", cyc, u, v)
+			}
+		}
+	}
+}
+
+func TestDuplicateArcsIgnored(t *testing.T) {
+	g := NewDigraph(2)
+	g.AddArc(0, 1)
+	g.AddArc(0, 1)
+	if g.NumArcs() != 1 {
+		t.Fatalf("NumArcs = %d, want 1", g.NumArcs())
+	}
+	if len(g.Out(0)) != 1 || len(g.In(1)) != 1 {
+		t.Fatal("adjacency lists contain duplicates")
+	}
+}
+
+func TestTransitiveClosureDiamond(t *testing.T) {
+	//     0
+	//    / \
+	//   1   2
+	//    \ /
+	//     3
+	g := NewDigraph(4)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	g.AddArc(1, 3)
+	g.AddArc(2, 3)
+	tc := g.TransitiveClosure()
+	if !tc[0].Has(3) || !tc[0].Has(1) || !tc[0].Has(2) {
+		t.Fatalf("closure of 0 = %v", tc[0])
+	}
+	if tc[0].Has(0) {
+		t.Fatal("node reaches itself in a DAG closure")
+	}
+	if tc[3].Count() != 0 {
+		t.Fatalf("sink has non-empty closure %v", tc[3])
+	}
+	if tc[1].Has(2) || tc[2].Has(1) {
+		t.Fatal("incomparable nodes appear related")
+	}
+}
+
+func TestTransitiveClosureMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(25)
+		g := NewDigraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		tc := g.TransitiveClosure()
+		for u := 0; u < n; u++ {
+			seen := make([]bool, n)
+			stack := append([]int(nil), g.Out(u)...)
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				stack = append(stack, g.Out(v)...)
+			}
+			for v := 0; v < n; v++ {
+				if tc[u].Has(v) != seen[v] {
+					t.Fatalf("closure[%d].Has(%d) = %v, BFS %v", u, v, tc[u].Has(v), seen[v])
+				}
+			}
+		}
+	}
+}
+
+func TestTransitiveClosureCyclicGraph(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(1, 2)
+	tc := g.TransitiveClosure()
+	if !tc[0].Has(0) || !tc[0].Has(1) || !tc[0].Has(2) {
+		t.Fatalf("closure of 0 in cyclic graph = %v", tc[0])
+	}
+	if tc[2].Count() != 0 {
+		t.Fatalf("sink closure = %v", tc[2])
+	}
+}
+
+func TestSCC(t *testing.T) {
+	// 0<->1 -> 2<->3 -> 4
+	g := NewDigraph(5)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	g.AddArc(3, 2)
+	g.AddArc(3, 4)
+	comps := g.SCC()
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(comps), comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 2 || sizes[1] != 1 {
+		t.Fatalf("SCC sizes wrong: %v", comps)
+	}
+}
+
+func TestSCCAcyclicAllSingletons(t *testing.T) {
+	g := NewDigraph(6)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(0, 3)
+	g.AddArc(3, 4)
+	comps := g.SCC()
+	if len(comps) != 6 {
+		t.Fatalf("got %d SCCs, want 6", len(comps))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewDigraph(3)
+	g.AddArc(0, 1)
+	c := g.Clone()
+	c.AddArc(1, 2)
+	if g.HasArc(1, 2) {
+		t.Fatal("Clone shares arc storage")
+	}
+	if !c.HasArc(0, 1) {
+		t.Fatal("Clone lost arc")
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteSimpleCycles counts simple cycles of length >= 3 in an undirected
+// graph by enumerating all vertex subsets and checking whether they can be
+// arranged into a cycle (exponential; only for tiny graphs).
+func bruteSimpleCycles(g *Ugraph) int {
+	n := g.N()
+	count := 0
+	// Enumerate subsets of size >= 3, then count Hamiltonian cycles of the
+	// induced subgraph (each counted once).
+	var verts []int
+	var permute func(rest []int, path []int) int
+	permute = func(rest, path []int) int {
+		if len(rest) == 0 {
+			last := path[len(path)-1]
+			if g.HasEdge(last, path[0]) {
+				return 1
+			}
+			return 0
+		}
+		total := 0
+		for i, v := range rest {
+			if len(path) > 0 && !g.HasEdge(path[len(path)-1], v) {
+				continue
+			}
+			nr := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			total += permute(nr, append(path, v))
+		}
+		return total
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		verts = verts[:0]
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, v)
+			}
+		}
+		if len(verts) < 3 {
+			continue
+		}
+		// Fix the first vertex to kill rotations; each cycle is then
+		// counted twice (two directions).
+		first := verts[0]
+		ham := permute(append([]int(nil), verts[1:]...), []int{first})
+		count += ham / 2
+	}
+	return count
+}
+
+func TestSimpleCyclesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(4) // up to 6 nodes
+		g := NewUgraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		want := bruteSimpleCycles(g)
+		got := g.CountSimpleCycles()
+		if got != want {
+			t.Fatalf("trial %d (n=%d, edges=%d): SimpleCycles=%d brute=%d",
+				trial, n, g.NumEdges(), got, want)
+		}
+	}
+}
+
+func TestTransitiveClosureTransitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(12)
+		g := NewDigraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		tc := g.TransitiveClosure()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if !tc[a].Has(b) {
+					continue
+				}
+				for c := 0; c < n; c++ {
+					if tc[b].Has(c) && !tc[a].Has(c) {
+						t.Fatalf("closure not transitive: %d->%d->%d", a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSCCPartitionsNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(15)
+		g := NewDigraph(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		comps := g.SCC()
+		seen := map[int]int{}
+		for ci, comp := range comps {
+			for _, v := range comp {
+				if prev, dup := seen[v]; dup {
+					t.Fatalf("node %d in components %d and %d", v, prev, ci)
+				}
+				seen[v] = ci
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("SCC covered %d of %d nodes", len(seen), n)
+		}
+		// Nodes in the same SCC reach each other.
+		tc := g.TransitiveClosure()
+		for _, comp := range comps {
+			for _, a := range comp {
+				for _, b := range comp {
+					if a != b && (!tc[a].Has(b) || !tc[b].Has(a)) {
+						t.Fatalf("SCC members %d,%d not mutually reachable", a, b)
+					}
+				}
+			}
+		}
+	}
+}

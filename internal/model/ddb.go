@@ -1,0 +1,139 @@
+// Package model implements the paper's data model (Section 2): a
+// distributed database is a finite set of entities partitioned into
+// pairwise-disjoint sites, and a locked transaction is a partial order of
+// Lock/Unlock operations in which nodes associated with entities residing
+// at the same site are totally ordered.
+//
+// Action nodes are omitted, exactly as the paper argues (end of Section 2):
+// the positions of actions play no role in safety or deadlock-freedom; only
+// the Lock/Unlock operations and their precedence relationships matter.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EntityID identifies a database entity within a DDB.
+type EntityID int
+
+// SiteID identifies a database site within a DDB.
+type SiteID int
+
+// DDB is a distributed database: a set of named entities, each residing at
+// exactly one site. Replication is not modelled (copies of a logical item
+// at different sites are distinct entities, per the paper).
+type DDB struct {
+	siteNames   []string
+	siteByName  map[string]SiteID
+	entNames    []string
+	entByName   map[string]EntityID
+	entSite     []SiteID
+	siteEntCnts []int
+}
+
+// NewDDB returns an empty distributed database.
+func NewDDB() *DDB {
+	return &DDB{
+		siteByName: make(map[string]SiteID),
+		entByName:  make(map[string]EntityID),
+	}
+}
+
+// AddSite registers a site and returns its ID. Re-adding an existing site
+// returns the existing ID.
+func (d *DDB) AddSite(name string) SiteID {
+	if id, ok := d.siteByName[name]; ok {
+		return id
+	}
+	id := SiteID(len(d.siteNames))
+	d.siteNames = append(d.siteNames, name)
+	d.siteByName[name] = id
+	d.siteEntCnts = append(d.siteEntCnts, 0)
+	return id
+}
+
+// AddEntity registers an entity residing at the named site (creating the
+// site if needed) and returns its ID. It is an error to re-add an entity at
+// a different site.
+func (d *DDB) AddEntity(name, site string) (EntityID, error) {
+	sid := d.AddSite(site)
+	if id, ok := d.entByName[name]; ok {
+		if d.entSite[id] != sid {
+			return 0, fmt.Errorf("model: entity %q already resides at site %q", name, d.siteNames[d.entSite[id]])
+		}
+		return id, nil
+	}
+	id := EntityID(len(d.entNames))
+	d.entNames = append(d.entNames, name)
+	d.entByName[name] = id
+	d.entSite = append(d.entSite, sid)
+	d.siteEntCnts[sid]++
+	return id, nil
+}
+
+// MustEntity is AddEntity that panics on conflict; convenient in tests and
+// builders.
+func (d *DDB) MustEntity(name, site string) EntityID {
+	id, err := d.AddEntity(name, site)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Entity returns the ID of a named entity.
+func (d *DDB) Entity(name string) (EntityID, bool) {
+	id, ok := d.entByName[name]
+	return id, ok
+}
+
+// EntityName returns the name of an entity.
+func (d *DDB) EntityName(id EntityID) string {
+	d.checkEntity(id)
+	return d.entNames[id]
+}
+
+// SiteOf returns the site an entity resides at.
+func (d *DDB) SiteOf(id EntityID) SiteID {
+	d.checkEntity(id)
+	return d.entSite[id]
+}
+
+// SiteName returns the name of a site.
+func (d *DDB) SiteName(id SiteID) string {
+	if id < 0 || int(id) >= len(d.siteNames) {
+		panic(fmt.Sprintf("model: site %d out of range", id))
+	}
+	return d.siteNames[id]
+}
+
+// NumEntities returns the number of registered entities.
+func (d *DDB) NumEntities() int { return len(d.entNames) }
+
+// NumSites returns the number of registered sites.
+func (d *DDB) NumSites() int { return len(d.siteNames) }
+
+// EntitiesAt returns the entities residing at the given site, sorted by ID.
+func (d *DDB) EntitiesAt(site SiteID) []EntityID {
+	var out []EntityID
+	for e, s := range d.entSite {
+		if s == site {
+			out = append(out, EntityID(e))
+		}
+	}
+	return out
+}
+
+// EntityNames returns all entity names sorted alphabetically.
+func (d *DDB) EntityNames() []string {
+	out := append([]string(nil), d.entNames...)
+	sort.Strings(out)
+	return out
+}
+
+func (d *DDB) checkEntity(id EntityID) {
+	if id < 0 || int(id) >= len(d.entNames) {
+		panic(fmt.Sprintf("model: entity %d out of range", id))
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+import (
+	"math/rand"
+
+	"distlock/internal/graph"
+)
+
+// LinearExtensions enumerates every linear extension (total order
+// compatible with the partial order) of t, calling fn with each one. The
+// slice passed to fn is reused between calls; copy it if it must be
+// retained. If fn returns false, enumeration stops.
+//
+// The number of linear extensions is exponential in general; callers use
+// this only on small transactions (brute-force oracles, tests).
+func LinearExtensions(t *Transaction, fn func(order []NodeID) bool) {
+	n := t.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(t.In(NodeID(v)))
+	}
+	order := make([]NodeID, 0, n)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == n {
+			return fn(order)
+		}
+		for v := 0; v < n; v++ {
+			if indeg[v] != 0 {
+				continue
+			}
+			indeg[v] = -1 // taken
+			for _, w := range t.Out(NodeID(v)) {
+				indeg[w]--
+			}
+			order = append(order, NodeID(v))
+			ok := rec()
+			order = order[:len(order)-1]
+			for _, w := range t.Out(NodeID(v)) {
+				indeg[w]++
+			}
+			indeg[v] = 0
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// CountLinearExtensions returns the number of linear extensions of t.
+func CountLinearExtensions(t *Transaction) int {
+	n := 0
+	LinearExtensions(t, func([]NodeID) bool { n++; return true })
+	return n
+}
+
+// RandomLinearExtension returns a uniformly-ish random linear extension
+// (random choice among available nodes at each step; not exactly uniform
+// over extensions, which is fine for workload generation).
+func RandomLinearExtension(t *Transaction, rng *rand.Rand) []NodeID {
+	n := t.N()
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = len(t.In(NodeID(v)))
+	}
+	avail := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			avail = append(avail, v)
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for len(avail) > 0 {
+		i := rng.Intn(len(avail))
+		v := avail[i]
+		avail[i] = avail[len(avail)-1]
+		avail = avail[:len(avail)-1]
+		order = append(order, NodeID(v))
+		for _, w := range t.Out(NodeID(v)) {
+			indeg[w]--
+			if indeg[w] == 0 {
+				avail = append(avail, w)
+			}
+		}
+	}
+	return order
+}
+
+// Linearize builds a centralized (totally ordered) transaction from a
+// linear extension of t: same nodes, chained in the given order, with all
+// entities placed as they are. The result is a valid Transaction whose
+// partial order is the total order given. Used to reduce distributed
+// questions to the centralized case (Corollary 1).
+func Linearize(t *Transaction, order []NodeID, name string) (*Transaction, error) {
+	b := NewBuilder(t.ddb, name)
+	// Node IDs in the new transaction follow the order sequence.
+	for _, id := range order {
+		nd := t.Node(id)
+		ename := t.ddb.EntityName(nd.Entity)
+		if nd.Kind == LockOp {
+			b.Lock(ename)
+		} else {
+			b.Unlock(ename)
+		}
+	}
+	for i := 0; i+1 < len(order); i++ {
+		b.Arc(NodeID(i), NodeID(i+1))
+	}
+	return b.Freeze()
+}
+
+// IsLinearExtension reports whether order is a linear extension of t.
+func IsLinearExtension(t *Transaction, order []NodeID) bool {
+	if len(order) != t.N() {
+		return false
+	}
+	seen := graph.NewBitset(t.N())
+	for _, id := range order {
+		if id < 0 || int(id) >= t.N() || seen.Has(int(id)) {
+			return false
+		}
+		for _, p := range t.In(id) {
+			if !seen.Has(p) {
+				return false
+			}
+		}
+		seen.Set(int(id))
+	}
+	return true
+}

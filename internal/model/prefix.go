@@ -1,0 +1,238 @@
+package model
+
+import (
+	"fmt"
+
+	"distlock/internal/graph"
+)
+
+// Prefix is a downward-closed subset of a transaction's nodes — the paper's
+// "prefix of T": a subgraph with no arcs from outside the node set into it.
+// Prefixes represent the executed portion of a transaction in a partial
+// schedule.
+type Prefix struct {
+	t   *Transaction
+	set *graph.Bitset
+}
+
+// NewPrefix wraps a node set as a prefix of t, verifying downward closure.
+func NewPrefix(t *Transaction, nodes *graph.Bitset) (*Prefix, error) {
+	if nodes.Len() != t.N() {
+		return nil, fmt.Errorf("model: prefix bitset size %d != node count %d", nodes.Len(), t.N())
+	}
+	var bad error
+	nodes.ForEach(func(v int) bool {
+		for _, u := range t.In(NodeID(v)) {
+			if !nodes.Has(u) {
+				bad = fmt.Errorf("model: prefix of %s not downward-closed: node %d in set but predecessor %d missing",
+					t.Name(), v, u)
+				return false
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	return &Prefix{t: t, set: nodes.Clone()}, nil
+}
+
+// MustPrefix is NewPrefix that panics on error.
+func MustPrefix(t *Transaction, nodes *graph.Bitset) *Prefix {
+	p, err := NewPrefix(t, nodes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PrefixOf builds a prefix from explicit node IDs (taking their downward
+// closure is NOT performed; the set must already be downward-closed).
+func PrefixOf(t *Transaction, ids ...NodeID) (*Prefix, error) {
+	bs := graph.NewBitset(t.N())
+	for _, id := range ids {
+		if id < 0 || int(id) >= t.N() {
+			return nil, fmt.Errorf("model: node %d out of range", id)
+		}
+		bs.Set(int(id))
+	}
+	return NewPrefix(t, bs)
+}
+
+// ClosedPrefixOf builds the smallest prefix containing the given nodes by
+// adding all their predecessors.
+func ClosedPrefixOf(t *Transaction, ids ...NodeID) *Prefix {
+	bs := graph.NewBitset(t.N())
+	for _, id := range ids {
+		bs.Set(int(id))
+		bs.Or(t.Preds(id))
+	}
+	return &Prefix{t: t, set: bs}
+}
+
+// EmptyPrefix returns the empty prefix of t.
+func EmptyPrefix(t *Transaction) *Prefix {
+	return &Prefix{t: t, set: graph.NewBitset(t.N())}
+}
+
+// FullPrefix returns the prefix containing every node of t.
+func FullPrefix(t *Transaction) *Prefix {
+	bs := graph.NewBitset(t.N())
+	for i := 0; i < t.N(); i++ {
+		bs.Set(i)
+	}
+	return &Prefix{t: t, set: bs}
+}
+
+// Txn returns the underlying transaction.
+func (p *Prefix) Txn() *Transaction { return p.t }
+
+// Has reports whether node id is in the prefix.
+func (p *Prefix) Has(id NodeID) bool { return p.set.Has(int(id)) }
+
+// Nodes returns a copy of the prefix's node set.
+func (p *Prefix) Nodes() *graph.Bitset { return p.set.Clone() }
+
+// Size returns the number of nodes in the prefix.
+func (p *Prefix) Size() int { return p.set.Count() }
+
+// IsFull reports whether the prefix contains every node.
+func (p *Prefix) IsFull() bool { return p.set.Count() == p.t.N() }
+
+// IsEmpty reports whether the prefix contains no node.
+func (p *Prefix) IsEmpty() bool { return p.set.Count() == 0 }
+
+// Accessed returns R(T′): the entities whose Lock node is in the prefix.
+// (An entity is accessed by a prefix iff its Lock is present, since Lx
+// precedes every other node on x.)
+func (p *Prefix) Accessed() []EntityID {
+	var out []EntityID
+	for _, e := range p.t.Entities() {
+		l, _ := p.t.LockNode(e)
+		if p.set.Has(int(l)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LockedNotUnlocked returns the entities whose Lock is in the prefix but
+// whose Unlock is not — the locks held after executing exactly this prefix.
+func (p *Prefix) LockedNotUnlocked() []EntityID {
+	var out []EntityID
+	for _, e := range p.t.Entities() {
+		l, _ := p.t.LockNode(e)
+		u, _ := p.t.UnlockNode(e)
+		if p.set.Has(int(l)) && !p.set.Has(int(u)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Y returns the paper's Y(T′): the entities mentioned in the remaining
+// steps of the transaction; equivalently those accessed entities whose
+// Unlock node is not in the prefix.
+func (p *Prefix) Y() []EntityID {
+	var out []EntityID
+	for _, e := range p.t.Entities() {
+		u, _ := p.t.UnlockNode(e)
+		if !p.set.Has(int(u)) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MaximalAvoiding returns the unique maximal prefix T* of the transaction
+// whose accessed-entity set avoids every entity for which avoid returns
+// true (Section 5): it is obtained by removing each avoided entity's Lock
+// node together with all of that node's successors.
+func (p *Prefix) MaximalAvoiding(avoid func(EntityID) bool) *Prefix {
+	return MaximalPrefixAvoiding(p.t, avoid)
+}
+
+// MaximalPrefixAvoiding returns the maximal prefix of t accessing no
+// entity for which avoid returns true.
+func MaximalPrefixAvoiding(t *Transaction, avoid func(EntityID) bool) *Prefix {
+	removed := graph.NewBitset(t.N())
+	for _, e := range t.Entities() {
+		if !avoid(e) {
+			continue
+		}
+		l, _ := t.LockNode(e)
+		removed.Set(int(l))
+		removed.Or(t.Succs(l))
+	}
+	keep := graph.NewBitset(t.N())
+	for i := 0; i < t.N(); i++ {
+		if !removed.Has(i) {
+			keep.Set(i)
+		}
+	}
+	return &Prefix{t: t, set: keep}
+}
+
+// Contains reports whether p contains every node of q (both prefixes of the
+// same transaction).
+func (p *Prefix) Contains(q *Prefix) bool {
+	if p.t != q.t {
+		panic("model: Contains across different transactions")
+	}
+	return p.set.ContainsAll(q.set)
+}
+
+// Equal reports whether two prefixes of the same transaction hold the same
+// node set.
+func (p *Prefix) Equal(q *Prefix) bool { return p.t == q.t && p.set.Equal(q.set) }
+
+// String renders the prefix node labels for debugging.
+func (p *Prefix) String() string {
+	s := p.t.Name() + "′{"
+	first := true
+	p.set.ForEach(func(v int) bool {
+		if !first {
+			s += " "
+		}
+		first = false
+		s += p.t.Label(NodeID(v))
+		return true
+	})
+	return s + "}"
+}
+
+// EnumeratePrefixes calls fn for every prefix (downward-closed node set) of
+// t. If fn returns false the enumeration stops. The number of prefixes can
+// be exponential in t.N(); callers restrict themselves to small
+// transactions.
+func EnumeratePrefixes(t *Transaction, fn func(*Prefix) bool) {
+	n := t.N()
+	// Decide inclusion in a topological order so each node's direct
+	// predecessors are decided before it; a node may be included only if all
+	// its direct predecessors were included, which yields exactly the
+	// downward-closed sets.
+	order := t.topoOrder()
+	cur := graph.NewBitset(n)
+	var rec func(pos int) bool
+	rec = func(pos int) bool {
+		if pos == n {
+			return fn(&Prefix{t: t, set: cur.Clone()})
+		}
+		v := order[pos]
+		// Branch 1: exclude v.
+		if !rec(pos + 1) {
+			return false
+		}
+		// Branch 2: include v if all direct predecessors are included.
+		for _, u := range t.In(NodeID(v)) {
+			if !cur.Has(u) {
+				return true
+			}
+		}
+		cur.Set(v)
+		ok := rec(pos + 1)
+		cur.Clear(v)
+		return ok
+	}
+	rec(0)
+}

@@ -1,0 +1,307 @@
+package model
+
+import (
+	"testing"
+
+	"distlock/internal/graph"
+)
+
+// chainTxn builds Lx Ly Ux Uy as a centralized chain.
+func chainTxn(t *testing.T) (*DDB, *Transaction) {
+	t.Helper()
+	d := NewDDB()
+	d.MustEntity("x", "s")
+	d.MustEntity("y", "s")
+	b := NewBuilder(d, "T")
+	lx := b.Lock("x")
+	ly := b.Lock("y")
+	ux := b.Unlock("x")
+	uy := b.Unlock("y")
+	b.Chain(lx, ly, ux, uy)
+	return d, b.MustFreeze()
+}
+
+func TestPrefixDownwardClosureValidation(t *testing.T) {
+	_, txn := chainTxn(t)
+	bad := graph.NewBitset(txn.N())
+	bad.Set(1) // Ly without Lx
+	if _, err := NewPrefix(txn, bad); err == nil {
+		t.Fatal("non-downward-closed set accepted")
+	}
+	good := graph.NewBitset(txn.N())
+	good.Set(0)
+	good.Set(1)
+	if _, err := NewPrefix(txn, good); err != nil {
+		t.Fatalf("valid prefix rejected: %v", err)
+	}
+}
+
+func TestClosedPrefixOf(t *testing.T) {
+	_, txn := chainTxn(t)
+	p := ClosedPrefixOf(txn, 2) // Ux: pulls in Lx, Ly
+	if p.Size() != 3 {
+		t.Fatalf("closed prefix size = %d, want 3", p.Size())
+	}
+	for _, id := range []NodeID{0, 1, 2} {
+		if !p.Has(id) {
+			t.Fatalf("closed prefix missing node %d", id)
+		}
+	}
+}
+
+func TestPrefixEntitySets(t *testing.T) {
+	d, txn := chainTxn(t)
+	x, y := mustEnt(d, "x"), mustEnt(d, "y")
+
+	p := ClosedPrefixOf(txn, 2) // executed Lx Ly Ux
+	acc := p.Accessed()
+	if len(acc) != 2 {
+		t.Fatalf("Accessed = %v", acc)
+	}
+	lnu := p.LockedNotUnlocked()
+	if len(lnu) != 1 || lnu[0] != y {
+		t.Fatalf("LockedNotUnlocked = %v, want [y]", lnu)
+	}
+	yset := p.Y()
+	if len(yset) != 1 || yset[0] != y {
+		t.Fatalf("Y = %v, want [y]", yset)
+	}
+
+	empty := EmptyPrefix(txn)
+	if got := empty.Y(); len(got) != 2 {
+		t.Fatalf("Y(empty) = %v, want both entities", got)
+	}
+	full := FullPrefix(txn)
+	if got := full.Y(); len(got) != 0 {
+		t.Fatalf("Y(full) = %v, want empty", got)
+	}
+	if !full.IsFull() || full.IsEmpty() || !empty.IsEmpty() || empty.IsFull() {
+		t.Fatal("IsFull/IsEmpty wrong")
+	}
+	_ = x
+}
+
+func TestMaximalPrefixAvoiding(t *testing.T) {
+	d, txn := chainTxn(t)
+	y := mustEnt(d, "y")
+	// Avoid y: must drop Ly and its successors (Ux, Uy) -> only Lx remains.
+	p := MaximalPrefixAvoiding(txn, func(e EntityID) bool { return e == y })
+	if p.Size() != 1 || !p.Has(0) {
+		t.Fatalf("maximal prefix avoiding y = %v", p)
+	}
+	// Avoid nothing: full prefix.
+	p = MaximalPrefixAvoiding(txn, func(EntityID) bool { return false })
+	if !p.IsFull() {
+		t.Fatal("avoiding nothing should give full prefix")
+	}
+	// Avoid x: drop everything.
+	x := mustEnt(d, "x")
+	p = MaximalPrefixAvoiding(txn, func(e EntityID) bool { return e == x })
+	if !p.IsEmpty() {
+		t.Fatalf("avoiding x should give empty prefix, got %v", p)
+	}
+}
+
+func TestMaximalPrefixIsMaximal(t *testing.T) {
+	// Any prefix avoiding the set must be contained in MaximalPrefixAvoiding.
+	d, txn := chainTxn(t)
+	y := mustEnt(d, "y")
+	avoid := func(e EntityID) bool { return e == y }
+	max := MaximalPrefixAvoiding(txn, avoid)
+	EnumeratePrefixes(txn, func(p *Prefix) bool {
+		ok := true
+		for _, e := range p.Accessed() {
+			if avoid(e) {
+				ok = false
+			}
+		}
+		if ok && !max.Contains(p) {
+			t.Fatalf("prefix %v avoids y but is not contained in max %v", p, max)
+		}
+		return true
+	})
+	_ = d
+}
+
+func TestEnumeratePrefixesChainCount(t *testing.T) {
+	_, txn := chainTxn(t)
+	// A chain of 4 nodes has exactly 5 prefixes.
+	n := 0
+	EnumeratePrefixes(txn, func(*Prefix) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("chain-4 prefixes = %d, want 5", n)
+	}
+}
+
+func TestEnumeratePrefixesParallelCount(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	d.MustEntity("y", "B")
+	b := NewBuilder(d, "T")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	txn := b.MustFreeze()
+	// Two independent 2-chains: 3*3 = 9 downward-closed sets.
+	n := 0
+	EnumeratePrefixes(txn, func(p *Prefix) bool {
+		// every enumerated set must be a valid prefix
+		if _, err := NewPrefix(txn, p.Nodes()); err != nil {
+			t.Fatalf("enumerated invalid prefix: %v", err)
+		}
+		n++
+		return true
+	})
+	if n != 9 {
+		t.Fatalf("parallel prefixes = %d, want 9", n)
+	}
+}
+
+func TestEnumeratePrefixesEarlyStop(t *testing.T) {
+	_, txn := chainTxn(t)
+	n := 0
+	EnumeratePrefixes(txn, func(*Prefix) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d, want 2", n)
+	}
+}
+
+func TestEnumeratePrefixesNonTopoNodeIDs(t *testing.T) {
+	// Arc from a higher node ID to a lower one: enumeration must still work.
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	b := NewBuilder(d, "T")
+	u := b.Unlock("x") // node 0
+	l := b.Lock("x")   // node 1
+	b.Arc(l, u)        // 1 -> 0
+	txn := b.MustFreeze()
+	var sizes []int
+	EnumeratePrefixes(txn, func(p *Prefix) bool { sizes = append(sizes, p.Size()); return true })
+	if len(sizes) != 3 {
+		t.Fatalf("got %d prefixes, want 3 (empty, {L}, {L,U})", len(sizes))
+	}
+}
+
+func TestPrefixContainsEqual(t *testing.T) {
+	_, txn := chainTxn(t)
+	p1 := ClosedPrefixOf(txn, 1)
+	p2 := ClosedPrefixOf(txn, 2)
+	if !p2.Contains(p1) || p1.Contains(p2) {
+		t.Fatal("Contains wrong")
+	}
+	if !p1.Equal(ClosedPrefixOf(txn, 1)) || p1.Equal(p2) {
+		t.Fatal("Equal wrong")
+	}
+}
+
+func TestLinearExtensionsChain(t *testing.T) {
+	_, txn := chainTxn(t)
+	if n := CountLinearExtensions(txn); n != 1 {
+		t.Fatalf("chain extensions = %d, want 1", n)
+	}
+}
+
+func TestLinearExtensionsParallel(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	d.MustEntity("y", "B")
+	b := NewBuilder(d, "T")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	txn := b.MustFreeze()
+	// Interleavings of two 2-chains: C(4,2) = 6.
+	count := 0
+	LinearExtensions(txn, func(order []NodeID) bool {
+		if !IsLinearExtension(txn, order) {
+			t.Fatalf("emitted non-extension %v", order)
+		}
+		count++
+		return true
+	})
+	if count != 6 {
+		t.Fatalf("extensions = %d, want 6", count)
+	}
+}
+
+func TestRandomLinearExtensionValid(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	d.MustEntity("y", "B")
+	d.MustEntity("z", "C")
+	b := NewBuilder(d, "T")
+	lx, _ := b.LockUnlock("x")
+	ly, _ := b.LockUnlock("y")
+	b.LockUnlock("z")
+	b.Arc(lx, ly)
+	txn := b.MustFreeze()
+	rng := newTestRand()
+	for i := 0; i < 50; i++ {
+		order := RandomLinearExtension(txn, rng)
+		if !IsLinearExtension(txn, order) {
+			t.Fatalf("random order %v is not a linear extension", order)
+		}
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	d.MustEntity("y", "B")
+	b := NewBuilder(d, "T")
+	lx, ux := b.LockUnlock("x")
+	ly, uy := b.LockUnlock("y")
+	txn := b.MustFreeze()
+	lin, err := Linearize(txn, []NodeID{lx, ly, ux, uy}, "t")
+	if err != nil {
+		t.Fatalf("Linearize: %v", err)
+	}
+	if lin.N() != 4 || CountLinearExtensions(lin) != 1 {
+		t.Fatalf("linearized txn not a total order: %v", lin)
+	}
+}
+
+func TestIsLinearExtensionRejects(t *testing.T) {
+	_, txn := chainTxn(t)
+	if IsLinearExtension(txn, []NodeID{1, 0, 2, 3}) {
+		t.Fatal("accepted order violating arc 0->1")
+	}
+	if IsLinearExtension(txn, []NodeID{0, 1, 2}) {
+		t.Fatal("accepted short order")
+	}
+	if IsLinearExtension(txn, []NodeID{0, 0, 2, 3}) {
+		t.Fatal("accepted repeated node")
+	}
+}
+
+func TestCopies(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("x", "A")
+	b := NewBuilder(d, "T")
+	b.LockUnlock("x")
+	txn := b.MustFreeze()
+	sys := MustCopies(txn, 3)
+	if sys.N() != 3 {
+		t.Fatalf("copies = %d", sys.N())
+	}
+	for _, c := range sys.Txns {
+		if c.N() != txn.N() {
+			t.Fatalf("copy node count %d != %d", c.N(), txn.N())
+		}
+	}
+	g := sys.InteractionGraph()
+	if g.NumEdges() != 3 {
+		t.Fatalf("interaction edges = %d, want 3 (triangle)", g.NumEdges())
+	}
+}
+
+func TestSystemRejectsForeignDDB(t *testing.T) {
+	d1 := NewDDB()
+	d1.MustEntity("x", "A")
+	d2 := NewDDB()
+	d2.MustEntity("x", "A")
+	b := NewBuilder(d2, "T")
+	b.LockUnlock("x")
+	txn := b.MustFreeze()
+	if _, err := NewSystem(d1, txn); err == nil {
+		t.Fatal("system accepted transaction over different DDB")
+	}
+}

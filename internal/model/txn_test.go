@@ -1,0 +1,285 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSiteDB(t *testing.T) *DDB {
+	t.Helper()
+	d := NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s1")
+	d.MustEntity("z", "s2")
+	return d
+}
+
+func TestDDBBasics(t *testing.T) {
+	d := twoSiteDB(t)
+	if d.NumEntities() != 3 || d.NumSites() != 2 {
+		t.Fatalf("entities=%d sites=%d", d.NumEntities(), d.NumSites())
+	}
+	x, ok := d.Entity("x")
+	if !ok {
+		t.Fatal("entity x missing")
+	}
+	if d.EntityName(x) != "x" {
+		t.Fatalf("EntityName = %q", d.EntityName(x))
+	}
+	if d.SiteName(d.SiteOf(x)) != "s1" {
+		t.Fatalf("x at site %q", d.SiteName(d.SiteOf(x)))
+	}
+	s1, _ := d.Entity("y")
+	if d.SiteOf(x) != d.SiteOf(s1) {
+		t.Fatal("x and y should share site s1")
+	}
+	if _, err := d.AddEntity("x", "s2"); err == nil {
+		t.Fatal("moving entity between sites should fail")
+	}
+	if _, err := d.AddEntity("x", "s1"); err != nil {
+		t.Fatalf("re-adding at same site should succeed: %v", err)
+	}
+	ents := d.EntitiesAt(d.SiteOf(x))
+	if len(ents) != 2 {
+		t.Fatalf("EntitiesAt(s1) = %v", ents)
+	}
+}
+
+func TestFreezeAutoAddsLockUnlockArc(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	l := b.Lock("x")
+	u := b.Unlock("x")
+	// No explicit arc: Freeze must add Lx -> Ux.
+	txn := b.MustFreeze()
+	if !txn.Precedes(l, u) {
+		t.Fatal("Lx does not precede Ux after freeze")
+	}
+}
+
+func TestFreezeRejectsUnlockBeforeLock(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	u := b.Unlock("x")
+	l := b.Lock("x")
+	b.Arc(u, l)
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("Ux before Lx should create a cycle with the auto-arc, got %v", err)
+	}
+}
+
+func TestFreezeRejectsDuplicateLock(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	b.Lock("x")
+	b.Lock("x")
+	b.Unlock("x")
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "duplicate Lock") {
+		t.Fatalf("want duplicate Lock error, got %v", err)
+	}
+}
+
+func TestFreezeRejectsMissingUnlock(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	b.Lock("x")
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "never unlocked") {
+		t.Fatalf("want missing-unlock error, got %v", err)
+	}
+}
+
+func TestFreezeRejectsMissingLock(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	b.Unlock("x")
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "never locked") {
+		t.Fatalf("want missing-lock error, got %v", err)
+	}
+}
+
+func TestFreezeEnforcesSameSiteTotalOrder(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	// x and y both at s1; their nodes left unordered -> must fail.
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	if _, err := b.Freeze(); err == nil || !strings.Contains(err.Error(), "unordered") {
+		t.Fatalf("want same-site order violation, got %v", err)
+	}
+}
+
+func TestFreezeAllowsUnorderedAcrossSites(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	// x at s1, z at s2 — parallel chains are fine.
+	b.LockUnlock("x")
+	b.LockUnlock("z")
+	txn := b.MustFreeze()
+	lx, _ := txn.LockNode(mustEnt(d, "x"))
+	lz, _ := txn.LockNode(mustEnt(d, "z"))
+	if txn.Precedes(lx, lz) || txn.Precedes(lz, lx) {
+		t.Fatal("cross-site nodes should be unordered")
+	}
+}
+
+func mustEnt(d *DDB, name string) EntityID {
+	e, ok := d.Entity(name)
+	if !ok {
+		panic("missing entity " + name)
+	}
+	return e
+}
+
+func TestRTAndLT(t *testing.T) {
+	// Centralized chain: Lx Ly Ux Az... use: Lx, Ly, Ux, Lz, Uy, Uz all on one site.
+	d := NewDDB()
+	d.MustEntity("x", "s")
+	d.MustEntity("y", "s")
+	d.MustEntity("z", "s")
+	b := NewBuilder(d, "T")
+	lx := b.Lock("x")
+	ly := b.Lock("y")
+	ux := b.Unlock("x")
+	lz := b.Lock("z")
+	uy := b.Unlock("y")
+	uz := b.Unlock("z")
+	b.Chain(lx, ly, ux, lz, uy, uz)
+	txn := b.MustFreeze()
+
+	x, y := mustEnt(d, "x"), mustEnt(d, "y")
+
+	// R_T(Lz) = {x, y}: both locked before Lz.
+	rt := txn.RT(lz)
+	if len(rt) != 2 || rt[0] != x || rt[1] != y {
+		t.Fatalf("RT(Lz) = %v, want [x y]", rt)
+	}
+	// L_T(Lz) = {y}: Lz precedes Uy but not Ly; x already unlocked; z's own
+	// lock does not precede itself.
+	lt := txn.LT(lz)
+	if len(lt) != 1 || lt[0] != y {
+		t.Fatalf("LT(Lz) = %v, want [y]", lt)
+	}
+	// L_T(Ly) = {x}: Ly precedes Ux, does not precede Lx.
+	lt = txn.LT(ly)
+	if len(lt) != 1 || lt[0] != x {
+		t.Fatalf("LT(Ly) = %v, want [x]", lt)
+	}
+	// R_T(Lx) is empty.
+	if rt := txn.RT(lx); len(rt) != 0 {
+		t.Fatalf("RT(Lx) = %v, want empty", rt)
+	}
+}
+
+func TestLTDistributedNotSubsetOfRT(t *testing.T) {
+	// The paper remarks L_T(s) ⊆ R_T(s) holds for centralized transactions
+	// but NOT in general for distributed ones. Construct: Ly at site A; x at
+	// site B with Ly ≺ Ux but Lx unordered with Ly.
+	d := NewDDB()
+	d.MustEntity("y", "A")
+	d.MustEntity("x", "B")
+	b := NewBuilder(d, "T")
+	ly := b.Lock("y")
+	uy := b.Unlock("y")
+	lx := b.Lock("x")
+	ux := b.Unlock("x")
+	b.Arc(ly, uy)
+	b.Arc(lx, ux)
+	b.Arc(ly, ux) // Ly before Ux, but Lx incomparable with Ly
+	txn := b.MustFreeze()
+
+	x := mustEnt(d, "x")
+	lt := txn.LT(ly)
+	if len(lt) != 1 || lt[0] != x {
+		t.Fatalf("LT(Ly) = %v, want [x]", lt)
+	}
+	rt := txn.RT(ly)
+	if len(rt) != 0 {
+		t.Fatalf("RT(Ly) = %v, want empty — so LT ⊄ RT as the paper notes", rt)
+	}
+	_ = lx
+}
+
+func TestMinimalNodes(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	lx, ux := b.LockUnlock("x")
+	lz, uz := b.LockUnlock("z")
+	txn := b.MustFreeze()
+
+	empty := EmptyPrefix(txn)
+	mins := txn.MinimalNodes(empty.Nodes())
+	if len(mins) != 2 || mins[0] != lx || mins[1] != lz {
+		t.Fatalf("minimal nodes of empty prefix = %v, want [Lx Lz]", mins)
+	}
+	p := ClosedPrefixOf(txn, lx)
+	mins = txn.MinimalNodes(p.Nodes())
+	if len(mins) != 2 || mins[0] != ux || mins[1] != lz {
+		t.Fatalf("minimal nodes after Lx = %v, want [Ux Lz]", mins)
+	}
+	_ = uz
+}
+
+func TestCommonEntities(t *testing.T) {
+	d := NewDDB()
+	d.MustEntity("a", "s1")
+	d.MustEntity("b", "s2")
+	d.MustEntity("c", "s3")
+	t1 := func() *Transaction {
+		b := NewBuilder(d, "T1")
+		la, ua := b.LockUnlock("a")
+		lb, ub := b.LockUnlock("b")
+		b.Chain(la, ua, lb, ub)
+		return b.MustFreeze()
+	}()
+	t2 := func() *Transaction {
+		b := NewBuilder(d, "T2")
+		lb, ub := b.LockUnlock("b")
+		lc, uc := b.LockUnlock("c")
+		b.Chain(lb, ub, lc, uc)
+		return b.MustFreeze()
+	}()
+	common := CommonEntities(t1, t2)
+	if len(common) != 1 || d.EntityName(common[0]) != "b" {
+		t.Fatalf("common = %v", common)
+	}
+	if !t1.Accesses(common[0]) || !t2.Accesses(common[0]) {
+		t.Fatal("Accesses inconsistent with CommonEntities")
+	}
+}
+
+func TestStringAndLabel(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	lx, _ := b.LockUnlock("x")
+	txn := b.MustFreeze()
+	if got := txn.Label(lx); got != "Lx" {
+		t.Fatalf("Label = %q, want Lx", got)
+	}
+	if s := txn.String(); !strings.Contains(s, "Lx") || !strings.Contains(s, "Ux") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBuilderPanicsAfterFreeze(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	b.LockUnlock("x")
+	b.MustFreeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic using builder after Freeze")
+		}
+	}()
+	b.Lock("z")
+}
+
+func TestBuilderUnknownEntityPanics(t *testing.T) {
+	d := twoSiteDB(t)
+	b := NewBuilder(d, "T")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown entity")
+		}
+	}()
+	b.Lock("nope")
+}

@@ -1,0 +1,181 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/core"
+	"distlock/internal/model"
+	"distlock/internal/workload"
+)
+
+func buildChain(d *model.DDB, name, spec string) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	var prev model.NodeID = -1
+	for _, tok := range strings.Fields(spec) {
+		var id model.NodeID
+		if tok[0] == 'L' {
+			id = b.Lock(tok[1:])
+		} else {
+			id = b.Unlock(tok[1:])
+		}
+		if prev >= 0 {
+			b.Arc(prev, id)
+		}
+		prev = id
+	}
+	return b.MustFreeze()
+}
+
+func TestHoldingCostChain(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("x", "s")
+	d.MustEntity("y", "s")
+	// Lx Ly Ux Uy: x held across {Lx, Ly, Ux? no: nodes n with Lx ≼ n ≺ Ux}
+	// = {Lx, Ly} = 2; y held across {Ly, Ux} ... {n : Ly ≼ n ≺ Uy} = {Ly, Ux} = 2.
+	sys := model.MustSystem(d, buildChain(d, "T", "Lx Ly Ux Uy"))
+	if got := HoldingCost(sys); got != 4 {
+		t.Fatalf("HoldingCost = %d, want 4", got)
+	}
+	// Lx Ux Ly Uy: x held {Lx}=1, y held {Ly}=1.
+	sys2 := model.MustSystem(d, buildChain(d, "T2", "Lx Ux Ly Uy"))
+	if got := HoldingCost(sys2); got != 2 {
+		t.Fatalf("HoldingCost = %d, want 2", got)
+	}
+}
+
+func TestEarlyUnlockRejectsUnsafeInput(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ly Ux Uy"),
+		buildChain(d, "T2", "Ly Lx Uy Ux"))
+	if _, err := EarlyUnlock(sys); err == nil {
+		t.Fatal("accepted an unsafe input system")
+	}
+}
+
+func TestEarlyUnlockSingleTransaction(t *testing.T) {
+	// A lone transaction is trivially safe+DF; the optimizer should hoist
+	// both unlocks to the earliest legal spot: Lx Ly Ux Uy -> Lx Ux Ly Uy
+	// (x's unlock can cross Ly; y's unlock is already immediately after
+	// whatever precedes it once x's hoist happens).
+	d := model.NewDDB()
+	d.MustEntity("x", "s")
+	d.MustEntity("y", "s")
+	sys := model.MustSystem(d, buildChain(d, "T", "Lx Ly Ux Uy"))
+	res, err := EarlyUnlock(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeldAfter >= res.HeldBefore {
+		t.Fatalf("no improvement: before=%d after=%d", res.HeldBefore, res.HeldAfter)
+	}
+	if res.HeldAfter != 2 {
+		t.Fatalf("HeldAfter = %d, want 2 (fully early-unlocked chain)", res.HeldAfter)
+	}
+	if ok, _ := core.SystemSafeDF(res.Sys); !ok {
+		t.Fatal("optimized system lost safe+DF")
+	}
+}
+
+func TestEarlyUnlockPreservesSafetyUnderContention(t *testing.T) {
+	// Two ordered transactions sharing x and y: hoisting U1x before L1y
+	// would break condition (2) of Theorem 3 (nothing guards y), so the
+	// optimizer must reject that move.
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ly Ux Uy"),
+		buildChain(d, "T2", "Lx Ly Ux Uy"))
+	res, err := EarlyUnlock(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := core.SystemSafeDF(res.Sys); !ok {
+		t.Fatal("optimized system lost safe+DF")
+	}
+	// The guard structure forces x to stay locked until after Ly in both
+	// transactions; verify Theorem 3's condition still holds and that the
+	// holding cost never increased.
+	if res.HeldAfter > res.HeldBefore {
+		t.Fatalf("holding cost increased: %d -> %d", res.HeldBefore, res.HeldAfter)
+	}
+	for _, txn := range res.Sys.Txns {
+		x, _ := res.Sys.DDB.Entity("x")
+		y, _ := res.Sys.DDB.Entity("y")
+		ux, _ := txn.UnlockNode(x)
+		ly, _ := txn.LockNode(y)
+		if txn.Precedes(ux, ly) {
+			t.Fatalf("%s: Ux hoisted before Ly — guard broken", txn.Name())
+		}
+	}
+}
+
+func TestEarlyUnlockImprovesDisjointTail(t *testing.T) {
+	// T1 = Lx Ly Ux Uy Lz Uz where z is private: safe moves exist around z
+	// and for the x guard's tail.
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	d.MustEntity("z", "sz")
+	sys := model.MustSystem(d,
+		buildChain(d, "T1", "Lx Ly Uy Ux Lz Uz"),
+		buildChain(d, "T2", "Lx Ly Uy Ux"))
+	res, err := EarlyUnlock(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := core.SystemSafeDF(res.Sys); !ok {
+		t.Fatal("optimized system lost safe+DF")
+	}
+	if res.HeldAfter > res.HeldBefore {
+		t.Fatalf("holding cost increased: %d -> %d", res.HeldBefore, res.HeldAfter)
+	}
+}
+
+// TestEarlyUnlockRandomOrderedSystems: on random ordered-2PL systems the
+// optimizer must terminate, never increase cost, and always preserve
+// safe∧DF (checked against the brute oracle for small systems).
+func TestEarlyUnlockRandomOrderedSystems(t *testing.T) {
+	improvedTotal := 0
+	for seed := int64(0); seed < 15; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 3,
+			Policy: workload.PolicyOrdered, Seed: seed,
+		})
+		if ok, _ := core.SystemSafeDF(sys); !ok {
+			continue
+		}
+		res, err := EarlyUnlock(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HeldAfter > res.HeldBefore {
+			t.Fatalf("seed %d: cost increased %d -> %d", seed, res.HeldBefore, res.HeldAfter)
+		}
+		improvedTotal += res.HeldBefore - res.HeldAfter
+		ok, _, err := core.IsSafeAndDeadlockFreeBrute(res.Sys, core.BruteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("seed %d: optimizer produced an unsafe system", seed)
+		}
+	}
+	if improvedTotal == 0 {
+		t.Fatal("optimizer never improved anything across 15 systems")
+	}
+}
+
+func TestCandidateMovesSkipOwnLock(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("x", "s")
+	sys := model.MustSystem(d, buildChain(d, "T", "Lx Ux"))
+	moves := candidateMoves(sys.Txns[0])
+	if len(moves) != 0 {
+		t.Fatalf("Ux cannot cross Lx; moves = %v", moves)
+	}
+}

@@ -1,0 +1,222 @@
+// Package parse reads and writes transaction systems in a small line-based
+// text format, so the command-line tools can operate on user-supplied
+// systems:
+//
+//	# comment
+//	site s1: x y
+//	site s2: z
+//
+//	txn T1 {
+//	  a: lock x
+//	  b: lock y
+//	  c: unlock x
+//	  d: unlock y
+//	  a -> b -> c -> d
+//	}
+//
+// Node labels are local to a transaction block. Arcs may chain with
+// repeated "->". The Lock->Unlock arc per entity is implied (the model
+// layer adds it).
+package parse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"distlock/internal/model"
+)
+
+// System parses a full transaction system from r.
+func System(r io.Reader) (*model.System, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	d := model.NewDDB()
+	var txns []*model.Transaction
+
+	lineNo := 0
+	var curBuilder *model.Builder
+	var curName string
+	var labels map[string]model.NodeID
+
+	finish := func() error {
+		if curBuilder == nil {
+			return nil
+		}
+		t, err := curBuilder.Freeze()
+		if err != nil {
+			return fmt.Errorf("transaction %s: %w", curName, err)
+		}
+		txns = append(txns, t)
+		curBuilder = nil
+		labels = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "site "):
+			if curBuilder != nil {
+				return nil, fmt.Errorf("line %d: site declaration inside txn block", lineNo)
+			}
+			rest := strings.TrimPrefix(line, "site ")
+			parts := strings.SplitN(rest, ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: want 'site <name>: <entities>'", lineNo)
+			}
+			siteName := strings.TrimSpace(parts[0])
+			if siteName == "" {
+				return nil, fmt.Errorf("line %d: empty site name", lineNo)
+			}
+			for _, ent := range strings.Fields(parts[1]) {
+				if _, err := d.AddEntity(ent, siteName); err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo, err)
+				}
+			}
+		case strings.HasPrefix(line, "txn "):
+			if curBuilder != nil {
+				return nil, fmt.Errorf("line %d: nested txn block", lineNo)
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "txn "))
+			if !strings.HasSuffix(rest, "{") {
+				return nil, fmt.Errorf("line %d: want 'txn <name> {'", lineNo)
+			}
+			curName = strings.TrimSpace(strings.TrimSuffix(rest, "{"))
+			if curName == "" {
+				return nil, fmt.Errorf("line %d: empty transaction name", lineNo)
+			}
+			curBuilder = model.NewBuilder(d, curName)
+			labels = map[string]model.NodeID{}
+		case line == "}":
+			if curBuilder == nil {
+				return nil, fmt.Errorf("line %d: '}' outside txn block", lineNo)
+			}
+			if err := finish(); err != nil {
+				return nil, err
+			}
+		case strings.Contains(line, "->"):
+			if curBuilder == nil {
+				return nil, fmt.Errorf("line %d: arc outside txn block", lineNo)
+			}
+			hops := strings.Split(line, "->")
+			var prev model.NodeID = -1
+			for _, h := range hops {
+				lbl := strings.TrimSpace(h)
+				id, ok := labels[lbl]
+				if !ok {
+					return nil, fmt.Errorf("line %d: unknown node label %q", lineNo, lbl)
+				}
+				if prev >= 0 {
+					curBuilder.Arc(prev, id)
+				}
+				prev = id
+			}
+		case strings.Contains(line, ":"):
+			if curBuilder == nil {
+				return nil, fmt.Errorf("line %d: node outside txn block", lineNo)
+			}
+			parts := strings.SplitN(line, ":", 2)
+			lbl := strings.TrimSpace(parts[0])
+			if lbl == "" {
+				return nil, fmt.Errorf("line %d: empty node label", lineNo)
+			}
+			if _, dup := labels[lbl]; dup {
+				return nil, fmt.Errorf("line %d: duplicate node label %q", lineNo, lbl)
+			}
+			fields := strings.Fields(parts[1])
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: want '<label>: lock|unlock <entity>'", lineNo)
+			}
+			op, ent := fields[0], fields[1]
+			if _, ok := d.Entity(ent); !ok {
+				return nil, fmt.Errorf("line %d: unknown entity %q (declare it in a site line first)", lineNo, ent)
+			}
+			switch op {
+			case "lock":
+				labels[lbl] = curBuilder.Lock(ent)
+			case "unlock":
+				labels[lbl] = curBuilder.Unlock(ent)
+			default:
+				return nil, fmt.Errorf("line %d: unknown operation %q", lineNo, op)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: cannot parse %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curBuilder != nil {
+		return nil, fmt.Errorf("unterminated txn block %s", curName)
+	}
+	if len(txns) == 0 {
+		return nil, fmt.Errorf("no transactions declared")
+	}
+	return model.NewSystem(d, txns...)
+}
+
+// Write renders a system in the package's text format. Node labels are
+// n0, n1, ... per transaction; only non-implied arcs are emitted.
+func Write(w io.Writer, sys *model.System) error {
+	// Sites with their entities, ordered by site name.
+	type siteEnts struct {
+		name string
+		ents []string
+	}
+	var sites []siteEnts
+	for s := 0; s < sys.DDB.NumSites(); s++ {
+		var ents []string
+		for _, e := range sys.DDB.EntitiesAt(model.SiteID(s)) {
+			ents = append(ents, sys.DDB.EntityName(e))
+		}
+		sort.Strings(ents)
+		sites = append(sites, siteEnts{name: sys.DDB.SiteName(model.SiteID(s)), ents: ents})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].name < sites[j].name })
+	for _, s := range sites {
+		if len(s.ents) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "site %s: %s\n", s.name, strings.Join(s.ents, " ")); err != nil {
+			return err
+		}
+	}
+	for _, t := range sys.Txns {
+		if _, err := fmt.Fprintf(w, "\ntxn %s {\n", t.Name()); err != nil {
+			return err
+		}
+		for id := 0; id < t.N(); id++ {
+			nd := t.Node(model.NodeID(id))
+			op := "lock"
+			if nd.Kind == model.UnlockOp {
+				op = "unlock"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d: %s %s\n", id, op, sys.DDB.EntityName(nd.Entity)); err != nil {
+				return err
+			}
+		}
+		for u := 0; u < t.N(); u++ {
+			for _, v := range t.Out(model.NodeID(u)) {
+				// Skip the implied Lx -> Ux arc.
+				nu, nv := t.Node(model.NodeID(u)), t.Node(model.NodeID(v))
+				if nu.Kind == model.LockOp && nv.Kind == model.UnlockOp && nu.Entity == nv.Entity {
+					continue
+				}
+				if _, err := fmt.Fprintf(w, "  n%d -> n%d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(w, "}"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package parse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"distlock/internal/core"
+	"distlock/internal/model"
+	"distlock/internal/workload"
+)
+
+const sample = `
+# classic cross-lock pair
+site s1: x
+site s2: y
+
+txn T1 {
+  a: lock x
+  b: lock y
+  c: unlock x
+  d: unlock y
+  a -> b -> c -> d
+}
+
+txn T2 {
+  a: lock y
+  b: lock x
+  c: unlock y
+  d: unlock x
+  a -> b -> c -> d
+}
+`
+
+func TestParseSample(t *testing.T) {
+	sys, err := System(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 2 {
+		t.Fatalf("transactions = %d", sys.N())
+	}
+	if sys.DDB.NumEntities() != 2 || sys.DDB.NumSites() != 2 {
+		t.Fatalf("entities=%d sites=%d", sys.DDB.NumEntities(), sys.DDB.NumSites())
+	}
+	// Semantics: this is the classic deadlocking pair.
+	w, err := core.FindDeadlock(sys, core.BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil {
+		t.Fatal("parsed system should deadlock")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"unknown entity", "site s: x\ntxn T {\n a: lock q\n}", "unknown entity"},
+		{"unknown op", "site s: x\ntxn T {\n a: frob x\n}", "unknown operation"},
+		{"unknown label", "site s: x\ntxn T {\n a: lock x\n b: unlock x\n a -> zz\n}", "unknown node label"},
+		{"duplicate label", "site s: x\ntxn T {\n a: lock x\n a: unlock x\n}", "duplicate node label"},
+		{"unterminated", "site s: x\ntxn T {\n a: lock x\n b: unlock x", "unterminated"},
+		{"nested txn", "site s: x\ntxn T {\ntxn U {\n}", "nested"},
+		{"stray brace", "site s: x\n}", "outside txn block"},
+		{"no transactions", "site s: x\n", "no transactions"},
+		{"bad site line", "site s1\n", "want 'site <name>: <entities>'"},
+		{"node outside block", "site s: x\na: lock x\n", "outside txn block"},
+		{"garbage", "hello world\n", "cannot parse"},
+		{"semantic error surfaces", "site s: x\ntxn T {\n a: lock x\n}", "never unlocked"},
+	}
+	for _, c := range cases {
+		_, err := System(strings.NewReader(c.in))
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParsePartialOrderArcs(t *testing.T) {
+	in := `
+site s1: x
+site s2: y
+txn T {
+  lx: lock x
+  ux: unlock x
+  ly: lock y
+  uy: unlock y
+  lx -> ux
+  ly -> uy
+}
+`
+	sys, err := System(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := sys.Txns[0]
+	x, _ := sys.DDB.Entity("x")
+	y, _ := sys.DDB.Entity("y")
+	lx, _ := txn.LockNode(x)
+	ly, _ := txn.LockNode(y)
+	if txn.Precedes(lx, ly) || txn.Precedes(ly, lx) {
+		t.Fatal("parallel chains should be unordered")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 3, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 4,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.5, Seed: seed,
+		})
+		var buf bytes.Buffer
+		if err := Write(&buf, sys); err != nil {
+			t.Fatal(err)
+		}
+		back, err := System(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\n%s", seed, err, buf.String())
+		}
+		if back.N() != sys.N() {
+			t.Fatalf("seed %d: round trip lost transactions", seed)
+		}
+		// Semantic equivalence: same precedence relation per transaction.
+		for i, orig := range sys.Txns {
+			got := back.Txns[i]
+			if got.N() != orig.N() {
+				t.Fatalf("seed %d txn %d: node count %d != %d", seed, i, got.N(), orig.N())
+			}
+			for a := 0; a < orig.N(); a++ {
+				for b := 0; b < orig.N(); b++ {
+					if orig.Precedes(model.NodeID(a), model.NodeID(b)) !=
+						got.Precedes(model.NodeID(a), model.NodeID(b)) {
+						t.Fatalf("seed %d txn %d: precedence differs at (%d,%d)", seed, i, a, b)
+					}
+				}
+			}
+			for a := 0; a < orig.N(); a++ {
+				if orig.Node(model.NodeID(a)).Kind != got.Node(model.NodeID(a)).Kind {
+					t.Fatalf("seed %d txn %d: node %d kind differs", seed, i, a)
+				}
+				on := sys.DDB.EntityName(orig.Node(model.NodeID(a)).Entity)
+				gn := back.DDB.EntityName(got.Node(model.NodeID(a)).Entity)
+				if on != gn {
+					t.Fatalf("seed %d txn %d: node %d entity %s != %s", seed, i, a, on, gn)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteSkipsImpliedArcs(t *testing.T) {
+	sys, err := System(strings.NewReader("site s: x\ntxn T {\n a: lock x\n b: unlock x\n}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "->") {
+		t.Fatalf("implied L->U arc emitted:\n%s", buf.String())
+	}
+}

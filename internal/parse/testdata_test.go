@@ -1,0 +1,46 @@
+package parse
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distlock/internal/core"
+)
+
+// TestShippedSystems loads every .txn file in the repository's testdata
+// directory and checks the verdict each file's comment promises.
+func TestShippedSystems(t *testing.T) {
+	cases := []struct {
+		file   string
+		safeDF bool
+	}{
+		{"crosslock.txn", false},
+		{"ordered.txn", true},
+		{"ring.txn", false},
+		{"fig1.txn", false},
+	}
+	for _, c := range cases {
+		f, err := os.Open(filepath.Join("..", "..", "testdata", c.file))
+		if err != nil {
+			t.Fatalf("%s: %v", c.file, err)
+		}
+		sys, err := System(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.file, err)
+		}
+		got, _ := core.SystemSafeDF(sys)
+		if got != c.safeDF {
+			t.Errorf("%s: SystemSafeDF = %v, want %v", c.file, got, c.safeDF)
+		}
+		// Cross-check with the exhaustive oracle (all files are small).
+		want, _, err := core.IsSafeAndDeadlockFreeBrute(sys, core.BruteOptions{})
+		if err != nil {
+			t.Fatalf("%s: brute: %v", c.file, err)
+		}
+		if got != want {
+			t.Errorf("%s: Theorem 4 %v disagrees with brute %v", c.file, got, want)
+		}
+	}
+}

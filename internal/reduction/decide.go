@@ -1,0 +1,175 @@
+package reduction
+
+import (
+	"fmt"
+
+	"distlock/internal/model"
+)
+
+// IsLockArcOnly reports whether every (non-implied) arc of every
+// transaction goes from a Lock node to an Unlock node. Theorem 2's gadget
+// transactions have this shape.
+func IsLockArcOnly(sys *model.System) bool {
+	for _, t := range sys.Txns {
+		for u := 0; u < t.N(); u++ {
+			for _, v := range t.Out(model.NodeID(u)) {
+				if t.Node(model.NodeID(u)).Kind != model.LockOp ||
+					t.Node(model.NodeID(v)).Kind != model.UnlockOp {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// HasLockOnlyDeadlockPrefix is a complete decision procedure for deadlock-
+// prefix existence on systems whose transactions are lock-arc-only (every
+// precedence arc runs from a Lock to an Unlock).
+//
+// Correctness: in such systems Lock nodes have no predecessors, so every
+// set of Lock nodes is a downward-closed prefix; and Unlock nodes have no
+// outgoing transaction arcs, so an Unlock node on a reduction-graph cycle
+// must leave via a lock-handover arc, which forces its transaction to hold
+// the entity. Hence, given ANY deadlock prefix A′ with cycle M in R(A′),
+// the lock-only prefix N′ = { L_p d : U_p d ∈ M } keeps M as a cycle of
+// R(N′), and no entity is locked by two transactions in N′ (two holders
+// would need both U¹d and U²d on M, impossible since U_p d's successor on
+// M must be the other transaction's still-remaining Lock). Lock-only
+// prefixes over per-entity-unique owners are trivially schedulable, so a
+// deadlock prefix exists iff one of this restricted form does — and those
+// can be enumerated exhaustively: each entity is unheld or held by one of
+// the transactions accessing it.
+//
+// The enumeration is exponential in the number of entities (the problem is
+// coNP-complete, Theorem 2), but with a per-candidate O(V+E) cycle check it
+// handles the gadgets of small formulas exactly.
+func HasLockOnlyDeadlockPrefix(sys *model.System) (bool, error) {
+	if !IsLockArcOnly(sys) {
+		return false, fmt.Errorf("reduction: system is not lock-arc-only")
+	}
+	nE := sys.DDB.NumEntities()
+	nT := sys.N()
+
+	// Dense node indexing: base[t] + node.
+	base := make([]int, nT+1)
+	for i, t := range sys.Txns {
+		base[i+1] = base[i] + t.N()
+	}
+	total := base[nT]
+
+	// Static adjacency from transaction arcs.
+	staticAdj := make([][]int32, total)
+	for i, t := range sys.Txns {
+		for u := 0; u < t.N(); u++ {
+			gu := base[i] + u
+			for _, v := range t.Out(model.NodeID(u)) {
+				staticAdj[gu] = append(staticAdj[gu], int32(base[i]+v))
+			}
+		}
+	}
+	// Per entity: which transactions access it; lock/unlock global ids.
+	type acc struct {
+		txn      int
+		lock, un int32
+	}
+	accessors := make([][]acc, nE)
+	for i, t := range sys.Txns {
+		for _, e := range t.Entities() {
+			l, _ := t.LockNode(e)
+			u, _ := t.UnlockNode(e)
+			accessors[e] = append(accessors[e], acc{txn: i, lock: int32(base[i] + int(l)), un: int32(base[i] + int(u))})
+		}
+	}
+
+	owner := make([]int, nE) // -1 = unheld, else index into accessors[e]
+	removed := make([]bool, total)
+	extraAdj := make([][]int32, total)
+
+	color := make([]int8, total)
+	stack := make([]int32, 0, total)
+	iter := make([]int, total)
+
+	hasCycle := func() bool {
+		for i := range color {
+			color[i] = 0
+		}
+		for s := 0; s < total; s++ {
+			if removed[s] || color[s] != 0 {
+				continue
+			}
+			stack = stack[:0]
+			stack = append(stack, int32(s))
+			color[s] = 1
+			iter[s] = 0
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				adj := staticAdj[v]
+				na := len(adj)
+				idx := iter[v]
+				var w int32 = -1
+				for idx < na+len(extraAdj[v]) {
+					if idx < na {
+						w = adj[idx]
+					} else {
+						w = extraAdj[v][idx-na]
+					}
+					idx++
+					if removed[w] {
+						w = -1
+						continue
+					}
+					break
+				}
+				iter[v] = idx
+				if w == -1 {
+					color[v] = 2
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				switch color[w] {
+				case 0:
+					color[w] = 1
+					iter[w] = 0
+					stack = append(stack, w)
+				case 1:
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var rec func(e int) bool
+	rec = func(e int) bool {
+		if e == nE {
+			return hasCycle()
+		}
+		// Option: unheld.
+		owner[e] = -1
+		if rec(e + 1) {
+			return true
+		}
+		// Option: held by one accessor. Holding removes that transaction's
+		// Lock node and adds handover arcs to every other accessor's Lock.
+		for ai, a := range accessors[e] {
+			owner[e] = ai
+			removed[a.lock] = true
+			extraAdj[a.un] = extraAdj[a.un][:0]
+			for bi, b := range accessors[e] {
+				if bi != ai {
+					extraAdj[a.un] = append(extraAdj[a.un], b.lock)
+				}
+			}
+			ok := rec(e + 1)
+			removed[a.lock] = false
+			extraAdj[a.un] = extraAdj[a.un][:0]
+			if ok {
+				return true
+			}
+		}
+		owner[e] = -1
+		return false
+	}
+	return rec(0), nil
+}

@@ -1,0 +1,222 @@
+// Package reduction implements Theorem 2's construction: a polynomial
+// transformation from 3SAT' to the problem of deciding whether a pair of
+// distributed transactions has a deadlock prefix. It also provides the
+// witness construction (satisfying assignment -> deadlock prefix), the
+// decoder (reduction-graph cycle -> satisfying assignment), and a complete
+// decision procedure for the lock-arc-only transaction shape the gadget
+// produces.
+package reduction
+
+import (
+	"fmt"
+
+	"distlock/internal/model"
+	"distlock/internal/sat"
+	"distlock/internal/schedule"
+)
+
+// Gadget is the two-transaction system built from a 3SAT' formula, with
+// the bookkeeping needed to construct witnesses and decode cycles.
+type Gadget struct {
+	Formula *sat.Formula
+	Sys     *model.System // exactly two transactions T1, T2
+
+	// Entity handles.
+	C, Cp      []model.EntityID // c_i, c'_i per clause
+	X, Xp, Xpp []model.EntityID // x_j, x'_j, x''_j per variable
+
+	posCl [][2]int // per variable: clause indices of the two positive occurrences
+	negCl []int    // per variable: clause index of the negative occurrence
+}
+
+// Build constructs the Theorem 2 gadget for a valid 3SAT' formula. Every
+// entity resides at its own site (the reduction needs an unbounded number
+// of sites — that is exactly why deadlock-freedom of two transactions is
+// coNP-complete when the number of sites varies).
+//
+// Arcs, with c_{r+1} = c_1, for a variable x_j occurring positively in
+// clauses c_h, c_k and negatively in c_l:
+//
+//	both: Lc'_i -> Uc_i for every clause i
+//	T1:   Lx_j -> Ux''_j
+//	      Lc_h -> Ux_j,   Lc_k -> Ux'_j
+//	      Lx'_j -> Uc_{l+1},  Lx'_j -> Uc'_{l+1}
+//	T2:   Lx''_j -> Ux'_j
+//	      Lc_l -> Ux_j
+//	      Lx_j -> Uc_{h+1},   Lx_j -> Uc'_{h+1}
+//	      Lx'_j -> Uc_{k+1},  Lx'_j -> Uc'_{k+1}
+//
+// (The published figure is partially illegible in the source scan; these
+// arcs are reconstructed from the cycle components and the uniqueness
+// arguments in the proof of Theorem 2, and are validated in tests by
+// checking SAT(F) ⟺ deadlock-prefix-existence end to end.)
+func Build(f *sat.Formula) (*Gadget, error) {
+	posCl, negCl, err := f.Occurrences()
+	if err != nil {
+		return nil, err
+	}
+	r := len(f.Clauses)
+	n := f.NumVars
+
+	d := model.NewDDB()
+	g := &Gadget{
+		Formula: f,
+		C:       make([]model.EntityID, r),
+		Cp:      make([]model.EntityID, r),
+		X:       make([]model.EntityID, n),
+		Xp:      make([]model.EntityID, n),
+		Xpp:     make([]model.EntityID, n),
+		posCl:   posCl,
+		negCl:   negCl,
+	}
+	for i := 0; i < r; i++ {
+		g.C[i] = d.MustEntity(fmt.Sprintf("c%d", i+1), fmt.Sprintf("site_c%d", i+1))
+		g.Cp[i] = d.MustEntity(fmt.Sprintf("c'%d", i+1), fmt.Sprintf("site_c'%d", i+1))
+	}
+	for j := 0; j < n; j++ {
+		g.X[j] = d.MustEntity(fmt.Sprintf("x%d", j+1), fmt.Sprintf("site_x%d", j+1))
+		g.Xp[j] = d.MustEntity(fmt.Sprintf("x'%d", j+1), fmt.Sprintf("site_x'%d", j+1))
+		g.Xpp[j] = d.MustEntity(fmt.Sprintf("x''%d", j+1), fmt.Sprintf("site_x''%d", j+1))
+	}
+
+	build := func(name string, second bool) (*model.Transaction, error) {
+		b := model.NewBuilder(d, name)
+		lock := map[model.EntityID]model.NodeID{}
+		unlock := map[model.EntityID]model.NodeID{}
+		for e := model.EntityID(0); int(e) < d.NumEntities(); e++ {
+			l, u := b.LockUnlock(d.EntityName(e))
+			lock[e], unlock[e] = l, u
+		}
+		next := func(i int) int { return (i + 1) % r }
+		for i := 0; i < r; i++ {
+			b.Arc(lock[g.Cp[i]], unlock[g.C[i]])
+		}
+		for j := 0; j < n; j++ {
+			h, k, l := posCl[j][0], posCl[j][1], negCl[j]
+			if !second {
+				b.Arc(lock[g.X[j]], unlock[g.Xpp[j]])
+				b.Arc(lock[g.C[h]], unlock[g.X[j]])
+				b.Arc(lock[g.C[k]], unlock[g.Xp[j]])
+				b.Arc(lock[g.Xp[j]], unlock[g.C[next(l)]])
+				b.Arc(lock[g.Xp[j]], unlock[g.Cp[next(l)]])
+			} else {
+				b.Arc(lock[g.Xpp[j]], unlock[g.Xp[j]])
+				b.Arc(lock[g.C[l]], unlock[g.X[j]])
+				b.Arc(lock[g.X[j]], unlock[g.C[next(h)]])
+				b.Arc(lock[g.X[j]], unlock[g.Cp[next(h)]])
+				b.Arc(lock[g.Xp[j]], unlock[g.C[next(k)]])
+				b.Arc(lock[g.Xp[j]], unlock[g.Cp[next(k)]])
+			}
+		}
+		return b.Freeze()
+	}
+	t1, err := build("T1", false)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: building T1: %w", err)
+	}
+	t2, err := build("T2", true)
+	if err != nil {
+		return nil, fmt.Errorf("reduction: building T2: %w", err)
+	}
+	sys, err := model.NewSystem(d, t1, t2)
+	if err != nil {
+		return nil, err
+	}
+	g.Sys = sys
+	return g, nil
+}
+
+// chooseLiterals picks, for each clause, a literal made true by the
+// assignment. Returns nil if some clause is unsatisfied.
+func (g *Gadget) chooseLiterals(assign []bool) []sat.Literal {
+	zs := make([]sat.Literal, len(g.Formula.Clauses))
+	for i, c := range g.Formula.Clauses {
+		found := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				zs[i] = l
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return zs
+}
+
+// WitnessPrefix builds the deadlock prefix of Theorem 2's (⟸) direction
+// from a satisfying assignment: a pair of lock-only prefixes over disjoint
+// entity sets whose reduction graph contains a cycle. Returns the two
+// prefixes (for T1 and T2) or an error if the assignment does not satisfy
+// the formula.
+func (g *Gadget) WitnessPrefix(assign []bool) ([]*model.Prefix, error) {
+	zs := g.chooseLiterals(assign)
+	if zs == nil {
+		return nil, fmt.Errorf("reduction: assignment does not satisfy the formula")
+	}
+	r := len(zs)
+	var n1, n2 []model.NodeID // lock nodes in T1's and T2's prefix
+	lockNode := func(t *model.Transaction, e model.EntityID) model.NodeID {
+		id, ok := t.LockNode(e)
+		if !ok {
+			panic("reduction: gadget transaction missing entity")
+		}
+		return id
+	}
+	t1, t2 := g.Sys.Txns[0], g.Sys.Txns[1]
+	for i := 0; i < r; i++ {
+		z := zs[i]
+		prev := zs[(i-1+r)%r]
+		j := z.Var
+		if !z.Neg {
+			// Positive literal: cycle passes U¹y_j where y is x_j for the
+			// first positive occurrence slot and x'_j for the second.
+			if g.posCl[j][0] == i {
+				n1 = append(n1, lockNode(t1, g.X[j]))
+			} else {
+				n1 = append(n1, lockNode(t1, g.Xp[j]))
+			}
+			n2 = append(n2, lockNode(t2, g.C[i]))
+			if prev.Neg {
+				n1 = append(n1, lockNode(t1, g.Cp[i]))
+			}
+		} else {
+			n2 = append(n2, lockNode(t2, g.X[j]), lockNode(t2, g.Xp[j]))
+			n1 = append(n1, lockNode(t1, g.Xpp[j]), lockNode(t1, g.C[i]))
+			if !prev.Neg {
+				n2 = append(n2, lockNode(t2, g.Cp[i]))
+			}
+		}
+	}
+	p1, err := model.PrefixOf(t1, n1...)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := model.PrefixOf(t2, n2...)
+	if err != nil {
+		return nil, err
+	}
+	return []*model.Prefix{p1, p2}, nil
+}
+
+// DecodeAssignment implements the (⟹) direction's truth assignment: given
+// a reduction-graph cycle, x_j is true if U¹x_j or U¹x'_j is on the cycle
+// and false if U²x_j is. Variables not mentioned default to false.
+func (g *Gadget) DecodeAssignment(cycle []schedule.GlobalNode) []bool {
+	assign := make([]bool, g.Formula.NumVars)
+	onCycle := map[[2]int]bool{}
+	for _, gn := range cycle {
+		onCycle[[2]int{gn.Txn, int(gn.Node)}] = true
+	}
+	for j := 0; j < g.Formula.NumVars; j++ {
+		t1 := g.Sys.Txns[0]
+		u1x, _ := t1.UnlockNode(g.X[j])
+		u1xp, _ := t1.UnlockNode(g.Xp[j])
+		if onCycle[[2]int{0, int(u1x)}] || onCycle[[2]int{0, int(u1xp)}] {
+			assign[j] = true
+		}
+	}
+	return assign
+}

@@ -1,0 +1,320 @@
+// Package sat implements CNF formulas, the restricted 3SAT' form used by
+// the paper's Theorem 2 reduction, a DPLL satisfiability solver, and a
+// random 3SAT' instance generator.
+//
+// 3SAT' is the NP-complete restriction of 3SAT in which every clause has at
+// most 3 literals and every variable appears exactly twice positively and
+// exactly once negatively.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Literal is a variable occurrence: Var is 0-based, Neg true for ¬x.
+type Literal struct {
+	Var int
+	Neg bool
+}
+
+// String renders the literal as "x3" or "!x3".
+func (l Literal) String() string {
+	if l.Neg {
+		return fmt.Sprintf("!x%d", l.Var+1)
+	}
+	return fmt.Sprintf("x%d", l.Var+1)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 0..NumVars-1.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// String renders the formula as (x1 + !x2)(x2 + x3)...
+func (f *Formula) String() string {
+	var sb strings.Builder
+	for _, c := range f.Clauses {
+		sb.WriteByte('(')
+		for i, l := range c {
+			if i > 0 {
+				sb.WriteString(" + ")
+			}
+			sb.WriteString(l.String())
+		}
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// Validate3SATPrime checks the 3SAT' occurrence discipline: every clause
+// has 1..3 literals, no clause repeats a variable, and every variable
+// occurs exactly twice positively and exactly once negatively.
+func (f *Formula) Validate3SATPrime() error {
+	pos := make([]int, f.NumVars)
+	neg := make([]int, f.NumVars)
+	for ci, c := range f.Clauses {
+		if len(c) == 0 || len(c) > 3 {
+			return fmt.Errorf("sat: clause %d has %d literals", ci+1, len(c))
+		}
+		seen := map[int]bool{}
+		for _, l := range c {
+			if l.Var < 0 || l.Var >= f.NumVars {
+				return fmt.Errorf("sat: clause %d references variable %d out of range", ci+1, l.Var)
+			}
+			if seen[l.Var] {
+				return fmt.Errorf("sat: clause %d repeats variable x%d", ci+1, l.Var+1)
+			}
+			seen[l.Var] = true
+			if l.Neg {
+				neg[l.Var]++
+			} else {
+				pos[l.Var]++
+			}
+		}
+	}
+	for v := 0; v < f.NumVars; v++ {
+		if pos[v] != 2 || neg[v] != 1 {
+			return fmt.Errorf("sat: x%d occurs %d times positively and %d negatively; want 2 and 1",
+				v+1, pos[v], neg[v])
+		}
+	}
+	return nil
+}
+
+// Occurrences returns, for each variable, the clause indices of its two
+// positive occurrences (h, k with h <= k) and its negative occurrence (l).
+// The formula must be valid 3SAT'.
+func (f *Formula) Occurrences() (posCl [][2]int, negCl []int, err error) {
+	if err := f.Validate3SATPrime(); err != nil {
+		return nil, nil, err
+	}
+	posCl = make([][2]int, f.NumVars)
+	negCl = make([]int, f.NumVars)
+	count := make([]int, f.NumVars)
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			if l.Neg {
+				negCl[l.Var] = ci
+			} else {
+				posCl[l.Var][count[l.Var]] = ci
+				count[l.Var]++
+			}
+		}
+	}
+	return posCl, negCl, nil
+}
+
+// Eval reports whether the assignment (indexed by variable) satisfies f.
+func (f *Formula) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var] != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve decides satisfiability by DPLL with unit propagation and pure-
+// literal elimination. It returns a satisfying assignment or nil.
+func Solve(f *Formula) []bool {
+	assign := make([]int8, f.NumVars) // 0 unknown, 1 true, -1 false
+	if !dpll(f, assign) {
+		return nil
+	}
+	out := make([]bool, f.NumVars)
+	for v, a := range assign {
+		out[v] = a == 1 // unknowns default to false
+	}
+	if !f.Eval(out) {
+		// Unknowns may need flipping when a variable vanished from all
+		// clauses mid-search; brute-force the unknowns (rare, tiny).
+		var unknowns []int
+		for v, a := range assign {
+			if a == 0 {
+				unknowns = append(unknowns, v)
+			}
+		}
+		for mask := 0; mask < 1<<len(unknowns); mask++ {
+			for i, v := range unknowns {
+				out[v] = mask&(1<<i) != 0
+			}
+			if f.Eval(out) {
+				return out
+			}
+		}
+		panic("sat: dpll claimed SAT but no completion satisfies")
+	}
+	return out
+}
+
+func dpll(f *Formula, assign []int8) bool {
+	// Evaluate clause status under partial assignment.
+	for {
+		unitVar, unitVal, progress := -1, false, false
+		allSat := true
+		for _, c := range f.Clauses {
+			sat := false
+			unassigned := 0
+			var lastLit Literal
+			for _, l := range c {
+				switch {
+				case assign[l.Var] == 0:
+					unassigned++
+					lastLit = l
+				case (assign[l.Var] == 1) != l.Neg:
+					sat = true
+				}
+				if sat {
+					break
+				}
+			}
+			if sat {
+				continue
+			}
+			allSat = false
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unitVar, unitVal = lastLit.Var, !lastLit.Neg
+				progress = true
+			}
+		}
+		if allSat {
+			return true
+		}
+		if !progress {
+			break
+		}
+		if unitVal {
+			assign[unitVar] = 1
+		} else {
+			assign[unitVar] = -1
+		}
+	}
+	// Branch on the first unknown variable appearing in an unsatisfied clause.
+	branch := -1
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if assign[l.Var] != 0 && (assign[l.Var] == 1) != l.Neg {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			continue
+		}
+		for _, l := range c {
+			if assign[l.Var] == 0 {
+				branch = l.Var
+				break
+			}
+		}
+		if branch != -1 {
+			break
+		}
+	}
+	if branch == -1 {
+		return true
+	}
+	saved := append([]int8(nil), assign...)
+	assign[branch] = 1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	assign[branch] = -1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	return false
+}
+
+// SolveBrute decides satisfiability by trying all assignments; a reference
+// oracle for testing Solve on small formulas.
+func SolveBrute(f *Formula) []bool {
+	n := f.NumVars
+	assign := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 0; v < n; v++ {
+			assign[v] = mask&(1<<v) != 0
+		}
+		if f.Eval(assign) {
+			return append([]bool(nil), assign...)
+		}
+	}
+	return nil
+}
+
+// Random3SATPrime generates a random valid 3SAT' formula over n variables:
+// the 3n occurrence tokens (two positive, one negative per variable) are
+// shuffled into clauses of size at most 3 such that no clause repeats a
+// variable. Returns an error only if n < 1.
+func Random3SATPrime(n int, rng *rand.Rand) (*Formula, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("sat: need at least one variable")
+	}
+	tokens := make([]Literal, 0, 3*n)
+	for v := 0; v < n; v++ {
+		tokens = append(tokens, Literal{Var: v}, Literal{Var: v}, Literal{Var: v, Neg: true})
+	}
+	for attempt := 0; attempt < 10000; attempt++ {
+		rng.Shuffle(len(tokens), func(i, j int) { tokens[i], tokens[j] = tokens[j], tokens[i] })
+		// Greedy fill: clause size 2 or 3 chosen randomly, retry on
+		// same-variable collision within a clause.
+		var clauses []Clause
+		i := 0
+		ok := true
+		for i < len(tokens) {
+			// Sizes lean toward 2–3 literals; size-1 clauses are allowed
+			// (and necessary for n=1, whose only valid split is 1+1+1).
+			size := 1 + rng.Intn(3)
+			if size == 1 && rng.Intn(2) == 0 {
+				size = 2 + rng.Intn(2)
+			}
+			if rem := len(tokens) - i; rem < size {
+				size = rem
+			}
+			c := Clause(append([]Literal(nil), tokens[i:i+size]...))
+			vars := map[int]bool{}
+			collision := false
+			for _, l := range c {
+				if vars[l.Var] {
+					collision = true
+					break
+				}
+				vars[l.Var] = true
+			}
+			if collision {
+				ok = false
+				break
+			}
+			clauses = append(clauses, c)
+			i += size
+		}
+		if !ok {
+			continue
+		}
+		f := &Formula{NumVars: n, Clauses: clauses}
+		if err := f.Validate3SATPrime(); err != nil {
+			continue
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("sat: failed to generate a valid 3SAT' instance for n=%d", n)
+}

@@ -1,0 +1,158 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lit builds a literal: positive v>0 means x_v, negative means !x_{-v}.
+func lit(v int) Literal {
+	if v > 0 {
+		return Literal{Var: v - 1}
+	}
+	return Literal{Var: -v - 1, Neg: true}
+}
+
+// paperFormula is the worked example from the paper:
+// (x1 + x2)(x1 + !x2)(!x1 + x2).
+func paperFormula() *Formula {
+	return &Formula{NumVars: 2, Clauses: []Clause{
+		{lit(1), lit(2)},
+		{lit(1), lit(-2)},
+		{lit(-1), lit(2)},
+	}}
+}
+
+func TestPaperFormulaIsValid3SATPrime(t *testing.T) {
+	f := paperFormula()
+	if err := f.Validate3SATPrime(); err != nil {
+		t.Fatalf("paper example invalid: %v", err)
+	}
+}
+
+func TestPaperFormulaSatisfiable(t *testing.T) {
+	f := paperFormula()
+	a := Solve(f)
+	if a == nil {
+		t.Fatal("paper formula reported UNSAT")
+	}
+	if !f.Eval(a) {
+		t.Fatalf("returned assignment %v does not satisfy", a)
+	}
+	if !a[0] || !a[1] {
+		t.Fatalf("only x1=x2=true satisfies; got %v", a)
+	}
+}
+
+func TestUnsatFormula(t *testing.T) {
+	// (x)(x)(!x): valid 3SAT' (x occurs twice pos, once neg), UNSAT.
+	f := &Formula{NumVars: 1, Clauses: []Clause{{lit(1)}, {lit(1)}, {lit(-1)}}}
+	if err := f.Validate3SATPrime(); err != nil {
+		t.Fatalf("unsat instance invalid: %v", err)
+	}
+	if Solve(f) != nil {
+		t.Fatal("UNSAT formula reported SAT")
+	}
+	if SolveBrute(f) != nil {
+		t.Fatal("brute oracle disagrees")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Formula
+	}{
+		{"too many literals", &Formula{NumVars: 4, Clauses: []Clause{
+			{lit(1), lit(2), lit(3), lit(4)},
+		}}},
+		{"empty clause", &Formula{NumVars: 1, Clauses: []Clause{{}}}},
+		{"repeated variable in clause", &Formula{NumVars: 1, Clauses: []Clause{
+			{lit(1), lit(1)}, {lit(-1)},
+		}}},
+		{"wrong occurrence counts", &Formula{NumVars: 1, Clauses: []Clause{
+			{lit(1)}, {lit(-1)},
+		}}},
+		{"variable out of range", &Formula{NumVars: 1, Clauses: []Clause{
+			{Literal{Var: 3}},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.f.Validate3SATPrime(); err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		}
+	}
+}
+
+func TestOccurrences(t *testing.T) {
+	f := paperFormula()
+	pos, neg, err := f.Occurrences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos[0] != [2]int{0, 1} {
+		t.Fatalf("x1 positive occurrences = %v, want [0 1]", pos[0])
+	}
+	if neg[0] != 2 {
+		t.Fatalf("x1 negative occurrence = %d, want 2", neg[0])
+	}
+	if pos[1] != [2]int{0, 2} || neg[1] != 1 {
+		t.Fatalf("x2 occurrences pos=%v neg=%d", pos[1], neg[1])
+	}
+}
+
+func TestSolveAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sat, unsat := 0, 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		f, err := Random3SATPrime(n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Solve(f)
+		want := SolveBrute(f)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("formula %v: DPLL %v vs brute %v", f, got != nil, want != nil)
+		}
+		if got != nil {
+			if !f.Eval(got) {
+				t.Fatalf("formula %v: invalid model %v", f, got)
+			}
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 {
+		t.Fatal("no satisfiable instances generated")
+	}
+	// Note: random 3SAT' leans satisfiable; UNSAT instances are rare and
+	// covered by the handcrafted case above.
+	_ = unsat
+}
+
+func TestRandomGeneratorValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for n := 1; n <= 8; n++ {
+		for trial := 0; trial < 20; trial++ {
+			f, err := Random3SATPrime(n, rng)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if err := f.Validate3SATPrime(); err != nil {
+				t.Fatalf("n=%d: generated invalid instance: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestLiteralString(t *testing.T) {
+	if lit(3).String() != "x3" || lit(-2).String() != "!x2" {
+		t.Fatalf("literal rendering wrong: %s %s", lit(3), lit(-2))
+	}
+	f := paperFormula()
+	if got := f.String(); got != "(x1 + x2)(x1 + !x2)(!x1 + x2)" {
+		t.Fatalf("formula rendering = %q", got)
+	}
+}

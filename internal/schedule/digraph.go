@@ -1,0 +1,79 @@
+package schedule
+
+import (
+	"distlock/internal/graph"
+	"distlock/internal/model"
+)
+
+// DigraphD builds the paper's labelled digraph D(S′) from an execution
+// state: one node per transaction and an arc Ti -> Tj (labelled x) whenever
+// both access entity x and Ti locked x in S′ before Tj did — including the
+// case where Tj has not yet executed its Lx step (Section 5).
+//
+// The labels are not needed for acyclicity testing, so the returned graph
+// is unlabelled; use DigraphDArcs for the labelled arc list.
+func DigraphD(ex *Exec) *graph.Digraph {
+	g := graph.NewDigraph(ex.sys.N())
+	for _, a := range DigraphDArcs(ex) {
+		g.AddArc(a.From, a.To)
+	}
+	return g
+}
+
+// DArc is a labelled arc of D(S′).
+type DArc struct {
+	From, To int
+	Entity   model.EntityID
+}
+
+// DigraphDArcs returns the labelled arcs of D(S′).
+func DigraphDArcs(ex *Exec) []DArc {
+	var arcs []DArc
+	for e := model.EntityID(0); int(e) < ex.sys.DDB.NumEntities(); e++ {
+		order := ex.lockOrder[e]
+		if len(order) == 0 {
+			continue
+		}
+		locked := make(map[int]bool, len(order))
+		for _, i := range order {
+			locked[i] = true
+		}
+		// Arcs between lockers in lock order.
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				arcs = append(arcs, DArc{From: order[i], To: order[j], Entity: e})
+			}
+		}
+		// Arcs from every locker to every accessor that has not locked yet.
+		for j, t := range ex.sys.Txns {
+			if locked[j] || !t.Accesses(e) {
+				continue
+			}
+			for _, i := range order {
+				arcs = append(arcs, DArc{From: i, To: j, Entity: e})
+			}
+		}
+	}
+	return arcs
+}
+
+// IsSerializable reports whether a complete schedule is serializable: its
+// digraph D(S) is acyclic (the classical test of [EGLT], stated in
+// Section 2). The steps must form a legal complete schedule.
+func IsSerializable(sys *model.System, steps []Step) (bool, error) {
+	ex, err := Replay(sys, steps)
+	if err != nil {
+		return false, err
+	}
+	return DigraphD(ex).IsAcyclic(), nil
+}
+
+// SerialOrder returns a serialization order of the transactions if the
+// execution's digraph is acyclic, else nil.
+func SerialOrder(ex *Exec) []int {
+	order, ok := DigraphD(ex).TopoSort()
+	if !ok {
+		return nil
+	}
+	return order
+}

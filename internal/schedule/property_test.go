@@ -1,0 +1,162 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"distlock/internal/model"
+	"distlock/internal/workload"
+)
+
+// randomLegalSchedule extends the empty execution with random eligible
+// steps until none remain or the budget runs out, returning the steps.
+func randomLegalSchedule(sys *model.System, rng *rand.Rand, budget int) []Step {
+	ex := NewExec(sys)
+	var steps []Step
+	for i := 0; i < budget; i++ {
+		elig := ex.EligibleSteps()
+		if len(elig) == 0 {
+			break
+		}
+		s := elig[rng.Intn(len(elig))]
+		if err := ex.Apply(s); err != nil {
+			panic(err)
+		}
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// TestRandomSchedulesAreLegalAndPrefixed: every prefix of a legal schedule
+// is legal, and the executed sets are always downward-closed prefixes.
+func TestRandomSchedulesAreLegalAndPrefixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 40; trial++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 3, NumTxns: 3, EntitiesPerTxn: 3,
+			Policy: workload.Policy(trial % 3), CrossArcProb: 0.4, Seed: int64(trial),
+		})
+		steps := randomLegalSchedule(sys, rng, 100)
+		for cut := 0; cut <= len(steps); cut++ {
+			ex, err := Replay(sys, steps[:cut])
+			if err != nil {
+				t.Fatalf("trial %d: prefix of legal schedule illegal at %d: %v", trial, cut, err)
+			}
+			for i, p := range ex.Prefixes() {
+				if _, err := model.NewPrefix(sys.Txns[i], p.Nodes()); err != nil {
+					t.Fatalf("trial %d: executed set not a prefix: %v", trial, err)
+				}
+			}
+		}
+	}
+}
+
+// TestDigraphDGrowsMonotonically: D(S') arcs only accumulate as a schedule
+// extends (the fact Lemma 1's proof uses: D(S') ⊆ D(S) for S extending S').
+func TestDigraphDGrowsMonotonically(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 3,
+			Policy: workload.PolicyTwoPhase, Seed: int64(trial),
+		})
+		ex := NewExec(sys)
+		prev := map[[2]int]bool{}
+		for i := 0; i < 60; i++ {
+			elig := ex.EligibleSteps()
+			if len(elig) == 0 {
+				break
+			}
+			if err := ex.Apply(elig[rng.Intn(len(elig))]); err != nil {
+				t.Fatal(err)
+			}
+			cur := map[[2]int]bool{}
+			for _, a := range DigraphDArcs(ex) {
+				cur[[2]int{a.From, a.To}] = true
+			}
+			for arc := range prev {
+				if !cur[arc] {
+					t.Fatalf("trial %d: arc %v disappeared as the schedule grew", trial, arc)
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestSerialSchedulesAlwaysSerializable: running transactions one after
+// another must always be serializable regardless of the locking policy.
+func TestSerialSchedulesAlwaysSerializable(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 3, NumTxns: 3, EntitiesPerTxn: 3,
+			Policy: workload.Policy(trial % 3), CrossArcProb: 0.3, Seed: int64(trial),
+		})
+		var steps []Step
+		rng := rand.New(rand.NewSource(int64(trial)))
+		for i, txn := range sys.Txns {
+			for _, id := range model.RandomLinearExtension(txn, rng) {
+				steps = append(steps, Step{Txn: i, Node: id})
+			}
+		}
+		ok, err := IsSerializable(sys, steps)
+		if err != nil {
+			t.Fatalf("trial %d: serial schedule illegal: %v", trial, err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: serial schedule not serializable", trial)
+		}
+	}
+}
+
+// TestCompletedRunsOfTwoPhaseAreSerializable: the classical 2PL theorem as
+// a property test — every complete schedule of two-phase transactions is
+// serializable.
+func TestCompletedRunsOfTwoPhaseAreSerializable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 2,
+			Policy: workload.PolicyTwoPhase, Seed: int64(trial),
+		})
+		steps := randomLegalSchedule(sys, rng, 1000)
+		ex, err := Replay(sys, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.IsComplete() {
+			continue // random walk deadlocked; fine for this property
+		}
+		if !DigraphD(ex).IsAcyclic() {
+			t.Fatalf("trial %d: complete 2PL schedule not serializable", trial)
+		}
+	}
+}
+
+// TestDeadlockStatesHaveCyclicD is Lemma 1's (if) direction as a property
+// test: every reachable deadlock state has a cyclic digraph D(S').
+func TestDeadlockStatesHaveCyclicD(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	found := 0
+	for trial := 0; trial < 200 && found < 20; trial++ {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: 2, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 2,
+			Policy: workload.PolicyTwoPhase, Seed: int64(trial),
+		})
+		steps := randomLegalSchedule(sys, rng, 1000)
+		ex, err := Replay(sys, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.IsDeadlocked() {
+			continue
+		}
+		found++
+		if DigraphD(ex).IsAcyclic() {
+			t.Fatalf("trial %d: deadlock state with acyclic D(S')", trial)
+		}
+	}
+	if found == 0 {
+		t.Skip("no deadlock states sampled (workload too benign)")
+	}
+}

@@ -1,0 +1,121 @@
+package schedule
+
+import (
+	"fmt"
+
+	"distlock/internal/graph"
+	"distlock/internal/model"
+)
+
+// GlobalNode identifies a node of a specific transaction within a system.
+type GlobalNode struct {
+	Txn  int
+	Node model.NodeID
+}
+
+// ReductionGraph is the paper's R(A′) for a prefix A′ of a transaction
+// system: its nodes are the remaining (unexecuted) nodes of the
+// transactions; it contains all arcs of the remaining parts, plus, for each
+// entity x locked-but-not-unlocked in A′ by transaction Ti, arcs from Ti's
+// Ux node to every other transaction's remaining Lx node.
+type ReductionGraph struct {
+	G       *graph.Digraph // over dense remaining-node indices
+	Nodes   []GlobalNode   // dense index -> global node
+	indexOf map[GlobalNode]int
+}
+
+// NewReductionGraph builds R(A′) from one prefix per transaction. The
+// prefixes must belong, in order, to the system's transactions.
+func NewReductionGraph(sys *model.System, prefixes []*model.Prefix) (*ReductionGraph, error) {
+	if len(prefixes) != sys.N() {
+		return nil, fmt.Errorf("schedule: %d prefixes for %d transactions", len(prefixes), sys.N())
+	}
+	for i, p := range prefixes {
+		if p.Txn() != sys.Txns[i] {
+			return nil, fmt.Errorf("schedule: prefix %d does not belong to transaction %s", i, sys.Txns[i].Name())
+		}
+	}
+
+	rg := &ReductionGraph{indexOf: make(map[GlobalNode]int)}
+	for i, t := range sys.Txns {
+		for id := 0; id < t.N(); id++ {
+			if prefixes[i].Has(model.NodeID(id)) {
+				continue
+			}
+			gn := GlobalNode{Txn: i, Node: model.NodeID(id)}
+			rg.indexOf[gn] = len(rg.Nodes)
+			rg.Nodes = append(rg.Nodes, gn)
+		}
+	}
+	rg.G = graph.NewDigraph(len(rg.Nodes))
+
+	// Arcs of the remaining parts of the transactions. (Prefixes are
+	// downward-closed, so an arc with a remaining source has a remaining
+	// target.)
+	for i, t := range sys.Txns {
+		for u := 0; u < t.N(); u++ {
+			if prefixes[i].Has(model.NodeID(u)) {
+				continue
+			}
+			ui := rg.indexOf[GlobalNode{Txn: i, Node: model.NodeID(u)}]
+			for _, v := range t.Out(model.NodeID(u)) {
+				vi, ok := rg.indexOf[GlobalNode{Txn: i, Node: model.NodeID(v)}]
+				if !ok {
+					return nil, fmt.Errorf("schedule: prefix of %s not downward-closed at arc %d->%d", t.Name(), u, v)
+				}
+				rg.G.AddArc(ui, vi)
+			}
+		}
+	}
+
+	// Lock-handover arcs: U_i x -> L_j x for each x held by Ti in A′ and
+	// each other transaction Tj whose Lx is still remaining.
+	for i, p := range prefixes {
+		for _, e := range p.LockedNotUnlocked() {
+			ux, _ := sys.Txns[i].UnlockNode(e)
+			ui := rg.indexOf[GlobalNode{Txn: i, Node: ux}]
+			for j, t := range sys.Txns {
+				if j == i || !t.Accesses(e) {
+					continue
+				}
+				lx, _ := t.LockNode(e)
+				if prefixes[j].Has(lx) {
+					continue
+				}
+				rg.G.AddArc(ui, rg.indexOf[GlobalNode{Txn: j, Node: lx}])
+			}
+		}
+	}
+	return rg, nil
+}
+
+// HasCycle reports whether the reduction graph contains a directed cycle.
+func (rg *ReductionGraph) HasCycle() bool { return !rg.G.IsAcyclic() }
+
+// Cycle returns one directed cycle as global nodes, or nil if acyclic.
+func (rg *ReductionGraph) Cycle() []GlobalNode {
+	cyc := rg.G.FindCycle()
+	if cyc == nil {
+		return nil
+	}
+	out := make([]GlobalNode, len(cyc))
+	for i, v := range cyc {
+		out[i] = rg.Nodes[v]
+	}
+	return out
+}
+
+// FormatCycle renders a reduction-graph cycle with transaction-superscripted
+// labels, e.g. "L1z U1y L2y U2x L3x U3z".
+func FormatCycle(sys *model.System, cyc []GlobalNode) string {
+	s := ""
+	for i, gn := range cyc {
+		if i > 0 {
+			s += " "
+		}
+		t := sys.Txns[gn.Txn]
+		nd := t.Node(gn.Node)
+		s += fmt.Sprintf("%s%d%s", nd.Kind, gn.Txn+1, sys.DDB.EntityName(nd.Entity))
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/model"
+)
+
+func TestReductionGraphClassicCrossLock(t *testing.T) {
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0), step(1, 0)}) // L1x, L2y
+	rg, err := NewReductionGraph(sys, ex.Prefixes())
+	if err != nil {
+		t.Fatalf("reduction graph: %v", err)
+	}
+	if !rg.HasCycle() {
+		t.Fatal("cross-lock prefix has acyclic reduction graph")
+	}
+	cyc := rg.Cycle()
+	if len(cyc) == 0 {
+		t.Fatal("Cycle returned nil despite HasCycle")
+	}
+	// The cycle must alternate between the two transactions through x and y.
+	str := FormatCycle(sys, cyc)
+	for _, want := range []string{"U1x", "L2x", "U2y", "L1y"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("cycle %q missing %s", str, want)
+		}
+	}
+}
+
+func TestReductionGraphEmptyPrefixAcyclic(t *testing.T) {
+	sys := deadlockableSystem()
+	prefixes := []*model.Prefix{
+		model.EmptyPrefix(sys.Txns[0]),
+		model.EmptyPrefix(sys.Txns[1]),
+	}
+	rg, err := NewReductionGraph(sys, prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.HasCycle() {
+		t.Fatal("empty prefix has cyclic reduction graph")
+	}
+	if rg.Cycle() != nil {
+		t.Fatal("Cycle non-nil for acyclic graph")
+	}
+	if len(rg.Nodes) != sys.TotalNodes() {
+		t.Fatalf("remaining nodes = %d, want %d", len(rg.Nodes), sys.TotalNodes())
+	}
+}
+
+func TestReductionGraphFullPrefixEmpty(t *testing.T) {
+	sys := deadlockableSystem()
+	prefixes := []*model.Prefix{
+		model.FullPrefix(sys.Txns[0]),
+		model.FullPrefix(sys.Txns[1]),
+	}
+	rg, err := NewReductionGraph(sys, prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rg.Nodes) != 0 || rg.HasCycle() {
+		t.Fatal("full prefixes should give empty acyclic graph")
+	}
+}
+
+func TestReductionGraphHandoverArcs(t *testing.T) {
+	// T1 holds x (Lx executed); T2's remaining Lx must be reachable only
+	// after U1x: arc U1x -> L2x present; no arc to T2's Lx once T2 executed it.
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0)})
+	rg, err := NewReductionGraph(sys, ex.Prefixes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1x := rg.find(t, 0, 2) // T1 node 2 = Ux
+	l2x := rg.find(t, 1, 1) // T2 node 1 = Lx
+	if !rg.G.HasArc(u1x, l2x) {
+		t.Fatal("missing handover arc U1x -> L2x")
+	}
+	if rg.HasCycle() {
+		t.Fatal("single-holder prefix should be acyclic")
+	}
+}
+
+// find locates the dense index of (txn, node) or fails the test.
+func (rg *ReductionGraph) find(t *testing.T, txn, node int) int {
+	t.Helper()
+	for i, gn := range rg.Nodes {
+		if gn.Txn == txn && gn.Node == model.NodeID(node) {
+			return i
+		}
+	}
+	t.Fatalf("node (%d,%d) not in reduction graph", txn, node)
+	return -1
+}
+
+func TestReductionGraphValidation(t *testing.T) {
+	sys := deadlockableSystem()
+	if _, err := NewReductionGraph(sys, nil); err == nil {
+		t.Fatal("accepted wrong prefix count")
+	}
+	swapped := []*model.Prefix{
+		model.EmptyPrefix(sys.Txns[1]),
+		model.EmptyPrefix(sys.Txns[0]),
+	}
+	if _, err := NewReductionGraph(sys, swapped); err == nil {
+		t.Fatal("accepted prefixes in wrong order")
+	}
+}
+
+func TestReductionGraphPaperFig1Shape(t *testing.T) {
+	// A three-transaction ring like Figure 1's cycle:
+	// T1 holds y wants z; T2 holds x wants y; T3 holds z wants x.
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	d.MustEntity("z", "sz")
+	t1 := buildChain(d, "T1", "Ly Lz Uy Uz")
+	t2 := buildChain(d, "T2", "Lx Ly Ux Uy")
+	t3 := buildChain(d, "T3", "Lz Lx Uz Ux")
+	sys := model.MustSystem(d, t1, t2, t3)
+	ex, err := Replay(sys, []Step{step(0, 0), step(1, 0), step(2, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := NewReductionGraph(sys, ex.Prefixes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rg.HasCycle() {
+		t.Fatal("three-way ring prefix should have cyclic reduction graph")
+	}
+	str := FormatCycle(sys, rg.Cycle())
+	// Cycle must involve all three transactions.
+	for _, want := range []string{"1", "2", "3"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("cycle %q missing transaction %s", str, want)
+		}
+	}
+	if !ex.IsDeadlocked() {
+		t.Fatal("ring state should be operationally deadlocked")
+	}
+}

@@ -1,0 +1,244 @@
+// Package schedule implements schedules and partial schedules of a
+// transaction system (Sections 2 and 3 of the paper): lock-respecting
+// interleavings, the serialization digraph D(S), the reduction graph R(A′)
+// of a prefix, and the deadlock predicates that Theorem 1 relates.
+package schedule
+
+import (
+	"fmt"
+
+	"distlock/internal/graph"
+	"distlock/internal/model"
+)
+
+// Step is one operation of a schedule: node Node of transaction Txn
+// (an index into the system's transaction slice).
+type Step struct {
+	Txn  int
+	Node model.NodeID
+}
+
+// Exec is the replayable execution state of a partial schedule: which nodes
+// of each transaction have executed, who holds each entity's lock, and the
+// per-entity order in which transactions acquired the lock (needed for the
+// serialization digraph D).
+type Exec struct {
+	sys       *model.System
+	executed  []*graph.Bitset          // per transaction
+	holder    []int                    // per entity: txn index or -1
+	lockOrder map[model.EntityID][]int // txns in order of their Lock on e
+	steps     int
+}
+
+// NewExec returns the empty execution state for a system.
+func NewExec(sys *model.System) *Exec {
+	ex := &Exec{
+		sys:       sys,
+		executed:  make([]*graph.Bitset, sys.N()),
+		holder:    make([]int, sys.DDB.NumEntities()),
+		lockOrder: make(map[model.EntityID][]int),
+	}
+	for i, t := range sys.Txns {
+		ex.executed[i] = graph.NewBitset(t.N())
+	}
+	for i := range ex.holder {
+		ex.holder[i] = -1
+	}
+	return ex
+}
+
+// Clone returns an independent copy of the execution state.
+func (ex *Exec) Clone() *Exec {
+	c := &Exec{
+		sys:       ex.sys,
+		executed:  make([]*graph.Bitset, len(ex.executed)),
+		holder:    append([]int(nil), ex.holder...),
+		lockOrder: make(map[model.EntityID][]int, len(ex.lockOrder)),
+		steps:     ex.steps,
+	}
+	for i, b := range ex.executed {
+		c.executed[i] = b.Clone()
+	}
+	for e, order := range ex.lockOrder {
+		c.lockOrder[e] = append([]int(nil), order...)
+	}
+	return c
+}
+
+// Sys returns the system being executed.
+func (ex *Exec) Sys() *model.System { return ex.sys }
+
+// Steps returns how many operations have executed.
+func (ex *Exec) Steps() int { return ex.steps }
+
+// Holder returns the transaction currently holding the lock on e, or -1.
+func (ex *Exec) Holder(e model.EntityID) int { return ex.holder[e] }
+
+// Executed returns the executed-node bitset of transaction i. Must not be
+// modified.
+func (ex *Exec) Executed(i int) *graph.Bitset { return ex.executed[i] }
+
+// LockOrder returns the transactions that locked e so far, in order.
+func (ex *Exec) LockOrder(e model.EntityID) []int { return ex.lockOrder[e] }
+
+// CanApply reports whether the step is currently executable: all of the
+// node's predecessors have executed, the node itself has not, and if it is
+// a Lock the entity is free.
+func (ex *Exec) CanApply(s Step) bool {
+	if s.Txn < 0 || s.Txn >= ex.sys.N() {
+		return false
+	}
+	t := ex.sys.Txns[s.Txn]
+	if s.Node < 0 || int(s.Node) >= t.N() || ex.executed[s.Txn].Has(int(s.Node)) {
+		return false
+	}
+	for _, p := range t.In(s.Node) {
+		if !ex.executed[s.Txn].Has(p) {
+			return false
+		}
+	}
+	nd := t.Node(s.Node)
+	if nd.Kind == model.LockOp && ex.holder[nd.Entity] != -1 {
+		return false
+	}
+	return true
+}
+
+// Apply executes the step, or returns an error explaining why it is not
+// executable.
+func (ex *Exec) Apply(s Step) error {
+	if !ex.CanApply(s) {
+		return ex.explain(s)
+	}
+	t := ex.sys.Txns[s.Txn]
+	nd := t.Node(s.Node)
+	ex.executed[s.Txn].Set(int(s.Node))
+	switch nd.Kind {
+	case model.LockOp:
+		ex.holder[nd.Entity] = s.Txn
+		ex.lockOrder[nd.Entity] = append(ex.lockOrder[nd.Entity], s.Txn)
+	case model.UnlockOp:
+		ex.holder[nd.Entity] = -1
+	}
+	ex.steps++
+	return nil
+}
+
+func (ex *Exec) explain(s Step) error {
+	if s.Txn < 0 || s.Txn >= ex.sys.N() {
+		return fmt.Errorf("schedule: transaction index %d out of range", s.Txn)
+	}
+	t := ex.sys.Txns[s.Txn]
+	if s.Node < 0 || int(s.Node) >= t.N() {
+		return fmt.Errorf("schedule: node %d out of range in %s", s.Node, t.Name())
+	}
+	if ex.executed[s.Txn].Has(int(s.Node)) {
+		return fmt.Errorf("schedule: %s.%s already executed", t.Name(), t.Label(s.Node))
+	}
+	for _, p := range t.In(s.Node) {
+		if !ex.executed[s.Txn].Has(p) {
+			return fmt.Errorf("schedule: %s.%s blocked by unexecuted predecessor %s",
+				t.Name(), t.Label(s.Node), t.Label(model.NodeID(p)))
+		}
+	}
+	nd := t.Node(s.Node)
+	if nd.Kind == model.LockOp && ex.holder[nd.Entity] != -1 {
+		return fmt.Errorf("schedule: %s cannot lock %s: held by %s",
+			t.Name(), ex.sys.DDB.EntityName(nd.Entity), ex.sys.Txns[ex.holder[nd.Entity]].Name())
+	}
+	return fmt.Errorf("schedule: step %v not applicable", s)
+}
+
+// Prefixes returns the per-transaction prefixes executed so far.
+func (ex *Exec) Prefixes() []*model.Prefix {
+	out := make([]*model.Prefix, ex.sys.N())
+	for i, t := range ex.sys.Txns {
+		out[i] = model.MustPrefix(t, ex.executed[i])
+	}
+	return out
+}
+
+// IsComplete reports whether every node of every transaction has executed.
+func (ex *Exec) IsComplete() bool {
+	for i, t := range ex.sys.Txns {
+		if ex.executed[i].Count() != t.N() {
+			return false
+		}
+	}
+	return true
+}
+
+// EligibleSteps returns every step executable in the current state.
+func (ex *Exec) EligibleSteps() []Step {
+	var out []Step
+	for i, t := range ex.sys.Txns {
+		for _, id := range t.MinimalNodes(ex.executed[i]) {
+			s := Step{Txn: i, Node: id}
+			if ex.CanApply(s) {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// IsDeadlocked reports whether the current state is a deadlock: at least
+// one transaction is unfinished, and in every unfinished transaction every
+// candidate next node is a Lock operation on an entity currently locked by
+// another transaction (Section 3's definition of a deadlock partial
+// schedule).
+func (ex *Exec) IsDeadlocked() bool {
+	anyUnfinished := false
+	for i, t := range ex.sys.Txns {
+		if ex.executed[i].Count() == t.N() {
+			continue
+		}
+		anyUnfinished = true
+		for _, id := range t.MinimalNodes(ex.executed[i]) {
+			nd := t.Node(id)
+			if nd.Kind != model.LockOp {
+				return false // an Unlock could run
+			}
+			h := ex.holder[nd.Entity]
+			if h == -1 || h == i {
+				return false // the Lock could run (h == i is impossible for
+				// well-formed transactions but kept for safety)
+			}
+		}
+	}
+	return anyUnfinished
+}
+
+// Key returns a map key identifying the executed-node state (lock holders
+// are a function of the executed sets for well-formed transactions).
+func (ex *Exec) Key() string {
+	k := ""
+	for _, b := range ex.executed {
+		k += b.Key() + "|"
+	}
+	return k
+}
+
+// Replay validates a sequence of steps from the empty state and returns the
+// resulting execution, or an error at the first illegal step.
+func Replay(sys *model.System, steps []Step) (*Exec, error) {
+	ex := NewExec(sys)
+	for i, s := range steps {
+		if err := ex.Apply(s); err != nil {
+			return nil, fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	return ex, nil
+}
+
+// IsLegal reports whether steps form a legal (partial) schedule of sys.
+func IsLegal(sys *model.System, steps []Step) bool {
+	_, err := Replay(sys, steps)
+	return err == nil
+}
+
+// IsCompleteSchedule reports whether steps form a legal complete schedule.
+func IsCompleteSchedule(sys *model.System, steps []Step) bool {
+	ex, err := Replay(sys, steps)
+	return err == nil && ex.IsComplete()
+}

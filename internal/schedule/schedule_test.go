@@ -1,0 +1,263 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/model"
+)
+
+// buildChain builds a centralized chain transaction from labels like
+// "Lx Ly Ux Uy". All entities must already exist in the DDB.
+func buildChain(d *model.DDB, name, spec string) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	var prev model.NodeID = -1
+	for _, tok := range strings.Fields(spec) {
+		var id model.NodeID
+		if tok[0] == 'L' {
+			id = b.Lock(tok[1:])
+		} else {
+			id = b.Unlock(tok[1:])
+		}
+		if prev >= 0 {
+			b.Arc(prev, id)
+		}
+		prev = id
+	}
+	return b.MustFreeze()
+}
+
+// deadlockableSystem: T1 = Lx Ly Ux Uy, T2 = Ly Lx Uy Ux on one site each.
+func deadlockableSystem() *model.System {
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	t1 := buildChain(d, "T1", "Lx Ly Ux Uy")
+	t2 := buildChain(d, "T2", "Ly Lx Uy Ux")
+	return model.MustSystem(d, t1, t2)
+}
+
+func step(txn, node int) Step { return Step{Txn: txn, Node: model.NodeID(node)} }
+
+func TestReplayLegalSerial(t *testing.T) {
+	sys := deadlockableSystem()
+	var steps []Step
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(0, n))
+	}
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(1, n))
+	}
+	ex, err := Replay(sys, steps)
+	if err != nil {
+		t.Fatalf("serial schedule illegal: %v", err)
+	}
+	if !ex.IsComplete() {
+		t.Fatal("serial schedule not complete")
+	}
+	if !IsCompleteSchedule(sys, steps) {
+		t.Fatal("IsCompleteSchedule = false")
+	}
+}
+
+func TestReplayRejectsLockConflict(t *testing.T) {
+	sys := deadlockableSystem()
+	// T1 locks x; T2 tries Lx (node 1 of T2) without Ly first -> order error;
+	// T2 Ly then Lx while T1 holds x... T2's Lx is node 1.
+	steps := []Step{step(0, 0), step(1, 0), step(1, 1)}
+	_, err := Replay(sys, steps)
+	if err == nil || !strings.Contains(err.Error(), "cannot lock x") {
+		t.Fatalf("want lock conflict error, got %v", err)
+	}
+}
+
+func TestReplayRejectsOrderViolation(t *testing.T) {
+	sys := deadlockableSystem()
+	_, err := Replay(sys, []Step{step(0, 1)}) // T1's Ly before Lx
+	if err == nil || !strings.Contains(err.Error(), "blocked by unexecuted predecessor") {
+		t.Fatalf("want order violation, got %v", err)
+	}
+}
+
+func TestReplayRejectsDoubleExecution(t *testing.T) {
+	sys := deadlockableSystem()
+	_, err := Replay(sys, []Step{step(0, 0), step(0, 0)})
+	if err == nil || !strings.Contains(err.Error(), "already executed") {
+		t.Fatalf("want double-execution error, got %v", err)
+	}
+}
+
+func TestReplayRejectsOutOfRange(t *testing.T) {
+	sys := deadlockableSystem()
+	if _, err := Replay(sys, []Step{step(5, 0)}); err == nil {
+		t.Fatal("accepted bad txn index")
+	}
+	if _, err := Replay(sys, []Step{step(0, 99)}); err == nil {
+		t.Fatal("accepted bad node index")
+	}
+}
+
+func TestDeadlockState(t *testing.T) {
+	sys := deadlockableSystem()
+	ex, err := Replay(sys, []Step{step(0, 0), step(1, 0)}) // L1x, L2y
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !ex.IsDeadlocked() {
+		t.Fatal("classic cross-lock state not reported as deadlock")
+	}
+	if got := ex.EligibleSteps(); len(got) != 0 {
+		t.Fatalf("deadlock state has eligible steps %v", got)
+	}
+}
+
+func TestNotDeadlockedWhenUnlockAvailable(t *testing.T) {
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0)})
+	if ex.IsDeadlocked() {
+		t.Fatal("state with available steps reported deadlocked")
+	}
+	ex2, _ := Replay(sys, nil)
+	if ex2.IsDeadlocked() {
+		t.Fatal("empty state reported deadlocked")
+	}
+}
+
+func TestCompleteStateNotDeadlocked(t *testing.T) {
+	sys := deadlockableSystem()
+	var steps []Step
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(0, n))
+	}
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(1, n))
+	}
+	ex, _ := Replay(sys, steps)
+	if ex.IsDeadlocked() {
+		t.Fatal("complete schedule reported deadlocked")
+	}
+}
+
+func TestHolderAndLockOrder(t *testing.T) {
+	sys := deadlockableSystem()
+	x, _ := sys.DDB.Entity("x")
+	y, _ := sys.DDB.Entity("y")
+	ex, _ := Replay(sys, []Step{step(0, 0), step(0, 1), step(0, 2)}) // Lx Ly Ux
+	if ex.Holder(x) != -1 {
+		t.Fatalf("x holder = %d after unlock", ex.Holder(x))
+	}
+	if ex.Holder(y) != 0 {
+		t.Fatalf("y holder = %d, want 0", ex.Holder(y))
+	}
+	if ord := ex.LockOrder(x); len(ord) != 1 || ord[0] != 0 {
+		t.Fatalf("lock order of x = %v", ord)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0)})
+	c := ex.Clone()
+	if err := c.Apply(step(0, 1)); err != nil {
+		t.Fatalf("apply on clone: %v", err)
+	}
+	if ex.Executed(0).Has(1) {
+		t.Fatal("clone mutation leaked to original")
+	}
+	if ex.Key() == c.Key() {
+		t.Fatal("Key identical for different states")
+	}
+}
+
+func TestSerializableSerialSchedule(t *testing.T) {
+	sys := deadlockableSystem()
+	var steps []Step
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(0, n))
+	}
+	for n := 0; n < 4; n++ {
+		steps = append(steps, step(1, n))
+	}
+	ok, err := IsSerializable(sys, steps)
+	if err != nil || !ok {
+		t.Fatalf("serial schedule serializable=%v err=%v", ok, err)
+	}
+	ex, _ := Replay(sys, steps)
+	order := SerialOrder(ex)
+	if len(order) != 2 || order[0] != 0 {
+		t.Fatalf("serial order = %v, want [0 1]", order)
+	}
+}
+
+func TestNonSerializableSchedule(t *testing.T) {
+	// Early-unlock transactions: T1 = Lx Ux Ly Uy, T2 = Lx Ux Ly Uy.
+	d := model.NewDDB()
+	d.MustEntity("x", "sx")
+	d.MustEntity("y", "sy")
+	t1 := buildChain(d, "T1", "Lx Ux Ly Uy")
+	t2 := buildChain(d, "T2", "Lx Ux Ly Uy")
+	sys := model.MustSystem(d, t1, t2)
+	// T1 x-phase, then T2 entirely, then T1 y-phase: x says T1<T2, y says T2<T1.
+	steps := []Step{
+		step(0, 0), step(0, 1),
+		step(1, 0), step(1, 1), step(1, 2), step(1, 3),
+		step(0, 2), step(0, 3),
+	}
+	ok, err := IsSerializable(sys, steps)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if ok {
+		t.Fatal("conflicting interleaving reported serializable")
+	}
+}
+
+func TestDigraphDIncludesFutureAccessors(t *testing.T) {
+	// After T1 locks x, D(S') must contain arc T1 -> T2 even though T2 has
+	// not locked x yet (it accesses x).
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0)})
+	g := DigraphD(ex)
+	if !g.HasArc(0, 1) {
+		t.Fatal("missing arc to future accessor")
+	}
+	if g.HasArc(1, 0) {
+		t.Fatal("unexpected reverse arc")
+	}
+	arcs := DigraphDArcs(ex)
+	if len(arcs) != 1 {
+		t.Fatalf("arcs = %v, want exactly one", arcs)
+	}
+	x, _ := sys.DDB.Entity("x")
+	if arcs[0].Entity != x {
+		t.Fatalf("arc labelled %v, want x", arcs[0].Entity)
+	}
+}
+
+func TestDigraphDCycleOnDeadlockState(t *testing.T) {
+	// Lemma 1's (if) direction: a deadlock partial schedule has cyclic D.
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0), step(1, 0)})
+	if DigraphD(ex).IsAcyclic() {
+		t.Fatal("D(S') acyclic on a deadlock state")
+	}
+	if SerialOrder(ex) != nil {
+		t.Fatal("SerialOrder should be nil for cyclic D")
+	}
+}
+
+func TestEligibleStepsRespectLocks(t *testing.T) {
+	sys := deadlockableSystem()
+	ex, _ := Replay(sys, []Step{step(0, 0)}) // T1 holds x
+	elig := ex.EligibleSteps()
+	// T1 can do Ly; T2 can do Ly... wait y is free: T2's first node is Ly.
+	want := map[Step]bool{step(0, 1): true, step(1, 0): true}
+	if len(elig) != len(want) {
+		t.Fatalf("eligible = %v", elig)
+	}
+	for _, s := range elig {
+		if !want[s] {
+			t.Fatalf("unexpected eligible step %v", s)
+		}
+	}
+}

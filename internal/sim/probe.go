@@ -1,0 +1,114 @@
+package sim
+
+import "distlock/internal/model"
+
+// This file implements StrategyProbe: Chandy–Misra–Haas edge-chasing
+// deadlock detection for the AND request model, the classic *decentralized*
+// alternative to a global wait-for-graph detector. No site or coordinator
+// ever sees the global graph; instead, a transaction that has been blocked
+// for ProbeAfter ticks initiates a probe message that travels along
+// wait-for edges (waiter -> holder -> what-the-holder-waits-for -> ...),
+// paying network latency per hop. If a probe returns to its initiator, the
+// initiator is on a deadlock cycle and aborts itself.
+//
+// Each instance forwards a given initiator's probe at most once per
+// blocking epoch (the standard duplicate-suppression rule), which bounds
+// message complexity at O(edges) per initiation.
+
+// probe is a CMH probe message. It carries the largest (youngest)
+// timestamp seen along its path: when a probe returns to its initiator,
+// the initiator aborts only if it is itself the youngest participant, so
+// each cycle elects exactly one victim instead of every participant
+// self-aborting simultaneously (which would let the cycle re-form — a
+// livelock observed without this rule).
+type probe struct {
+	initiator *instance
+	initEpoch int
+	maxTS     int64
+	// wave uniquely identifies one initiation: duplicate suppression is
+	// scoped to a wave. (Suppressing per initiator across waves is wrong —
+	// a probe initiated before the cycle fully formed would permanently
+	// block later, detecting waves.)
+	wave int64
+}
+
+// scheduleProbeInit arms a probe initiation for a blocked lock request.
+// Called when a request is enqueued under StrategyProbe.
+func (s *Sim) scheduleProbeInit(inst *instance, epoch int) {
+	s.schedule(s.cfg.ProbeAfter, func() {
+		if inst.done || epoch != inst.epoch || len(inst.waiting) == 0 {
+			return
+		}
+		s.seq++
+		s.forwardProbe(probe{initiator: inst, initEpoch: epoch, maxTS: inst.ts, wave: s.seq}, inst)
+		// Re-arm: if still blocked after another period, probe again
+		// (covers cycles formed after the first wave).
+		s.scheduleProbeInit(inst, epoch)
+	})
+}
+
+// forwardProbe sends the probe from a blocked instance to the holders of
+// every entity the instance is waiting for (AND-model fan-out), one
+// network hop per edge.
+func (s *Sim) forwardProbe(p probe, from *instance) {
+	for e := range from.waiting {
+		ls := s.locks[e]
+		if ls == nil || ls.holder == nil || ls.holder.done {
+			continue
+		}
+		holder := ls.holder
+		holderEpoch := holder.epoch
+		s.schedule(s.cfg.NetLatency, func() { s.receiveProbe(p, holder, holderEpoch) })
+	}
+}
+
+// receiveProbe processes a probe at an instance.
+func (s *Sim) receiveProbe(p probe, at *instance, atEpoch int) {
+	if at.done || at.epoch != atEpoch {
+		return // the holder moved on; the probe is stale
+	}
+	if p.initiator.done || p.initiator.epoch != p.initEpoch {
+		return // the initiator moved on
+	}
+	if at == p.initiator {
+		// The probe came back: the initiator is on a wait-for cycle.
+		// Abort only the youngest participant (largest timestamp).
+		if p.maxTS == at.ts {
+			s.metrics.ProbeKills++
+			s.abort(at)
+		}
+		return
+	}
+	if at.ts > p.maxTS {
+		p.maxTS = at.ts
+	}
+	if len(at.waiting) == 0 {
+		return // active transaction: the chain ends here
+	}
+	// Duplicate suppression: forward each initiator's probe once per
+	// blocking epoch.
+	key := probeKey{initiator: p.initiator.id, wave: p.wave}
+	if at.probesSeen == nil {
+		at.probesSeen = map[probeKey]bool{}
+	}
+	if at.probesSeen[key] {
+		return
+	}
+	at.probesSeen[key] = true
+	s.forwardProbe(p, at)
+}
+
+type probeKey struct {
+	initiator int
+	wave      int64
+}
+
+// probeWaitEntities is a tiny helper used in tests: entities an instance
+// currently waits for.
+func probeWaitEntities(inst *instance) []model.EntityID {
+	var out []model.EntityID
+	for e := range inst.waiting {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package sim
+
+import "testing"
+
+// TestProbeScalesWithClients runs the CMH strategy across client counts;
+// historically this exposed a livelock caused by over-eager duplicate
+// suppression (probes initiated before a cycle fully formed permanently
+// suppressed later waves).
+func TestProbeScalesWithClients(t *testing.T) {
+	for clients := 2; clients <= 8; clients++ {
+		m, err := Run(Config{
+			Templates: deadlockTemplates(), Clients: clients, TxnsPerClient: 5,
+			Strategy: StrategyProbe, ProbeAfter: 60, Seed: 9, MaxTicks: 5_000_000,
+		})
+		if err != nil {
+			t.Fatalf("clients=%d: %v", clients, err)
+		}
+		if m.Stalled || m.Committed != clients*5 {
+			t.Fatalf("clients=%d: %+v", clients, m)
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"distlock/internal/model"
+)
+
+func buildChain(d *model.DDB, name, spec string) *model.Transaction {
+	b := model.NewBuilder(d, name)
+	var prev model.NodeID = -1
+	for _, tok := range strings.Fields(spec) {
+		var id model.NodeID
+		if tok[0] == 'L' {
+			id = b.Lock(tok[1:])
+		} else {
+			id = b.Unlock(tok[1:])
+		}
+		if prev >= 0 {
+			b.Arc(prev, id)
+		}
+		prev = id
+	}
+	return b.MustFreeze()
+}
+
+// orderedTemplates: all clients lock x then y — certified deadlock-free.
+func orderedTemplates() []*model.Transaction {
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s2")
+	return []*model.Transaction{
+		buildChain(d, "A", "Lx Ly Ux Uy"),
+		buildChain(d, "B", "Lx Ly Ux Uy"),
+	}
+}
+
+// deadlockTemplates: opposite lock orders — deadlock-prone under load.
+func deadlockTemplates() []*model.Transaction {
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s2")
+	return []*model.Transaction{
+		buildChain(d, "A", "Lx Ly Ux Uy"),
+		buildChain(d, "B", "Ly Lx Uy Ux"),
+	}
+}
+
+func TestCertifiedMixRunsWithoutHandling(t *testing.T) {
+	m, err := Run(Config{
+		Templates: orderedTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyNone, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("certified mix stalled")
+	}
+	if m.Committed != 8*25 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 8*25)
+	}
+	if m.Aborts != 0 {
+		t.Fatalf("aborts = %d, want 0", m.Aborts)
+	}
+}
+
+func TestDeadlockProneMixStallsWithoutHandling(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyNone, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Stalled {
+		t.Fatal("deadlock-prone mix did not stall without handling")
+	}
+	if m.Committed >= 8*25 {
+		t.Fatal("stalled run committed everything?")
+	}
+}
+
+func TestDetectionRecoversDeadlocks(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyDetect, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("detection strategy stalled")
+	}
+	if m.Committed != 8*25 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 8*25)
+	}
+	if m.DetectorKills == 0 {
+		t.Fatal("detector never fired on a deadlock-prone mix")
+	}
+	if m.Aborts < m.DetectorKills {
+		t.Fatalf("aborts=%d < detector kills=%d", m.Aborts, m.DetectorKills)
+	}
+}
+
+func TestWoundWaitCompletes(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyWoundWait, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("wound-wait stalled")
+	}
+	if m.Committed != 8*25 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 8*25)
+	}
+	if m.Wounds == 0 {
+		t.Fatal("wound-wait never wounded under heavy conflict")
+	}
+}
+
+func TestWaitDieCompletes(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyWaitDie, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("wait-die stalled")
+	}
+	if m.Committed != 8*25 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 8*25)
+	}
+	if m.Aborts == 0 {
+		t.Fatal("wait-die never aborted under heavy conflict")
+	}
+}
+
+func TestTimeoutRecoversDeadlocks(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 6, TxnsPerClient: 10,
+		Strategy: StrategyTimeout, Timeout: 200, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("timeout strategy stalled")
+	}
+	if m.Committed != 6*10 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 6*10)
+	}
+	if m.TimeoutKills == 0 {
+		t.Fatal("timeouts never fired")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{
+		Templates: deadlockTemplates(), Clients: 6, TxnsPerClient: 15,
+		Strategy: StrategyWoundWait, Seed: 42,
+	}
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m1 != *m2 {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", m1, m2)
+	}
+	m3, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 6, TxnsPerClient: 15,
+		Strategy: StrategyWoundWait, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m1 == *m3 {
+		t.Fatal("different seeds gave identical metrics — rng unused?")
+	}
+}
+
+func TestCertifiedBeatsDynamicOnSafeMix(t *testing.T) {
+	// On a certified-safe mix, no-handling must commit at least as fast as
+	// detection (which pays detector overhead and possible false aborts)
+	// and must produce zero aborts while wound-wait may abort needlessly.
+	tmpl := orderedTemplates()
+	base, err := Run(Config{Templates: tmpl, Clients: 8, TxnsPerClient: 25, Strategy: StrategyNone, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ww, err := Run(Config{Templates: tmpl, Clients: 8, TxnsPerClient: 25, Strategy: StrategyWoundWait, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stalled || ww.Stalled {
+		t.Fatal("safe mix stalled")
+	}
+	if base.Aborts != 0 {
+		t.Fatal("certified run aborted")
+	}
+	if base.Committed != ww.Committed {
+		t.Fatalf("commit counts differ: %d vs %d", base.Committed, ww.Committed)
+	}
+	if ww.Makespan < base.Makespan {
+		t.Logf("note: wound-wait finished earlier (%d < %d); acceptable, but unusual",
+			ww.Makespan, base.Makespan)
+	}
+}
+
+func TestMetricsHelpers(t *testing.T) {
+	m := &Metrics{Committed: 10, TotalLatency: 1000, Ticks: 2000}
+	if m.MeanLatency() != 100 {
+		t.Fatalf("MeanLatency = %v", m.MeanLatency())
+	}
+	if m.Throughput() != 5 {
+		t.Fatalf("Throughput = %v", m.Throughput())
+	}
+	zero := &Metrics{}
+	if zero.MeanLatency() != 0 || zero.Throughput() != 0 {
+		t.Fatal("zero metrics should not divide by zero")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("accepted empty config")
+	}
+	if _, err := Run(Config{Templates: orderedTemplates()}); err == nil {
+		t.Fatal("accepted zero clients")
+	}
+	d1 := model.NewDDB()
+	d1.MustEntity("x", "s")
+	d2 := model.NewDDB()
+	d2.MustEntity("x", "s")
+	if _, err := Run(Config{
+		Templates: []*model.Transaction{buildChain(d1, "A", "Lx Ux"), buildChain(d2, "B", "Lx Ux")},
+		Clients:   1, TxnsPerClient: 1,
+	}); err == nil {
+		t.Fatal("accepted templates over different DDBs")
+	}
+}
+
+func TestDistributedParallelTemplate(t *testing.T) {
+	// A genuinely distributed template: two parallel per-site chains.
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s2")
+	b := model.NewBuilder(d, "P")
+	b.LockUnlock("x")
+	b.LockUnlock("y")
+	tmpl := b.MustFreeze()
+	m, err := Run(Config{
+		Templates: []*model.Transaction{tmpl}, Clients: 4, TxnsPerClient: 10,
+		Strategy: StrategyDetect, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled || m.Committed != 40 {
+		t.Fatalf("parallel template run: %+v", m)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	names := map[Strategy]string{
+		StrategyNone: "certified-none", StrategyDetect: "detection",
+		StrategyWoundWait: "wound-wait", StrategyWaitDie: "wait-die",
+		StrategyTimeout: "timeout",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestProbeRecoversDeadlocks(t *testing.T) {
+	m, err := Run(Config{
+		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyProbe, ProbeAfter: 60, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled {
+		t.Fatal("CMH probe strategy stalled")
+	}
+	if m.Committed != 8*25 {
+		t.Fatalf("committed = %d, want %d", m.Committed, 8*25)
+	}
+	if m.ProbeKills == 0 {
+		t.Fatal("no probe ever returned on a deadlock-prone mix")
+	}
+}
+
+func TestProbeQuietOnCertifiedMix(t *testing.T) {
+	m, err := Run(Config{
+		Templates: orderedTemplates(), Clients: 8, TxnsPerClient: 25,
+		Strategy: StrategyProbe, ProbeAfter: 60, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled || m.Committed != 8*25 {
+		t.Fatalf("certified mix under probes: %+v", m)
+	}
+	if m.ProbeKills != 0 {
+		t.Fatalf("probes killed %d transactions on a deadlock-free mix (false positives)", m.ProbeKills)
+	}
+}
+
+func TestProbeDeterministic(t *testing.T) {
+	cfg := Config{
+		Templates: deadlockTemplates(), Clients: 6, TxnsPerClient: 15,
+		Strategy: StrategyProbe, ProbeAfter: 50, Seed: 12,
+	}
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *m1 != *m2 {
+		t.Fatalf("probe runs not deterministic:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestProbeThreeWayRing(t *testing.T) {
+	// A 3-cycle deadlock requires the probe to travel 3 hops.
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s2")
+	d.MustEntity("z", "s3")
+	tmpls := []*model.Transaction{
+		buildChain(d, "A", "Lx Ly Ux Uy"),
+		buildChain(d, "B", "Ly Lz Uy Uz"),
+		buildChain(d, "C", "Lz Lx Uz Ux"),
+	}
+	m, err := Run(Config{
+		Templates: tmpls, Clients: 9, TxnsPerClient: 20,
+		Strategy: StrategyProbe, ProbeAfter: 60, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stalled || m.Committed != 180 {
+		t.Fatalf("ring under probes: %+v", m)
+	}
+	if m.ProbeKills == 0 {
+		t.Fatal("3-way ring never triggered a probe kill")
+	}
+}

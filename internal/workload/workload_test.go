@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"testing"
+
+	"distlock/internal/model"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	for _, policy := range []Policy{PolicyRandom, PolicyTwoPhase, PolicyOrdered} {
+		sys := MustGenerate(Config{
+			Sites: 3, EntitiesPerSite: 2, NumTxns: 4, EntitiesPerTxn: 4,
+			Policy: policy, CrossArcProb: 0.5, Seed: 42,
+		})
+		if sys.N() != 4 {
+			t.Fatalf("%v: txns = %d", policy, sys.N())
+		}
+		if sys.DDB.NumEntities() != 6 || sys.DDB.NumSites() != 3 {
+			t.Fatalf("%v: entities=%d sites=%d", policy, sys.DDB.NumEntities(), sys.DDB.NumSites())
+		}
+		for _, txn := range sys.Txns {
+			if len(txn.Entities()) != 4 {
+				t.Fatalf("%v: %s accesses %d entities, want 4", policy, txn.Name(), len(txn.Entities()))
+			}
+			if txn.N() != 8 {
+				t.Fatalf("%v: %s has %d nodes, want 8", policy, txn.Name(), txn.N())
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Sites: 2, EntitiesPerSite: 3, NumTxns: 3, EntitiesPerTxn: 4,
+		Policy: PolicyRandom, CrossArcProb: 0.5, Seed: 7}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	for i := range a.Txns {
+		if a.Txns[i].String() != b.Txns[i].String() {
+			t.Fatalf("same seed, different transaction %d:\n%v\n%v", i, a.Txns[i], b.Txns[i])
+		}
+	}
+	cfg.Seed = 8
+	c := MustGenerate(cfg)
+	same := true
+	for i := range a.Txns {
+		if a.Txns[i].String() != c.Txns[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical systems")
+	}
+}
+
+func TestOrderedPolicyLocksInEntityOrder(t *testing.T) {
+	sys := MustGenerate(Config{
+		Sites: 2, EntitiesPerSite: 3, NumTxns: 3, EntitiesPerTxn: 4,
+		Policy: PolicyOrdered, Seed: 3,
+	})
+	for _, txn := range sys.Txns {
+		ents := txn.Entities()
+		for i := 0; i+1 < len(ents); i++ {
+			li, _ := txn.LockNode(ents[i])
+			lj, _ := txn.LockNode(ents[i+1])
+			if !txn.Precedes(li, lj) {
+				t.Fatalf("%s: L%v does not precede L%v", txn.Name(), ents[i], ents[i+1])
+			}
+		}
+	}
+}
+
+func TestTwoPhasePolicyIsTwoPhase(t *testing.T) {
+	sys := MustGenerate(Config{
+		Sites: 2, EntitiesPerSite: 3, NumTxns: 3, EntitiesPerTxn: 4,
+		Policy: PolicyTwoPhase, Seed: 5,
+	})
+	for _, txn := range sys.Txns {
+		// Every Lock precedes every Unlock.
+		for a := 0; a < txn.N(); a++ {
+			for b := 0; b < txn.N(); b++ {
+				na, nb := txn.Node(model.NodeID(a)), txn.Node(model.NodeID(b))
+				if na.Kind == model.LockOp && nb.Kind == model.UnlockOp {
+					if !txn.Precedes(model.NodeID(a), model.NodeID(b)) && a != b {
+						t.Fatalf("%s: lock %d does not precede unlock %d", txn.Name(), a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRandomPolicyParallelSites(t *testing.T) {
+	// With no cross arcs, nodes at different sites must be unordered for
+	// at least one generated transaction (genuinely distributed shape).
+	sys := MustGenerate(Config{
+		Sites: 3, EntitiesPerSite: 2, NumTxns: 5, EntitiesPerTxn: 5,
+		Policy: PolicyRandom, CrossArcProb: 0, Seed: 11,
+	})
+	foundParallel := false
+	for _, txn := range sys.Txns {
+		for a := 0; a < txn.N() && !foundParallel; a++ {
+			for b := a + 1; b < txn.N(); b++ {
+				na, nb := txn.Node(model.NodeID(a)), txn.Node(model.NodeID(b))
+				if sys.DDB.SiteOf(na.Entity) == sys.DDB.SiteOf(nb.Entity) {
+					continue
+				}
+				if !txn.Precedes(model.NodeID(a), model.NodeID(b)) &&
+					!txn.Precedes(model.NodeID(b), model.NodeID(a)) {
+					foundParallel = true
+					break
+				}
+			}
+		}
+	}
+	if !foundParallel {
+		t.Fatal("no cross-site parallelism in any generated transaction")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{}); err == nil {
+		t.Fatal("accepted zero config")
+	}
+	if _, err := Generate(Config{Sites: 1, EntitiesPerSite: 1}); err == nil {
+		t.Fatal("accepted zero transactions")
+	}
+}
+
+func TestCopiesOf(t *testing.T) {
+	sys, err := CopiesOf(Config{
+		Sites: 2, EntitiesPerSite: 2, NumTxns: 1, EntitiesPerTxn: 3,
+		Policy: PolicyOrdered, Seed: 1,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != 3 {
+		t.Fatalf("copies = %d", sys.N())
+	}
+	for _, txn := range sys.Txns[1:] {
+		if txn.N() != sys.Txns[0].N() {
+			t.Fatal("copies differ in size")
+		}
+	}
+}
+
+func TestLockArcOnlySystem(t *testing.T) {
+	sys := LockArcOnlySystem(5, 2, 0.3, 9)
+	if sys.N() != 2 || sys.DDB.NumEntities() != 5 || sys.DDB.NumSites() != 5 {
+		t.Fatalf("shape wrong: txns=%d entities=%d sites=%d",
+			sys.N(), sys.DDB.NumEntities(), sys.DDB.NumSites())
+	}
+	for _, txn := range sys.Txns {
+		for u := 0; u < txn.N(); u++ {
+			for _, v := range txn.Out(model.NodeID(u)) {
+				if txn.Node(model.NodeID(u)).Kind != model.LockOp ||
+					txn.Node(model.NodeID(v)).Kind != model.UnlockOp {
+					t.Fatalf("%s: non lock->unlock arc %d->%d", txn.Name(), u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if PolicyRandom.String() != "random" || PolicyTwoPhase.String() != "two-phase" ||
+		PolicyOrdered.String() != "ordered" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(99).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
