@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"distlock/internal/admission"
 	"distlock/internal/baseline"
 	"distlock/internal/core"
 	"distlock/internal/figures"
@@ -375,6 +376,94 @@ func BenchmarkDPLL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sat.Solve(fs[i%len(fs)])
 	}
+}
+
+// admissionClasses generates n mutually certifiable (ordered two-phase)
+// classes over one database for the admission benchmarks.
+func admissionClasses(n int, seed int64) (*model.DDB, []*model.Transaction) {
+	sys := workload.MustGenerate(workload.Config{
+		Sites: 8, EntitiesPerSite: 4, NumTxns: n, EntitiesPerTxn: 3,
+		Policy: workload.PolicyOrdered, Seed: seed,
+	})
+	return sys.DDB, sys.Txns
+}
+
+// BenchmarkAdmission measures the online admission service: cold admission
+// (empty verdict cache) against warm re-admission after churn (every pair
+// verdict cached by fingerprint), and one-at-a-time admission against
+// batched admission of the same classes.
+func BenchmarkAdmission(b *testing.B) {
+	const n = 12
+	ddb, classes := admissionClasses(n, 21)
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := admission.New(ddb, admission.Options{Workers: 1})
+			for _, t := range classes {
+				if r, err := svc.Admit(t); err != nil || !r.Admitted {
+					b.Fatalf("ordered class rejected: %+v %v", r, err)
+				}
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		// One long-lived service: the first admissions fill the cache, then
+		// each iteration churns every class out and back in. Re-admission
+		// must cost zero PairSafeDF evaluations.
+		svc := admission.New(ddb, admission.Options{Workers: 1})
+		for _, t := range classes {
+			if r, err := svc.Admit(t); err != nil || !r.Admitted {
+				b.Fatalf("ordered class rejected: %+v %v", r, err)
+			}
+		}
+		filled := svc.Stats().PairChecks
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, t := range classes {
+				svc.Evict(t.Name())
+			}
+			for _, t := range classes {
+				if r, err := svc.Admit(t); err != nil || !r.Admitted {
+					b.Fatalf("ordered class rejected on re-admission: %+v %v", r, err)
+				}
+			}
+		}
+		b.StopTimer()
+		if got := svc.Stats().PairChecks; got != filled {
+			b.Fatalf("warm re-admissions evaluated %d extra pairs, want 0", got-filled)
+		}
+	})
+
+	b.Run("one-at-a-time", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := admission.New(ddb, admission.Options{})
+			for _, t := range classes {
+				if _, err := svc.Admit(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			svc := admission.New(ddb, admission.Options{})
+			rs, err := svc.AdmitBatch(classes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range rs {
+				if !r.Admitted {
+					b.Fatalf("ordered class rejected in batch: %+v", r)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkE11EarlyUnlock measures the Theorem-4-guarded early-unlock

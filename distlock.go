@@ -37,14 +37,17 @@
 package distlock
 
 import (
+	"distlock/internal/admission"
 	"distlock/internal/baseline"
 	"distlock/internal/core"
 	"distlock/internal/model"
 	"distlock/internal/optimize"
 	"distlock/internal/reduction"
+	"distlock/internal/runtime"
 	"distlock/internal/sat"
 	"distlock/internal/schedule"
 	"distlock/internal/sim"
+	"distlock/internal/workload"
 )
 
 // Model types.
@@ -163,6 +166,95 @@ type (
 var (
 	// RunSim executes a deterministic discrete-event simulation.
 	RunSim = sim.Run
+)
+
+// Online admission control — a live certified set under churn.
+type (
+	// Admission is the long-lived admission-control service: it maintains
+	// a certified safe-and-deadlock-free transaction mix and decides
+	// online, by incremental Theorem 3/4 checks, whether new classes join.
+	Admission = admission.Service
+	// AdmissionOptions parameterizes the service (worker pool, cycle
+	// budget).
+	AdmissionOptions = admission.Options
+	// AdmissionStats are the service's cumulative work counters.
+	AdmissionStats = admission.Stats
+	// AdmitResult reports one admission decision.
+	AdmitResult = admission.Result
+	// MixParams parameterizes an end-to-end ExecuteMix run.
+	MixParams = admission.MixParams
+	// MixMetrics reports the certified (no-handling) and fallback
+	// (wound-wait) engine tiers of an ExecuteMix run.
+	MixMetrics = admission.MixMetrics
+	// ClassFingerprint is the structural hash keying the pair-verdict
+	// cache.
+	ClassFingerprint = admission.Fingerprint
+)
+
+var (
+	// NewAdmission creates an admission service over one DDB.
+	NewAdmission = admission.New
+	// ExecuteMix runs certified classes with no deadlock handling and
+	// rejected classes under wound-wait on the goroutine engine.
+	ExecuteMix = admission.ExecuteMix
+	// FingerprintClass computes a transaction's structural fingerprint.
+	FingerprintClass = admission.FingerprintOf
+)
+
+// Runtime engine (goroutine message-passing; see also SimConfig/RunSim).
+type (
+	// EngineStrategy selects the engine's deadlock handling.
+	EngineStrategy = runtime.Strategy
+	// EngineConfig parameterizes an engine run.
+	EngineConfig = runtime.Config
+	// EngineMetrics summarize an engine run.
+	EngineMetrics = runtime.Metrics
+)
+
+const (
+	// StrategyNone runs with no deadlock handling — safe for certified
+	// mixes only.
+	StrategyNone = runtime.StrategyNone
+	// StrategyDetect runs a periodic global deadlock detector.
+	StrategyDetect = runtime.StrategyDetect
+	// StrategyWoundWait wounds younger lock holders on conflict.
+	StrategyWoundWait = runtime.StrategyWoundWait
+)
+
+var (
+	// RunEngine executes a workload on the goroutine engine.
+	RunEngine = runtime.Run
+)
+
+// Workload generation.
+type (
+	// WorkloadConfig parameterizes random system generation.
+	WorkloadConfig = workload.Config
+	// WorkloadPolicy selects the locking discipline of generated
+	// transactions.
+	WorkloadPolicy = workload.Policy
+	// ChurnEvent is one arrival or departure of a churn trace.
+	ChurnEvent = workload.ChurnEvent
+)
+
+const (
+	// PolicyRandom generates arbitrary well-formed transactions.
+	PolicyRandom = workload.PolicyRandom
+	// PolicyTwoPhase generates two-phase transactions (safe, may deadlock).
+	PolicyTwoPhase = workload.PolicyTwoPhase
+	// PolicyOrdered generates globally lock-ordered two-phase transactions.
+	PolicyOrdered = workload.PolicyOrdered
+	// PolicyChurn mixes ordered and arbitrary shapes, modelling the
+	// heterogeneous traffic an admission service sees.
+	PolicyChurn = workload.PolicyChurn
+)
+
+var (
+	// GenerateWorkload builds a random transaction system.
+	GenerateWorkload = workload.Generate
+	// ChurnTrace generates a deterministic arrival/departure sequence for
+	// admission experiments.
+	ChurnTrace = workload.ChurnTrace
 )
 
 // Optimization — the application the paper's introduction cites ([W2]).

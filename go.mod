@@ -1,0 +1,3 @@
+module distlock
+
+go 1.24

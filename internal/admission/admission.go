@@ -1,0 +1,500 @@
+// Package admission is a long-lived admission-control service for locked
+// transaction classes. It maintains a *live* certified set — a transaction
+// system the static tests (Theorems 3 and 4) have proven safe and
+// deadlock-free — and decides, online, whether newly submitted classes may
+// join while keeping the whole mix certified.
+//
+// The paper's offline story is: certify a fixed system once, then run it
+// with no deadlock handling at all. A production service sees arrivals and
+// departures, and re-running SystemSafeDF from scratch on every admission
+// repeats work that cannot have changed: Theorem 3 verdicts depend only on
+// the two transactions of a pair, and a Theorem 4 cycle's verdict depends
+// only on the transactions ON that cycle. The service therefore certifies
+// incrementally:
+//
+//   - PairSafeDF verdicts are cached across the service's lifetime, keyed
+//     by the (order-normalized) structural fingerprints of the two classes,
+//     so re-admission after churn costs no pairwise work;
+//   - uncached pair checks fan out across a bounded worker pool;
+//   - after the pair phase, only interaction-graph cycles through the newly
+//     added vertex are enumerated (SimpleCyclesThrough) — cycles avoiding
+//     it were certified benign when their own members were admitted;
+//   - eviction only removes pairs and cycles, so it never needs re-checking.
+//
+// Because an engine runs many concurrent instances of each class — and two
+// copies of one transaction can deadlock each other even when every
+// distinct pair is certified — Options.Multiplicity certifies each class as
+// m copy-vertices (Corollary 3 for the self-pair, expanded-graph cycles for
+// the rest), so the certified set is exactly what an engine running up to m
+// concurrent instances per class executes.
+//
+// Admitted classes are safe to run on internal/runtime's engine under
+// StrategyNone (the paper's payoff) with at most Multiplicity concurrent
+// instances per class; rejected classes fall back to StrategyWoundWait.
+// See ExecuteMix.
+package admission
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+
+	"distlock/internal/core"
+	"distlock/internal/graph"
+	"distlock/internal/model"
+	"distlock/internal/runtime"
+)
+
+// Fingerprint is a structural hash of a transaction class: its node list
+// (kind, entity) in node order plus its direct arc set. Two transactions
+// over the same DDB with equal fingerprints behave identically under every
+// static test, so fingerprints key the service's pair-verdict cache.
+type Fingerprint [sha256.Size]byte
+
+// FingerprintOf computes the structural fingerprint of a transaction.
+func FingerprintOf(t *model.Transaction) Fingerprint {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(x int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	put(t.N())
+	for id := 0; id < t.N(); id++ {
+		nd := t.Node(model.NodeID(id))
+		put(int(nd.Kind))
+		put(int(nd.Entity))
+	}
+	for u := 0; u < t.N(); u++ {
+		for _, v := range t.Out(model.NodeID(u)) {
+			put(u)
+			put(v)
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+// pairKey identifies an unordered pair of classes by fingerprint.
+type pairKey [2]Fingerprint
+
+func keyOf(a, b Fingerprint) pairKey {
+	for i := range a {
+		if a[i] < b[i] {
+			return pairKey{a, b}
+		}
+		if a[i] > b[i] {
+			return pairKey{b, a}
+		}
+	}
+	return pairKey{a, b}
+}
+
+// Options parameterizes a Service.
+type Options struct {
+	// Workers bounds the pool evaluating uncached PairSafeDF checks.
+	// Defaults to GOMAXPROCS.
+	Workers int
+	// CycleBudget bounds the Theorem 4 cycle checks spent on a single
+	// admission (0 = unlimited). Theorem 4's cost is inherently
+	// proportional to the interaction-graph cycle count, which explodes on
+	// dense mixes; a service with a budget stays responsive by
+	// conservatively REJECTING any class whose certification would exceed
+	// it. Rejection never decertifies the live set, so the budget trades
+	// admission rate for latency, never correctness.
+	CycleBudget int64
+	// Multiplicity is the number of concurrent instances per class the
+	// certified set must support (default 1). The engine runs many
+	// instances of each class, and two copies of one transaction can
+	// deadlock each other even when every distinct pair is certified (the
+	// paper's Corollary 3 / Theorem 5 exist precisely for this). With
+	// Multiplicity m, each class is certified as m copy-vertices of the
+	// interaction graph: admission additionally checks the class against
+	// its own copy and enumerates cycles through every copy, so the
+	// certified set is exactly what an engine running up to m concurrent
+	// instances per class executes.
+	Multiplicity int
+}
+
+// Stats summarizes the work a Service has done since creation. Counters are
+// cumulative; Live is the current certified-set size.
+type Stats struct {
+	Live          int
+	Admitted      int64
+	Rejected      int64
+	Evicted       int64
+	PairChecks    int64 // PairSafeDF evaluations actually performed
+	CacheHits     int64 // pair verdicts answered from the fingerprint cache
+	CyclesChecked int64 // Theorem 4 cycle checks (all through a new vertex)
+}
+
+// Result reports one admission decision.
+type Result struct {
+	// Class is the candidate's transaction name.
+	Class string
+	// Admitted reports whether the class joined the certified set.
+	Admitted bool
+	// Strategy is the deadlock handling the class requires: StrategyNone
+	// when admitted (the mix is certified), StrategyWoundWait otherwise.
+	Strategy runtime.Strategy
+	// Reason explains a rejection.
+	Reason string
+	// Violation is the Theorem 4 witness when the rejection came from a
+	// cycle check (nil for pair-level rejections).
+	Violation *core.MultiViolation
+}
+
+// class is one admitted transaction class.
+type class struct {
+	txn  *model.Transaction
+	fp   Fingerprint
+	nbrs map[*class]bool // interaction-graph neighbours within the live set
+}
+
+// Service is the admission-control service. All methods are safe for
+// concurrent use; admission decisions are serialized so the certified set
+// evolves through a single total order of Admit/Evict events.
+type Service struct {
+	ddb     *model.DDB
+	workers int
+	budget  int64
+	mult    int
+
+	mu      sync.Mutex
+	classes []*class
+	byName  map[string]*class
+	cache   map[pairKey]core.PairReport
+	stats   Stats
+}
+
+// New creates a service over one distributed database. Every submitted
+// class must be built over the same DDB.
+func New(ddb *model.DDB, opts Options) *Service {
+	w := opts.Workers
+	if w <= 0 {
+		w = goruntime.GOMAXPROCS(0)
+	}
+	m := opts.Multiplicity
+	if m <= 0 {
+		m = 1
+	}
+	return &Service{
+		ddb:     ddb,
+		workers: w,
+		budget:  opts.CycleBudget,
+		mult:    m,
+		byName:  map[string]*class{},
+		cache:   map[pairKey]core.PairReport{},
+	}
+}
+
+// Admit decides whether t can join the certified set, and adds it if so.
+func (s *Service) Admit(t *model.Transaction) (Result, error) {
+	rs, err := s.AdmitBatch([]*model.Transaction{t})
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// AdmitBatch admits k classes at once: all candidate pair verdicts (new
+// against live, and new against earlier batch members) are resolved in a
+// single wave over the worker pool, then the classes are admitted greedily
+// in order — each joins iff it keeps the set-so-far certified. One rejected
+// class never blocks the rest of its batch.
+func (s *Service) AdmitBatch(ts []*model.Transaction) ([]Result, error) {
+	for _, t := range ts {
+		if t.DDB() != s.ddb {
+			return nil, fmt.Errorf("admission: class %s built over a different DDB", t.Name())
+		}
+	}
+	fps := make([]Fingerprint, len(ts))
+	for i, t := range ts {
+		fps[i] = FingerprintOf(t)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Wave: resolve every pair verdict any batch member might need.
+	type job struct {
+		key    pairKey
+		t1, t2 *model.Transaction
+	}
+	var jobs []job
+	seen := map[pairKey]bool{}
+	add := func(k pairKey, a, b *model.Transaction) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if _, ok := s.cache[k]; ok {
+			s.stats.CacheHits++
+			return
+		}
+		jobs = append(jobs, job{key: k, t1: a, t2: b})
+	}
+	for i, t := range ts {
+		if s.mult > 1 && len(t.Entities()) > 0 {
+			// Corollary 3 via Theorem 3: the class against its own copy.
+			add(keyOf(fps[i], fps[i]), t, t)
+		}
+		for _, c := range s.classes {
+			if len(model.CommonEntities(t, c.txn)) > 0 {
+				add(keyOf(fps[i], c.fp), t, c.txn)
+			}
+		}
+		for j := 0; j < i; j++ {
+			if len(model.CommonEntities(t, ts[j])) > 0 {
+				add(keyOf(fps[i], fps[j]), t, ts[j])
+			}
+		}
+	}
+	if len(jobs) > 0 {
+		reports := make([]core.PairReport, len(jobs))
+		next := make(chan int)
+		var wg sync.WaitGroup
+		workers := s.workers
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					reports[i] = core.PairSafeDF(jobs[i].t1, jobs[i].t2)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for i, j := range jobs {
+			s.cache[j.key] = reports[i]
+		}
+		s.stats.PairChecks += int64(len(jobs))
+	}
+
+	// Greedy sequential admission against the (evolving) certified set.
+	results := make([]Result, len(ts))
+	for i, t := range ts {
+		results[i] = s.admitOne(t, fps[i])
+	}
+	return results, nil
+}
+
+// admitOne decides one class against the current live set. The caller holds
+// s.mu and has already cached every pair verdict admitOne can need.
+func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
+	reject := func(reason string, v *core.MultiViolation) Result {
+		s.stats.Rejected++
+		return Result{Class: t.Name(), Strategy: runtime.StrategyWoundWait,
+			Reason: reason, Violation: v}
+	}
+	if _, dup := s.byName[t.Name()]; dup {
+		return reject(fmt.Sprintf("class %s already admitted", t.Name()), nil)
+	}
+
+	// Phase 1 (Theorem 3): every interacting pair with the live set, plus —
+	// for Multiplicity > 1 — the class against its own copy (Corollary 3;
+	// by Theorem 5 the two-copy verdict covers every higher copy count).
+	lookup := func(a, b *model.Transaction, ka, kb Fingerprint) core.PairReport {
+		rep, ok := s.cache[keyOf(ka, kb)]
+		if !ok {
+			// Unreachable from AdmitBatch; keep the slow path for safety.
+			rep = core.PairSafeDF(a, b)
+			s.cache[keyOf(ka, kb)] = rep
+			s.stats.PairChecks++
+		}
+		return rep
+	}
+	if s.mult > 1 && len(t.Entities()) > 0 {
+		if rep := lookup(t, t, fp, fp); !rep.SafeDF {
+			return reject(fmt.Sprintf("two copies of %s fail Corollary 3: %s",
+				t.Name(), rep.Reason), nil)
+		}
+	}
+	var nbrs []*class
+	for _, c := range s.classes {
+		if len(model.CommonEntities(t, c.txn)) == 0 {
+			continue
+		}
+		nbrs = append(nbrs, c)
+		if rep := lookup(t, c.txn, fp, c.fp); !rep.SafeDF {
+			return reject(fmt.Sprintf("pair (%s, %s) fails Theorem 3: %s",
+				t.Name(), c.txn.Name(), rep.Reason), nil)
+		}
+	}
+
+	// Phase 2 (Theorem 4) on the EXPANDED system: every class — live and
+	// candidate — contributes Multiplicity copy-vertices, because a cycle
+	// through two copies of one class deadlocks the engine just as surely
+	// as one through distinct classes. The candidate's copies join one at a
+	// time and only cycles through each newly joined vertex are enumerated,
+	// so no cycle is ever checked twice: cycles within the live expansion
+	// were certified when their own classes were admitted (a cycle's
+	// verdict depends only on the transactions on it).
+	//
+	// A candidate with no live neighbours adds no cycles beyond its own
+	// copy-clique, and that clique is covered by the self-pair check
+	// (Theorem 5: m copies are safe-and-deadlock-free iff two are); skip
+	// the expanded graph build entirely.
+	if len(nbrs) == 0 {
+		return s.join(t, fp, nbrs)
+	}
+	m := s.mult
+	n := len(s.classes)
+	txns := make([]*model.Transaction, 0, (n+1)*m)
+	idx := map[*class]int{}
+	for i, c := range s.classes {
+		idx[c] = i
+		for k := 0; k < m; k++ {
+			txns = append(txns, c.txn)
+		}
+	}
+	for k := 0; k < m; k++ {
+		txns = append(txns, t)
+	}
+	g := graph.NewUgraph((n + 1) * m)
+	span := func(i int) (int, int) { return i * m, i*m + m }
+	classEdges := func(i, j int) {
+		ilo, ihi := span(i)
+		jlo, jhi := span(j)
+		for a := ilo; a < ihi; a++ {
+			for b := jlo; b < jhi; b++ {
+				g.AddEdge(a, b) // ignores a == b and duplicates
+			}
+		}
+	}
+	for i, c := range s.classes {
+		for o := range c.nbrs {
+			classEdges(i, idx[o])
+		}
+		if m > 1 && len(c.txn.Entities()) > 0 {
+			classEdges(i, i) // copies of one class interact with each other
+		}
+	}
+	sys := model.MustSystem(s.ddb, txns...)
+	var viol *core.MultiViolation
+	var checked int64
+	overBudget := false
+	for k := 0; k < m && viol == nil && !overBudget; k++ {
+		v := n*m + k
+		for _, c := range nbrs {
+			clo, chi := span(idx[c])
+			for a := clo; a < chi; a++ {
+				g.AddEdge(a, v)
+			}
+		}
+		if len(t.Entities()) > 0 {
+			for a := n * m; a < v; a++ {
+				g.AddEdge(a, v) // earlier candidate copies
+			}
+		}
+		g.SimpleCyclesThrough(v, 0, func(cycle []int) bool {
+			if s.budget > 0 && checked >= s.budget {
+				overBudget = true
+				return false
+			}
+			checked++
+			s.stats.CyclesChecked++
+			if vl := core.CheckCycle(sys, cycle); vl != nil {
+				viol = vl
+				return false
+			}
+			return true
+		})
+	}
+	if viol != nil {
+		return reject(fmt.Sprintf("admitting %s would create a Theorem 4 violation: %s",
+			t.Name(), viol), viol)
+	}
+	if overBudget {
+		return reject(fmt.Sprintf(
+			"certifying %s needs more than %d cycle checks (CycleBudget); rejected conservatively",
+			t.Name(), s.budget), nil)
+	}
+	return s.join(t, fp, nbrs)
+}
+
+// join adds a certified class to the live set. The caller holds s.mu.
+func (s *Service) join(t *model.Transaction, fp Fingerprint, nbrs []*class) Result {
+	nc := &class{txn: t, fp: fp, nbrs: map[*class]bool{}}
+	for _, c := range nbrs {
+		nc.nbrs[c] = true
+		c.nbrs[nc] = true
+	}
+	s.classes = append(s.classes, nc)
+	s.byName[t.Name()] = nc
+	s.stats.Admitted++
+	return Result{Class: t.Name(), Admitted: true, Strategy: runtime.StrategyNone}
+}
+
+// Evict removes the named class from the certified set. Removing a vertex
+// only deletes pairs and cycles, so the remaining set stays certified with
+// no re-checking; the pair-verdict cache is retained so re-admission after
+// churn is cheap. It reports whether the class was live.
+func (s *Service) Evict(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byName[name]
+	if !ok {
+		return false
+	}
+	delete(s.byName, name)
+	for o := range c.nbrs {
+		delete(o.nbrs, c)
+	}
+	for i, x := range s.classes {
+		if x == c {
+			s.classes = append(s.classes[:i], s.classes[i+1:]...)
+			break
+		}
+	}
+	s.stats.Evicted++
+	return true
+}
+
+// Snapshot returns the current certified set as a transaction system. The
+// returned system is immutable and safe to use after further churn.
+func (s *Service) Snapshot() *model.System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	txns := make([]*model.Transaction, len(s.classes))
+	for i, c := range s.classes {
+		txns[i] = c.txn
+	}
+	return model.MustSystem(s.ddb, txns...)
+}
+
+// Multiplicity returns the per-class concurrency the certified set
+// supports.
+func (s *Service) Multiplicity() int { return s.mult }
+
+// CertifiedTemplates returns the live classes' transactions, in admission
+// order. They are safe to run under runtime.StrategyNone with at most
+// Multiplicity concurrent instances per class.
+func (s *Service) CertifiedTemplates() []*model.Transaction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	txns := make([]*model.Transaction, len(s.classes))
+	for i, c := range s.classes {
+		txns[i] = c.txn
+	}
+	return txns
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Live = len(s.classes)
+	return st
+}

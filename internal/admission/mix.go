@@ -1,0 +1,115 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"distlock/internal/model"
+	"distlock/internal/runtime"
+)
+
+// MixParams parameterizes an ExecuteMix run.
+type MixParams struct {
+	// ClientsPerClass is the number of concurrent clients per transaction
+	// class in each engine (default 2).
+	ClientsPerClass int
+	// TxnsPerClient is the number of instances each client commits
+	// (default 10).
+	TxnsPerClient int
+	// HoldTime widens the conflict window after each granted lock.
+	HoldTime time.Duration
+	// StallTimeout overrides the engines' stall watchdog.
+	StallTimeout time.Duration
+	Seed         int64
+}
+
+// MixMetrics reports an ExecuteMix run: one engine per traffic tier.
+type MixMetrics struct {
+	// Certified is the StrategyNone engine run over the admitted classes
+	// (nil if there were none).
+	Certified *runtime.Metrics
+	// Fallback is the StrategyWoundWait engine run over the rejected
+	// classes (nil if there were none).
+	Fallback *runtime.Metrics
+}
+
+// ExecuteMix is the paper's payoff wired end-to-end: the certified classes
+// run on a message-passing engine with NO deadlock handling (StrategyNone —
+// Theorems 3–5 guarantee they cannot deadlock), while the rejected classes
+// run on a second engine under wound-wait. The two engines run
+// concurrently but over SEPARATE lock tables: the certification covers the
+// certified set only against itself, so the fallback tier must not contend
+// for the same locks — in a deployment the rejected tier runs against a
+// replica, a queue, or its own partition, never the certified tier's lock
+// space.
+//
+// A stall of the certified engine would falsify the certification and is
+// returned as an error; the fallback engine resolves its deadlocks by
+// wounding, so it always progresses.
+//
+// The caller must have certified the classes for at least ClientsPerClass
+// concurrent instances per class (Options.Multiplicity); the Service method
+// of the same name enforces this.
+func ExecuteMix(certified, rejected []*model.Transaction, p MixParams) (*MixMetrics, error) {
+	if p.ClientsPerClass <= 0 {
+		p.ClientsPerClass = 2
+	}
+	if p.TxnsPerClient <= 0 {
+		p.TxnsPerClient = 10
+	}
+	run := func(templates []*model.Transaction, strat runtime.Strategy, seed int64) (*runtime.Metrics, error) {
+		if len(templates) == 0 {
+			return nil, nil
+		}
+		return runtime.Run(runtime.Config{
+			Templates:     templates,
+			Clients:       p.ClientsPerClass * len(templates),
+			TxnsPerClient: p.TxnsPerClient,
+			Strategy:      strat,
+			HoldTime:      p.HoldTime,
+			StallTimeout:  p.StallTimeout,
+			Seed:          seed,
+		})
+	}
+
+	var (
+		wg      sync.WaitGroup
+		m       MixMetrics
+		errCert error
+		errFall error
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.Certified, errCert = run(certified, runtime.StrategyNone, p.Seed)
+	}()
+	go func() {
+		defer wg.Done()
+		m.Fallback, errFall = run(rejected, runtime.StrategyWoundWait, p.Seed+1)
+	}()
+	wg.Wait()
+
+	if errCert != nil {
+		errCert = fmt.Errorf("admission: certified tier failed under StrategyNone: %w", errCert)
+	}
+	if errFall != nil {
+		errFall = fmt.Errorf("admission: fallback tier failed: %w", errFall)
+	}
+	if err := errors.Join(errCert, errFall); err != nil {
+		return &m, err
+	}
+	return &m, nil
+}
+
+// ExecuteMix runs the service's current certified set against the given
+// rejected classes; see the package-level ExecuteMix. ClientsPerClass is
+// clamped to the service's Multiplicity — the certified tier is only
+// certified for that much per-class concurrency.
+func (s *Service) ExecuteMix(rejected []*model.Transaction, p MixParams) (*MixMetrics, error) {
+	if p.ClientsPerClass <= 0 || p.ClientsPerClass > s.mult {
+		p.ClientsPerClass = s.mult
+	}
+	return ExecuteMix(s.CertifiedTemplates(), rejected, p)
+}

@@ -1,1 +1,18 @@
+// Package core implements the paper's static tests: Theorem 3 (pairs),
+// Corollary 3 / Theorem 5 (copies), Theorem 4 (many transactions), the
+// Section 5 minimal-prefix algorithm, and the exhaustive oracles used to
+// cross-check them.
 package core
+
+import "sync/atomic"
+
+// pairEvals counts every PairSafeDF evaluation performed process-wide. It
+// exists so callers comparing certification strategies (e.g. incremental
+// admission against from-scratch SystemSafeDF) can assert how much pairwise
+// work each one actually did.
+var pairEvals atomic.Int64
+
+// PairEvalCount returns the cumulative number of PairSafeDF evaluations
+// performed by this process. The counter only ever increases; measure a
+// region by differencing two readings.
+func PairEvalCount() int64 { return pairEvals.Load() }

@@ -106,11 +106,9 @@ func SystemSafeDF(sys *model.System) (bool, *MultiViolation) {
 	ig := sys.InteractionGraph()
 	var viol *MultiViolation
 	ig.SimpleCycles(0, func(cycle []int) bool {
-		for _, oriented := range orientations(cycle) {
-			if v := tryCycle(sys, oriented); v != nil {
-				viol = v
-				return false
-			}
+		if v := CheckCycle(sys, cycle); v != nil {
+			viol = v
+			return false
 		}
 		return true
 	})
@@ -118,6 +116,24 @@ func SystemSafeDF(sys *model.System) (bool, *MultiViolation) {
 		return false, viol
 	}
 	return true, nil
+}
+
+// CheckCycle runs Theorem 4's phase-2 test on one undirected interaction-
+// graph cycle, given as a sequence of transaction indices into sys.Txns: it
+// attempts the normal-form prefix construction on every orientation (both
+// directions, every choice of last transaction) and returns a violation if
+// one admits prefixes satisfying properties (1)–(3), else nil.
+//
+// Every transaction on the cycle must already pass Theorem 3 against its
+// cycle neighbours (SystemSafeDF's phase 1); callers maintaining a certified
+// set incrementally guarantee this by construction.
+func CheckCycle(sys *model.System, cycle []int) *MultiViolation {
+	for _, oriented := range orientations(cycle) {
+		if v := tryCycle(sys, oriented); v != nil {
+			return v
+		}
+	}
+	return nil
 }
 
 // orientations returns every rotation of the cycle in both directions:

@@ -65,6 +65,7 @@ func intersects(a, b []model.EntityID) bool {
 //
 // Runs in O(n²) for transactions given in transitively closed form.
 func PairSafeDF(t1, t2 *model.Transaction) PairReport {
+	pairEvals.Add(1)
 	common := model.CommonEntities(t1, t2)
 	if len(common) == 0 {
 		return PairReport{SafeDF: true, FirstLock: -1,

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 )
 
@@ -153,6 +155,99 @@ func TestSimpleCyclesEarlyStop(t *testing.T) {
 	}
 	n := 0
 	g.SimpleCycles(0, func([]int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop reported %d cycles, want 2", n)
+	}
+}
+
+// canonCycle keys an undirected cycle independently of start and direction:
+// rotate the minimum node first, then pick the direction with the smaller
+// second node.
+func canonCycle(c []int) string {
+	k := len(c)
+	min := 0
+	for i, v := range c {
+		if v < c[min] {
+			min = i
+		}
+	}
+	fwd := make([]int, k)
+	bwd := make([]int, k)
+	for i := 0; i < k; i++ {
+		fwd[i] = c[(min+i)%k]
+		bwd[i] = c[(min-i+k)%k]
+	}
+	best := fwd
+	if bwd[1] < fwd[1] {
+		best = bwd
+	}
+	return fmt.Sprint(best)
+}
+
+// TestSimpleCyclesThroughAgreesWithFilter checks, on random graphs, that
+// SimpleCyclesThrough(v) enumerates exactly the SimpleCycles output
+// restricted to cycles containing v, each exactly once.
+func TestSimpleCyclesThroughAgreesWithFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(5)
+		g := NewUgraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.5 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			want := map[string]bool{}
+			g.SimpleCycles(0, func(c []int) bool {
+				for _, u := range c {
+					if u == v {
+						want[canonCycle(c)] = true
+						break
+					}
+				}
+				return true
+			})
+			got := map[string]bool{}
+			g.SimpleCyclesThrough(v, 0, func(c []int) bool {
+				if c[0] != v {
+					t.Fatalf("cycle %v does not start at %d", c, v)
+				}
+				key := canonCycle(c)
+				if got[key] {
+					t.Fatalf("cycle %v reported twice through %d", c, v)
+				}
+				got[key] = true
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("trial %d, v=%d: got %d cycles, want %d", trial, v, len(got), len(want))
+			}
+			for key := range want {
+				if !got[key] {
+					t.Fatalf("trial %d, v=%d: missing cycle %s", trial, v, key)
+				}
+			}
+		}
+	}
+}
+
+func TestSimpleCyclesThroughLimitAndStop(t *testing.T) {
+	g := NewUgraph(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	n := 0
+	g.SimpleCyclesThrough(2, 3, func([]int) bool { n++; return true })
+	if n != 3 {
+		t.Fatalf("limited enumeration reported %d cycles, want 3", n)
+	}
+	n = 0
+	g.SimpleCyclesThrough(0, 0, func([]int) bool { n++; return n < 2 })
 	if n != 2 {
 		t.Fatalf("early stop reported %d cycles, want 2", n)
 	}

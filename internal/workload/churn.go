@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"distlock/internal/model"
+)
+
+// ChurnEvent is one arrival or departure in a churn trace. Arrivals carry a
+// freshly generated transaction class; departures name a class that arrived
+// earlier and is still live at that point in the trace.
+type ChurnEvent struct {
+	// Arrive distinguishes arrivals from departures.
+	Arrive bool
+	// Txn is the arriving class, or (for departures) the departing one.
+	Txn *model.Transaction
+}
+
+// ChurnTrace generates a deterministic arrival/departure sequence modelling
+// a service's changing transaction mix: `events` events over the config's
+// database, where each event is a departure of a uniformly random live
+// class with probability departFrac (when any class is live) and otherwise
+// an arrival of a fresh transaction generated under cfg.Policy. Arrivals
+// are named C0, C1, ... in arrival order. The first event is always an
+// arrival. It returns the database alongside the trace so callers can build
+// services and systems over it.
+func ChurnTrace(cfg Config, events int, departFrac float64) (*model.DDB, []ChurnEvent, error) {
+	if cfg.Sites < 1 || cfg.EntitiesPerSite < 1 || events < 1 {
+		return nil, nil, fmt.Errorf("workload: invalid churn config %+v, events=%d", cfg, events)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := NewDDB(cfg)
+	var trace []ChurnEvent
+	var live []*model.Transaction
+	arrivals := 0
+	for len(trace) < events {
+		if len(live) > 0 && rng.Float64() < departFrac {
+			i := rng.Intn(len(live))
+			t := live[i]
+			live = append(live[:i], live[i+1:]...)
+			trace = append(trace, ChurnEvent{Txn: t})
+			continue
+		}
+		t, err := RandomTransaction(d, fmt.Sprintf("C%d", arrivals), cfg, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		arrivals++
+		live = append(live, t)
+		trace = append(trace, ChurnEvent{Arrive: true, Txn: t})
+	}
+	return d, trace, nil
+}

@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"testing"
+
+	"distlock/internal/model"
+)
+
+func TestChurnTraceShape(t *testing.T) {
+	cfg := Config{Sites: 3, EntitiesPerSite: 2, EntitiesPerTxn: 3,
+		Policy: PolicyChurn, CrossArcProb: 0.3, Seed: 5}
+	ddb, trace, err := ChurnTrace(cfg, 40, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != 40 {
+		t.Fatalf("trace has %d events, want 40", len(trace))
+	}
+	if !trace[0].Arrive {
+		t.Fatal("first event is not an arrival")
+	}
+	live := map[*model.Transaction]bool{}
+	arrivals := 0
+	for i, ev := range trace {
+		if ev.Txn == nil {
+			t.Fatalf("event %d has no transaction", i)
+		}
+		if ev.Txn.DDB() != ddb {
+			t.Fatalf("event %d transaction built over a foreign DDB", i)
+		}
+		if ev.Arrive {
+			if live[ev.Txn] {
+				t.Fatalf("event %d re-arrives a live class", i)
+			}
+			live[ev.Txn] = true
+			arrivals++
+			continue
+		}
+		if !live[ev.Txn] {
+			t.Fatalf("event %d departs a class that is not live", i)
+		}
+		delete(live, ev.Txn)
+	}
+	if arrivals == 40 {
+		t.Fatal("no departures generated at departFrac 0.3")
+	}
+}
+
+func TestChurnTraceDeterministic(t *testing.T) {
+	cfg := Config{Sites: 2, EntitiesPerSite: 3, EntitiesPerTxn: 3,
+		Policy: PolicyChurn, Seed: 11}
+	_, a, err := ChurnTrace(cfg, 24, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := ChurnTrace(cfg, 24, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Arrive != b[i].Arrive || a[i].Txn.String() != b[i].Txn.String() {
+			t.Fatalf("same seed, different event %d:\n%v %v\n%v %v",
+				i, a[i].Arrive, a[i].Txn, b[i].Arrive, b[i].Txn)
+		}
+	}
+}
+
+func TestChurnTraceRejectsBadConfig(t *testing.T) {
+	if _, _, err := ChurnTrace(Config{}, 10, 0.3); err == nil {
+		t.Fatal("zero-site config accepted")
+	}
+	if _, _, err := ChurnTrace(Config{Sites: 1, EntitiesPerSite: 1}, 0, 0.3); err == nil {
+		t.Fatal("zero-event trace accepted")
+	}
+}
+
+func TestPolicyChurnMixesShapes(t *testing.T) {
+	// Over enough samples PolicyChurn must produce both ordered two-phase
+	// transactions and non-two-phase ones.
+	sys := MustGenerate(Config{
+		Sites: 2, EntitiesPerSite: 3, NumTxns: 32, EntitiesPerTxn: 4,
+		Policy: PolicyChurn, CrossArcProb: 0.5, Seed: 9,
+	})
+	twoPhase := func(txn *model.Transaction) bool {
+		for _, e := range txn.Entities() {
+			u, _ := txn.UnlockNode(e)
+			for _, f := range txn.Entities() {
+				l, _ := txn.LockNode(f)
+				if txn.Precedes(u, l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	saw2PL, sawOther := false, false
+	for _, txn := range sys.Txns {
+		if twoPhase(txn) {
+			saw2PL = true
+		} else {
+			sawOther = true
+		}
+	}
+	if !saw2PL || !sawOther {
+		t.Fatalf("PolicyChurn produced 2PL=%v other=%v, want both", saw2PL, sawOther)
+	}
+}

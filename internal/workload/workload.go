@@ -25,6 +25,11 @@ const (
 	// PolicyOrdered is two-phase locking with locks acquired in global
 	// entity order; classically both safe and deadlock-free.
 	PolicyOrdered
+	// PolicyChurn models the heterogeneous traffic an admission-control
+	// service sees: each transaction is independently either ordered
+	// two-phase (usually certifiable) or arbitrarily shaped (frequently
+	// rejectable), so a churn stream exercises both admission outcomes.
+	PolicyChurn
 )
 
 // String names the policy.
@@ -36,6 +41,8 @@ func (p Policy) String() string {
 		return "two-phase"
 	case PolicyOrdered:
 		return "ordered"
+	case PolicyChurn:
+		return "churn"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -117,6 +124,11 @@ func RandomTransaction(d *model.DDB, name string, cfg Config, rng *rand.Rand) (*
 		return orderedTwoPhase(d, name, ents, rng, true)
 	case PolicyTwoPhase:
 		return orderedTwoPhase(d, name, ents, rng, false)
+	case PolicyChurn:
+		if rng.Intn(2) == 0 {
+			return orderedTwoPhase(d, name, ents, rng, true)
+		}
+		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
 	default:
 		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
 	}
