@@ -4,6 +4,7 @@
 package distlock_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -401,7 +402,7 @@ func BenchmarkAdmission(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			svc := admission.New(ddb, admission.Options{Workers: 1})
 			for _, t := range classes {
-				if r, err := svc.Admit(t); err != nil || !r.Admitted {
+				if r, err := svc.Admit(context.Background(), t); err != nil || !r.Admitted {
 					b.Fatalf("ordered class rejected: %+v %v", r, err)
 				}
 			}
@@ -414,7 +415,7 @@ func BenchmarkAdmission(b *testing.B) {
 		// must cost zero PairSafeDF evaluations.
 		svc := admission.New(ddb, admission.Options{Workers: 1})
 		for _, t := range classes {
-			if r, err := svc.Admit(t); err != nil || !r.Admitted {
+			if r, err := svc.Admit(context.Background(), t); err != nil || !r.Admitted {
 				b.Fatalf("ordered class rejected: %+v %v", r, err)
 			}
 		}
@@ -426,7 +427,7 @@ func BenchmarkAdmission(b *testing.B) {
 				svc.Evict(t.Name())
 			}
 			for _, t := range classes {
-				if r, err := svc.Admit(t); err != nil || !r.Admitted {
+				if r, err := svc.Admit(context.Background(), t); err != nil || !r.Admitted {
 					b.Fatalf("ordered class rejected on re-admission: %+v %v", r, err)
 				}
 			}
@@ -442,7 +443,7 @@ func BenchmarkAdmission(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			svc := admission.New(ddb, admission.Options{})
 			for _, t := range classes {
-				if _, err := svc.Admit(t); err != nil {
+				if _, err := svc.Admit(context.Background(), t); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -453,7 +454,7 @@ func BenchmarkAdmission(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			svc := admission.New(ddb, admission.Options{})
-			rs, err := svc.AdmitBatch(classes)
+			rs, err := svc.AdmitBatch(context.Background(), classes)
 			if err != nil {
 				b.Fatal(err)
 			}

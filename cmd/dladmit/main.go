@@ -1,13 +1,14 @@
-// Command dladmit drives the online admission-control service through an
+// Command dladmit drives the public distlock.LockService through an
 // admission-throughput scenario: a deterministic churn stream of arriving
-// and departing transaction classes is fed to the service (arrivals in
-// batches), which keeps the live mix certified safe-and-deadlock-free by
-// incremental Theorem 3/4 checks. It reports admission statistics — pair
-// checks actually evaluated, cache hits, cycle checks — against the cost of
-// a from-scratch SystemSafeDF re-certification of the final mix, and can
-// finish by executing the mix end-to-end: certified classes on the
-// message-passing engine with NO deadlock handling, rejected classes under
-// wound-wait.
+// and departing transaction classes is registered with the service
+// (arrivals in batches), which keeps the live mix certified
+// safe-and-deadlock-free by incremental Theorem 3/4 checks. It reports
+// admission statistics — pair checks actually evaluated, cache hits, cycle
+// checks — against the cost of a from-scratch SystemSafeDF
+// re-certification of the final mix, and can finish by serving live
+// traffic: concurrent client goroutines driving sessions step-by-step
+// (Begin / Lock / Unlock / Commit), certified classes with NO deadlock
+// handling and rejected classes under wound-wait.
 //
 // Usage:
 //
@@ -15,14 +16,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
+	"sync"
 	"time"
 
-	"distlock/internal/admission"
-	"distlock/internal/core"
-	"distlock/internal/model"
+	"distlock"
 	"distlock/internal/workload"
 )
 
@@ -34,59 +37,65 @@ func main() {
 		events   = flag.Int("events", 64, "churn events (arrivals + departures)")
 		depart   = flag.Float64("depart", 0.25, "departure probability per event")
 		policy   = flag.String("policy", "churn", "generation policy: random|two-phase|ordered|churn")
-		batch    = flag.Int("batch", 4, "admit arrivals in batches of this size")
+		batch    = flag.Int("batch", 4, "register arrivals in batches of this size")
 		workers  = flag.Int("workers", 0, "pair-check worker pool (0 = GOMAXPROCS)")
-		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per admission (0 = unlimited)")
+		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per registration (0 = unlimited)")
 		seed     = flag.Int64("seed", 1, "generator seed")
-		run      = flag.Bool("run", false, "execute the final mix on the runtime engine")
-		clients  = flag.Int("clients", 2, "engine clients per class (-run)")
+		run      = flag.Bool("run", false, "serve live session traffic for the final mix")
+		clients  = flag.Int("clients", 2, "client goroutines per class (-run)")
 		txns     = flag.Int("txns", 10, "transactions per client (-run)")
 		holdUsec = flag.Int("hold", 100, "per-lock hold time in microseconds (-run)")
+		serveFor = flag.Duration("serve-timeout", 30*time.Second, "abort serving after this long — a certified-tier stall means the certification was falsified (-run)")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
-	pol, ok := map[string]workload.Policy{
-		"random":    workload.PolicyRandom,
-		"two-phase": workload.PolicyTwoPhase,
-		"ordered":   workload.PolicyOrdered,
-		"churn":     workload.PolicyChurn,
+	pol, ok := map[string]distlock.WorkloadPolicy{
+		"random":    distlock.PolicyRandom,
+		"two-phase": distlock.PolicyTwoPhase,
+		"ordered":   distlock.PolicyOrdered,
+		"churn":     distlock.PolicyChurn,
 	}[*policy]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dladmit: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
 
-	cfg := workload.Config{
+	cfg := distlock.WorkloadConfig{
 		Sites: *sites, EntitiesPerSite: *perSite, EntitiesPerTxn: *perTxn,
 		Policy: pol, CrossArcProb: 0.3, Seed: *seed,
 	}
 	ddb, trace, err := workload.ChurnTrace(cfg, *events, *depart)
 	check(err)
 
-	// When the mix will be executed, certify for the per-class concurrency
-	// it will actually run with; otherwise certify the class mix itself.
+	// When the mix will serve traffic, certify for the per-class session
+	// concurrency it will actually run with; otherwise certify the class
+	// mix itself. Begin enforces the bound on the certified tier.
 	mult := 1
 	if *run {
 		mult = *clients
-		fmt.Printf("certifying for %d concurrent instances per class\n", mult)
+		fmt.Printf("certifying for %d concurrent sessions per class\n", mult)
 	}
-	svc := admission.New(ddb, admission.Options{
-		Workers: *workers, CycleBudget: *budget, Multiplicity: mult,
-	})
-	var rejected []*model.Transaction
-	var pending []*model.Transaction
+	svc, err := distlock.Open(ddb,
+		distlock.WithWorkers(*workers),
+		distlock.WithCycleBudget(*budget),
+		distlock.WithMultiplicity(mult),
+	)
+	check(err)
+	defer svc.Close()
+
+	var pending []*distlock.Transaction
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		rs, err := svc.AdmitBatch(pending)
+		rs, err := svc.RegisterBatch(ctx, pending)
 		check(err)
-		for i, r := range rs {
+		for _, r := range rs {
 			if r.Admitted {
-				fmt.Printf("admit  %-6s -> certified (runs with no deadlock handling)\n", r.Class)
+				fmt.Printf("register %-6s -> certified (runs with no deadlock handling)\n", r.Class)
 			} else {
-				fmt.Printf("admit  %-6s -> REJECTED (%s): %s\n", r.Class, r.Strategy, r.Reason)
-				rejected = append(rejected, pending[i])
+				fmt.Printf("register %-6s -> fallback (%s): %s\n", r.Class, r.Strategy, r.Reason)
 			}
 		}
 		pending = pending[:0]
@@ -102,22 +111,14 @@ func main() {
 			continue
 		}
 		flush() // keep service state in trace order before the departure
-		if svc.Evict(ev.Txn.Name()) {
-			fmt.Printf("evict  %-6s -> departed\n", ev.Txn.Name())
-			continue
-		}
-		// A rejected class departing leaves the fallback tier too.
-		for i, r := range rejected {
-			if r == ev.Txn {
-				rejected = append(rejected[:i], rejected[i+1:]...)
-				break
-			}
+		if svc.Deregister(ev.Txn.Name()) {
+			fmt.Printf("deregister %-6s -> departed\n", ev.Txn.Name())
 		}
 	}
 	flush()
 	elapsed := time.Since(start)
 
-	st := svc.Stats()
+	st := svc.Stats().Admission
 	fmt.Printf("\n%d events in %v: live=%d admitted=%d rejected=%d evicted=%d\n",
 		*events, elapsed.Round(time.Microsecond), st.Live, st.Admitted, st.Rejected, st.Evicted)
 	fmt.Printf("incremental certification: %d PairSafeDF evaluations, %d cache hits, %d cycle checks\n",
@@ -125,9 +126,9 @@ func main() {
 
 	// What would one from-scratch re-certification of the final mix cost?
 	snap := svc.Snapshot()
-	before := core.PairEvalCount()
-	okDF, _ := core.SystemSafeDF(snap)
-	scratch := core.PairEvalCount() - before
+	before := distlock.PairEvalCount()
+	okDF, _ := distlock.SystemSafeDF(snap)
+	scratch := distlock.PairEvalCount() - before
 	if !okDF {
 		fmt.Fprintln(os.Stderr, "dladmit: BUG: certified set fails from-scratch SystemSafeDF")
 		os.Exit(1)
@@ -136,25 +137,96 @@ func main() {
 		snap.N(), scratch)
 
 	if *run {
-		fmt.Printf("\nexecuting mix: %d certified classes (none) + %d rejected classes (wound-wait)\n",
-			snap.N(), len(rejected))
-		m, err := svc.ExecuteMix(rejected, admission.MixParams{
-			ClientsPerClass: *clients,
-			TxnsPerClient:   *txns,
-			HoldTime:        time.Duration(*holdUsec) * time.Microsecond,
-			Seed:            *seed,
-		})
-		check(err)
-		if m.Certified != nil {
-			fmt.Printf("certified tier: committed=%d aborts=%d wounds=%d in %v\n",
-				m.Certified.Committed, m.Certified.Aborts, m.Certified.Wounds,
-				m.Certified.Elapsed.Round(time.Millisecond))
+		serve(ctx, svc, *clients, *txns, time.Duration(*holdUsec)*time.Microsecond, *serveFor)
+	}
+}
+
+// serve drives live traffic through the service: per registered class,
+// `clients` goroutines each carry `txns` transaction instances end to end
+// through the session API, retrying instances the fallback tier's
+// wound-wait aborts. The timeout is the stall watchdog: a certified mix
+// cannot deadlock, so clients still blocked when it expires mean the
+// certification was falsified — the cancellation propagates into every
+// blocked Lock and the run exits non-zero.
+func serve(ctx context.Context, svc *distlock.LockService, clients, txns int, hold, timeout time.Duration) {
+	classes := svc.Classes()
+	fmt.Printf("\nserving: %d classes x %d clients x %d txns (hold %v per lock)\n",
+		len(classes), clients, txns, hold)
+	sctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	errCh := make(chan error, len(classes)*clients)
+	var wg sync.WaitGroup
+	for _, class := range classes {
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(class string) {
+				defer wg.Done()
+				for i := 0; i < txns; i++ {
+					if err := commitOne(sctx, svc, class, hold); err != nil {
+						errCh <- fmt.Errorf("class %s: %w", class, err)
+						return
+					}
+				}
+			}(class)
 		}
-		if m.Fallback != nil {
-			fmt.Printf("fallback  tier: committed=%d aborts=%d wounds=%d in %v\n",
-				m.Fallback.Committed, m.Fallback.Aborts, m.Fallback.Wounds,
-				m.Fallback.Elapsed.Round(time.Millisecond))
+	}
+	wg.Wait()
+	close(errCh)
+	failed, stalled := false, false
+	for err := range errCh {
+		fmt.Fprintln(os.Stderr, "dladmit:", err)
+		failed = true
+		if errors.Is(err, context.DeadlineExceeded) {
+			stalled = true
 		}
+	}
+	if stalled {
+		fmt.Fprintf(os.Stderr, "dladmit: serving did not finish within %v — certified tier stalled? (deadlock with no handling falsifies the certification)\n", timeout)
+	}
+
+	st := svc.Stats()
+	fmt.Printf("certified tier: committed=%d aborts=%d wounds=%d\n",
+		st.Certified.Commits, st.Certified.Aborts, st.Certified.Wounds)
+	fmt.Printf("fallback  tier: committed=%d aborts=%d wounds=%d\n",
+		st.Fallback.Commits, st.Fallback.Aborts, st.Fallback.Wounds)
+	fmt.Printf("served %d sessions in %v\n", st.Begun, time.Since(start).Round(time.Millisecond))
+	if got := st.Certified.Commits + st.Certified.Aborts + st.Fallback.Commits + st.Fallback.Aborts; got != st.Begun {
+		fmt.Fprintf(os.Stderr, "dladmit: BUG: conservation violated: begun=%d closed=%d\n", st.Begun, got)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// commitOne runs one transaction instance to commit through the session
+// API, retrying after each wound-wait abort with BeginRetry so the
+// instance keeps its age priority (no starvation); a brief randomized
+// backoff between attempts keeps a wounded instance from immediately
+// re-colliding with the holder that wounded it.
+func commitOne(ctx context.Context, svc *distlock.LockService, class string, hold time.Duration) error {
+	var prev *distlock.Session
+	for {
+		var sess *distlock.Session
+		var err error
+		if prev == nil {
+			sess, err = svc.Begin(ctx, class)
+		} else {
+			sess, err = svc.BeginRetry(ctx, prev)
+		}
+		if err != nil {
+			return err
+		}
+		err = sess.DriveHold(ctx, hold)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, distlock.ErrTxnAborted) {
+			return err
+		}
+		prev = sess
+		time.Sleep(time.Duration(50+rand.IntN(200)) * time.Microsecond)
 	}
 }
 

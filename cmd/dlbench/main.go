@@ -9,13 +9,16 @@
 //
 //	dlbench            # run everything
 //	dlbench -run E6    # run one experiment
+//	dlbench -json      # machine-readable timings (perf baselines in CI)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	goruntime "runtime"
 	"strings"
 	"time"
 
@@ -31,8 +34,28 @@ import (
 	"distlock/internal/workload"
 )
 
+// expResult is one experiment's machine-readable record: wall time plus
+// the PairSafeDF evaluations it performed (the repo's portable op-count
+// proxy — comparable across machines, unlike wall time).
+type expResult struct {
+	ID        string  `json:"id"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	PairEvals int64   `json:"pair_evals"`
+}
+
+// benchReport is the -json output: one record per experiment, with enough
+// host context to interpret the timings. Committed baselines (e.g.
+// BENCH_PR2.json) track the perf trajectory across PRs.
+type benchReport struct {
+	Go          string      `json:"go"`
+	OS          string      `json:"os"`
+	Arch        string      `json:"arch"`
+	Experiments []expResult `json:"experiments"`
+}
+
 func main() {
-	run := flag.String("run", "", "run only this experiment (E1..E10)")
+	run := flag.String("run", "", "run only this experiment (E1..E11)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (experiment prose suppressed)")
 	flag.Parse()
 	exps := []struct {
 		id string
@@ -41,12 +64,17 @@ func main() {
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11},
 	}
+	report := benchReport{Go: goruntime.Version(), OS: goruntime.GOOS, Arch: goruntime.GOARCH}
 	ran := false
 	for _, e := range exps {
 		if *run != "" && !strings.EqualFold(*run, e.id) {
 			continue
 		}
 		ran = true
+		if *jsonOut {
+			report.Experiments = append(report.Experiments, timeExperiment(e.id, e.fn))
+			continue
+		}
 		fmt.Printf("==== %s ====\n", e.id)
 		e.fn()
 		fmt.Println()
@@ -54,6 +82,36 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "dlbench: unknown experiment %q\n", *run)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// timeExperiment runs one experiment with its prose diverted to /dev/null
+// (the experiments print through os.Stdout) and records wall time and
+// pair-evaluation count.
+func timeExperiment(id string, fn func()) expResult {
+	real := os.Stdout
+	if null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0); err == nil {
+		os.Stdout = null
+		defer func() {
+			os.Stdout = real
+			null.Close()
+		}()
+	}
+	evalsBefore := core.PairEvalCount()
+	start := time.Now()
+	fn()
+	return expResult{
+		ID:        id,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		PairEvals: core.PairEvalCount() - evalsBefore,
 	}
 }
 

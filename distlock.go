@@ -13,9 +13,13 @@
 // simulator and a goroutine message-passing engine for end-to-end
 // experiments.
 //
-// This package is the public facade: it re-exports the types and functions
-// a typical user needs. The implementation lives in the internal/...
-// packages; see DESIGN.md for the full inventory.
+// The centre of the public API is the long-lived LockService: clients
+// register transaction classes (Register runs the incremental Theorem 3/4
+// admission and pins each class to the certified no-deadlock-handling tier
+// or the wound-wait fallback tier) and then drive their own transactions
+// step-by-step through Sessions, with context cancellation propagated into
+// every blocking lock wait. The static tests (PairSafeDF, SystemSafeDF,
+// ...) remain available directly for offline certification.
 //
 // # Quick start
 //
@@ -30,10 +34,22 @@
 //	uy := b.Unlock("y")
 //	b.Chain(lx, ly, ux, uy)
 //	t1 := b.MustFreeze()
-//	t2 := ... // another transaction
 //
-//	rep := distlock.PairSafeDF(t1, t2) // Theorem 3, O(n²)
-//	if rep.SafeDF { ... }
+//	svc, _ := distlock.Open(db)
+//	defer svc.Close()
+//
+//	res, _ := svc.Register(ctx, t1)  // Theorem 3/4 admission
+//	fmt.Println(res.Admitted)        // true: runs with NO deadlock handling
+//
+//	sess, _ := svc.Begin(ctx, "T1")  // one transaction instance
+//	sess.Lock(ctx, "x")              // blocks until granted or ctx cancelled
+//	sess.Lock(ctx, "y")
+//	sess.Unlock("x")
+//	sess.Unlock("y")
+//	sess.Commit()
+//
+// The rest of this file re-exports the model types and static tests from
+// the internal/... packages; see DESIGN.md for the full inventory.
 package distlock
 
 import (
@@ -69,6 +85,18 @@ type (
 	SiteID = model.SiteID
 	// NodeID identifies an operation node within a transaction.
 	NodeID = model.NodeID
+	// Op is one operation (kind + entity) of a transaction; clients driving
+	// sessions read them via Transaction.Order and Transaction.Node.
+	Op = model.Node
+	// OpKind distinguishes Lock from Unlock operations.
+	OpKind = model.OpKind
+)
+
+const (
+	// LockOp is the "Lx" instruction: acquire the lock on entity x.
+	LockOp = model.LockOp
+	// UnlockOp is the "Ux" instruction: release the lock on entity x.
+	UnlockOp = model.UnlockOp
 )
 
 // Model constructors.
@@ -127,6 +155,9 @@ var (
 	// SystemSafeDF is Theorem 4: polynomial in the number of interaction-
 	// graph cycles.
 	SystemSafeDF = core.SystemSafeDF
+	// PairEvalCount reads the process-wide counter of PairSafeDF
+	// evaluations — compare certification strategies by pairwise work.
+	PairEvalCount = core.PairEvalCount
 	// FindDeadlock searches exhaustively for a reachable deadlock.
 	FindDeadlock = core.FindDeadlock
 	// FindDeadlockPrefix searches exhaustively for a Theorem 1 deadlock
@@ -168,7 +199,9 @@ var (
 	RunSim = sim.Run
 )
 
-// Online admission control — a live certified set under churn.
+// Online admission control — a live certified set under churn. The
+// LockService (service.go) embeds an Admission; use these directly only
+// for admission decisions without a serving runtime.
 type (
 	// Admission is the long-lived admission-control service: it maintains
 	// a certified safe-and-deadlock-free transaction mix and decides
@@ -196,6 +229,11 @@ var (
 	NewAdmission = admission.New
 	// ExecuteMix runs certified classes with no deadlock handling and
 	// rejected classes under wound-wait on the goroutine engine.
+	//
+	// Deprecated: ExecuteMix is a batch template-replayer retained for
+	// experiments; it is implemented on top of the session layer. New code
+	// should Open a LockService, Register the classes, and drive Sessions —
+	// that serves live traffic instead of replaying a fixed mix.
 	ExecuteMix = admission.ExecuteMix
 	// FingerprintClass computes a transaction's structural fingerprint.
 	FingerprintClass = admission.FingerprintOf
@@ -223,6 +261,11 @@ const (
 
 var (
 	// RunEngine executes a workload on the goroutine engine.
+	//
+	// Deprecated: RunEngine replays fixed templates with synthetic clients
+	// and is retained for experiments and benchmarks; it is implemented on
+	// top of the session layer (there is no second lock-grant code path).
+	// New code should Open a LockService and drive Sessions.
 	RunEngine = runtime.Run
 )
 

@@ -1,6 +1,7 @@
 package distlock_test
 
 import (
+	"context"
 	"fmt"
 
 	"distlock"
@@ -23,6 +24,36 @@ func chain(db *distlock.DDB, name string, specs ...string) *distlock.Transaction
 		prev = id
 	}
 	return b.MustFreeze()
+}
+
+// ExampleLockService runs the paper's program as a live service: register
+// classes (incremental Theorem 3/4 admission pins each to the certified or
+// fallback tier), then drive a transaction step-by-step through a session.
+func ExampleLockService() {
+	ctx := context.Background()
+	db := distlock.NewDDB()
+	db.MustEntity("x", "site1")
+	db.MustEntity("y", "site2")
+
+	t1 := chain(db, "T1", "Lx", "Ly", "Ux", "Uy")
+	t3 := chain(db, "T3", "Ly", "Lx", "Uy", "Ux") // opposite lock order
+
+	svc, _ := distlock.Open(db)
+	defer svc.Close()
+
+	r1, _ := svc.Register(ctx, t1)
+	r3, _ := svc.Register(ctx, t3)
+	fmt.Println(r1.Admitted, r3.Admitted)
+
+	sess, _ := svc.Begin(ctx, "T1")
+	sess.Lock(ctx, "x") // blocks until granted or ctx is cancelled
+	sess.Lock(ctx, "y")
+	sess.Unlock("x")
+	sess.Unlock("y")
+	fmt.Println(sess.Commit() == nil)
+	// Output:
+	// true false
+	// true
 }
 
 // ExamplePairSafeDF applies Theorem 3 to a disciplined and an

@@ -1,18 +1,25 @@
-// Quickstart: build two distributed transactions and test the pair with
-// the paper's polynomial criteria — Theorem 3 (safe-and-deadlock-free in
-// O(n²)) — then cross-check with the exhaustive Lemma-1 oracle.
+// Quickstart: run the paper's program as a live lock service. Build
+// distributed transaction classes, Register them (the service certifies
+// the mix with the polynomial Theorem 3/4 tests and pins each class to
+// the certified no-deadlock-handling tier or the wound-wait fallback
+// tier), then drive transactions step-by-step through Sessions — with a
+// context-cancelled lock wait at the end.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"distlock"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A two-site database: x at site1, y at site2.
 	db := distlock.NewDDB()
 	db.MustEntity("x", "site1")
@@ -20,70 +27,86 @@ func main() {
 
 	// T1 locks x, then y, then releases both — a totally ordered program.
 	b1 := distlock.NewBuilder(db, "T1")
-	lx := b1.Lock("x")
-	ly := b1.Lock("y")
-	ux := b1.Unlock("x")
-	uy := b1.Unlock("y")
-	b1.Chain(lx, ly, ux, uy)
+	b1.Chain(b1.Lock("x"), b1.Lock("y"), b1.Unlock("x"), b1.Unlock("y"))
 	t1 := b1.MustFreeze()
 
-	// T2 does the same in the same order: lock ordering discipline.
+	// T2 follows the same lock order: the pair is certifiable.
 	b2 := distlock.NewBuilder(db, "T2")
-	lx2 := b2.Lock("x")
-	ly2 := b2.Lock("y")
-	ux2 := b2.Unlock("x")
-	uy2 := b2.Unlock("y")
-	b2.Chain(lx2, ly2, ux2, uy2)
+	b2.Chain(b2.Lock("x"), b2.Lock("y"), b2.Unlock("x"), b2.Unlock("y"))
 	t2 := b2.MustFreeze()
 
-	// Theorem 3: O(n²) static test.
-	rep := distlock.PairSafeDF(t1, t2)
-	fmt.Printf("{T1, T2} safe and deadlock-free (Theorem 3): %v\n", rep.SafeDF)
-	if rep.SafeDF {
-		fmt.Printf("first common lock (condition 1's gate entity): %s\n",
-			db.EntityName(rep.FirstLock))
-	}
-
-	// Cross-check with the exhaustive Lemma-1 oracle (exponential; fine
-	// for this size).
-	sys, err := distlock.NewSystem(db, t1, t2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ok, _, err := distlock.IsSafeAndDeadlockFreeBrute(sys, distlock.BruteOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("exhaustive oracle agrees: %v\n", ok == rep.SafeDF)
-
-	// Now break the discipline: T3 locks y first. The pair {T1, T3} can
-	// deadlock — and Theorem 3 rejects it.
+	// T3 locks y first: {T1, T3} can deadlock, so T3 cannot join the
+	// certified mix.
 	b3 := distlock.NewBuilder(db, "T3")
-	ly3 := b3.Lock("y")
-	lx3 := b3.Lock("x")
-	uy3 := b3.Unlock("y")
-	ux3 := b3.Unlock("x")
-	b3.Chain(ly3, lx3, uy3, ux3)
+	b3.Chain(b3.Lock("y"), b3.Lock("x"), b3.Unlock("y"), b3.Unlock("x"))
 	t3 := b3.MustFreeze()
 
-	rep = distlock.PairSafeDF(t1, t3)
-	fmt.Printf("\n{T1, T3} safe and deadlock-free: %v\n", rep.SafeDF)
-	fmt.Printf("reason: %s\n", rep.Reason)
+	// Open the lock service and register the classes. Registration is the
+	// admission decision: Theorem 3 on every interacting pair, Theorem 4 on
+	// the interaction-graph cycles — incremental, never from scratch.
+	svc, err := distlock.Open(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
 
-	// Exhibit the concrete deadlock.
-	sys2, err := distlock.NewSystem(db, t1, t3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	w, err := distlock.FindDeadlock(sys2, distlock.BruteOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if w != nil {
-		fmt.Print("deadlock witness:")
-		for _, s := range w.Steps {
-			fmt.Printf(" %s.%s", sys2.Txns[s.Txn].Name(), sys2.Txns[s.Txn].Label(s.Node))
+	for _, t := range []*distlock.Transaction{t1, t2, t3} {
+		res, err := svc.Register(ctx, t)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println(" — both transactions now wait forever")
+		if res.Admitted {
+			fmt.Printf("%s: certified — runs with NO deadlock handling\n", t.Name())
+		} else {
+			fmt.Printf("%s: fallback (%s) — %s\n", t.Name(), res.Strategy, res.Reason)
+		}
 	}
+
+	// Drive one T1 transaction by hand: the session enforces T1's partial
+	// order, each Lock blocks until the owning site grants the entity.
+	sess, err := svc.Begin(ctx, "T1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps := []struct {
+		op     string
+		entity string
+	}{{"Lock", "x"}, {"Lock", "y"}, {"Unlock", "x"}, {"Unlock", "y"}}
+	for _, s := range steps {
+		if s.op == "Lock" {
+			err = sess.Lock(ctx, s.entity)
+		} else {
+			err = sess.Unlock(s.entity)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := sess.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T1 session committed")
+
+	// Cancellation propagates into lock waits: hold x with a T1 session,
+	// then watch a T2 session's Lock("x") return when its context expires.
+	holder, err := svc.Begin(ctx, "T1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := holder.Lock(ctx, "x"); err != nil {
+		log.Fatal(err)
+	}
+	waiter, err := svc.Begin(ctx, "T2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if err := waiter.Lock(short, "x"); err != nil {
+		fmt.Printf("T2 blocked on x, cancelled: %v\n", err)
+	}
+	waiter.Abort()
+	holder.Abort()
+
+	fmt.Printf("stats: %+v\n", svc.Stats().Admission)
 }

@@ -35,6 +35,7 @@
 package admission
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -192,8 +193,10 @@ func New(ddb *model.DDB, opts Options) *Service {
 }
 
 // Admit decides whether t can join the certified set, and adds it if so.
-func (s *Service) Admit(t *model.Transaction) (Result, error) {
-	rs, err := s.AdmitBatch([]*model.Transaction{t})
+// Cancelling the context aborts the decision: the class does not join and
+// ctx.Err() is returned (pair verdicts already computed stay cached).
+func (s *Service) Admit(ctx context.Context, t *model.Transaction) (Result, error) {
+	rs, err := s.AdmitBatch(ctx, []*model.Transaction{t})
 	if err != nil {
 		return Result{}, err
 	}
@@ -205,7 +208,16 @@ func (s *Service) Admit(t *model.Transaction) (Result, error) {
 // single wave over the worker pool, then the classes are admitted greedily
 // in order — each joins iff it keeps the set-so-far certified. One rejected
 // class never blocks the rest of its batch.
-func (s *Service) AdmitBatch(ts []*model.Transaction) ([]Result, error) {
+//
+// Cancelling the context stops the pair wave and the cycle enumeration and
+// returns ctx.Err(), alongside the results of the classes decided before
+// the cut (a prefix of ts). Classes the batch had already admitted remain
+// admitted (the live set is certified after every join); verdicts already
+// computed stay cached.
+func (s *Service) AdmitBatch(ctx context.Context, ts []*model.Transaction) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for _, t := range ts {
 		if t.DDB() != s.ddb {
 			return nil, fmt.Errorf("admission: class %s built over a different DDB", t.Name())
@@ -255,6 +267,7 @@ func (s *Service) AdmitBatch(ts []*model.Transaction) ([]Result, error) {
 	}
 	if len(jobs) > 0 {
 		reports := make([]core.PairReport, len(jobs))
+		evaluated := make([]bool, len(jobs))
 		next := make(chan int)
 		var wg sync.WaitGroup
 		workers := s.workers
@@ -266,39 +279,66 @@ func (s *Service) AdmitBatch(ts []*model.Transaction) ([]Result, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if ctx.Err() != nil {
+						continue // drain without evaluating
+					}
 					reports[i] = core.PairSafeDF(jobs[i].t1, jobs[i].t2)
+					evaluated[i] = true
 				}
 			}()
 		}
+	dispatch:
 		for i := range jobs {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
+		// Cache whatever was computed — the verdicts are valid regardless
+		// of how the admission itself ends.
 		for i, j := range jobs {
-			s.cache[j.key] = reports[i]
+			if evaluated[i] {
+				s.cache[j.key] = reports[i]
+				s.stats.PairChecks++
+			}
 		}
-		s.stats.PairChecks += int64(len(jobs))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
-	// Greedy sequential admission against the (evolving) certified set.
+	// Greedy sequential admission against the (evolving) certified set. On
+	// cancellation, the decided prefix is returned alongside the error so
+	// callers can see exactly which classes joined before the cut.
 	results := make([]Result, len(ts))
 	for i, t := range ts {
-		results[i] = s.admitOne(t, fps[i])
+		if err := ctx.Err(); err != nil {
+			return results[:i], err
+		}
+		r, err := s.admitOne(ctx, t, fps[i])
+		if err != nil {
+			return results[:i], err
+		}
+		results[i] = r
 	}
 	return results, nil
 }
 
 // admitOne decides one class against the current live set. The caller holds
-// s.mu and has already cached every pair verdict admitOne can need.
-func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
+// s.mu and has already cached every pair verdict admitOne can need. A
+// context cancellation during the cycle phase aborts the decision (the
+// class does not join) and surfaces as the returned error.
+func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerprint) (Result, error) {
 	reject := func(reason string, v *core.MultiViolation) Result {
 		s.stats.Rejected++
 		return Result{Class: t.Name(), Strategy: runtime.StrategyWoundWait,
 			Reason: reason, Violation: v}
 	}
 	if _, dup := s.byName[t.Name()]; dup {
-		return reject(fmt.Sprintf("class %s already admitted", t.Name()), nil)
+		return reject(fmt.Sprintf("class %s already admitted", t.Name()), nil), nil
 	}
 
 	// Phase 1 (Theorem 3): every interacting pair with the live set, plus —
@@ -317,7 +357,7 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 	if s.mult > 1 && len(t.Entities()) > 0 {
 		if rep := lookup(t, t, fp, fp); !rep.SafeDF {
 			return reject(fmt.Sprintf("two copies of %s fail Corollary 3: %s",
-				t.Name(), rep.Reason), nil)
+				t.Name(), rep.Reason), nil), nil
 		}
 	}
 	var nbrs []*class
@@ -328,7 +368,7 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 		nbrs = append(nbrs, c)
 		if rep := lookup(t, c.txn, fp, c.fp); !rep.SafeDF {
 			return reject(fmt.Sprintf("pair (%s, %s) fails Theorem 3: %s",
-				t.Name(), c.txn.Name(), rep.Reason), nil)
+				t.Name(), c.txn.Name(), rep.Reason), nil), nil
 		}
 	}
 
@@ -346,7 +386,7 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 	// (Theorem 5: m copies are safe-and-deadlock-free iff two are); skip
 	// the expanded graph build entirely.
 	if len(nbrs) == 0 {
-		return s.join(t, fp, nbrs)
+		return s.join(t, fp, nbrs), nil
 	}
 	m := s.mult
 	n := len(s.classes)
@@ -384,7 +424,8 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 	var viol *core.MultiViolation
 	var checked int64
 	overBudget := false
-	for k := 0; k < m && viol == nil && !overBudget; k++ {
+	cancelled := false
+	for k := 0; k < m && viol == nil && !overBudget && !cancelled; k++ {
 		v := n*m + k
 		for _, c := range nbrs {
 			clo, chi := span(idx[c])
@@ -398,6 +439,10 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 			}
 		}
 		g.SimpleCyclesThrough(v, 0, func(cycle []int) bool {
+			if checked%64 == 0 && ctx.Err() != nil {
+				cancelled = true
+				return false
+			}
 			if s.budget > 0 && checked >= s.budget {
 				overBudget = true
 				return false
@@ -411,16 +456,19 @@ func (s *Service) admitOne(t *model.Transaction, fp Fingerprint) Result {
 			return true
 		})
 	}
+	if cancelled {
+		return Result{}, ctx.Err()
+	}
 	if viol != nil {
 		return reject(fmt.Sprintf("admitting %s would create a Theorem 4 violation: %s",
-			t.Name(), viol), viol)
+			t.Name(), viol), viol), nil
 	}
 	if overBudget {
 		return reject(fmt.Sprintf(
 			"certifying %s needs more than %d cycle checks (CycleBudget); rejected conservatively",
-			t.Name(), s.budget), nil)
+			t.Name(), s.budget), nil), nil
 	}
-	return s.join(t, fp, nbrs)
+	return s.join(t, fp, nbrs), nil
 }
 
 // join adds a certified class to the live set. The caller holds s.mu.

@@ -1,6 +1,8 @@
 package admission
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -9,6 +11,9 @@ import (
 	"distlock/internal/model"
 	"distlock/internal/runtime"
 )
+
+// ctx is the never-cancelled context shared by the package's tests.
+var ctx = context.Background()
 
 // chainTxn builds a totally ordered transaction from "Lx"/"Ux" specs.
 func chainTxn(d *model.DDB, name string, specs ...string) *model.Transaction {
@@ -100,7 +105,7 @@ func TestAdmitSequential(t *testing.T) {
 			svc := New(d, Options{})
 			var live []*model.Transaction
 			for i, txn := range txns {
-				res, err := svc.Admit(txn)
+				res, err := svc.Admit(ctx, txn)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -131,11 +136,11 @@ func TestRejectionCarriesViolation(t *testing.T) {
 	svc := New(d, Options{})
 	txns := ringTxns(d)
 	for _, txn := range txns[:2] {
-		if res, _ := svc.Admit(txn); !res.Admitted {
+		if res, _ := svc.Admit(ctx, txn); !res.Admitted {
 			t.Fatalf("%s unexpectedly rejected", txn.Name())
 		}
 	}
-	res, _ := svc.Admit(txns[2])
+	res, _ := svc.Admit(ctx, txns[2])
 	if res.Admitted {
 		t.Fatal("ring-closing class admitted")
 	}
@@ -151,9 +156,9 @@ func TestEvictReopensAdmission(t *testing.T) {
 	d := xyzDDB()
 	svc := New(d, Options{})
 	txns := ringTxns(d)
-	svc.Admit(txns[0])
-	svc.Admit(txns[1])
-	if res, _ := svc.Admit(txns[2]); res.Admitted {
+	svc.Admit(ctx, txns[0])
+	svc.Admit(ctx, txns[1])
+	if res, _ := svc.Admit(ctx, txns[2]); res.Admitted {
 		t.Fatal("C admitted into a ring")
 	}
 	if !svc.Evict("A") {
@@ -163,7 +168,7 @@ func TestEvictReopensAdmission(t *testing.T) {
 		t.Fatal("double eviction reported true")
 	}
 	// Without A the ring cannot close: C now fits.
-	res, _ := svc.Admit(txns[2])
+	res, _ := svc.Admit(ctx, txns[2])
 	if !res.Admitted {
 		t.Fatalf("C rejected after evicting A: %s", res.Reason)
 	}
@@ -182,7 +187,7 @@ func TestVerdictCacheSurvivesChurn(t *testing.T) {
 	svc := New(d, Options{})
 	txns := orderedTxns(d)
 	for _, txn := range txns {
-		svc.Admit(txn)
+		svc.Admit(ctx, txn)
 	}
 	before := svc.Stats()
 	if before.PairChecks == 0 {
@@ -192,7 +197,7 @@ func TestVerdictCacheSurvivesChurn(t *testing.T) {
 	// by fingerprint, so re-admission must cost zero new PairSafeDF
 	// evaluations.
 	svc.Evict("C")
-	res, _ := svc.Admit(txns[2])
+	res, _ := svc.Admit(ctx, txns[2])
 	if !res.Admitted {
 		t.Fatalf("re-admission rejected: %s", res.Reason)
 	}
@@ -208,7 +213,7 @@ func TestVerdictCacheSurvivesChurn(t *testing.T) {
 func TestAdmitBatch(t *testing.T) {
 	d := xyzDDB()
 	svc := New(d, Options{})
-	rs, err := svc.AdmitBatch(ringTxns(d))
+	rs, err := svc.AdmitBatch(ctx, ringTxns(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,17 +234,35 @@ func TestDuplicateClassRejected(t *testing.T) {
 	d := xyzDDB()
 	svc := New(d, Options{})
 	a := chainTxn(d, "A", "Lx", "Ux")
-	svc.Admit(a)
-	res, _ := svc.Admit(chainTxn(d, "A", "Ly", "Uy"))
+	svc.Admit(ctx, a)
+	res, _ := svc.Admit(ctx, chainTxn(d, "A", "Ly", "Uy"))
 	if res.Admitted || !strings.Contains(res.Reason, "already admitted") {
 		t.Fatalf("duplicate admission = %+v", res)
+	}
+}
+
+func TestAdmitCancelledContext(t *testing.T) {
+	d := xyzDDB()
+	svc := New(d, Options{})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.Admit(cancelled, chainTxn(d, "A", "Lx", "Ux")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Admit under a cancelled context = %v, want context.Canceled", err)
+	}
+	if st := svc.Stats(); st.Live != 0 || st.Admitted != 0 {
+		t.Fatalf("cancelled admission mutated the certified set: %+v", st)
+	}
+	// The service stays usable after a cancelled decision.
+	res, err := svc.Admit(ctx, chainTxn(d, "A", "Lx", "Ux"))
+	if err != nil || !res.Admitted {
+		t.Fatalf("admission after a cancellation: %+v, %v", res, err)
 	}
 }
 
 func TestForeignDDBRejected(t *testing.T) {
 	svc := New(xyzDDB(), Options{})
 	other := xyzDDB()
-	if _, err := svc.Admit(chainTxn(other, "A", "Lx", "Ux")); err == nil {
+	if _, err := svc.Admit(ctx, chainTxn(other, "A", "Lx", "Ux")); err == nil {
 		t.Fatal("foreign-DDB class accepted without error")
 	}
 }
@@ -248,15 +271,15 @@ func TestCycleBudgetRejectsConservatively(t *testing.T) {
 	d := xyzDDB()
 	svc := New(d, Options{CycleBudget: 0}) // unlimited: baseline
 	txns := ringTxns(d)
-	svc.Admit(txns[0])
-	svc.Admit(txns[1])
+	svc.Admit(ctx, txns[0])
+	svc.Admit(ctx, txns[1])
 
 	tight := New(d, Options{CycleBudget: 1})
-	tight.Admit(txns[0])
-	tight.Admit(txns[1])
+	tight.Admit(ctx, txns[0])
+	tight.Admit(ctx, txns[1])
 	// Closing the ring needs exactly one cycle check, which fits the
 	// budget, so the genuine violation is still found.
-	res, _ := tight.Admit(txns[2])
+	res, _ := tight.Admit(ctx, txns[2])
 	if res.Admitted {
 		t.Fatal("violating class admitted under budget")
 	}
@@ -288,12 +311,12 @@ func TestMultiplicityCatchesSelfDeadlock(t *testing.T) {
 	}
 
 	solo := New(d, Options{})
-	if res, _ := solo.Admit(mk("A")); !res.Admitted {
+	if res, _ := solo.Admit(ctx, mk("A")); !res.Admitted {
 		t.Fatalf("single-instance admission rejected: %s", res.Reason)
 	}
 
 	dual := New(d, Options{Multiplicity: 2})
-	res, _ := dual.Admit(mk("A"))
+	res, _ := dual.Admit(ctx, mk("A"))
 	if res.Admitted {
 		t.Fatal("self-deadlocking class admitted at Multiplicity 2")
 	}
@@ -322,7 +345,7 @@ func TestMultiplicityAgreesWithCopiesSafeDF(t *testing.T) {
 	}{{"fig6", fig6}, {"ordered", ordered}} {
 		for _, m := range []int{1, 2, 3} {
 			svc := New(c.txn.DDB(), Options{Multiplicity: m})
-			res, err := svc.Admit(c.txn)
+			res, err := svc.Admit(ctx, c.txn)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -341,7 +364,7 @@ func TestExecuteMixEndToEnd(t *testing.T) {
 	svc := New(d, Options{Multiplicity: 3})
 	var rejected []*model.Transaction
 	for _, txn := range ringTxns(d) {
-		res, err := svc.Admit(txn)
+		res, err := svc.Admit(ctx, txn)
 		if err != nil {
 			t.Fatal(err)
 		}

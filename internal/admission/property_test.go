@@ -73,7 +73,7 @@ func TestPropertyIncrementalAgreesWithScratch(t *testing.T) {
 						continue
 					}
 					before := svc.Stats()
-					res, err := svc.Admit(ev.Txn)
+					res, err := svc.Admit(ctx, ev.Txn)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -143,7 +143,7 @@ func TestPropertyMultiplicityAgreesWithExpandedScratch(t *testing.T) {
 				live = removeTxn(live, ev.Txn)
 				continue
 			}
-			res, err := svc.Admit(ev.Txn)
+			res, err := svc.Admit(ctx, ev.Txn)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -187,7 +187,7 @@ func TestPropertyBatchAgreesWithSequential(t *testing.T) {
 			if len(pending) == 0 {
 				return
 			}
-			rs, err := bat.AdmitBatch(pending)
+			rs, err := bat.AdmitBatch(ctx, pending)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -198,7 +198,7 @@ func TestPropertyBatchAgreesWithSequential(t *testing.T) {
 		}
 		for _, ev := range trace {
 			if ev.Arrive {
-				res, err := seq.Admit(ev.Txn)
+				res, err := seq.Admit(ctx, ev.Txn)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -177,8 +177,8 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 		xs[i] = x
 	}
 
-	// accessedBy[e] = true if entity e is accessed by any Tj with j∉{i,i+1}:
-	// recomputed per i below via a helper.
+	// accessedBy[e] = true if entity e is accessed by any Tj in the given
+	// exclusion pattern: recomputed per i below via a helper.
 	accessSets := make([]map[model.EntityID]bool, k)
 	for i := 0; i < k; i++ {
 		m := map[model.EntityID]bool{}
@@ -187,10 +187,17 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 		}
 		accessSets[i] = m
 	}
-	othersAccess := func(i int) map[model.EntityID]bool {
+	othersAccess := func(skip ...int) map[model.EntityID]bool {
 		m := map[model.EntityID]bool{}
 		for j := 0; j < k; j++ {
-			if j == mod(i, k) || j == mod(i+1, k) {
+			excluded := false
+			for _, s := range skip {
+				if j == mod(s, k) {
+					excluded = true
+					break
+				}
+			}
+			if excluded {
 				continue
 			}
 			for e := range accessSets[j] {
@@ -202,12 +209,21 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 
 	prefixes := make([]*model.Prefix, k)
 	// T1*: maximal prefix avoiding every entity accessed by T3..Tk
-	// (j ≠ 1,2).
-	avoid0 := othersAccess(0)
+	// (j ≠ 1,2). Avoiding ALL of Tk's entities here is load-bearing: it is
+	// what keeps the serial replay T1*;...;Tk* legal around the wrap (Tk*
+	// may use entities of T1 freely because T1* never touched them) and
+	// what forces the closing D-arc Tk -> T1 (T1 needs x_k only beyond its
+	// prefix).
+	avoid0 := othersAccess(0, 1)
 	prefixes[0] = model.MaximalPrefixAvoiding(txn(0), func(e model.EntityID) bool { return avoid0[e] })
-	// Ti* for i = 2..k: avoid Y(T*_{i-1}) and entities of Tj, j ≠ i, i+1.
+	// Ti* for i = 2..k: avoid Y(T*_{i-1}) — what the predecessor's prefix
+	// still HOLDS — and the entities of Tj, j ∉ {i-1, i, i+1}. Entities the
+	// predecessor's prefix has already released are fair game: the serial
+	// replay stays legal and their reuse only adds D-arcs in the cycle's
+	// own direction (T_{i-1} used x before Ti — the unsafe-but-deadlock-
+	// free violations live exactly here).
 	for i := 1; i < k; i++ {
-		avoid := othersAccess(i)
+		avoid := othersAccess(i-1, i, i+1)
 		for _, y := range prefixes[i-1].Y() {
 			avoid[y] = true
 		}

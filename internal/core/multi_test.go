@@ -26,6 +26,74 @@ func ringSystem(k int) *model.System {
 	return model.MustSystem(d, txns...)
 }
 
+// TestSystemSafeDFUnsafeWithoutDeadlock is the regression fixture for a
+// violation the prefix construction used to miss: a triangle of pairwise-
+// certified transactions that is deadlock-free yet UNSAFE. The violating
+// schedule reuses an entity its cycle predecessor's prefix has already
+// RELEASED (T2 locks and unlocks e0, then T1 locks e0 and holds e1; T3
+// holds e3): D gains the cycle T2 ->(e0) T1 ->(e1) T3 ->(e3) T2 with no
+// transaction ever blocked. The construction must therefore avoid only
+// what the predecessor still holds (its Y set), not its full entity set.
+func TestSystemSafeDFUnsafeWithoutDeadlock(t *testing.T) {
+	d := model.NewDDB()
+	d.MustEntity("e0", "s0")
+	d.MustEntity("e1", "s1")
+	d.MustEntity("e2", "s0")
+	d.MustEntity("e3", "s1")
+	fork := func(name, first, second string) *model.Transaction {
+		// L<first> -> { U<first>, L<second> -> U<second> }: the unlock of
+		// the first entity is incomparable with the second entity's use.
+		b := model.NewBuilder(d, name)
+		lf := b.Lock(first)
+		uf := b.Unlock(first)
+		ls := b.Lock(second)
+		us := b.Unlock(second)
+		b.Arc(lf, uf)
+		b.Arc(lf, ls)
+		b.Arc(ls, us)
+		return b.MustFreeze()
+	}
+	sys := model.MustSystem(d,
+		fork("T1", "e0", "e1"),
+		fork("T2", "e0", "e3"),
+		buildChain(d, "T3", "Le3 Le1 Ue1 Ue3"),
+	)
+	// Sanity: deadlock-free, all pairs certified — the violation is pure
+	// unsafety, invisible to both the pair phase and deadlock search.
+	if df, err := IsDeadlockFreeBrute(sys, BruteOptions{}); err != nil || !df {
+		t.Fatalf("fixture not deadlock-free: %v %v", df, err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if rep := PairSafeDF(sys.Txns[i], sys.Txns[j]); !rep.SafeDF {
+				t.Fatalf("fixture pair (%d,%d) fails Theorem 3: %s", i, j, rep.Reason)
+			}
+		}
+	}
+	want, _, err := IsSafeAndDeadlockFreeBrute(sys, BruteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want {
+		t.Fatal("fixture unexpectedly safe per the brute oracle")
+	}
+	ok, viol := SystemSafeDF(sys)
+	if ok {
+		t.Fatal("Theorem 4 missed the unsafe-but-deadlock-free violation")
+	}
+	if viol == nil || viol.Pair != nil {
+		t.Fatalf("want a cycle violation, got %v", viol)
+	}
+	// The witness must be a legal schedule with cyclic D.
+	ex, err := schedule.Replay(sys, viol.BuildSchedule())
+	if err != nil {
+		t.Fatalf("violation schedule illegal: %v", err)
+	}
+	if schedule.DigraphD(ex).IsAcyclic() {
+		t.Fatal("violation schedule has acyclic D")
+	}
+}
+
 func TestSystemSafeDFRingFails(t *testing.T) {
 	sys := ringSystem(3)
 	// Sanity: every pair passes Theorem 3.

@@ -240,6 +240,18 @@ type Transaction struct {
 // topoOrder returns a topological order of the nodes. Must not be modified.
 func (t *Transaction) topoOrder() []int { return t.topo }
 
+// Order returns a linear extension of the partial order: a sequence of all
+// nodes in which every node appears after its predecessors. Clients driving
+// a transaction step-by-step (e.g. through a runtime session) may execute
+// operations in this order. The returned slice is fresh on every call.
+func (t *Transaction) Order() []NodeID {
+	out := make([]NodeID, len(t.topo))
+	for i, id := range t.topo {
+		out[i] = NodeID(id)
+	}
+	return out
+}
+
 // Name returns the transaction's name.
 func (t *Transaction) Name() string { return t.name }
 

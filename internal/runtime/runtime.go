@@ -1,26 +1,34 @@
 // Package runtime executes locked transactions on a message-passing
 // distributed-database engine built from goroutines: one goroutine per
-// site (its lock manager), one coordinator goroutine per running
-// transaction instance, plus an optional global deadlock detector. It is
-// the true-concurrency counterpart of the deterministic simulator in
+// site (its lock manager), plus an optional global deadlock detector. It
+// is the true-concurrency counterpart of the deterministic simulator in
 // internal/sim.
 //
 // The engine exists to demonstrate the paper's program: a transaction mix
 // certified safe-and-deadlock-free by the static tests (Theorems 3–5) runs
 // correctly with NO deadlock handling at all, while uncertified mixes
 // require detection or a priority scheme to make progress.
+//
+// The package has two layers:
+//
+//   - the session layer (NewEngine, Engine.Begin, Session.Lock / Unlock /
+//     Commit / Abort): a long-lived engine serving externally-driven
+//     transaction instances, with context cancellation propagated into
+//     lock waits — the core of the public distlock.LockService;
+//   - the batch layer (Run): replay a fixed template mix with N clients
+//     and report Metrics. Run is implemented entirely on top of the
+//     session layer; there is no second lock-grant code path.
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"distlock/internal/graph"
 	"distlock/internal/model"
 )
 
@@ -57,7 +65,7 @@ func (s Strategy) String() string {
 // configured stall timeout — the signature of an unhandled deadlock.
 var ErrStalled = errors.New("runtime: engine stalled (deadlock with no handling?)")
 
-// Config parameterizes an engine run.
+// Config parameterizes a batch engine run (see Run).
 type Config struct {
 	Templates     []*model.Transaction
 	Clients       int
@@ -68,10 +76,14 @@ type Config struct {
 	// StallTimeout: if no lock is granted and no transaction commits for
 	// this long, the run is declared stalled. Default 250ms.
 	StallTimeout time.Duration
-	// HoldTime injects a delay after each granted lock before the
-	// coordinator issues its next operations, widening the conflict window
-	// (simulated work / network latency). Zero means no delay.
+	// HoldTime injects a delay after each granted lock before the client
+	// issues its next operation, widening the conflict window (simulated
+	// work / network latency). Zero means no delay.
 	HoldTime time.Duration
+	// SiteInbox is the per-site inbox capacity — the engine's backpressure
+	// bound (senders block once a site has this many requests in flight).
+	// Default DefaultSiteInbox (256).
+	SiteInbox int
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking.
 	Trace bool
@@ -96,105 +108,17 @@ type Metrics struct {
 	Elapsed   time.Duration
 	// GrantLog per entity, in grant order (only with Config.Trace).
 	GrantLog map[model.EntityID][]GrantEvent
-	// CommitEpoch maps instance id -> the epoch at which it committed.
+	// CommitEpoch maps instance id -> the epoch at which it committed
+	// (only with Config.Trace).
 	CommitEpoch map[int]int
 }
 
-type instKey struct {
-	id    int
-	epoch int
-}
-
-// Messages from coordinators (and the detector) to a site.
-type lockReq struct {
-	e     model.EntityID
-	key   instKey
-	prio  int64
-	node  model.NodeID
-	reply chan<- coordMsg
-}
-type unlockReq struct {
-	e     model.EntityID
-	key   instKey
-	node  model.NodeID
-	reply chan<- coordMsg
-}
-type cancelReq struct {
-	e     model.EntityID
-	key   instKey
-	reply chan<- coordMsg
-}
-type snapshotReq struct {
-	reply chan<- []waitEdge
-}
-type waitEdge struct {
-	waiter, holder instKey
-	waiterPrio     int64
-	holderPrio     int64
-}
-
-// Messages from a site back to a coordinator.
-type coordKind int
-
-const (
-	msgGranted coordKind = iota
-	msgUnlocked
-	msgCancelled     // removed from queue
-	msgCancelledHeld // cancel raced with a grant; the lock was released
-)
-
-type coordMsg struct {
-	kind  coordKind
-	e     model.EntityID
-	node  model.NodeID
-	epoch int
-}
-
-type waitEntry struct {
-	key   instKey
-	prio  int64
-	node  model.NodeID
-	reply chan<- coordMsg
-}
-
-type elock struct {
-	held       bool
-	holder     instKey
-	holderPrio int64
-	queue      []waitEntry
-}
-
-// site is a lock-manager goroutine for the entities of one database site.
-type site struct {
-	inbox chan interface{}
-	locks map[model.EntityID]*elock
-	log   []GrantEvent
-	trace bool
-}
-
-// Engine runs transaction mixes. Create with New, execute with Run.
-type Engine struct {
-	cfg      Config
-	ddb      *model.DDB
-	sites    []*site
-	siteOf   map[model.EntityID]*site
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
-
-	progress atomic.Int64 // bumped on every grant/commit
-	commits  atomic.Int64
-	aborts   atomic.Int64
-	wounds   atomic.Int64
-	detects  atomic.Int64
-
-	mu       sync.Mutex
-	abortChs map[int]chan struct{} // instance id -> abort signal
-	commitEp map[int]int
-}
-
-// New validates the config and builds an engine.
-func New(cfg Config) (*Engine, error) {
+// Run executes the configured workload and returns metrics, or ErrStalled.
+// It is a template driver over the session layer: each client begins a
+// session per transaction instance and replays the template through
+// Session.Lock/Unlock/Commit, retrying (with the same age priority) when
+// the engine's deadlock handling aborts an attempt.
+func Run(cfg Config) (*Metrics, error) {
 	if len(cfg.Templates) == 0 {
 		return nil, fmt.Errorf("runtime: no transaction templates")
 	}
@@ -207,72 +131,34 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("runtime: templates span different databases")
 		}
 	}
-	if cfg.DetectEvery <= 0 {
-		cfg.DetectEvery = 2 * time.Millisecond
-	}
 	if cfg.StallTimeout <= 0 {
 		cfg.StallTimeout = 250 * time.Millisecond
 	}
-	e := &Engine{
-		cfg:      cfg,
-		ddb:      ddb,
-		siteOf:   map[model.EntityID]*site{},
-		stop:     make(chan struct{}),
-		abortChs: map[int]chan struct{}{},
-		commitEp: map[int]int{},
-	}
-	for s := 0; s < ddb.NumSites(); s++ {
-		st := &site{
-			inbox: make(chan interface{}, 256),
-			locks: map[model.EntityID]*elock{},
-			trace: cfg.Trace,
-		}
-		e.sites = append(e.sites, st)
-		for _, ent := range ddb.EntitiesAt(model.SiteID(s)) {
-			e.siteOf[ent] = st
-		}
-	}
-	return e, nil
-}
-
-// Run executes the configured workload and returns metrics, or ErrStalled.
-func Run(cfg Config) (*Metrics, error) {
-	e, err := New(cfg)
+	e, err := NewEngine(ddb, EngineOptions{
+		Strategy:    cfg.Strategy,
+		DetectEvery: cfg.DetectEvery,
+		SiteInbox:   cfg.SiteInbox,
+		Trace:       cfg.Trace,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return e.run()
-}
 
-func (e *Engine) run() (*Metrics, error) {
 	start := time.Now()
-	for _, st := range e.sites {
-		e.wg.Add(1)
-		go func(st *site) {
-			defer e.wg.Done()
-			st.loop(e)
-		}(st)
-	}
-	if e.cfg.Strategy == StrategyDetect {
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			e.detector()
-		}()
-	}
-
 	done := make(chan struct{})
 	var clientWG sync.WaitGroup
 	var nextID atomic.Int64
-	for c := 0; c < e.cfg.Clients; c++ {
+	for c := 0; c < cfg.Clients; c++ {
 		clientWG.Add(1)
 		go func(client int) {
 			defer clientWG.Done()
-			rng := rand.New(rand.NewSource(e.cfg.Seed + int64(client)*7919))
-			tmpl := e.cfg.Templates[client%len(e.cfg.Templates)]
-			for i := 0; i < e.cfg.TxnsPerClient; i++ {
+			// Deterministic per-client generator: no shared-global rand
+			// lock on the retry path.
+			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(client)*7919+1))
+			tmpl := cfg.Templates[client%len(cfg.Templates)]
+			for i := 0; i < cfg.TxnsPerClient; i++ {
 				id := int(nextID.Add(1))
-				if !e.runInstance(id, tmpl, rng) {
+				if !e.runInstance(id, tmpl, rng, cfg.HoldTime) {
 					return // engine stopping
 				}
 			}
@@ -285,7 +171,7 @@ func (e *Engine) run() (*Metrics, error) {
 
 	// Stall watchdog.
 	stalled := false
-	tick := e.cfg.StallTimeout / 8
+	tick := cfg.StallTimeout / 8
 	if tick <= 0 {
 		tick = time.Millisecond
 	}
@@ -298,17 +184,14 @@ watch:
 		case <-time.After(tick):
 			if p := e.progress.Load(); p != last {
 				last, lastChange = p, time.Now()
-			} else if time.Since(lastChange) > e.cfg.StallTimeout {
+			} else if time.Since(lastChange) > cfg.StallTimeout {
 				stalled = true
 				break watch
 			}
 		}
 	}
-	e.stopOnce.Do(func() { close(e.stop) })
-	e.wg.Wait()
-	if !stalled {
-		<-done
-	}
+	e.Close()
+	clientWG.Wait()
 
 	m := &Metrics{
 		Committed:   int(e.commits.Load()),
@@ -318,7 +201,7 @@ watch:
 		Elapsed:     time.Since(start),
 		CommitEpoch: e.commitEp,
 	}
-	if e.cfg.Trace {
+	if cfg.Trace {
 		m.GrantLog = map[model.EntityID][]GrantEvent{}
 		for _, st := range e.sites {
 			for _, ev := range st.log {
@@ -332,357 +215,76 @@ watch:
 	return m, nil
 }
 
-// runInstance executes one transaction instance to commit (retrying after
-// aborts). Returns false if the engine is stopping.
-func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand) bool {
+// runInstance executes one transaction instance to commit, retrying after
+// deadlock-handling aborts with the instance's original age priority (so a
+// wounded transaction cannot starve under wound-wait). Returns false if
+// the engine is stopping.
+func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, hold time.Duration) bool {
 	prio := int64(id) // arrival order = age: smaller is older
-	epoch := 0
-	resp := make(chan coordMsg, tmpl.N()+8)
-	abortCh := make(chan struct{}, 1)
-	e.mu.Lock()
-	e.abortChs[id] = abortCh
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		delete(e.abortChs, id)
-		e.mu.Unlock()
-	}()
-
-	for {
-		ok, aborted := e.attempt(id, epoch, prio, tmpl, resp, abortCh)
-		if ok {
-			e.mu.Lock()
-			e.commitEp[id] = epoch
-			e.mu.Unlock()
-			e.commits.Add(1)
-			e.progress.Add(1)
+	for epoch := 0; ; epoch++ {
+		s := e.beginInstance(tmpl, id, epoch, prio)
+		committed, stopping := e.driveOnce(s, rng, hold)
+		if committed {
 			return true
 		}
-		if !aborted {
-			return false // stopping
+		if stopping {
+			return false
 		}
-		e.aborts.Add(1)
-		epoch++
 		// Brief randomized backoff before retrying.
 		select {
-		case <-time.After(time.Duration(rng.Intn(200)+50) * time.Microsecond):
+		case <-time.After(time.Duration(rng.IntN(200)+50) * time.Microsecond):
 		case <-e.stop:
 			return false
 		}
 	}
 }
 
-// attempt runs one execution attempt. Returns (committed, aborted).
-func (e *Engine) attempt(id, epoch int, prio int64, tmpl *model.Transaction,
-	resp chan coordMsg, abortCh chan struct{}) (bool, bool) {
-
-	key := instKey{id: id, epoch: epoch}
-	executed := graph.NewBitset(tmpl.N())
-	pending := map[model.NodeID]bool{}
-	held := map[model.EntityID]bool{}
-
-	issue := func() {
-		for _, nid := range tmpl.MinimalNodes(executed) {
-			if pending[nid] {
-				continue
-			}
-			pending[nid] = true
-			nd := tmpl.Node(nid)
-			st := e.siteOf[nd.Entity]
-			if nd.Kind == model.LockOp {
-				st.send(e, lockReq{e: nd.Entity, key: key, prio: prio, node: nid, reply: resp})
-			} else {
-				st.send(e, unlockReq{e: nd.Entity, key: key, node: nid, reply: resp})
-			}
-		}
-	}
-	// cleanup releases everything after an abort and drains races.
-	cleanup := func() {
-		ack := make(chan coordMsg, len(pending)+len(held)+4)
-		outstanding := 0
-		for e2 := range held {
-			e.siteOf[e2].send(e, unlockReq{e: e2, key: key, reply: ack})
-			outstanding++
-		}
-		for nid := range pending {
-			nd := tmpl.Node(nid)
-			if nd.Kind == model.LockOp {
-				e.siteOf[nd.Entity].send(e, cancelReq{e: nd.Entity, key: key, reply: ack})
-				outstanding++
-			}
-			// Pending unlocks will be processed by the site regardless; the
-			// entity is released either way.
-		}
-		for outstanding > 0 {
-			select {
-			case m := <-ack:
-				if m.kind == msgCancelledHeld || m.kind == msgCancelled || m.kind == msgUnlocked {
-					outstanding--
-				}
-			case <-resp:
-				// Stale grant racing with the abort: the lock is now
-				// nominally ours; release it.
-			case <-e.stop:
-				return
-			}
-		}
-		// Drain any remaining stale grants for this epoch.
-		for {
-			select {
-			case <-resp:
-			default:
-				return
-			}
-		}
-	}
-
-	issue()
+// driveOnce replays the template through one session attempt: repeatedly
+// pick a random minimal unexecuted operation and execute it. Returns
+// (committed, stopping); (false, false) means the attempt was aborted by
+// deadlock handling and the caller should retry.
+func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration) (bool, bool) {
 	for {
-		if executed.Count() == tmpl.N() {
+		ready := s.tmpl.MinimalNodes(s.executed)
+		if len(ready) == 0 {
+			if err := s.Commit(); err != nil {
+				s.Abort()
+				return false, false
+			}
 			return true, false
 		}
-		select {
-		case m := <-resp:
-			if m.epoch != epoch {
-				continue // stale from a previous attempt
-			}
-			switch m.kind {
-			case msgGranted:
-				held[m.e] = true
-				e.progress.Add(1)
-				executed.Set(int(m.node))
-				delete(pending, m.node)
-				if e.cfg.HoldTime > 0 {
-					select {
-					case <-time.After(e.cfg.HoldTime):
-					case <-abortCh:
-						cleanup()
-						return false, true
-					case <-e.stop:
-						cleanup()
-						return false, false
-					}
-				}
-				issue()
-			case msgUnlocked:
-				delete(held, m.e)
-				executed.Set(int(m.node))
-				delete(pending, m.node)
-				issue()
-			}
-		case <-abortCh:
-			cleanup()
-			return false, true
-		case <-e.stop:
-			cleanup()
+		nid := ready[rng.IntN(len(ready))]
+		nd := s.tmpl.Node(nid)
+		var err error
+		if nd.Kind == model.LockOp {
+			err = s.Lock(context.Background(), nd.Entity)
+		} else {
+			err = s.Unlock(nd.Entity)
+		}
+		switch {
+		case errors.Is(err, ErrAborted):
+			s.Abort()
 			return false, false
+		case errors.Is(err, ErrClosed):
+			s.discard()
+			return false, true
+		case err != nil:
+			// Template-driven ops cannot violate the partial order; any
+			// other error means the engine is shutting down inconsistently.
+			s.Abort()
+			return false, true
 		}
-	}
-}
-
-// send delivers a message to a site unless the engine is stopping.
-func (st *site) send(e *Engine, msg interface{}) {
-	select {
-	case st.inbox <- msg:
-	case <-e.stop:
-	}
-}
-
-// loop is the site goroutine: a serial lock manager.
-func (st *site) loop(e *Engine) {
-	for {
-		select {
-		case <-e.stop:
-			return
-		case raw := <-st.inbox:
-			switch m := raw.(type) {
-			case lockReq:
-				st.handleLock(e, m)
-			case unlockReq:
-				st.release(e, m.e, m.key)
-				m.reply <- coordMsg{kind: msgUnlocked, e: m.e, node: st.nodeOf(m), epoch: m.key.epoch}
-			case cancelReq:
-				st.handleCancel(e, m)
-			case snapshotReq:
-				var edges []waitEdge
-				for _, l := range st.locks {
-					if !l.held {
-						continue
-					}
-					for _, w := range l.queue {
-						edges = append(edges, waitEdge{
-							waiter: w.key, holder: l.holder,
-							waiterPrio: w.prio, holderPrio: l.holderPrio,
-						})
-					}
-				}
-				m.reply <- edges
-			}
-		}
-	}
-}
-
-// nodeOf returns the node id carried by the unlock request, echoed back so
-// the coordinator can mark the operation executed.
-func (st *site) nodeOf(m unlockReq) model.NodeID { return m.node }
-
-func (st *site) lockState(e model.EntityID) *elock {
-	l := st.locks[e]
-	if l == nil {
-		l = &elock{}
-		st.locks[e] = l
-	}
-	return l
-}
-
-func (st *site) handleLock(e *Engine, m lockReq) {
-	l := st.lockState(m.e)
-	if !l.held {
-		st.grant(e, m.e, l, waitEntry{key: m.key, prio: m.prio, node: m.node, reply: m.reply})
-		return
-	}
-	if l.holder == m.key {
-		// Duplicate (should not happen for well-formed transactions).
-		m.reply <- coordMsg{kind: msgGranted, e: m.e, node: m.node, epoch: m.key.epoch}
-		return
-	}
-	if e.cfg.Strategy == StrategyWoundWait && m.prio < l.holderPrio {
-		// Older requester wounds the younger holder.
-		e.wounds.Add(1)
-		e.signalAbort(l.holder.id)
-	}
-	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, node: m.node, reply: m.reply})
-}
-
-func (st *site) handleCancel(e *Engine, m cancelReq) {
-	l := st.lockState(m.e)
-	if l.held && l.holder == m.key {
-		st.release(e, m.e, m.key)
-		m.reply <- coordMsg{kind: msgCancelledHeld, e: m.e, epoch: m.key.epoch}
-		return
-	}
-	for i, w := range l.queue {
-		if w.key == m.key {
-			l.queue = append(l.queue[:i], l.queue[i+1:]...)
-			break
-		}
-	}
-	m.reply <- coordMsg{kind: msgCancelled, e: m.e, epoch: m.key.epoch}
-}
-
-// release frees the entity if held by key and grants to the next waiter.
-func (st *site) release(e *Engine, ent model.EntityID, key instKey) {
-	l := st.lockState(ent)
-	if !l.held || l.holder != key {
-		return
-	}
-	l.held = false
-	if len(l.queue) == 0 {
-		return
-	}
-	// Grant order: oldest-first under wound-wait (preserves the invariant
-	// that a holder is older than its waiters); FIFO otherwise.
-	pick := 0
-	if e.cfg.Strategy == StrategyWoundWait {
-		for i, w := range l.queue {
-			if w.prio < l.queue[pick].prio {
-				pick = i
-			}
-		}
-	}
-	w := l.queue[pick]
-	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-	st.grant(e, ent, l, w)
-}
-
-func (st *site) grant(e *Engine, ent model.EntityID, l *elock, w waitEntry) {
-	l.held = true
-	l.holder = w.key
-	l.holderPrio = w.prio
-	if st.trace {
-		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.id, Epoch: w.key.epoch})
-	}
-	w.reply <- coordMsg{kind: msgGranted, e: ent, node: w.node, epoch: w.key.epoch}
-}
-
-// signalAbort notifies a coordinator to abort (non-blocking; coalesced).
-func (e *Engine) signalAbort(id int) {
-	e.mu.Lock()
-	ch := e.abortChs[id]
-	e.mu.Unlock()
-	if ch == nil {
-		return
-	}
-	select {
-	case ch <- struct{}{}:
-	default:
-	}
-}
-
-// detector periodically snapshots the global wait-for graph and aborts the
-// youngest transaction on each cycle.
-func (e *Engine) detector() {
-	for {
-		select {
-		case <-e.stop:
-			return
-		case <-time.After(e.cfg.DetectEvery):
-		}
-		var edges []waitEdge
-		reply := make(chan []waitEdge, len(e.sites))
-		sent := 0
-		for _, st := range e.sites {
+		if nd.Kind == model.LockOp && hold > 0 {
 			select {
-			case st.inbox <- snapshotReq{reply: reply}:
-				sent++
+			case <-time.After(hold):
+			case <-s.Doomed():
+				s.Abort()
+				return false, false
 			case <-e.stop:
-				return
+				// Shutdown, not a transaction abort: don't count it.
+				s.discard()
+				return false, true
 			}
-		}
-		for i := 0; i < sent; i++ {
-			select {
-			case es := <-reply:
-				edges = append(edges, es...)
-			case <-e.stop:
-				return
-			}
-		}
-		if len(edges) == 0 {
-			continue
-		}
-		// Build an id-level graph.
-		ids := map[int]int{}
-		var prio []int64
-		var order []int
-		idx := func(id int, p int64) int {
-			if i, ok := ids[id]; ok {
-				return i
-			}
-			ids[id] = len(order)
-			order = append(order, id)
-			prio = append(prio, p)
-			return len(order) - 1
-		}
-		// Deterministic edge order.
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].waiter.id != edges[j].waiter.id {
-				return edges[i].waiter.id < edges[j].waiter.id
-			}
-			return edges[i].holder.id < edges[j].holder.id
-		})
-		g := graph.NewDigraph(2 * len(edges))
-		for _, ed := range edges {
-			g.AddArc(idx(ed.waiter.id, ed.waiterPrio), idx(ed.holder.id, ed.holderPrio))
-		}
-		if cyc := g.FindCycle(); cyc != nil {
-			victim := cyc[0]
-			for _, v := range cyc[1:] {
-				if prio[v] > prio[victim] {
-					victim = v
-				}
-			}
-			e.detects.Add(1)
-			e.signalAbort(order[victim])
 		}
 	}
 }

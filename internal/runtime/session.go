@@ -1,0 +1,324 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+
+	"distlock/internal/graph"
+	"distlock/internal/model"
+)
+
+// ErrAborted is returned by session operations after the engine's deadlock
+// handling (a wound-wait wound or a detector victim pick) aborted the
+// transaction. The caller must call Abort to release what the session
+// still holds, and may then retry with a fresh session.
+var ErrAborted = errors.New("runtime: transaction aborted by deadlock handling")
+
+// ErrClosed is returned by session operations once the engine has been
+// closed.
+var ErrClosed = errors.New("runtime: engine closed")
+
+// ErrSessionDone is returned by operations on a session that has already
+// committed or aborted.
+var ErrSessionDone = errors.New("runtime: session already committed or aborted")
+
+// Session is one externally-driven transaction instance: a client-side
+// handle over the engine's site lock managers. The session is pinned to a
+// transaction class (its template) and enforces the class's partial order:
+// each Lock/Unlock must correspond to a template operation whose
+// predecessors have all executed. Lock blocks until the site grants the
+// entity, the context is cancelled, the engine's deadlock handling aborts
+// the transaction, or the engine closes.
+//
+// A Session is a transaction handle in the style of database transactions:
+// it must be driven by one goroutine at a time. Distinct sessions are
+// fully concurrent.
+type Session struct {
+	e    *Engine
+	tmpl *model.Transaction
+	key  instKey
+	prio int64
+
+	executed *graph.Bitset
+	held     map[model.EntityID]bool
+	abortCh  chan struct{}
+	done     bool
+	doomed   bool
+}
+
+// Begin opens a session for one instance of the template transaction. The
+// instance's age priority (for wound-wait) is its begin order on this
+// engine.
+func (e *Engine) Begin(tmpl *model.Transaction) (*Session, error) {
+	if tmpl == nil {
+		return nil, fmt.Errorf("runtime: nil template")
+	}
+	if tmpl.DDB() != e.ddb {
+		return nil, fmt.Errorf("runtime: template %s built over a different database", tmpl.Name())
+	}
+	select {
+	case <-e.stop:
+		return nil, ErrClosed
+	default:
+	}
+	id := int(e.nextID.Add(1))
+	return e.beginInstance(tmpl, id, 0, int64(id)), nil
+}
+
+// Retry opens a fresh session for the same transaction instance as a
+// closed (aborted) session, preserving its identity and age priority: under
+// wound-wait a retried transaction keeps its original age, so it cannot be
+// wounded forever by younger traffic (no starvation). The previous session
+// must have ended.
+func (e *Engine) Retry(prev *Session) (*Session, error) {
+	if prev == nil || prev.e != e {
+		return nil, fmt.Errorf("runtime: Retry of a session from a different engine")
+	}
+	if !prev.done {
+		return nil, fmt.Errorf("runtime: Retry of a session that has not ended")
+	}
+	select {
+	case <-e.stop:
+		return nil, ErrClosed
+	default:
+	}
+	return e.beginInstance(prev.tmpl, prev.key.id, prev.key.epoch+1, prev.prio), nil
+}
+
+// beginInstance opens a session with explicit instance identity: the batch
+// driver reuses an instance id across retry epochs so the wound-wait age
+// priority of a wounded transaction survives its retries.
+func (e *Engine) beginInstance(tmpl *model.Transaction, id, epoch int, prio int64) *Session {
+	s := &Session{
+		e:        e,
+		tmpl:     tmpl,
+		key:      instKey{id: id, epoch: epoch},
+		prio:     prio,
+		executed: graph.NewBitset(tmpl.N()),
+		held:     map[model.EntityID]bool{},
+		abortCh:  make(chan struct{}, 1),
+	}
+	e.mu.Lock()
+	e.abortChs[id] = s.abortCh
+	e.mu.Unlock()
+	return s
+}
+
+// ID returns the session's engine-wide instance id.
+func (s *Session) ID() int { return s.key.id }
+
+// Template returns the transaction class the session is pinned to.
+func (s *Session) Template() *model.Transaction { return s.tmpl }
+
+// Held returns the entities the session currently holds, sorted by id.
+func (s *Session) Held() []model.EntityID {
+	out := make([]model.EntityID, 0, len(s.held))
+	for e := range s.held {
+		out = append(out, e)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Doomed exposes the abort signal: it is readable once the engine's
+// deadlock handling has picked this transaction as a victim. Drivers
+// sleeping between operations select on it to notice wounds promptly.
+func (s *Session) Doomed() <-chan struct{} { return s.abortCh }
+
+// ready validates that the template node may execute now: the session is
+// open, not a deadlock-handling victim, the node not yet executed, and
+// every predecessor in the class's partial order executed.
+func (s *Session) ready(nid model.NodeID, label string) error {
+	if s.done {
+		return ErrSessionDone
+	}
+	if s.doomed {
+		return ErrAborted
+	}
+	select {
+	case <-s.abortCh:
+		s.doomed = true
+		return ErrAborted
+	default:
+	}
+	if s.executed.Has(int(nid)) {
+		return fmt.Errorf("runtime: %s: %s already executed", s.tmpl.Name(), label)
+	}
+	if !s.executed.ContainsAll(s.tmpl.Preds(nid)) {
+		return fmt.Errorf("runtime: %s: %s violates the class's partial order (unexecuted predecessor)",
+			s.tmpl.Name(), label)
+	}
+	return nil
+}
+
+// Lock acquires the entity, blocking until the owning site grants it. It
+// returns promptly with ctx.Err() if the context is cancelled while
+// waiting (the request is withdrawn from the site first, so no lock is
+// held on return), with ErrAborted if the engine's deadlock handling
+// aborts the transaction, and with ErrClosed if the engine shuts down.
+// After a cancellation the session remains usable and Lock may be retried.
+func (s *Session) Lock(ctx context.Context, ent model.EntityID) error {
+	nid, ok := s.tmpl.LockNode(ent)
+	if !ok {
+		return fmt.Errorf("runtime: %s has no Lock(%s) operation", s.tmpl.Name(), s.e.ddb.EntityName(ent))
+	}
+	if err := s.ready(nid, "L"+s.e.ddb.EntityName(ent)); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	st := s.e.siteOf[ent]
+	reply := make(chan struct{}, 1)
+	select {
+	case st.inbox <- lockReq{e: ent, key: s.key, prio: s.prio, reply: reply}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.abortCh:
+		s.doomed = true
+		return ErrAborted
+	case <-s.e.stop:
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+		s.held[ent] = true
+		s.executed.Set(int(nid))
+		s.e.progress.Add(1)
+		return nil
+	case <-ctx.Done():
+		s.withdraw(st, ent)
+		return ctx.Err()
+	case <-s.abortCh:
+		s.doomed = true
+		s.withdraw(st, ent)
+		return ErrAborted
+	case <-s.e.stop:
+		return ErrClosed
+	}
+}
+
+// withdraw cancels an in-flight lock request and waits for the site to
+// acknowledge that the request is gone — removed from the wait queue, or
+// released if a grant raced with the withdrawal. On return the session
+// does not hold the entity.
+func (s *Session) withdraw(st *site, ent model.EntityID) {
+	ack := make(chan bool, 1)
+	if !st.send(s.e, cancelReq{e: ent, key: s.key, reply: ack}) {
+		return
+	}
+	select {
+	case <-ack:
+	case <-s.e.stop:
+	}
+}
+
+// Unlock releases a held entity. It completes as soon as the owning site
+// processes the release (granting the entity to its next waiter).
+func (s *Session) Unlock(ent model.EntityID) error {
+	nid, ok := s.tmpl.UnlockNode(ent)
+	if !ok {
+		return fmt.Errorf("runtime: %s has no Unlock(%s) operation", s.tmpl.Name(), s.e.ddb.EntityName(ent))
+	}
+	if err := s.ready(nid, "U"+s.e.ddb.EntityName(ent)); err != nil {
+		return err
+	}
+	if !s.held[ent] {
+		return fmt.Errorf("runtime: %s: Unlock(%s) without holding the lock", s.tmpl.Name(), s.e.ddb.EntityName(ent))
+	}
+	st := s.e.siteOf[ent]
+	reply := make(chan struct{}, 1)
+	if !st.send(s.e, unlockReq{e: ent, key: s.key, reply: reply}) {
+		return ErrClosed
+	}
+	select {
+	case <-reply:
+	case <-s.e.stop:
+		return ErrClosed
+	}
+	delete(s.held, ent)
+	s.executed.Set(int(nid))
+	return nil
+}
+
+// Commit closes the session after a complete run of the class program:
+// every template operation must have executed (which implies every lock
+// was released). A pending deadlock-handling signal does not block a
+// commit — the transaction finished, so the wound is moot.
+func (s *Session) Commit() error {
+	if s.done {
+		return ErrSessionDone
+	}
+	if got := s.executed.Count(); got != s.tmpl.N() {
+		return fmt.Errorf("runtime: %s: commit with %d of %d operations executed",
+			s.tmpl.Name(), got, s.tmpl.N())
+	}
+	if len(s.held) > 0 {
+		return fmt.Errorf("runtime: %s: commit while holding %d locks", s.tmpl.Name(), len(s.held))
+	}
+	s.done = true
+	s.e.mu.Lock()
+	delete(s.e.abortChs, s.key.id)
+	if s.e.trace {
+		s.e.commitEp[s.key.id] = s.key.epoch
+	}
+	s.e.mu.Unlock()
+	s.e.commits.Add(1)
+	s.e.progress.Add(1)
+	return nil
+}
+
+// Abort closes the session, releasing every held lock and waiting for the
+// sites to acknowledge the releases: on return the session holds nothing.
+// Abort is idempotent; aborting a committed session is a no-op. On a
+// closed engine Abort degrades to a discard — the lock tables died with
+// the engine, and shutdown is not a transaction abort, so the abort
+// counter is untouched.
+func (s *Session) Abort() error {
+	if s.done {
+		return nil
+	}
+	select {
+	case <-s.e.stop:
+		s.discard()
+		return nil
+	default:
+	}
+	s.done = true
+	ack := make(chan struct{}, len(s.held))
+	sent := 0
+	for ent := range s.held {
+		if s.e.siteOf[ent].send(s.e, unlockReq{e: ent, key: s.key, reply: ack}) {
+			sent++
+		}
+	}
+	for i := 0; i < sent; i++ {
+		select {
+		case <-ack:
+		case <-s.e.stop:
+			i = sent
+		}
+	}
+	s.held = map[model.EntityID]bool{}
+	s.e.mu.Lock()
+	delete(s.e.abortChs, s.key.id)
+	s.e.mu.Unlock()
+	s.e.aborts.Add(1)
+	return nil
+}
+
+// discard closes a session during engine shutdown: it only deregisters the
+// abort signal. The lock tables die with the engine, so nothing is
+// released, and the abort counter is not touched — shutdown is not a
+// transaction abort.
+func (s *Session) discard() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.e.mu.Lock()
+	delete(s.e.abortChs, s.key.id)
+	s.e.mu.Unlock()
+}

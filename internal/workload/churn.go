@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"distlock/internal/model"
 )
@@ -29,14 +29,14 @@ func ChurnTrace(cfg Config, events int, departFrac float64) (*model.DDB, []Churn
 	if cfg.Sites < 1 || cfg.EntitiesPerSite < 1 || events < 1 {
 		return nil, nil, fmt.Errorf("workload: invalid churn config %+v, events=%d", cfg, events)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(newPCG(cfg.Seed))
 	d := NewDDB(cfg)
 	var trace []ChurnEvent
 	var live []*model.Transaction
 	arrivals := 0
 	for len(trace) < events {
 		if len(live) > 0 && rng.Float64() < departFrac {
-			i := rng.Intn(len(live))
+			i := rng.IntN(len(live))
 			t := live[i]
 			live = append(live[:i], live[i+1:]...)
 			trace = append(trace, ChurnEvent{Txn: t})

@@ -1,11 +1,13 @@
 // Package workload generates random distributed databases and locked
 // transaction systems for tests, experiments, and benchmarks. All
-// generators are deterministic given a seed.
+// generators are deterministic given a seed: each generator owns a
+// math/rand/v2 PCG stream seeded from its config, so generation never
+// contends on a shared global rand lock.
 package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"distlock/internal/model"
 )
@@ -80,7 +82,7 @@ func Generate(cfg Config) (*model.System, error) {
 	if cfg.Sites < 1 || cfg.EntitiesPerSite < 1 || cfg.NumTxns < 1 {
 		return nil, fmt.Errorf("workload: invalid config %+v", cfg)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(newPCG(cfg.Seed))
 	d := NewDDB(cfg)
 	txns := make([]*model.Transaction, cfg.NumTxns)
 	for i := range txns {
@@ -125,7 +127,7 @@ func RandomTransaction(d *model.DDB, name string, cfg Config, rng *rand.Rand) (*
 	case PolicyTwoPhase:
 		return orderedTwoPhase(d, name, ents, rng, false)
 	case PolicyChurn:
-		if rng.Intn(2) == 0 {
+		if rng.IntN(2) == 0 {
 			return orderedTwoPhase(d, name, ents, rng, true)
 		}
 		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
@@ -193,13 +195,13 @@ func randomShaped(d *model.DDB, name string, ents []model.EntityID, crossProb fl
 		for next < len(se) || len(held) > 0 {
 			lockPossible := next < len(se)
 			unlockPossible := len(held) > 0
-			doLock := lockPossible && (!unlockPossible || rng.Intn(2) == 0)
+			doLock := lockPossible && (!unlockPossible || rng.IntN(2) == 0)
 			if doLock {
 				seq = append(seq, b.Lock(d.EntityName(se[next])))
 				held = append(held, se[next])
 				next++
 			} else {
-				i := rng.Intn(len(held))
+				i := rng.IntN(len(held))
 				e := held[i]
 				held = append(held[:i], held[i+1:]...)
 				seq = append(seq, b.Unlock(d.EntityName(e)))
@@ -212,17 +214,24 @@ func randomShaped(d *model.DDB, name string, ents []model.EntityID, crossProb fl
 	// forward so the graph stays acyclic).
 	for i := 0; i+1 < len(chains); i++ {
 		if rng.Float64() < crossProb {
-			from := chains[i][rng.Intn(len(chains[i]))]
-			to := chains[i+1][rng.Intn(len(chains[i+1]))]
+			from := chains[i][rng.IntN(len(chains[i]))]
+			to := chains[i+1][rng.IntN(len(chains[i+1]))]
 			b.Arc(from, to)
 		}
 	}
 	return b.Freeze()
 }
 
+// newPCG builds the package's deterministic per-generator stream from an
+// int64 seed (the second word is a fixed odd constant so distinct seeds
+// stay distinct streams).
+func newPCG(seed int64) *rand.PCG {
+	return rand.NewPCG(uint64(seed), 0x9e3779b97f4a7c15)
+}
+
 // CopiesOf generates d copies of a fresh random transaction.
 func CopiesOf(cfg Config, d int) (*model.System, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := rand.New(newPCG(cfg.Seed))
 	db := NewDDB(cfg)
 	t, err := RandomTransaction(db, "T", cfg, rng)
 	if err != nil {
@@ -255,7 +264,7 @@ func sortSiteIDs(xs []model.SiteID) {
 // exactly the regime where exhaustive deadlock search blows up
 // exponentially.
 func LockArcOnlySystem(k, numTxns int, arcProb float64, seed int64) *model.System {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(newPCG(seed))
 	d := model.NewDDB()
 	names := make([]string, k)
 	for i := range names {

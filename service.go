@@ -1,0 +1,594 @@
+package distlock
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distlock/internal/admission"
+	"distlock/internal/model"
+	"distlock/internal/runtime"
+)
+
+// ErrTxnAborted is returned by Session operations after the service's
+// deadlock handling (a wound-wait wound on the fallback tier) aborted the
+// transaction. Call Session.Abort to release what the session still holds,
+// then Begin a fresh session to retry.
+var ErrTxnAborted = runtime.ErrAborted
+
+// ErrServiceClosed is returned by operations on a closed LockService.
+var ErrServiceClosed = runtime.ErrClosed
+
+// RegisterResult reports one Register decision; it is the admission
+// service's Result. Admitted means the class joined the certified tier and
+// its sessions run with NO deadlock handling; otherwise the class is
+// pinned to the wound-wait fallback tier and Reason/Violation explain why.
+type RegisterResult = admission.Result
+
+// ServiceOption configures Open.
+type ServiceOption func(*serviceConfig)
+
+type serviceConfig struct {
+	workers      int
+	cycleBudget  int64
+	multiplicity int
+	siteInbox    int
+}
+
+// WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
+// checks during Register. Default: GOMAXPROCS.
+func WithWorkers(n int) ServiceOption {
+	return func(c *serviceConfig) { c.workers = n }
+}
+
+// WithCycleBudget bounds the Theorem 4 cycle checks spent on a single
+// Register (0 = unlimited): a class whose certification would exceed the
+// budget is rejected conservatively to the fallback tier, so the budget
+// trades admission rate for bounded registration latency, never
+// correctness.
+func WithCycleBudget(n int64) ServiceOption {
+	return func(c *serviceConfig) { c.cycleBudget = n }
+}
+
+// WithMultiplicity certifies every class for m concurrent sessions
+// (default 1). Begin enforces the bound on the certified tier: the m+1-th
+// concurrent session of a class blocks until one of its siblings commits
+// or aborts. Higher multiplicity admits fewer classes (two copies of one
+// class can deadlock each other — the paper's Corollary 3) but serves more
+// parallel traffic per class.
+func WithMultiplicity(m int) ServiceOption {
+	return func(c *serviceConfig) { c.multiplicity = m }
+}
+
+// WithSiteInboxCapacity sets the per-site message-inbox capacity of both
+// engine tiers — the service's backpressure bound. A site's lock manager
+// drains its inbox serially; once this many requests are in flight against
+// one site, further session operations block until it catches up, so
+// overload becomes queueing delay instead of unbounded memory. Default 256.
+func WithSiteInboxCapacity(n int) ServiceOption {
+	return func(c *serviceConfig) { c.siteInbox = n }
+}
+
+// LockService is the long-lived client-driven lock service: the paper's
+// program ("certify the mix statically, then run with no deadlock
+// handling") exposed as a live API.
+//
+//	svc, _ := distlock.Open(db)
+//	defer svc.Close()
+//	res, _ := svc.Register(ctx, t1) // Theorem 3/4 admission
+//	sess, _ := svc.Begin(ctx, "T1")
+//	sess.Lock(ctx, "x")             // blocks until granted or ctx cancelled
+//	sess.Unlock("x")
+//	sess.Commit()
+//
+// Register runs incremental Theorem 3/4 admission and pins the class to a
+// tier: certified classes run on an engine with NO deadlock handling
+// (StrategyNone — the static certification guarantees they cannot
+// deadlock), rejected classes on a separate wound-wait engine. The two
+// tiers use separate lock tables: the certification covers the certified
+// set only against itself, so fallback traffic must not contend for the
+// same locks (in a deployment the fallback tier runs against its own
+// partition).
+//
+// Sessions enforce their class's partial order: each Lock/Unlock must
+// correspond to a template operation whose predecessors have executed.
+// All methods are safe for concurrent use; a single Session must be driven
+// by one goroutine at a time.
+type LockService struct {
+	ddb       *model.DDB
+	adm       *admission.Service
+	mult      int
+	certified *runtime.Engine
+	fallback  *runtime.Engine
+
+	begun atomic.Int64
+
+	// regMu serializes Register/RegisterBatch end to end (validate, admit,
+	// pin) so concurrent registrations of one name cannot race past the
+	// duplicate check. Admission itself is serialized by the admission
+	// service; this adds no contention to the session path, which only
+	// takes mu.
+	regMu sync.Mutex
+
+	mu      sync.Mutex
+	classes map[string]*svcClass
+	closed  bool
+	done    chan struct{}
+}
+
+// svcClass is one registered class pinned to its tier.
+type svcClass struct {
+	txn       *model.Transaction
+	certified bool
+	slots     chan struct{} // multiplicity semaphore (certified tier only)
+
+	// Certified-tier draining state, guarded by the service's mu. A
+	// deregistered class must stay in the admission interference set while
+	// it still has live sessions: those sessions hold locks on the
+	// no-deadlock-handling engine, so later Register decisions must still
+	// be checked against the class. Eviction happens when the last live
+	// session closes.
+	live     int
+	departed bool
+	evicted  bool
+}
+
+// Open starts a lock service over the database: an admission service plus
+// the two engine tiers, all long-lived until Close.
+func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
+	if ddb == nil {
+		return nil, fmt.Errorf("distlock: nil database")
+	}
+	var cfg serviceConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	mult := cfg.multiplicity
+	if mult <= 0 {
+		mult = 1
+	}
+	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
+		Strategy:  runtime.StrategyNone,
+		SiteInbox: cfg.siteInbox,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
+		Strategy:  runtime.StrategyWoundWait,
+		SiteInbox: cfg.siteInbox,
+	})
+	if err != nil {
+		certified.Close()
+		return nil, err
+	}
+	return &LockService{
+		ddb: ddb,
+		adm: admission.New(ddb, admission.Options{
+			Workers:      cfg.workers,
+			CycleBudget:  cfg.cycleBudget,
+			Multiplicity: mult,
+		}),
+		mult:      mult,
+		certified: certified,
+		fallback:  fallback,
+		classes:   map[string]*svcClass{},
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Register submits a transaction class. The admission decision — an
+// incremental Theorem 3/4 certification against the live certified set,
+// at the service's multiplicity — pins the class to the certified
+// (no-deadlock-handling) or fallback (wound-wait) tier; either way the
+// class becomes Begin-able. Cancelling the context aborts the decision
+// (the class is not registered) and returns ctx.Err().
+func (s *LockService) Register(ctx context.Context, t *Transaction) (RegisterResult, error) {
+	rs, err := s.RegisterBatch(ctx, []*Transaction{t})
+	if err != nil {
+		return RegisterResult{}, err
+	}
+	return rs[0], nil
+}
+
+// RegisterBatch registers k classes at once: the admission service
+// resolves every uncached pair verdict the batch needs in a single wave
+// over its worker pool, then decides the classes in order — one rejected
+// class never blocks the rest (it is pinned to the fallback tier like any
+// rejected class). Batch decisions are identical to one-at-a-time
+// decisions; batching only reduces registration latency.
+func (s *LockService) RegisterBatch(ctx context.Context, ts []*Transaction) ([]RegisterResult, error) {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	seen := map[string]bool{}
+	for _, t := range ts {
+		switch {
+		case t == nil:
+			s.mu.Unlock()
+			return nil, fmt.Errorf("distlock: nil transaction class")
+		case t.Name() == "":
+			s.mu.Unlock()
+			return nil, fmt.Errorf("distlock: class needs a name (it is the Begin key)")
+		}
+		if _, dup := s.classes[t.Name()]; dup || seen[t.Name()] {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("distlock: class %q already registered", t.Name())
+		}
+		seen[t.Name()] = true
+	}
+	s.mu.Unlock()
+
+	// Admission runs outside s.mu: the admission service serializes its own
+	// decisions, and a slow Theorem 4 phase must not block Begin/Close.
+	rs, err := s.adm.AdmitBatch(ctx, ts)
+	if err != nil {
+		// A cancellation can land mid-batch, after earlier classes already
+		// joined the certified set. None of them were pinned, so evict
+		// exactly those again (eviction never decertifies the rest): the
+		// service stays consistent — registered ⟺ Begin-able. AdmitBatch
+		// returns the decided prefix alongside the error; evicting only
+		// those names cannot touch an unrelated live class that happens to
+		// share a name with an undecided batch member.
+		for _, r := range rs {
+			if r.Admitted {
+				s.adm.Evict(r.Class)
+			}
+		}
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		// Same consistency restoration as the error path: the classes
+		// joined the admission set but will never be pinned, so take them
+		// out again rather than leaving phantom certified classes visible
+		// through Snapshot/Stats after Close.
+		for _, r := range rs {
+			if r.Admitted {
+				s.adm.Evict(r.Class)
+			}
+		}
+		return nil, ErrServiceClosed
+	}
+	for i, t := range ts {
+		c := &svcClass{txn: t, certified: rs[i].Admitted}
+		if c.certified {
+			c.slots = make(chan struct{}, s.mult)
+		}
+		s.classes[t.Name()] = c
+	}
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// Classes returns the registered class names, sorted.
+func (s *LockService) Classes() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.classes))
+	for name := range s.classes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deregister removes a class: future Begin and BeginRetry calls fail, and
+// a certified class leaves the live certified set (which stays certified —
+// eviction only removes pairs and cycles). Sessions already begun run to
+// completion; while any of them are live the class remains in the
+// admission interference set (they hold locks on the no-deadlock-handling
+// engine, so later Register decisions must still be checked against it —
+// the class's name stays occupied there until the last session closes).
+// It reports whether the class was registered.
+func (s *LockService) Deregister(name string) bool {
+	// Serialize with Register/RegisterBatch: the classes-map delete and the
+	// admission eviction must be one atomic step from a registrant's point
+	// of view, or a concurrent Register of the same name sees the name free
+	// here but still occupied in the admission service and gets a stale
+	// "already admitted" rejection.
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	s.mu.Lock()
+	c, ok := s.classes[name]
+	if ok {
+		delete(s.classes, name)
+	}
+	evictNow := false
+	if ok && c.certified {
+		if c.live > 0 {
+			c.departed = true
+		} else {
+			c.evicted = true
+			evictNow = true
+		}
+	}
+	s.mu.Unlock()
+	if evictNow {
+		s.adm.Evict(name)
+	}
+	return ok
+}
+
+// Begin opens a session for one instance of the registered class. On the
+// certified tier Begin enforces the service's multiplicity — the bound the
+// class was certified for — by blocking until a per-class slot frees (or
+// the context is cancelled). The session's age priority for the fallback
+// tier's wound-wait is its begin order.
+func (s *LockService) Begin(ctx context.Context, class string) (*Session, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServiceClosed
+	}
+	c, ok := s.classes[class]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("distlock: class %q not registered", class)
+	}
+	return s.beginOn(ctx, c, nil)
+}
+
+// beginOn acquires the class's certified-tier multiplicity slot (if any)
+// and opens the engine session — fresh, or a retry of prev preserving its
+// instance identity.
+func (s *LockService) beginOn(ctx context.Context, c *svcClass, prev *runtime.Session) (*Session, error) {
+	release := func() {}
+	engine := s.fallback
+	if c.certified {
+		engine = s.certified
+		select {
+		case c.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-s.done:
+			return nil, ErrServiceClosed
+		}
+		// Recheck registration under the same lock Deregister takes, in the
+		// same critical section as the live increment: a Deregister that
+		// interleaved with the lookup or the slot wait either sees live > 0
+		// here (and defers its eviction) or already removed the class (and
+		// this session must not start — its class may already be out of the
+		// admission interference set).
+		s.mu.Lock()
+		if s.classes[c.txn.Name()] != c {
+			s.mu.Unlock()
+			<-c.slots
+			return nil, fmt.Errorf("distlock: class %q no longer registered", c.txn.Name())
+		}
+		c.live++
+		s.mu.Unlock()
+		var once sync.Once
+		release = func() {
+			once.Do(func() {
+				<-c.slots
+				s.mu.Lock()
+				c.live--
+				evict := c.departed && c.live == 0 && !c.evicted
+				if evict {
+					c.evicted = true
+				}
+				s.mu.Unlock()
+				if evict {
+					s.adm.Evict(c.txn.Name())
+				}
+			})
+		}
+	}
+	var inner *runtime.Session
+	var err error
+	if prev != nil {
+		inner, err = engine.Retry(prev)
+	} else {
+		inner, err = engine.Begin(c.txn)
+	}
+	if err != nil {
+		release()
+		return nil, err
+	}
+	s.begun.Add(1)
+	return &Session{svc: s, class: c, inner: inner, release: release}, nil
+}
+
+// BeginRetry opens a fresh session for the same transaction instance as a
+// session the fallback tier's wound-wait aborted, preserving the
+// instance's age priority: a retried transaction keeps its original age,
+// so ever-younger new arrivals cannot wound it forever (no starvation).
+// The previous session must have ended (Commit or Abort); like Begin, the
+// call blocks on the certified tier's multiplicity slot.
+func (s *LockService) BeginRetry(ctx context.Context, prev *Session) (*Session, error) {
+	if prev == nil || prev.svc != s {
+		return nil, fmt.Errorf("distlock: BeginRetry of a session from a different service")
+	}
+	s.mu.Lock()
+	closed := s.closed
+	registered := s.classes[prev.class.txn.Name()] == prev.class
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrServiceClosed
+	}
+	if !registered {
+		return nil, fmt.Errorf("distlock: class %q no longer registered", prev.class.txn.Name())
+	}
+	return s.beginOn(ctx, prev.class, prev.inner)
+}
+
+// Snapshot returns the current certified set as an immutable transaction
+// system (safe to use after further churn).
+func (s *LockService) Snapshot() *System { return s.adm.Snapshot() }
+
+// Multiplicity returns the per-class session concurrency the certified
+// tier is certified (and enforced) for.
+func (s *LockService) Multiplicity() int { return s.mult }
+
+// TierStats are one engine tier's cumulative counters.
+type TierStats = runtime.Counters
+
+// ServiceStats snapshots the service's counters: the admission service's
+// cumulative work and decisions, both engine tiers, and the number of
+// sessions begun. Conservation: every begun session ends in exactly one
+// commit or abort, so after all sessions close,
+// Begun == Certified.Commits+Certified.Aborts+Fallback.Commits+Fallback.Aborts.
+type ServiceStats struct {
+	Admission AdmissionStats
+	Certified TierStats
+	Fallback  TierStats
+	Begun     int64
+}
+
+// Stats returns a snapshot of the service's counters. Safe on a live
+// service.
+func (s *LockService) Stats() ServiceStats {
+	return ServiceStats{
+		Admission: s.adm.Stats(),
+		Certified: s.certified.Counters(),
+		Fallback:  s.fallback.Counters(),
+		Begun:     s.begun.Load(),
+	}
+}
+
+// Close shuts the service down: both engine tiers stop and session
+// operations blocked in them return ErrServiceClosed. Locks still held by
+// open sessions die with the lock tables. Close is idempotent.
+func (s *LockService) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	close(s.done)
+	s.certified.Close()
+	s.fallback.Close()
+	return nil
+}
+
+// Session is a client-driven transaction instance on one of the service's
+// tiers; create with LockService.Begin. It enforces the registered class's
+// partial order and must end in exactly one Commit or Abort. A Session is
+// driven by one goroutine at a time.
+type Session struct {
+	svc     *LockService
+	class   *svcClass
+	inner   *runtime.Session
+	release func()
+}
+
+// Class returns the name of the class the session instantiates.
+func (s *Session) Class() string { return s.class.txn.Name() }
+
+// Template returns the registered class program the session is pinned to:
+// clients read it (Order, Node) to drive their operations in an order the
+// partial order allows.
+func (s *Session) Template() *Transaction { return s.class.txn }
+
+// ID returns the session's instance id on its tier (its wound-wait age
+// priority: smaller is older).
+func (s *Session) ID() int { return s.inner.ID() }
+
+// Certified reports whether the session runs on the certified
+// (no-deadlock-handling) tier.
+func (s *Session) Certified() bool { return s.class.certified }
+
+// Held returns the names of the entities the session currently holds.
+func (s *Session) Held() []string {
+	ids := s.inner.Held()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = s.svc.ddb.EntityName(id)
+	}
+	return out
+}
+
+// Lock acquires the entity, blocking until the owning site grants it. It
+// returns promptly with ctx.Err() if the context is cancelled while
+// waiting (the request is withdrawn first — no lock is held on return),
+// with ErrTxnAborted if the tier's deadlock handling aborted the
+// transaction (fallback tier only; certified classes are never aborted),
+// and with ErrServiceClosed after Close. After a cancellation the session
+// remains usable and the Lock may be retried.
+func (s *Session) Lock(ctx context.Context, entity string) error {
+	id, ok := s.svc.ddb.Entity(entity)
+	if !ok {
+		return fmt.Errorf("distlock: unknown entity %q", entity)
+	}
+	return s.inner.Lock(ctx, id)
+}
+
+// Unlock releases a held entity (granting it to its next waiter).
+func (s *Session) Unlock(entity string) error {
+	id, ok := s.svc.ddb.Entity(entity)
+	if !ok {
+		return fmt.Errorf("distlock: unknown entity %q", entity)
+	}
+	return s.inner.Unlock(id)
+}
+
+// Commit closes the session after a complete run of the class program
+// (every operation of the class executed, all locks released).
+func (s *Session) Commit() error {
+	if err := s.inner.Commit(); err != nil {
+		return err
+	}
+	s.release()
+	return nil
+}
+
+// Abort closes the session, releasing everything it holds. Abort is
+// idempotent, and a no-op on a committed session.
+func (s *Session) Abort() error {
+	err := s.inner.Abort()
+	s.release()
+	return err
+}
+
+// Drive executes the session's entire class program in one call: every
+// operation in a linear extension of the class's partial order, then
+// Commit. On ErrTxnAborted it aborts the session and returns the error so
+// the caller can retry with BeginRetry; on context cancellation it aborts
+// and returns ctx.Err(). Clients that interleave work between operations
+// drive the session manually instead.
+func (s *Session) Drive(ctx context.Context) error { return s.DriveHold(ctx, 0) }
+
+// DriveHold is Drive with a pause after each granted lock, widening the
+// conflict window (simulated work / network latency) — the load drivers
+// and stress tests use it.
+func (s *Session) DriveHold(ctx context.Context, hold time.Duration) error {
+	t := s.class.txn
+	for _, nid := range t.Order() {
+		nd := t.Node(nid)
+		var err error
+		if nd.Kind == model.LockOp {
+			err = s.inner.Lock(ctx, nd.Entity)
+		} else {
+			err = s.inner.Unlock(nd.Entity)
+		}
+		if err != nil {
+			s.Abort()
+			return err
+		}
+		if nd.Kind == model.LockOp && hold > 0 {
+			select {
+			case <-time.After(hold):
+			case <-s.inner.Doomed():
+				s.Abort()
+				return ErrTxnAborted
+			case <-ctx.Done():
+				s.Abort()
+				return ctx.Err()
+			}
+		}
+	}
+	return s.Commit()
+}

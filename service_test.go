@@ -1,0 +1,391 @@
+package distlock_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distlock"
+)
+
+// xyzDB returns a three-entity, three-site database.
+func xyzDB() *distlock.DDB {
+	db := distlock.NewDDB()
+	db.MustEntity("x", "s1")
+	db.MustEntity("y", "s2")
+	db.MustEntity("z", "s3")
+	return db
+}
+
+// incomparableXY builds a class whose Lx and Ly are incomparable: fine
+// alone, but two concurrent copies can deadlock each other, so it is
+// rejected to the fallback tier at multiplicity >= 2.
+func incomparableXY(db *distlock.DDB, name string) *distlock.Transaction {
+	b := distlock.NewBuilder(db, name)
+	lx := b.Lock("x")
+	ux := b.Unlock("x")
+	ly := b.Lock("y")
+	uy := b.Unlock("y")
+	b.Arc(lx, ux)
+	b.Arc(ly, uy)
+	b.Arc(lx, uy)
+	b.Arc(ly, ux)
+	return b.MustFreeze()
+}
+
+func TestLockServiceRegisterTiers(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	res, err := svc.Register(ctx, chain(db, "A", "Lx", "Ly", "Ux", "Uy"))
+	if err != nil || !res.Admitted {
+		t.Fatalf("ordered class not certified: %+v, %v", res, err)
+	}
+	res, err = svc.Register(ctx, chain(db, "R", "Ly", "Lx", "Uy", "Ux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("cross-ordered class certified against A")
+	}
+	// Both tiers are Begin-able.
+	for _, class := range []string{"A", "R"} {
+		sess, err := svc.Begin(ctx, class)
+		if err != nil {
+			t.Fatalf("Begin(%s): %v", class, err)
+		}
+		if sess.Certified() != (class == "A") {
+			t.Fatalf("session %s on wrong tier", class)
+		}
+		if err := sess.Drive(ctx); err != nil {
+			t.Fatalf("Drive(%s): %v", class, err)
+		}
+	}
+	// Duplicate names are errors, not silent overwrites.
+	if _, err := svc.Register(ctx, chain(db, "A", "Lz", "Uz")); err == nil {
+		t.Fatal("duplicate class name registered")
+	}
+	// Deregister frees the name and the certified slot in the live set.
+	if !svc.Deregister("A") || svc.Deregister("A") {
+		t.Fatal("Deregister not exactly-once")
+	}
+	if _, err := svc.Begin(ctx, "A"); err == nil {
+		t.Fatal("Begin of a deregistered class succeeded")
+	}
+	res, err = svc.Register(ctx, chain(db, "A2", "Ly", "Lx", "Uy", "Ux"))
+	if err != nil || !res.Admitted {
+		t.Fatalf("y-then-x class not certified after A departed: %+v, %v", res, err)
+	}
+}
+
+// TestLockServiceLockCancellation is the acceptance criterion at the
+// public surface: a Session.Lock blocked on a held lock returns promptly
+// when its context is cancelled.
+func TestLockServiceLockCancellation(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "A", "Lx", "Ux")); err != nil {
+		t.Fatal(err)
+	}
+
+	holder, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Lock(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	waiter, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = waiter.Lock(short, "x")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked Lock under expiring context = %v", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("cancelled Lock took %v to return", waited)
+	}
+	if held := waiter.Held(); len(held) != 0 {
+		t.Fatalf("cancelled waiter holds %v", held)
+	}
+	waiter.Abort()
+	if err := holder.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockServiceMultiplicityBound: Begin enforces the per-class session
+// bound the certified tier was certified for.
+func TestLockServiceMultiplicityBound(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db) // multiplicity 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "A", "Lx", "Ux")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second concurrent session must block until the first closes.
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Begin(short, "A"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-multiplicity Begin = %v, want deadline exceeded", err)
+	}
+	if err := first.Drive(ctx); err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatalf("Begin after slot freed: %v", err)
+	}
+	if err := second.Drive(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockServiceRaceStress spins N concurrent client sessions — mixed
+// certified and fallback classes — through the session API and asserts the
+// conservation invariants: every begun session ends in exactly one commit
+// or abort, the certified tier (no deadlock handling) never aborts, and no
+// session ends holding a lock. Runs under the CI -race step.
+func TestLockServiceRaceStress(t *testing.T) {
+	const (
+		clientsPerClass = 4
+		txnsPerClient   = 25
+		mult            = 2
+	)
+	db := xyzDB()
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(mult))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	certified := []*distlock.Transaction{
+		chain(db, "A", "Lx", "Ly", "Ux", "Uy"),
+		chain(db, "B", "Lx", "Lz", "Ux", "Uz"),
+		chain(db, "C", "Ly", "Lz", "Uy", "Uz"),
+	}
+	fallback := []*distlock.Transaction{
+		chain(db, "R", "Ly", "Lx", "Uy", "Ux"), // conflicts with A
+		incomparableXY(db, "S"),                // self-deadlocks at mult 2
+	}
+	rs, err := svc.RegisterBatch(ctx, certified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if !r.Admitted {
+			t.Fatalf("certified fixture rejected: %+v", r)
+		}
+	}
+	rs, err = svc.RegisterBatch(ctx, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Admitted {
+			t.Fatalf("fallback fixture certified: %+v", r)
+		}
+	}
+
+	classes := svc.Classes()
+	if len(classes) != 5 {
+		t.Fatalf("classes = %v", classes)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(classes)*clientsPerClass)
+	for _, class := range classes {
+		for c := 0; c < clientsPerClass; c++ {
+			wg.Add(1)
+			go func(class string) {
+				defer wg.Done()
+				for i := 0; i < txnsPerClient; i++ {
+					var prev *distlock.Session
+					for {
+						var sess *distlock.Session
+						var err error
+						if prev == nil {
+							sess, err = svc.Begin(ctx, class)
+						} else {
+							// Retry keeps the instance's age priority so
+							// wound-wait cannot starve it.
+							sess, err = svc.BeginRetry(ctx, prev)
+							if err == nil && sess.ID() != prev.ID() {
+								errCh <- fmt.Errorf("retry of %s changed instance id %d -> %d",
+									class, prev.ID(), sess.ID())
+								return
+							}
+						}
+						if err != nil {
+							errCh <- fmt.Errorf("Begin(%s): %w", class, err)
+							return
+						}
+						err = sess.Drive(ctx)
+						if held := sess.Held(); len(held) != 0 {
+							errCh <- fmt.Errorf("%s session closed holding %v", class, held)
+							return
+						}
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, distlock.ErrTxnAborted) {
+							errCh <- fmt.Errorf("Drive(%s): %w", class, err)
+							return
+						}
+						prev = sess // wound-wait abort on the fallback tier: retry
+					}
+				}
+			}(class)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := svc.Stats()
+	wantCommits := int64(len(classes) * clientsPerClass * txnsPerClient)
+	if got := st.Certified.Commits + st.Fallback.Commits; got != wantCommits {
+		t.Fatalf("commits = %d, want %d", got, wantCommits)
+	}
+	if st.Certified.Aborts != 0 || st.Certified.Wounds != 0 {
+		t.Fatalf("certified tier (no deadlock handling) aborted: %+v", st.Certified)
+	}
+	if closed := st.Certified.Commits + st.Certified.Aborts +
+		st.Fallback.Commits + st.Fallback.Aborts; closed != st.Begun {
+		t.Fatalf("conservation violated: begun=%d closed=%d", st.Begun, closed)
+	}
+	if st.Certified.Commits != int64(len(certified)*clientsPerClass*txnsPerClient) {
+		t.Fatalf("certified commits = %d", st.Certified.Commits)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal("Close not idempotent:", err)
+	}
+	if _, err := svc.Begin(ctx, "A"); !errors.Is(err, distlock.ErrServiceClosed) {
+		t.Fatalf("Begin after Close = %v", err)
+	}
+	if _, err := svc.Register(ctx, chain(db, "Z", "Lz", "Uz")); !errors.Is(err, distlock.ErrServiceClosed) {
+		t.Fatalf("Register after Close = %v", err)
+	}
+}
+
+// TestDeregisterDefersEvictionUntilDrained: deregistering a certified
+// class with live sessions must keep it in the admission interference set
+// until they close — otherwise a conflicting class could be certified onto
+// the same no-deadlock-handling lock table while the departed class still
+// holds locks, and the two could deadlock with no handling in place.
+func TestDeregisterDefersEvictionUntilDrained(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "A", "Lx", "Ly", "Ux", "Uy")); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Lock(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Deregister("A") {
+		t.Fatal("Deregister(A) = false")
+	}
+	// While A's session lives, a class with the opposite lock order must
+	// stay uncertified — A still holds x on the certified lock table.
+	res, err := svc.Register(ctx, chain(db, "B", "Ly", "Lx", "Uy", "Ux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatal("conflicting class certified while the departed class still held locks")
+	}
+	// Drain A: eviction happens at the last session close, reopening the
+	// certified tier for the opposite order.
+	for _, step := range []func() error{
+		func() error { return sess.Lock(ctx, "y") },
+		func() error { return sess.Unlock("x") },
+		func() error { return sess.Unlock("y") },
+		sess.Commit,
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = svc.Register(ctx, chain(db, "B2", "Ly", "Lx", "Uy", "Ux"))
+	if err != nil || !res.Admitted {
+		t.Fatalf("registration after the class drained: %+v, %v", res, err)
+	}
+}
+
+// TestLockServicePartialOrderEnforced: the session rejects operations the
+// registered class's partial order does not allow yet.
+func TestLockServicePartialOrderEnforced(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "A", "Lx", "Ly", "Ux", "Uy")); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Lock(ctx, "y"); err == nil {
+		t.Fatal("Ly before Lx accepted against the chain A")
+	}
+	if err := sess.Lock(ctx, "z"); err == nil {
+		t.Fatal("lock on an entity outside the class accepted")
+	}
+	if err := sess.Commit(); err == nil {
+		t.Fatal("commit of an incomplete session accepted")
+	}
+	if err := sess.Lock(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Held()) != 0 {
+		t.Fatal("abort left locks held")
+	}
+}
