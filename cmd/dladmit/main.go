@@ -36,12 +36,14 @@ func main() {
 		perTxn   = flag.Int("entities-per-txn", 3, "entities accessed per class")
 		events   = flag.Int("events", 64, "churn events (arrivals + departures)")
 		depart   = flag.Float64("depart", 0.25, "departure probability per event")
-		policy   = flag.String("policy", "churn", "generation policy: random|two-phase|ordered|churn")
+		policy   = flag.String("policy", "churn", "generation policy: random|two-phase|ordered|churn|zipf")
 		batch    = flag.Int("batch", 4, "register arrivals in batches of this size")
 		workers  = flag.Int("workers", 0, "pair-check worker pool (0 = GOMAXPROCS)")
 		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per registration (0 = unlimited)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		run      = flag.Bool("run", false, "serve live session traffic for the final mix")
+		backend  = flag.String("backend", "default", "certified-tier lock table: default|actor|sharded (-run)")
+		shards   = flag.Int("shards", 0, "sharded backend stripe count (0 = default) (-run)")
 		clients  = flag.Int("clients", 2, "client goroutines per class (-run)")
 		txns     = flag.Int("txns", 10, "transactions per client (-run)")
 		holdUsec = flag.Int("hold", 100, "per-lock hold time in microseconds (-run)")
@@ -55,6 +57,7 @@ func main() {
 		"two-phase": distlock.PolicyTwoPhase,
 		"ordered":   distlock.PolicyOrdered,
 		"churn":     distlock.PolicyChurn,
+		"zipf":      distlock.PolicyZipf,
 	}[*policy]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "dladmit: unknown policy %q\n", *policy)
@@ -76,10 +79,22 @@ func main() {
 		mult = *clients
 		fmt.Printf("certifying for %d concurrent sessions per class\n", mult)
 	}
+	be, ok := map[string]distlock.LockBackend{
+		"default": distlock.BackendDefault,
+		"actor":   distlock.BackendActor,
+		"sharded": distlock.BackendSharded,
+	}[*backend]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dladmit: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+
 	svc, err := distlock.Open(ddb,
 		distlock.WithWorkers(*workers),
 		distlock.WithCycleBudget(*budget),
 		distlock.WithMultiplicity(mult),
+		distlock.WithLockBackend(be),
+		distlock.WithShards(*shards),
 	)
 	check(err)
 	defer svc.Close()
@@ -150,8 +165,8 @@ func main() {
 // blocked Lock and the run exits non-zero.
 func serve(ctx context.Context, svc *distlock.LockService, clients, txns int, hold, timeout time.Duration) {
 	classes := svc.Classes()
-	fmt.Printf("\nserving: %d classes x %d clients x %d txns (hold %v per lock)\n",
-		len(classes), clients, txns, hold)
+	fmt.Printf("\nserving: %d classes x %d clients x %d txns (hold %v per lock; certified tier on the %s lock table)\n",
+		len(classes), clients, txns, hold, svc.CertifiedBackend())
 	sctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	start := time.Now()

@@ -1,9 +1,10 @@
-// Command dlbench regenerates every experiment in EXPERIMENTS.md (E1–E10):
-// the verified reconstructions of the paper's figures, the Theorem 2
-// reduction validation, the scaling comparisons of the polynomial
-// algorithms against each other and against the exhaustive oracles, and
-// the simulated prevention-vs-detection comparison that motivates the
-// paper.
+// Command dlbench regenerates every experiment (E1–E12): the verified
+// reconstructions of the paper's figures, the Theorem 2 reduction
+// validation, the scaling comparisons of the polynomial algorithms against
+// each other and against the exhaustive oracles, the simulated
+// prevention-vs-detection comparison that motivates the paper, and the
+// lock-table backend throughput comparison (E12: actor vs sharded on
+// uniform vs Zipf-skewed certified traffic).
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ import (
 	"distlock/internal/model"
 	"distlock/internal/optimize"
 	"distlock/internal/reduction"
+	engine "distlock/internal/runtime"
 	"distlock/internal/sat"
 	"distlock/internal/schedule"
 	"distlock/internal/sim"
@@ -41,7 +43,15 @@ type expResult struct {
 	ID        string  `json:"id"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	PairEvals int64   `json:"pair_evals"`
+	// Details carries experiment-specific figures of merit (E12: ops/sec
+	// per workload × lock-table backend) so committed baselines track more
+	// than wall time.
+	Details map[string]float64 `json:"details,omitempty"`
 }
+
+// benchDetails collects the running experiment's Details; timeExperiment
+// drains it into the JSON record.
+var benchDetails = map[string]float64{}
 
 // benchReport is the -json output: one record per experiment, with enough
 // host context to interpret the timings. Committed baselines (e.g.
@@ -54,7 +64,7 @@ type benchReport struct {
 }
 
 func main() {
-	run := flag.String("run", "", "run only this experiment (E1..E11)")
+	run := flag.String("run", "", "run only this experiment (E1..E12)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (experiment prose suppressed)")
 	flag.Parse()
 	exps := []struct {
@@ -63,6 +73,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11},
+		{"E12", e12},
 	}
 	report := benchReport{Go: goruntime.Version(), OS: goruntime.GOOS, Arch: goruntime.GOARCH}
 	ran := false
@@ -108,11 +119,16 @@ func timeExperiment(id string, fn func()) expResult {
 	evalsBefore := core.PairEvalCount()
 	start := time.Now()
 	fn()
-	return expResult{
+	r := expResult{
 		ID:        id,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		PairEvals: core.PairEvalCount() - evalsBefore,
 	}
+	if len(benchDetails) > 0 {
+		r.Details = benchDetails
+		benchDetails = map[string]float64{}
+	}
+	return r
 }
 
 func check(err error) {
@@ -452,4 +468,49 @@ func e11() {
 			variant.name, ok, m.Committed, m.Makespan, m.MeanLatency(), m.Throughput())
 	}
 	fmt.Println("expected shape: optimizer reduces holding cost, preserves certification, improves latency under contention")
+}
+
+// E12 (extension): concurrent-session lock throughput of the two
+// lock-table backends on the certified (no-deadlock-handling) tier. The
+// same ordered-2PL class mix — uniform entity choice vs Zipf hot-entity
+// skew — is driven through the session layer on the actor backend (every
+// grant a message round trip through a per-site goroutine) and the
+// sharded backend (striped mutexes; uncontended grants take zero channel
+// hops). The ops/sec figures land in the -json Details so committed
+// baselines (BENCH_PR3.json) track the speedup across PRs.
+func e12() {
+	const (
+		sites, perSite = 4, 16
+		classes        = 8
+		perTxn         = 3
+		clients        = 16
+		txnsPerClient  = 200
+		opsPerTxn      = 2 * perTxn
+	)
+	fmt.Println("workload  backend   committed  elapsed(ms)  ops/sec")
+	for _, wl := range []struct {
+		name   string
+		policy workload.Policy
+	}{
+		{"uniform", workload.PolicyOrdered},
+		{"zipf", workload.PolicyZipf},
+	} {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: sites, EntitiesPerSite: perSite, NumTxns: classes,
+			EntitiesPerTxn: perTxn, Policy: wl.policy, ZipfS: 1.2, Seed: 12,
+		})
+		for _, be := range []engine.Backend{engine.BackendActor, engine.BackendSharded} {
+			m, err := engine.Run(engine.Config{
+				Templates: sys.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
+				Strategy: engine.StrategyNone, Backend: be, Seed: 12,
+			})
+			check(err)
+			ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
+			fmt.Printf("%-9s %-9s %9d %12.2f %9.0f\n",
+				wl.name, be, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops)
+			benchDetails[wl.name+"_"+be.String()+"_ops_per_sec"] = ops
+		}
+	}
+	fmt.Println("expected shape: sharded strictly faster on the uniform mix (no goroutine handoff per grant);")
+	fmt.Println("Zipf funnels traffic onto a few hot entities, where parked waiters cost both backends a wakeup")
 }

@@ -290,6 +290,10 @@ const (
 	// PolicyChurn mixes ordered and arbitrary shapes, modelling the
 	// heterogeneous traffic an admission service sees.
 	PolicyChurn = workload.PolicyChurn
+	// PolicyZipf generates ordered two-phase transactions whose entities
+	// follow a Zipf hot-entity distribution (WorkloadConfig.ZipfS) — the
+	// contention-heavy regime for benchmarking lock-table backends.
+	PolicyZipf = workload.PolicyZipf
 )
 
 var (

@@ -1,0 +1,370 @@
+package locktable
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"distlock/internal/model"
+)
+
+// actorTable is the message-passing backend: one lock-manager goroutine
+// per database site, serial over a bounded inbox. Every reply channel is
+// buffered so a site goroutine never blocks on a send.
+type actorTable struct {
+	cfg    Config
+	sites  []*site
+	siteOf []*site // indexed by EntityID
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewActor builds the actor backend over the database and starts its site
+// lock-manager goroutines. The table serves until Close.
+func NewActor(ddb *model.DDB, cfg Config) Table {
+	if cfg.SiteInbox <= 0 {
+		cfg.SiteInbox = DefaultSiteInbox
+	}
+	t := &actorTable{
+		cfg:    cfg,
+		siteOf: make([]*site, ddb.NumEntities()),
+		stop:   make(chan struct{}),
+	}
+	for s := 0; s < ddb.NumSites(); s++ {
+		st := &site{
+			inbox: make(chan interface{}, cfg.SiteInbox),
+			locks: map[model.EntityID]*elock{},
+		}
+		t.sites = append(t.sites, st)
+		for _, ent := range ddb.EntitiesAt(model.SiteID(s)) {
+			t.siteOf[ent] = st
+		}
+	}
+	for _, st := range t.sites {
+		t.wg.Add(1)
+		go func(st *site) {
+			defer t.wg.Done()
+			st.loop(t)
+		}(st)
+	}
+	return t
+}
+
+// Messages from clients (and the detector) to a site.
+type lockReq struct {
+	e     model.EntityID
+	key   InstKey
+	prio  int64
+	reply chan error
+}
+type unlockReq struct {
+	e     model.EntityID
+	key   InstKey
+	reply chan struct{}
+}
+
+// cancelReq withdraws a pending lock request (or releases a grant that
+// raced with the withdrawal). The reply reports whether the lock had been
+// granted and was released.
+type cancelReq struct {
+	e     model.EntityID
+	key   InstKey
+	reply chan bool
+}
+type woundReq struct {
+	key InstKey
+}
+type snapshotReq struct {
+	reply chan []WaitEdge
+}
+
+type waitEntry struct {
+	key   InstKey
+	prio  int64
+	reply chan error
+}
+
+type elock struct {
+	held       bool
+	holder     InstKey
+	holderPrio int64
+	queue      []waitEntry
+}
+
+// site is a lock-manager goroutine for the entities of one database site.
+type site struct {
+	inbox chan interface{}
+	locks map[model.EntityID]*elock
+	log   []GrantEvent
+}
+
+// send delivers a message to a site unless the table is stopping. It
+// reports whether the message was delivered.
+func (st *site) send(t *actorTable, msg interface{}) bool {
+	select {
+	case st.inbox <- msg:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// loop is the site goroutine: a serial lock manager.
+func (st *site) loop(t *actorTable) {
+	for {
+		select {
+		case <-t.stop:
+			return
+		case raw := <-st.inbox:
+			switch m := raw.(type) {
+			case lockReq:
+				st.handleLock(t, m)
+			case unlockReq:
+				st.release(t, m.e, m.key)
+				m.reply <- struct{}{}
+			case cancelReq:
+				st.handleCancel(t, m)
+			case woundReq:
+				st.handleWound(m.key)
+			case snapshotReq:
+				var edges []WaitEdge
+				for _, l := range st.locks {
+					if !l.held {
+						continue
+					}
+					for _, w := range l.queue {
+						edges = append(edges, WaitEdge{
+							Waiter: w.key, Holder: l.holder,
+							WaiterPrio: w.prio, HolderPrio: l.holderPrio,
+						})
+					}
+				}
+				m.reply <- edges
+			}
+		}
+	}
+}
+
+func (st *site) lockState(e model.EntityID) *elock {
+	l := st.locks[e]
+	if l == nil {
+		l = &elock{}
+		st.locks[e] = l
+	}
+	return l
+}
+
+func (st *site) handleLock(t *actorTable, m lockReq) {
+	l := st.lockState(m.e)
+	if !l.held {
+		st.grant(t, m.e, l, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
+		return
+	}
+	if l.holder == m.key {
+		// Duplicate (sessions reject re-locks before they reach the site).
+		select {
+		case m.reply <- nil:
+		default:
+		}
+		return
+	}
+	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
+	if t.cfg.WoundWait && m.prio < l.holderPrio && t.cfg.OnWound != nil {
+		// Older requester wounds the younger holder.
+		t.cfg.OnWound(l.holder.ID)
+	}
+}
+
+func (st *site) handleCancel(t *actorTable, m cancelReq) {
+	l := st.lockState(m.e)
+	if l.held && l.holder == m.key {
+		st.release(t, m.e, m.key)
+		m.reply <- true
+		return
+	}
+	for i, w := range l.queue {
+		if w.key == m.key {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	m.reply <- false
+}
+
+// handleWound drops every queued request of the victim attempt (exact
+// ID+Epoch) at this site, waking the parked acquirers with ErrWounded.
+// Grants are untouched.
+func (st *site) handleWound(key InstKey) {
+	for _, l := range st.locks {
+		for i := 0; i < len(l.queue); {
+			if l.queue[i].key != key {
+				i++
+				continue
+			}
+			w := l.queue[i]
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			select {
+			case w.reply <- ErrWounded:
+			default:
+			}
+		}
+	}
+}
+
+// release frees the entity if held by key and grants to the next waiter.
+func (st *site) release(t *actorTable, ent model.EntityID, key InstKey) {
+	l := st.lockState(ent)
+	if !l.held || l.holder != key {
+		return
+	}
+	l.held = false
+	if len(l.queue) == 0 {
+		return
+	}
+	pick := pickNext(l.queue, func(w waitEntry) int64 { return w.prio }, t.cfg.WoundWait)
+	w := l.queue[pick]
+	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+	st.grant(t, ent, l, w)
+}
+
+func (st *site) grant(t *actorTable, ent model.EntityID, l *elock, w waitEntry) {
+	l.held = true
+	l.holder = w.key
+	l.holderPrio = w.prio
+	if t.cfg.Trace {
+		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.ID, Epoch: w.key.Epoch})
+	}
+	select {
+	case w.reply <- nil:
+	default:
+	}
+}
+
+func (t *actorTable) siteFor(ent model.EntityID) *site {
+	if int(ent) >= len(t.siteOf) || t.siteOf[ent] == nil {
+		panic(fmt.Sprintf("locktable: entity %d outside the table's database", ent))
+	}
+	return t.siteOf[ent]
+}
+
+func (t *actorTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID) error {
+	st := t.siteFor(ent)
+	reply := make(chan error, 1)
+	select {
+	case st.inbox <- lockReq{e: ent, key: inst.Key, prio: inst.Prio, reply: reply}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-inst.Doomed:
+		return ErrWounded
+	case <-t.stop:
+		return ErrStopped
+	}
+	select {
+	case err := <-reply:
+		return err // nil: granted; ErrWounded: withdrawn by Wound
+	case <-ctx.Done():
+		t.Withdraw(ent, inst.Key)
+		return ctx.Err()
+	case <-inst.Doomed:
+		t.Withdraw(ent, inst.Key)
+		return ErrWounded
+	case <-t.stop:
+		return ErrStopped
+	}
+}
+
+func (t *actorTable) Release(ent model.EntityID, key InstKey) error {
+	st := t.siteFor(ent)
+	reply := make(chan struct{}, 1)
+	if !st.send(t, unlockReq{e: ent, key: key, reply: reply}) {
+		return ErrStopped
+	}
+	select {
+	case <-reply:
+		return nil
+	case <-t.stop:
+		return ErrStopped
+	}
+}
+
+func (t *actorTable) Withdraw(ent model.EntityID, key InstKey) bool {
+	st := t.siteFor(ent)
+	ack := make(chan bool, 1)
+	if !st.send(t, cancelReq{e: ent, key: key, reply: ack}) {
+		return false
+	}
+	select {
+	case granted := <-ack:
+		return granted
+	case <-t.stop:
+		return false
+	}
+}
+
+// ReleaseAll pipelines the releases: every unlockReq is sent before any
+// ack is collected, so an abort over k entities costs one overlapped wave.
+func (t *actorTable) ReleaseAll(ents []model.EntityID, key InstKey) error {
+	ack := make(chan struct{}, len(ents))
+	sent := 0
+	for _, ent := range ents {
+		if t.siteFor(ent).send(t, unlockReq{e: ent, key: key, reply: ack}) {
+			sent++
+		}
+	}
+	for i := 0; i < sent; i++ {
+		select {
+		case <-ack:
+		case <-t.stop:
+			return ErrStopped
+		}
+	}
+	if sent != len(ents) {
+		return ErrStopped
+	}
+	return nil
+}
+
+func (t *actorTable) Wound(key InstKey) {
+	for _, st := range t.sites {
+		if !st.send(t, woundReq{key: key}) {
+			return
+		}
+	}
+}
+
+func (t *actorTable) Snapshot() []WaitEdge {
+	reply := make(chan []WaitEdge, len(t.sites))
+	sent := 0
+	for _, st := range t.sites {
+		if st.send(t, snapshotReq{reply: reply}) {
+			sent++
+		}
+	}
+	var edges []WaitEdge
+	for i := 0; i < sent; i++ {
+		select {
+		case es := <-reply:
+			edges = append(edges, es...)
+		case <-t.stop:
+			return edges
+		}
+	}
+	return edges
+}
+
+// GrantLog gathers the per-site grant logs. Only safe after Close (the
+// site goroutines have exited).
+func (t *actorTable) GrantLog() []GrantEvent {
+	var out []GrantEvent
+	for _, st := range t.sites {
+		out = append(out, st.log...)
+	}
+	return out
+}
+
+func (t *actorTable) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}

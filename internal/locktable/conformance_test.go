@@ -1,0 +1,537 @@
+package locktable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlock/internal/model"
+)
+
+// The conformance suite: every Table semantics test runs against both
+// backends — and, for the sharded backend, against edge-case stripe
+// counts (1 stripe ≡ a single global mutex; more stripes than entities
+// leaves stripes empty). A backend passes iff its blocking semantics are
+// indistinguishable from the others' through the interface.
+
+type backendCase struct {
+	name string
+	make func(ddb *model.DDB, cfg Config) Table
+}
+
+func conformanceBackends() []backendCase {
+	return []backendCase{
+		{"actor", NewActor},
+		{"sharded", NewSharded},
+		{"sharded-1stripe", func(ddb *model.DDB, cfg Config) Table {
+			cfg.Shards = 1
+			return NewSharded(ddb, cfg)
+		}},
+		{"sharded-overstriped", func(ddb *model.DDB, cfg Config) Table {
+			cfg.Shards = 1024
+			return NewSharded(ddb, cfg)
+		}},
+	}
+}
+
+// forEachTable runs f once per backend over a fresh 4-entity, 2-site DDB.
+func forEachTable(t *testing.T, cfg Config, f func(t *testing.T, tab Table, ents []model.EntityID)) {
+	t.Helper()
+	for _, bc := range conformanceBackends() {
+		t.Run(bc.name, func(t *testing.T) {
+			ddb := model.NewDDB()
+			var ents []model.EntityID
+			for i := 0; i < 4; i++ {
+				ents = append(ents, ddb.MustEntity(fmt.Sprintf("e%d", i), fmt.Sprintf("s%d", i%2)))
+			}
+			tab := bc.make(ddb, cfg)
+			t.Cleanup(tab.Close)
+			f(t, tab, ents)
+		})
+	}
+}
+
+func inst(id int) Instance {
+	return Instance{Key: InstKey{ID: id}, Prio: int64(id)}
+}
+
+// mustAcquire acquires with a safety timeout so a broken backend fails the
+// test instead of hanging it.
+func mustAcquire(t *testing.T, tab Table, in Instance, e model.EntityID) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tab.Acquire(ctx, in, e); err != nil {
+		t.Fatalf("Acquire(%v, %v) = %v", in.Key, e, err)
+	}
+}
+
+// waitForQueue blocks until the table's snapshot shows n wait edges.
+func waitForQueue(t *testing.T, tab Table, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(tab.Snapshot()) >= n {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("queue never reached %d waiters (snapshot: %v)", n, tab.Snapshot())
+}
+
+func TestConformanceGrantRelease(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		a, b := inst(1), inst(2)
+		for _, e := range ents {
+			mustAcquire(t, tab, a, e)
+		}
+		// Duplicate acquire by the holder returns immediately.
+		mustAcquire(t, tab, a, ents[0])
+		// Releasing something not held is a no-op, not a steal.
+		if err := tab.Release(ents[0], b.Key); err != nil {
+			t.Fatal(err)
+		}
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(context.Background(), b, ents[0]) }()
+		select {
+		case err := <-got:
+			t.Fatalf("waiter returned %v while entity held", err)
+		case <-time.After(20 * time.Millisecond):
+		}
+		if err := tab.Release(ents[0], a.Key); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-got; err != nil {
+			t.Fatalf("waiter after release: %v", err)
+		}
+		// ReleaseAll (the abort path) frees everything still held in one
+		// call; waiters on any of the entities get their grants.
+		if err := tab.Release(ents[0], b.Key); err != nil {
+			t.Fatal(err)
+		}
+		mustAcquire(t, tab, a, ents[0])
+		grant := make(chan error, 1)
+		go func() { grant <- tab.Acquire(context.Background(), b, ents[1]) }()
+		waitForQueue(t, tab, 1)
+		if err := tab.ReleaseAll(ents, a.Key); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-grant:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("ReleaseAll did not grant to the waiter")
+		}
+		if err := tab.Release(ents[1], b.Key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// grantOrder parks the given instance ids (in order) behind holder on e,
+// then releases the chain and returns the observed grant order.
+func grantOrder(t *testing.T, tab Table, e model.EntityID, holder Instance, ids []int) []int {
+	t.Helper()
+	mustAcquire(t, tab, holder, e)
+	granted := make(chan int, len(ids))
+	for i, id := range ids {
+		id := id
+		go func() {
+			if err := tab.Acquire(context.Background(), inst(id), e); err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			granted <- id
+		}()
+		waitForQueue(t, tab, i+1) // fix arrival order before the next enqueue
+	}
+	if err := tab.Release(e, holder.Key); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	for range ids {
+		select {
+		case id := <-granted:
+			order = append(order, id)
+			if err := tab.Release(e, InstKey{ID: id}); err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("grant chain stalled after %v", order)
+		}
+	}
+	return order
+}
+
+// TestConformanceFIFO: per-entity grant order is arrival order when
+// wound-wait is off, even when younger instances arrive first.
+func TestConformanceFIFO(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		order := grantOrder(t, tab, ents[0], inst(1), []int{9, 7, 8, 5, 6})
+		want := []int{9, 7, 8, 5, 6}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("grant order %v, want FIFO %v", order, want)
+			}
+		}
+	})
+}
+
+// TestConformanceOldestFirst: under wound-wait a released entity goes to
+// the oldest waiter, preserving holder-older-than-waiters.
+func TestConformanceOldestFirst(t *testing.T) {
+	forEachTable(t, Config{WoundWait: true}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		// Holder 1 is oldest, so no waiter wounds it; OnWound is nil anyway.
+		order := grantOrder(t, tab, ents[0], inst(1), []int{9, 7, 8, 5, 6})
+		want := []int{5, 6, 7, 8, 9}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("grant order %v, want oldest-first %v", order, want)
+			}
+		}
+	})
+}
+
+// TestConformanceWithdrawPending: a cancelled wait is withdrawn before
+// Acquire returns, and the withdrawn request never absorbs a grant.
+func TestConformanceWithdrawPending(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		holder, waiter, third := inst(1), inst(2), inst(3)
+		mustAcquire(t, tab, holder, e)
+		ctx, cancel := context.WithCancel(context.Background())
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(ctx, waiter, e) }()
+		waitForQueue(t, tab, 1)
+		cancel()
+		select {
+		case err := <-got:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled Acquire = %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("cancelled Acquire did not return")
+		}
+		if edges := tab.Snapshot(); len(edges) != 0 {
+			t.Fatalf("withdrawn request still queued: %v", edges)
+		}
+		grant := make(chan error, 1)
+		go func() { grant <- tab.Acquire(context.Background(), third, e) }()
+		waitForQueue(t, tab, 1)
+		if err := tab.Release(e, holder.Key); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-grant:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("entity lost after a withdrawal")
+		}
+	})
+}
+
+// TestConformanceWithdrawGrantRace: cancellation racing a grant never
+// leaks the entity — whichever way the race goes, a fresh probe can
+// acquire it afterwards.
+func TestConformanceWithdrawGrantRace(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		for i := 0; i < 200; i++ {
+			holder, waiter, probe := inst(3*i+1), inst(3*i+2), inst(3*i+3)
+			mustAcquire(t, tab, holder, e)
+			ctx, cancel := context.WithCancel(context.Background())
+			got := make(chan error, 1)
+			go func() { got <- tab.Acquire(ctx, waiter, e) }()
+			go cancel()
+			if err := tab.Release(e, holder.Key); err != nil {
+				t.Fatal(err)
+			}
+			switch err := <-got; {
+			case err == nil:
+				if err := tab.Release(e, waiter.Key); err != nil {
+					t.Fatal(err)
+				}
+			case errors.Is(err, context.Canceled):
+				// Withdrawn (or grant released): nothing held.
+			default:
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			pctx, pcancel := context.WithTimeout(context.Background(), 5*time.Second)
+			if err := tab.Acquire(pctx, probe, e); err != nil {
+				t.Fatalf("iteration %d: entity leaked: %v", i, err)
+			}
+			pcancel()
+			if err := tab.Release(e, probe.Key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestConformanceWithdrawGranted: Withdraw of a granted lock reports true
+// and releases it.
+func TestConformanceWithdrawGranted(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		a, b := inst(1), inst(2)
+		mustAcquire(t, tab, a, ents[0])
+		if !tab.Withdraw(ents[0], a.Key) {
+			t.Fatal("Withdraw of a granted lock reported false")
+		}
+		mustAcquire(t, tab, b, ents[0]) // released: immediately grantable
+		if tab.Withdraw(ents[1], a.Key) {
+			t.Fatal("Withdraw of nothing reported a grant")
+		}
+		if err := tab.Release(ents[0], b.Key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceWound: Wound removes the victim's pending requests and
+// wakes the parked Acquire with ErrWounded; grants are untouched.
+func TestConformanceWound(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		holder, victim := inst(1), inst(7)
+		mustAcquire(t, tab, holder, e)
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(context.Background(), victim, e) }()
+		waitForQueue(t, tab, 1)
+		// A stale wound for a dead epoch must not touch the live request.
+		tab.Wound(InstKey{ID: victim.Key.ID, Epoch: victim.Key.Epoch - 1})
+		time.Sleep(2 * time.Millisecond)
+		if edges := tab.Snapshot(); len(edges) != 1 {
+			t.Fatalf("stale-epoch wound removed a live request: %v", edges)
+		}
+		tab.Wound(victim.Key)
+		select {
+		case err := <-got:
+			if !errors.Is(err, ErrWounded) {
+				t.Fatalf("wounded Acquire = %v, want ErrWounded", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Wound did not wake the parked Acquire")
+		}
+		if edges := tab.Snapshot(); len(edges) != 0 {
+			t.Fatalf("wounded request still queued: %v", edges)
+		}
+		// The holder's grant survived its own non-wound.
+		if err := tab.Release(e, holder.Key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceDoomed: a doom signal interrupts a parked Acquire with
+// ErrWounded, with the request withdrawn.
+func TestConformanceDoomed(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		holder := inst(1)
+		mustAcquire(t, tab, holder, e)
+		doom := make(chan struct{}, 1)
+		victim := Instance{Key: InstKey{ID: 7}, Prio: 7, Doomed: doom}
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(context.Background(), victim, e) }()
+		waitForQueue(t, tab, 1)
+		doom <- struct{}{}
+		select {
+		case err := <-got:
+			if !errors.Is(err, ErrWounded) {
+				t.Fatalf("doomed Acquire = %v, want ErrWounded", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("doom signal did not wake the parked Acquire")
+		}
+		if edges := tab.Snapshot(); len(edges) != 0 {
+			t.Fatalf("doomed request still queued: %v", edges)
+		}
+	})
+}
+
+// TestConformanceWoundCallback: under wound-wait, an older requester
+// queuing behind a younger holder fires OnWound with the holder's id.
+func TestConformanceWoundCallback(t *testing.T) {
+	var wounded atomic.Int64
+	cfg := Config{WoundWait: true, OnWound: func(id int) { wounded.Store(int64(id)) }}
+	forEachTable(t, cfg, func(t *testing.T, tab Table, ents []model.EntityID) {
+		wounded.Store(-1)
+		e := ents[0]
+		young, old := inst(9), inst(2)
+		mustAcquire(t, tab, young, e)
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(context.Background(), old, e) }()
+		waitForQueue(t, tab, 1)
+		deadline := time.Now().Add(5 * time.Second)
+		for wounded.Load() != int64(young.Key.ID) && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Microsecond)
+		}
+		if got := wounded.Load(); got != int64(young.Key.ID) {
+			t.Fatalf("OnWound got holder %d, want %d", got, young.Key.ID)
+		}
+		// The wounded holder releases (as its abort would), the old
+		// requester gets the entity.
+		if err := tab.Release(e, young.Key); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-got; err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.Release(e, old.Key); err != nil {
+			t.Fatal(err)
+		}
+		// A younger requester behind an older holder must NOT wound.
+		wounded.Store(-1)
+		mustAcquire(t, tab, old, e)
+		go func() { got <- tab.Acquire(context.Background(), young, e) }()
+		waitForQueue(t, tab, 1)
+		time.Sleep(5 * time.Millisecond)
+		if got := wounded.Load(); got != -1 {
+			t.Fatalf("younger requester wounded older holder %d", got)
+		}
+		if err := tab.Release(e, old.Key); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-got; err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceSnapshot: wait edges carry the right identities and
+// priorities.
+func TestConformanceSnapshot(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		holder := inst(1)
+		mustAcquire(t, tab, holder, e)
+		for _, id := range []int{5, 6} {
+			id := id
+			go func() { tab.Acquire(context.Background(), inst(id), e) }()
+		}
+		waitForQueue(t, tab, 2)
+		edges := tab.Snapshot()
+		if len(edges) != 2 {
+			t.Fatalf("snapshot = %v, want 2 edges", edges)
+		}
+		seen := map[int]bool{}
+		for _, ed := range edges {
+			if ed.Holder != holder.Key || ed.HolderPrio != holder.Prio {
+				t.Fatalf("edge holder = %+v", ed)
+			}
+			if ed.WaiterPrio != int64(ed.Waiter.ID) {
+				t.Fatalf("edge waiter prio mismatch: %+v", ed)
+			}
+			seen[ed.Waiter.ID] = true
+		}
+		if !seen[5] || !seen[6] {
+			t.Fatalf("waiters lost: %v", edges)
+		}
+		if err := tab.Release(e, holder.Key); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestConformanceClose: Close wakes parked Acquires with ErrStopped and
+// poisons subsequent operations; it is idempotent.
+func TestConformanceClose(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		holder := inst(1)
+		mustAcquire(t, tab, holder, e)
+		got := make(chan error, 1)
+		go func() { got <- tab.Acquire(context.Background(), inst(2), e) }()
+		waitForQueue(t, tab, 1)
+		tab.Close()
+		select {
+		case err := <-got:
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("parked Acquire on Close = %v, want ErrStopped", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not wake the parked Acquire")
+		}
+		if err := tab.Acquire(context.Background(), inst(3), ents[1]); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Acquire after Close = %v, want ErrStopped", err)
+		}
+		if err := tab.Release(e, holder.Key); !errors.Is(err, ErrStopped) {
+			t.Fatalf("Release after Close = %v, want ErrStopped", err)
+		}
+		tab.Close() // idempotent
+	})
+}
+
+// TestConformanceGrantLog: with Trace on, GrantLog records per-entity
+// grant order.
+func TestConformanceGrantLog(t *testing.T) {
+	forEachTable(t, Config{Trace: true}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		e := ents[0]
+		for id := 1; id <= 5; id++ {
+			in := inst(id)
+			mustAcquire(t, tab, in, e)
+			if err := tab.Release(e, in.Key); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tab.Close()
+		var got []int
+		for _, ev := range tab.GrantLog() {
+			if ev.Entity != e {
+				t.Fatalf("grant event for wrong entity: %+v", ev)
+			}
+			got = append(got, ev.Inst)
+		}
+		for i, id := range []int{1, 2, 3, 4, 5} {
+			if i >= len(got) || got[i] != id {
+				t.Fatalf("grant log %v, want [1 2 3 4 5]", got)
+			}
+		}
+	})
+}
+
+// TestConformanceMutualExclusion is the -race workhorse: concurrent
+// acquire/release traffic over all entities, with a per-entity occupancy
+// counter asserting at most one holder at any instant.
+func TestConformanceMutualExclusion(t *testing.T) {
+	forEachTable(t, Config{}, func(t *testing.T, tab Table, ents []model.EntityID) {
+		const goroutines = 16
+		const iters = 150
+		occupancy := make([]atomic.Int32, len(ents))
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				in := inst(g + 1)
+				for i := 0; i < iters; i++ {
+					e := ents[(g*7+i*13)%len(ents)]
+					ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					if err := tab.Acquire(ctx, in, e); err != nil {
+						cancel()
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					cancel()
+					if n := occupancy[int(e)].Add(1); n != 1 {
+						t.Errorf("entity %d held by %d instances", e, n)
+					}
+					occupancy[int(e)].Add(-1)
+					if err := tab.Release(e, in.Key); err != nil {
+						t.Errorf("goroutine %d: release: %v", g, err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}

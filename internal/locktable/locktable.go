@@ -1,0 +1,170 @@
+// Package locktable is the engine's pluggable lock-grant layer: a Table
+// maps entities to exclusive locks with per-entity wait queues, and the
+// runtime engine drives it through a narrow interface (Acquire / Release /
+// Withdraw / Wound / Snapshot) so the grant machinery can be swapped
+// without touching session semantics.
+//
+// Two implementations exist:
+//
+//   - NewActor: the message-passing core — one lock-manager goroutine per
+//     database site, serial over a bounded inbox. Every operation is a
+//     message round trip, which makes the backend's serialization trivially
+//     auditable; it is the conservative choice for the wound-wait tier,
+//     where grant decisions (wounding, oldest-first handoff) benefit from a
+//     single serialization domain per site.
+//   - NewSharded: the fast path the paper's program pays for. Entities are
+//     split across N stripes, each a sync.Mutex guarding its entities' lock
+//     states; an uncontended Acquire is grant-and-return under one mutex —
+//     zero channel hops, no goroutine handoff — and contended waiters park
+//     on per-request channels. A mix that static certification (Theorems
+//     3–5) proved deadlock-free needs no wait-for bookkeeping at grant
+//     time, so nothing in the hot path has to observe global state: stripes
+//     can grant independently.
+//
+// Both backends implement identical blocking semantics, verified by a
+// shared conformance suite: FIFO grant order per entity (oldest-first under
+// wound-wait), cancelled waits withdrawn before Acquire returns (a grant
+// racing the withdrawal is released, never leaked), wounds surfaced as
+// ErrWounded, and ErrStopped after Close.
+package locktable
+
+import (
+	"context"
+
+	"distlock/internal/model"
+)
+
+// DefaultSiteInbox is the default per-site inbox capacity of the actor
+// backend — its backpressure bound. A site goroutine drains its inbox
+// serially; when more than this many requests are in flight against one
+// site, further senders block until the lock manager catches up, so the
+// bound converts overload into queueing delay instead of unbounded memory.
+const DefaultSiteInbox = 256
+
+// DefaultShards is the default stripe count of the sharded backend. More
+// stripes admit more concurrent grant decisions; the per-stripe cost is one
+// mutex and one map, so over-provisioning is cheap.
+const DefaultShards = 32
+
+// InstKey identifies one attempt (epoch) of one transaction instance.
+// Instances keep their ID across retry epochs so age priority survives a
+// wound; the epoch distinguishes a retry's requests from its dead
+// predecessor's.
+type InstKey struct {
+	ID    int
+	Epoch int
+}
+
+// Instance is the requesting transaction instance of one Acquire: its
+// identity, its age priority (smaller is older), and its doom signal.
+type Instance struct {
+	Key  InstKey
+	Prio int64
+	// Doomed is readable once the engine's deadlock handling has picked the
+	// instance as a victim. A parked Acquire selects on it so a wound
+	// interrupts the wait promptly (returning ErrWounded with the request
+	// withdrawn), even if the wound decision happened on another entity's
+	// grant path. Nil means the caller has no doom signal.
+	Doomed <-chan struct{}
+}
+
+// WaitEdge is one wait-for edge of a Snapshot: waiter blocks on the entity
+// holder currently holds.
+type WaitEdge struct {
+	Waiter, Holder         InstKey
+	WaiterPrio, HolderPrio int64
+}
+
+// GrantEvent records that a transaction instance (at a given attempt epoch)
+// was granted the lock on an entity. Per-entity order in GrantLog is the
+// grant order at the owning site or stripe.
+type GrantEvent struct {
+	Entity model.EntityID
+	Inst   int
+	Epoch  int
+}
+
+// Config parameterizes a backend. The zero value is a usable FIFO table
+// with default tuning.
+type Config struct {
+	// WoundWait enables the wound-wait priority discipline: an older
+	// requester arriving at a younger holder triggers OnWound, and a
+	// released entity is handed to its oldest waiter instead of FIFO
+	// (preserving the invariant that a holder is older than its waiters).
+	WoundWait bool
+	// OnWound is called with the holder's instance ID when WoundWait is on
+	// and an older requester queues behind a younger holder. The callback
+	// runs inside the backend's grant-path serialization domain (the actor
+	// backend's site goroutine; the sharded backend's stripe critical
+	// section) so the victim provably still holds the entity, and it must
+	// therefore not call back into the table; it should only signal the
+	// victim (whose parked Acquires then return ErrWounded via their
+	// Doomed channels, or via Wound).
+	OnWound func(holderID int)
+	// Trace records per-entity lock-grant order, readable via GrantLog
+	// after Close.
+	Trace bool
+	// SiteInbox is the actor backend's per-site inbox capacity (its
+	// backpressure bound). Default DefaultSiteInbox.
+	SiteInbox int
+	// Shards is the sharded backend's stripe count. Default DefaultShards;
+	// 1 degenerates to a single global mutex, and counts beyond the entity
+	// count leave some stripes empty — both are legal.
+	Shards int
+}
+
+// Table is an exclusive lock table over the entities of one database: at
+// most one instance holds each entity, waiters queue per entity. All
+// methods are safe for concurrent use.
+type Table interface {
+	// Acquire blocks until the entity is granted to the instance. It
+	// returns nil on grant; ctx.Err() if the context is cancelled while
+	// waiting (the request is withdrawn — or, if a grant raced the
+	// cancellation, released — before returning, so the instance holds
+	// nothing on a non-nil return); ErrWounded if the instance's Doomed
+	// channel fires or Wound removes the request; and ErrStopped once the
+	// table is closed. A duplicate Acquire by the current holder returns
+	// nil immediately.
+	Acquire(ctx context.Context, inst Instance, ent model.EntityID) error
+	// Release frees the entity if the instance holds it, granting it to the
+	// next waiter (FIFO, or oldest-first under wound-wait). Releasing an
+	// entity the instance does not hold is a no-op. Returns ErrStopped on a
+	// closed table, whose locks died with it.
+	Release(ent model.EntityID, key InstKey) error
+	// ReleaseAll releases every listed entity the instance holds — the
+	// abort path. On the actor backend the releases are pipelined (all
+	// sends issued before any ack is collected), so an abort costs one
+	// overlapped wave instead of len(ents) sequential round trips.
+	ReleaseAll(ents []model.EntityID, key InstKey) error
+	// Withdraw removes the instance's pending request on the entity, if
+	// any. It reports whether the request had already been granted, in
+	// which case the grant is released instead — either way the instance
+	// holds nothing on return. Withdraw is the request owner's cleanup
+	// path: it must not race the instance's own parked Acquire on the
+	// same entity (removal does not wake the waiter — Acquire withdraws
+	// its own request when its context or doom arm fires). To interrupt
+	// another goroutine's parked Acquire, use Wound.
+	Withdraw(ent model.EntityID, key InstKey) bool
+	// Wound removes every pending (not yet granted) request of the exact
+	// instance attempt — ID and Epoch both match — waking the parked
+	// Acquires with ErrWounded. Granted locks are untouched: the victim
+	// releases them itself (via Release) when it aborts. Epoch exactness
+	// matters because wound delivery can race the victim's retry: a stale
+	// wound aimed at a dead epoch must not remove the retry's healthy
+	// requests. Victims blocked in Acquire are also woken through their
+	// Doomed channels, so Wound is a prompt-delivery complement, not the
+	// only wake-up path.
+	Wound(key InstKey)
+	// Snapshot returns the current wait-for edges (one per queued waiter,
+	// against the entity's holder). Edges from different sites or stripes
+	// are collected sequentially, not atomically — the same consistency a
+	// periodic deadlock detector already tolerates.
+	Snapshot() []WaitEdge
+	// GrantLog returns the recorded grant events (Config.Trace only).
+	// Per-entity subsequences are in grant order. Only safe to call after
+	// Close.
+	GrantLog() []GrantEvent
+	// Close stops the table and wakes every parked Acquire with
+	// ErrStopped. Held locks die with the table. Close is idempotent.
+	Close()
+}

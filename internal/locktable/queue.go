@@ -1,0 +1,19 @@
+package locktable
+
+// pickNext is the shared grant-order policy of both backends: the index of
+// the waiter a released entity goes to. Oldest-first (minimum priority,
+// earliest-queued on ties) under wound-wait — preserving the invariant
+// that a holder is older than its waiters — and FIFO otherwise. Keeping
+// the decision in one place keeps the backends bit-for-bit identical.
+func pickNext[W any](queue []W, prio func(W) int64, woundWait bool) int {
+	if !woundWait {
+		return 0
+	}
+	pick := 0
+	for i := range queue {
+		if prio(queue[i]) < prio(queue[pick]) {
+			pick = i
+		}
+	}
+	return pick
+}

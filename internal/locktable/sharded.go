@@ -1,0 +1,272 @@
+package locktable
+
+import (
+	"context"
+	"sync"
+
+	"distlock/internal/model"
+)
+
+// shardedTable is the striped fast-path backend: entities are split across
+// stripes, each a mutex guarding its entities' lock states. An uncontended
+// Acquire grants under one mutex and returns — zero channel hops —
+// and contended waiters park on buffered per-request channels that the
+// granting goroutine signals while still holding the stripe.
+//
+// This is the backend the certified tier cashes the paper's program in
+// with: a statically certified mix needs no deadlock handling, hence no
+// wait-for bookkeeping at grant time, hence no reason to serialize
+// independent entities through one goroutine. Stripes cut across database
+// sites — a site is a certification concept, not a serialization domain,
+// once grant decisions are purely local to the entity.
+type shardedTable struct {
+	cfg     Config
+	stripes []*stripe
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+type stripe struct {
+	mu    sync.Mutex
+	locks map[model.EntityID]*slock
+	log   []GrantEvent
+}
+
+type slock struct {
+	held       bool
+	holder     InstKey
+	holderPrio int64
+	queue      []*waiter // FIFO arrival order
+}
+
+// waiter is one parked request. The channel is buffered and receives at
+// most one send — nil for a grant, ErrWounded for a wound — because both
+// senders first remove the waiter from the queue under the stripe mutex.
+type waiter struct {
+	key  InstKey
+	prio int64
+	ch   chan error
+}
+
+// NewSharded builds the striped backend over the database. The table
+// serves until Close.
+func NewSharded(ddb *model.DDB, cfg Config) Table {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	t := &shardedTable{
+		cfg:     cfg,
+		stripes: make([]*stripe, n),
+		stop:    make(chan struct{}),
+	}
+	for i := range t.stripes {
+		t.stripes[i] = &stripe{locks: map[model.EntityID]*slock{}}
+	}
+	return t
+}
+
+// stripeOf hashes an entity to its stripe. Entity IDs are dense small
+// integers, so modulo spreads them evenly.
+func (t *shardedTable) stripeOf(ent model.EntityID) *stripe {
+	return t.stripes[int(ent)%len(t.stripes)]
+}
+
+func (s *stripe) lockState(e model.EntityID) *slock {
+	l := s.locks[e]
+	if l == nil {
+		l = &slock{}
+		s.locks[e] = l
+	}
+	return l
+}
+
+func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID) error {
+	select {
+	case <-t.stop:
+		return ErrStopped
+	default:
+	}
+	s := t.stripeOf(ent)
+	s.mu.Lock()
+	l := s.lockState(ent)
+	if !l.held {
+		// The fast path: grant inline, no goroutine handoff.
+		t.grantLocked(s, ent, l, inst.Key, inst.Prio)
+		s.mu.Unlock()
+		return nil
+	}
+	if l.holder == inst.Key {
+		// Duplicate (sessions reject re-locks before they reach the table).
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{key: inst.Key, prio: inst.Prio, ch: make(chan error, 1)}
+	l.queue = append(l.queue, w)
+	if t.cfg.WoundWait && inst.Prio < l.holderPrio && t.cfg.OnWound != nil {
+		// Older requester wounds the younger holder. Delivered inside the
+		// critical section so the holder provably still holds the entity —
+		// a Release racing the decision would otherwise make this wound
+		// spurious (the actor backend decides and wounds atomically in the
+		// site goroutine; match it). OnWound must not call back into the
+		// table (see Config), so holding the stripe is safe.
+		t.cfg.OnWound(l.holder.ID)
+	}
+	s.mu.Unlock()
+	select {
+	case err := <-w.ch:
+		return err // nil: granted; ErrWounded: withdrawn by Wound
+	case <-ctx.Done():
+		t.cancelWait(s, ent, w)
+		return ctx.Err()
+	case <-inst.Doomed:
+		t.cancelWait(s, ent, w)
+		return ErrWounded
+	case <-t.stop:
+		return ErrStopped
+	}
+}
+
+// cancelWait removes a parked request, or releases its grant when a grant
+// (or wound) raced the cancellation: whichever way the race went, the
+// instance holds nothing on return.
+func (t *shardedTable) cancelWait(s *stripe, ent model.EntityID, w *waiter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lockState(ent)
+	for i, q := range l.queue {
+		if q == w {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+	// Not queued: a concurrent grant (release it — holder check inside) or
+	// a concurrent wound (no-op: the wound already withdrew the request).
+	t.releaseLocked(s, ent, l, w.key)
+}
+
+func (t *shardedTable) Release(ent model.EntityID, key InstKey) error {
+	select {
+	case <-t.stop:
+		return ErrStopped
+	default:
+	}
+	s := t.stripeOf(ent)
+	s.mu.Lock()
+	t.releaseLocked(s, ent, s.lockState(ent), key)
+	s.mu.Unlock()
+	return nil
+}
+
+// releaseLocked frees the entity if held by key and grants to the next
+// waiter. Caller holds the stripe mutex.
+func (t *shardedTable) releaseLocked(s *stripe, ent model.EntityID, l *slock, key InstKey) {
+	if !l.held || l.holder != key {
+		return
+	}
+	l.held = false
+	if len(l.queue) == 0 {
+		return
+	}
+	pick := pickNext(l.queue, func(w *waiter) int64 { return w.prio }, t.cfg.WoundWait)
+	w := l.queue[pick]
+	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+	t.grantLocked(s, ent, l, w.key, w.prio)
+	w.ch <- nil
+}
+
+// grantLocked marks the entity held. Caller holds the stripe mutex.
+func (t *shardedTable) grantLocked(s *stripe, ent model.EntityID, l *slock, key InstKey, prio int64) {
+	l.held = true
+	l.holder = key
+	l.holderPrio = prio
+	if t.cfg.Trace {
+		s.log = append(s.log, GrantEvent{Entity: ent, Inst: key.ID, Epoch: key.Epoch})
+	}
+}
+
+func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
+	s := t.stripeOf(ent)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.lockState(ent)
+	if l.held && l.holder == key {
+		t.releaseLocked(s, ent, l, key)
+		return true
+	}
+	for i, q := range l.queue {
+		if q.key == key {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			// Leave the parked Acquire (if any) to its own select arms; a
+			// direct Withdraw caller owns the request lifecycle.
+			break
+		}
+	}
+	return false
+}
+
+// ReleaseAll releases the listed entities. Stripe operations are plain
+// mutex sections, so there is nothing to pipeline — the loop is already
+// round-trip free.
+func (t *shardedTable) ReleaseAll(ents []model.EntityID, key InstKey) error {
+	var err error
+	for _, ent := range ents {
+		if e := t.Release(ent, key); e != nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (t *shardedTable) Wound(key InstKey) {
+	for _, s := range t.stripes {
+		s.mu.Lock()
+		for _, l := range s.locks {
+			for i := 0; i < len(l.queue); {
+				if l.queue[i].key != key {
+					i++
+					continue
+				}
+				w := l.queue[i]
+				l.queue = append(l.queue[:i], l.queue[i+1:]...)
+				w.ch <- ErrWounded
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (t *shardedTable) Snapshot() []WaitEdge {
+	var edges []WaitEdge
+	for _, s := range t.stripes {
+		s.mu.Lock()
+		for _, l := range s.locks {
+			if !l.held {
+				continue
+			}
+			for _, w := range l.queue {
+				edges = append(edges, WaitEdge{
+					Waiter: w.key, Holder: l.holder,
+					WaiterPrio: w.prio, HolderPrio: l.holderPrio,
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return edges
+}
+
+func (t *shardedTable) GrantLog() []GrantEvent {
+	var out []GrantEvent
+	for _, s := range t.stripes {
+		s.mu.Lock()
+		out = append(out, s.log...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (t *shardedTable) Close() {
+	t.stopOnce.Do(func() { close(t.stop) })
+}

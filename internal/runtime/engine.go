@@ -8,15 +8,58 @@ import (
 	"time"
 
 	"distlock/internal/graph"
+	"distlock/internal/locktable"
 	"distlock/internal/model"
 )
 
-// DefaultSiteInbox is the default capacity of each site's message inbox —
-// the engine's backpressure bound. A site goroutine drains its inbox
-// serially; when more than this many requests are in flight against one
-// site, further senders block until the lock manager catches up, so the
-// bound converts overload into queueing delay instead of unbounded memory.
-const DefaultSiteInbox = 256
+// DefaultSiteInbox is the default per-site inbox capacity of the actor
+// lock-table backend — the engine's backpressure bound under that backend.
+// See locktable.DefaultSiteInbox.
+const DefaultSiteInbox = locktable.DefaultSiteInbox
+
+// Backend selects the engine's lock-table implementation (see
+// internal/locktable).
+type Backend int
+
+const (
+	// BackendDefault resolves per strategy: sharded for StrategyNone (a
+	// certified mix needs no wait-for bookkeeping at grant time, so it may
+	// take the striped fast path), actor for the deadlock-handling
+	// strategies (their grant-path decisions are proven on the per-site
+	// serialization domain).
+	BackendDefault Backend = iota
+	// BackendActor: one lock-manager goroutine per site, every operation a
+	// message round trip.
+	BackendActor
+	// BackendSharded: hash-striped mutexes with per-entity FIFO wait
+	// queues; uncontended grants take zero channel hops.
+	BackendSharded
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	switch b {
+	case BackendDefault:
+		return "default"
+	case BackendActor:
+		return "actor"
+	case BackendSharded:
+		return "sharded"
+	default:
+		return fmt.Sprintf("backend(%d)", int(b))
+	}
+}
+
+// resolve maps BackendDefault to the strategy's proven backend.
+func (b Backend) resolve(s Strategy) Backend {
+	if b != BackendDefault {
+		return b
+	}
+	if s == StrategyNone {
+		return BackendSharded
+	}
+	return BackendActor
+}
 
 // EngineOptions parameterizes a long-lived Engine (see NewEngine). The
 // zero value is a usable StrategyNone engine with default tuning.
@@ -25,24 +68,31 @@ type EngineOptions struct {
 	Strategy Strategy
 	// DetectEvery is the detector period (StrategyDetect only). Default 2ms.
 	DetectEvery time.Duration
-	// SiteInbox is the per-site inbox capacity, the engine's backpressure
-	// bound (see DefaultSiteInbox). Default 256.
+	// Backend selects the lock-table implementation. BackendDefault picks
+	// sharded for StrategyNone and actor otherwise.
+	Backend Backend
+	// Shards is the sharded backend's stripe count. Default
+	// locktable.DefaultShards.
+	Shards int
+	// SiteInbox is the actor backend's per-site inbox capacity, that
+	// backend's backpressure bound (see DefaultSiteInbox). Default 256.
 	SiteInbox int
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking. The log is only safe to read after Close.
 	Trace bool
 }
 
-// Engine is a long-lived lock-service core: one lock-manager goroutine per
-// database site, plus an optional global deadlock detector. Transactions
-// are driven through it as Sessions (Begin / Lock / Unlock / Commit /
-// Abort); the batch entry point Run replays templates over the same
-// session layer. Create with NewEngine, shut down with Close.
+// Engine is a long-lived lock-service core: a pluggable lock table
+// (internal/locktable — per-site actor goroutines, or hash-striped
+// mutexes), plus an optional global deadlock detector. Transactions are
+// driven through it as Sessions (Begin / Lock / Unlock / Commit / Abort);
+// the batch entry point Run replays templates over the same session layer.
+// Create with NewEngine, shut down with Close.
 type Engine struct {
 	strategy    Strategy
+	backend     Backend
 	ddb         *model.DDB
-	sites       []*site
-	siteOf      map[model.EntityID]*site
+	table       locktable.Table
 	detectEvery time.Duration
 	trace       bool
 
@@ -62,9 +112,9 @@ type Engine struct {
 	commitEp map[int]int           // instance id -> commit epoch (Trace only)
 }
 
-// NewEngine builds an engine over the database and starts its site
-// lock-manager goroutines (and the detector, under StrategyDetect). The
-// engine serves sessions until Close.
+// NewEngine builds an engine over the database and starts its lock table
+// (and the detector, under StrategyDetect). The engine serves sessions
+// until Close.
 func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 	if ddb == nil {
 		return nil, fmt.Errorf("runtime: nil database")
@@ -72,36 +122,33 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 	if opts.DetectEvery <= 0 {
 		opts.DetectEvery = 2 * time.Millisecond
 	}
-	if opts.SiteInbox <= 0 {
-		opts.SiteInbox = DefaultSiteInbox
-	}
 	e := &Engine{
 		strategy:    opts.Strategy,
+		backend:     opts.Backend.resolve(opts.Strategy),
 		ddb:         ddb,
-		siteOf:      map[model.EntityID]*site{},
 		detectEvery: opts.DetectEvery,
 		trace:       opts.Trace,
 		stop:        make(chan struct{}),
 		abortChs:    map[int]chan struct{}{},
 		commitEp:    map[int]int{},
 	}
-	for s := 0; s < ddb.NumSites(); s++ {
-		st := &site{
-			inbox: make(chan interface{}, opts.SiteInbox),
-			locks: map[model.EntityID]*elock{},
-			trace: opts.Trace,
-		}
-		e.sites = append(e.sites, st)
-		for _, ent := range ddb.EntitiesAt(model.SiteID(s)) {
-			e.siteOf[ent] = st
-		}
+	cfg := locktable.Config{
+		WoundWait: opts.Strategy == StrategyWoundWait,
+		OnWound: func(holderID int) {
+			e.wounds.Add(1)
+			e.signalAbort(holderID)
+		},
+		Trace:     opts.Trace,
+		SiteInbox: opts.SiteInbox,
+		Shards:    opts.Shards,
 	}
-	for _, st := range e.sites {
-		e.wg.Add(1)
-		go func(st *site) {
-			defer e.wg.Done()
-			st.loop(e)
-		}(st)
+	switch e.backend {
+	case BackendSharded:
+		e.table = locktable.NewSharded(ddb, cfg)
+	case BackendActor:
+		e.table = locktable.NewActor(ddb, cfg)
+	default:
+		return nil, fmt.Errorf("runtime: unknown lock-table backend %v", opts.Backend)
 	}
 	if e.strategy == StrategyDetect {
 		e.wg.Add(1)
@@ -118,6 +165,9 @@ func (e *Engine) DDB() *model.DDB { return e.ddb }
 
 // Strategy returns the engine's deadlock handling.
 func (e *Engine) Strategy() Strategy { return e.strategy }
+
+// Backend returns the engine's resolved lock-table backend.
+func (e *Engine) Backend() Backend { return e.backend }
 
 // Counters is a snapshot of the engine's cumulative counters.
 type Counters struct {
@@ -138,200 +188,13 @@ func (e *Engine) Counters() Counters {
 	}
 }
 
-// Close stops the site goroutines (and detector) and waits for them to
-// exit. Session operations blocked in the engine return ErrClosed; locks
-// still held by open sessions die with the lock tables. Close is
-// idempotent.
+// Close stops the lock table (and detector) and waits for them to exit.
+// Session operations blocked in the engine return ErrClosed; locks still
+// held by open sessions die with the lock table. Close is idempotent.
 func (e *Engine) Close() {
 	e.stopOnce.Do(func() { close(e.stop) })
+	e.table.Close()
 	e.wg.Wait()
-}
-
-// instKey identifies one attempt (epoch) of one transaction instance.
-type instKey struct {
-	id    int
-	epoch int
-}
-
-// Messages from sessions (and the detector) to a site. Every reply channel
-// is buffered so the site goroutine never blocks on a send.
-type lockReq struct {
-	e     model.EntityID
-	key   instKey
-	prio  int64
-	reply chan struct{}
-}
-type unlockReq struct {
-	e     model.EntityID
-	key   instKey
-	reply chan struct{}
-}
-// cancelReq withdraws a pending lock request (or releases a grant that
-// raced with the withdrawal). The reply reports whether the lock had been
-// granted and was released.
-type cancelReq struct {
-	e     model.EntityID
-	key   instKey
-	reply chan bool
-}
-type snapshotReq struct {
-	reply chan []waitEdge
-}
-type waitEdge struct {
-	waiter, holder instKey
-	waiterPrio     int64
-	holderPrio     int64
-}
-
-type waitEntry struct {
-	key   instKey
-	prio  int64
-	reply chan struct{}
-}
-
-type elock struct {
-	held       bool
-	holder     instKey
-	holderPrio int64
-	queue      []waitEntry
-}
-
-// site is a lock-manager goroutine for the entities of one database site.
-type site struct {
-	inbox chan interface{}
-	locks map[model.EntityID]*elock
-	log   []GrantEvent
-	trace bool
-}
-
-// send delivers a message to a site unless the engine is stopping. It
-// reports whether the message was delivered.
-func (st *site) send(e *Engine, msg interface{}) bool {
-	select {
-	case st.inbox <- msg:
-		return true
-	case <-e.stop:
-		return false
-	}
-}
-
-// loop is the site goroutine: a serial lock manager.
-func (st *site) loop(e *Engine) {
-	for {
-		select {
-		case <-e.stop:
-			return
-		case raw := <-st.inbox:
-			switch m := raw.(type) {
-			case lockReq:
-				st.handleLock(e, m)
-			case unlockReq:
-				st.release(e, m.e, m.key)
-				m.reply <- struct{}{}
-			case cancelReq:
-				st.handleCancel(e, m)
-			case snapshotReq:
-				var edges []waitEdge
-				for _, l := range st.locks {
-					if !l.held {
-						continue
-					}
-					for _, w := range l.queue {
-						edges = append(edges, waitEdge{
-							waiter: w.key, holder: l.holder,
-							waiterPrio: w.prio, holderPrio: l.holderPrio,
-						})
-					}
-				}
-				m.reply <- edges
-			}
-		}
-	}
-}
-
-func (st *site) lockState(e model.EntityID) *elock {
-	l := st.locks[e]
-	if l == nil {
-		l = &elock{}
-		st.locks[e] = l
-	}
-	return l
-}
-
-func (st *site) handleLock(e *Engine, m lockReq) {
-	l := st.lockState(m.e)
-	if !l.held {
-		st.grant(m.e, l, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
-		return
-	}
-	if l.holder == m.key {
-		// Duplicate (sessions reject re-locks before they reach the site).
-		select {
-		case m.reply <- struct{}{}:
-		default:
-		}
-		return
-	}
-	if e.strategy == StrategyWoundWait && m.prio < l.holderPrio {
-		// Older requester wounds the younger holder.
-		e.wounds.Add(1)
-		e.signalAbort(l.holder.id)
-	}
-	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
-}
-
-func (st *site) handleCancel(e *Engine, m cancelReq) {
-	l := st.lockState(m.e)
-	if l.held && l.holder == m.key {
-		st.release(e, m.e, m.key)
-		m.reply <- true
-		return
-	}
-	for i, w := range l.queue {
-		if w.key == m.key {
-			l.queue = append(l.queue[:i], l.queue[i+1:]...)
-			break
-		}
-	}
-	m.reply <- false
-}
-
-// release frees the entity if held by key and grants to the next waiter.
-func (st *site) release(e *Engine, ent model.EntityID, key instKey) {
-	l := st.lockState(ent)
-	if !l.held || l.holder != key {
-		return
-	}
-	l.held = false
-	if len(l.queue) == 0 {
-		return
-	}
-	// Grant order: oldest-first under wound-wait (preserves the invariant
-	// that a holder is older than its waiters); FIFO otherwise.
-	pick := 0
-	if e.strategy == StrategyWoundWait {
-		for i, w := range l.queue {
-			if w.prio < l.queue[pick].prio {
-				pick = i
-			}
-		}
-	}
-	w := l.queue[pick]
-	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-	st.grant(ent, l, w)
-}
-
-func (st *site) grant(ent model.EntityID, l *elock, w waitEntry) {
-	l.held = true
-	l.holder = w.key
-	l.holderPrio = w.prio
-	if st.trace {
-		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.id, Epoch: w.key.epoch})
-	}
-	select {
-	case w.reply <- struct{}{}:
-	default:
-	}
 }
 
 // signalAbort notifies a session to abort (non-blocking; coalesced).
@@ -348,8 +211,8 @@ func (e *Engine) signalAbort(id int) {
 	}
 }
 
-// detector periodically snapshots the global wait-for graph and aborts the
-// youngest transaction on each cycle.
+// detector periodically snapshots the global wait-for graph through the
+// lock table and aborts the youngest transaction on each cycle.
 func (e *Engine) detector() {
 	for {
 		select {
@@ -357,51 +220,36 @@ func (e *Engine) detector() {
 			return
 		case <-time.After(e.detectEvery):
 		}
-		var edges []waitEdge
-		reply := make(chan []waitEdge, len(e.sites))
-		sent := 0
-		for _, st := range e.sites {
-			select {
-			case st.inbox <- snapshotReq{reply: reply}:
-				sent++
-			case <-e.stop:
-				return
-			}
-		}
-		for i := 0; i < sent; i++ {
-			select {
-			case es := <-reply:
-				edges = append(edges, es...)
-			case <-e.stop:
-				return
-			}
-		}
+		edges := e.table.Snapshot()
 		if len(edges) == 0 {
 			continue
 		}
-		// Build an id-level graph.
+		// Build an id-level graph, remembering each id's current attempt
+		// key so the victim can be wounded epoch-exactly.
 		ids := map[int]int{}
 		var prio []int64
 		var order []int
-		idx := func(id int, p int64) int {
-			if i, ok := ids[id]; ok {
+		keyOf := map[int]locktable.InstKey{}
+		idx := func(key locktable.InstKey, p int64) int {
+			keyOf[key.ID] = key
+			if i, ok := ids[key.ID]; ok {
 				return i
 			}
-			ids[id] = len(order)
-			order = append(order, id)
+			ids[key.ID] = len(order)
+			order = append(order, key.ID)
 			prio = append(prio, p)
 			return len(order) - 1
 		}
 		// Deterministic edge order.
 		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].waiter.id != edges[j].waiter.id {
-				return edges[i].waiter.id < edges[j].waiter.id
+			if edges[i].Waiter.ID != edges[j].Waiter.ID {
+				return edges[i].Waiter.ID < edges[j].Waiter.ID
 			}
-			return edges[i].holder.id < edges[j].holder.id
+			return edges[i].Holder.ID < edges[j].Holder.ID
 		})
 		g := graph.NewDigraph(2 * len(edges))
 		for _, ed := range edges {
-			g.AddArc(idx(ed.waiter.id, ed.waiterPrio), idx(ed.holder.id, ed.holderPrio))
+			g.AddArc(idx(ed.Waiter, ed.WaiterPrio), idx(ed.Holder, ed.HolderPrio))
 		}
 		if cyc := g.FindCycle(); cyc != nil {
 			victim := cyc[0]
@@ -412,6 +260,16 @@ func (e *Engine) detector() {
 			}
 			e.detects.Add(1)
 			e.signalAbort(order[victim])
+			// Prompt delivery: also wake the victim's parked Acquires
+			// through the table. The abort channel covers sessions that
+			// are between operations (and the request-not-yet-queued
+			// race); Wound covers the common case — the victim is parked
+			// in a lock wait that is part of the cycle. The wound targets
+			// the attempt key from the snapshot, so if it lands after the
+			// victim already aborted and retried at the next epoch it is
+			// a no-op, never a spurious wound of the healthy retry. Safe
+			// here: the detector goroutine holds no table locks.
+			e.table.Wound(keyOf[order[victim]])
 		}
 	}
 }

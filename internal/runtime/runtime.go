@@ -1,8 +1,9 @@
-// Package runtime executes locked transactions on a message-passing
-// distributed-database engine built from goroutines: one goroutine per
-// site (its lock manager), plus an optional global deadlock detector. It
-// is the true-concurrency counterpart of the deterministic simulator in
-// internal/sim.
+// Package runtime executes locked transactions on a true-concurrency
+// distributed-database engine: a pluggable lock table (internal/locktable
+// — per-site actor goroutines, or hash-striped mutexes with a zero-hop
+// fast path for the certified tier), plus an optional global deadlock
+// detector. It is the true-concurrency counterpart of the deterministic
+// simulator in internal/sim.
 //
 // The engine exists to demonstrate the paper's program: a transaction mix
 // certified safe-and-deadlock-free by the static tests (Theorems 3–5) runs
@@ -29,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"distlock/internal/locktable"
 	"distlock/internal/model"
 )
 
@@ -80,9 +82,14 @@ type Config struct {
 	// issues its next operation, widening the conflict window (simulated
 	// work / network latency). Zero means no delay.
 	HoldTime time.Duration
-	// SiteInbox is the per-site inbox capacity — the engine's backpressure
-	// bound (senders block once a site has this many requests in flight).
-	// Default DefaultSiteInbox (256).
+	// Backend selects the lock-table implementation (BackendDefault picks
+	// sharded for StrategyNone, actor otherwise).
+	Backend Backend
+	// Shards is the sharded backend's stripe count (0 = default).
+	Shards int
+	// SiteInbox is the actor backend's per-site inbox capacity — that
+	// backend's backpressure bound (senders block once a site has this many
+	// requests in flight). Default DefaultSiteInbox (256).
 	SiteInbox int
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking.
@@ -92,12 +99,8 @@ type Config struct {
 
 // GrantEvent records that a transaction instance (at a given attempt
 // epoch) was granted the lock on an entity. Per-entity order is the grant
-// order at the owning site.
-type GrantEvent struct {
-	Entity model.EntityID
-	Inst   int
-	Epoch  int
-}
+// order at the owning site or stripe.
+type GrantEvent = locktable.GrantEvent
 
 // Metrics summarize an engine run.
 type Metrics struct {
@@ -137,6 +140,8 @@ func Run(cfg Config) (*Metrics, error) {
 	e, err := NewEngine(ddb, EngineOptions{
 		Strategy:    cfg.Strategy,
 		DetectEvery: cfg.DetectEvery,
+		Backend:     cfg.Backend,
+		Shards:      cfg.Shards,
 		SiteInbox:   cfg.SiteInbox,
 		Trace:       cfg.Trace,
 	})
@@ -203,10 +208,8 @@ watch:
 	}
 	if cfg.Trace {
 		m.GrantLog = map[model.EntityID][]GrantEvent{}
-		for _, st := range e.sites {
-			for _, ev := range st.log {
-				m.GrantLog[ev.Entity] = append(m.GrantLog[ev.Entity], ev)
-			}
+		for _, ev := range e.table.GrantLog() {
+			m.GrantLog[ev.Entity] = append(m.GrantLog[ev.Entity], ev)
 		}
 	}
 	if stalled {

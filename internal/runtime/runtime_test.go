@@ -49,33 +49,40 @@ func deadlockTemplates() []*model.Transaction {
 }
 
 func TestCertifiedMixNoHandling(t *testing.T) {
-	m, err := Run(Config{
-		Templates: orderedTemplates(), Clients: 6, TxnsPerClient: 20,
-		Strategy: StrategyNone, Seed: 1,
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		m, err := Run(Config{
+			Templates: orderedTemplates(), Clients: 6, TxnsPerClient: 20,
+			Strategy: StrategyNone, Backend: b, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Committed != 120 {
+			t.Fatalf("committed = %d, want 120", m.Committed)
+		}
+		if m.Aborts != 0 {
+			t.Fatalf("aborts = %d, want 0 on certified mix", m.Aborts)
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Committed != 120 {
-		t.Fatalf("committed = %d, want 120", m.Committed)
-	}
-	if m.Aborts != 0 {
-		t.Fatalf("aborts = %d, want 0 on certified mix", m.Aborts)
-	}
 }
 
+// TestDeadlockMixStallsWithoutHandling: an uncertified mix deadlocks under
+// StrategyNone on either backend — the fast path must stall identically,
+// not paper over the missing handling.
 func TestDeadlockMixStallsWithoutHandling(t *testing.T) {
-	m, err := Run(Config{
-		Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 30,
-		Strategy: StrategyNone, StallTimeout: 150 * time.Millisecond,
-		HoldTime: 300 * time.Microsecond, Seed: 2,
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		m, err := Run(Config{
+			Templates: deadlockTemplates(), Clients: 8, TxnsPerClient: 30,
+			Strategy: StrategyNone, Backend: b, StallTimeout: 150 * time.Millisecond,
+			HoldTime: 300 * time.Microsecond, Seed: 2,
+		})
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("want ErrStalled, got err=%v metrics=%+v", err, m)
+		}
+		if m.Committed >= 8*30 {
+			t.Fatal("stalled run committed everything")
+		}
 	})
-	if !errors.Is(err, ErrStalled) {
-		t.Fatalf("want ErrStalled, got err=%v metrics=%+v", err, m)
-	}
-	if m.Committed >= 8*30 {
-		t.Fatal("stalled run committed everything")
-	}
 }
 
 func TestDetectionCompletesDeadlockMix(t *testing.T) {
@@ -140,12 +147,24 @@ func TestDistributedParallelTemplates(t *testing.T) {
 // acyclic — every run is serializable.
 func TestSerializableCommitOrder(t *testing.T) {
 	for _, strat := range []Strategy{StrategyNone, StrategyDetect, StrategyWoundWait} {
-		tmpls := orderedTemplates()
-		if strat != StrategyNone {
-			tmpls = deadlockTemplates()
+		for _, b := range backends {
+			m, err := Run(Config{
+				Templates: orderedTemplates(), Clients: 6, TxnsPerClient: 15,
+				Strategy: strat, Backend: b, Trace: true,
+				HoldTime: 100 * time.Microsecond, Seed: 11,
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: err=%v", strat, b, err)
+			}
+			if !checkSerializable(t, m) {
+				t.Fatalf("%v/%v: commit order not serializable", strat, b)
+			}
+		}
+		if strat == StrategyNone {
+			continue
 		}
 		m, err := Run(Config{
-			Templates: tmpls, Clients: 6, TxnsPerClient: 15,
+			Templates: deadlockTemplates(), Clients: 6, TxnsPerClient: 15,
 			Strategy: strat, Trace: true, HoldTime: 100 * time.Microsecond, Seed: 11,
 		})
 		if err != nil {

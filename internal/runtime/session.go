@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"distlock/internal/graph"
+	"distlock/internal/locktable"
 	"distlock/internal/model"
 )
 
@@ -24,11 +25,14 @@ var ErrClosed = errors.New("runtime: engine closed")
 // committed or aborted.
 var ErrSessionDone = errors.New("runtime: session already committed or aborted")
 
+// instKey identifies one attempt (epoch) of one transaction instance.
+type instKey = locktable.InstKey
+
 // Session is one externally-driven transaction instance: a client-side
-// handle over the engine's site lock managers. The session is pinned to a
+// handle over the engine's lock table. The session is pinned to a
 // transaction class (its template) and enforces the class's partial order:
 // each Lock/Unlock must correspond to a template operation whose
-// predecessors have all executed. Lock blocks until the site grants the
+// predecessors have all executed. Lock blocks until the table grants the
 // entity, the context is cancelled, the engine's deadlock handling aborts
 // the transaction, or the engine closes.
 //
@@ -84,7 +88,7 @@ func (e *Engine) Retry(prev *Session) (*Session, error) {
 		return nil, ErrClosed
 	default:
 	}
-	return e.beginInstance(prev.tmpl, prev.key.id, prev.key.epoch+1, prev.prio), nil
+	return e.beginInstance(prev.tmpl, prev.key.ID, prev.key.Epoch+1, prev.prio), nil
 }
 
 // beginInstance opens a session with explicit instance identity: the batch
@@ -94,7 +98,7 @@ func (e *Engine) beginInstance(tmpl *model.Transaction, id, epoch int, prio int6
 	s := &Session{
 		e:        e,
 		tmpl:     tmpl,
-		key:      instKey{id: id, epoch: epoch},
+		key:      instKey{ID: id, Epoch: epoch},
 		prio:     prio,
 		executed: graph.NewBitset(tmpl.N()),
 		held:     map[model.EntityID]bool{},
@@ -107,7 +111,7 @@ func (e *Engine) beginInstance(tmpl *model.Transaction, id, epoch int, prio int6
 }
 
 // ID returns the session's engine-wide instance id.
-func (s *Session) ID() int { return s.key.id }
+func (s *Session) ID() int { return s.key.ID }
 
 // Template returns the transaction class the session is pinned to.
 func (s *Session) Template() *model.Transaction { return s.tmpl }
@@ -153,9 +157,9 @@ func (s *Session) ready(nid model.NodeID, label string) error {
 	return nil
 }
 
-// Lock acquires the entity, blocking until the owning site grants it. It
+// Lock acquires the entity, blocking until the lock table grants it. It
 // returns promptly with ctx.Err() if the context is cancelled while
-// waiting (the request is withdrawn from the site first, so no lock is
+// waiting (the request is withdrawn from the table first, so no lock is
 // held on return), with ErrAborted if the engine's deadlock handling
 // aborts the transaction, and with ErrClosed if the engine shuts down.
 // After a cancellation the session remains usable and Lock may be retried.
@@ -170,52 +174,24 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	st := s.e.siteOf[ent]
-	reply := make(chan struct{}, 1)
-	select {
-	case st.inbox <- lockReq{e: ent, key: s.key, prio: s.prio, reply: reply}:
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-s.abortCh:
-		s.doomed = true
-		return ErrAborted
-	case <-s.e.stop:
-		return ErrClosed
-	}
-	select {
-	case <-reply:
+	inst := locktable.Instance{Key: s.key, Prio: s.prio, Doomed: s.abortCh}
+	switch err := s.e.table.Acquire(ctx, inst, ent); {
+	case err == nil:
 		s.held[ent] = true
 		s.executed.Set(int(nid))
 		s.e.progress.Add(1)
 		return nil
-	case <-ctx.Done():
-		s.withdraw(st, ent)
-		return ctx.Err()
-	case <-s.abortCh:
+	case errors.Is(err, locktable.ErrWounded):
 		s.doomed = true
-		s.withdraw(st, ent)
 		return ErrAborted
-	case <-s.e.stop:
+	case errors.Is(err, locktable.ErrStopped):
 		return ErrClosed
+	default:
+		return err // context cancellation: the table withdrew the request
 	}
 }
 
-// withdraw cancels an in-flight lock request and waits for the site to
-// acknowledge that the request is gone — removed from the wait queue, or
-// released if a grant raced with the withdrawal. On return the session
-// does not hold the entity.
-func (s *Session) withdraw(st *site, ent model.EntityID) {
-	ack := make(chan bool, 1)
-	if !st.send(s.e, cancelReq{e: ent, key: s.key, reply: ack}) {
-		return
-	}
-	select {
-	case <-ack:
-	case <-s.e.stop:
-	}
-}
-
-// Unlock releases a held entity. It completes as soon as the owning site
+// Unlock releases a held entity. It completes as soon as the lock table
 // processes the release (granting the entity to its next waiter).
 func (s *Session) Unlock(ent model.EntityID) error {
 	nid, ok := s.tmpl.UnlockNode(ent)
@@ -228,14 +204,7 @@ func (s *Session) Unlock(ent model.EntityID) error {
 	if !s.held[ent] {
 		return fmt.Errorf("runtime: %s: Unlock(%s) without holding the lock", s.tmpl.Name(), s.e.ddb.EntityName(ent))
 	}
-	st := s.e.siteOf[ent]
-	reply := make(chan struct{}, 1)
-	if !st.send(s.e, unlockReq{e: ent, key: s.key, reply: reply}) {
-		return ErrClosed
-	}
-	select {
-	case <-reply:
-	case <-s.e.stop:
+	if err := s.e.table.Release(ent, s.key); err != nil {
 		return ErrClosed
 	}
 	delete(s.held, ent)
@@ -260,9 +229,9 @@ func (s *Session) Commit() error {
 	}
 	s.done = true
 	s.e.mu.Lock()
-	delete(s.e.abortChs, s.key.id)
+	delete(s.e.abortChs, s.key.ID)
 	if s.e.trace {
-		s.e.commitEp[s.key.id] = s.key.epoch
+		s.e.commitEp[s.key.ID] = s.key.Epoch
 	}
 	s.e.mu.Unlock()
 	s.e.commits.Add(1)
@@ -270,12 +239,11 @@ func (s *Session) Commit() error {
 	return nil
 }
 
-// Abort closes the session, releasing every held lock and waiting for the
-// sites to acknowledge the releases: on return the session holds nothing.
-// Abort is idempotent; aborting a committed session is a no-op. On a
-// closed engine Abort degrades to a discard — the lock tables died with
-// the engine, and shutdown is not a transaction abort, so the abort
-// counter is untouched.
+// Abort closes the session, releasing every held lock through the lock
+// table: on return the session holds nothing. Abort is idempotent;
+// aborting a committed session is a no-op. On a closed engine Abort
+// degrades to a discard — the lock table died with the engine, and
+// shutdown is not a transaction abort, so the abort counter is untouched.
 func (s *Session) Abort() error {
 	if s.done {
 		return nil
@@ -287,30 +255,23 @@ func (s *Session) Abort() error {
 	default:
 	}
 	s.done = true
-	ack := make(chan struct{}, len(s.held))
-	sent := 0
+	ents := make([]model.EntityID, 0, len(s.held))
 	for ent := range s.held {
-		if s.e.siteOf[ent].send(s.e, unlockReq{e: ent, key: s.key, reply: ack}) {
-			sent++
-		}
+		ents = append(ents, ent)
 	}
-	for i := 0; i < sent; i++ {
-		select {
-		case <-ack:
-		case <-s.e.stop:
-			i = sent
-		}
-	}
+	// One pipelined release wave; a mid-abort shutdown leaves the rest to
+	// die with the table.
+	s.e.table.ReleaseAll(ents, s.key)
 	s.held = map[model.EntityID]bool{}
 	s.e.mu.Lock()
-	delete(s.e.abortChs, s.key.id)
+	delete(s.e.abortChs, s.key.ID)
 	s.e.mu.Unlock()
 	s.e.aborts.Add(1)
 	return nil
 }
 
 // discard closes a session during engine shutdown: it only deregisters the
-// abort signal. The lock tables die with the engine, so nothing is
+// abort signal. The lock table dies with the engine, so nothing is
 // released, and the abort counter is not touched — shutdown is not a
 // transaction abort.
 func (s *Session) discard() {
@@ -319,6 +280,6 @@ func (s *Session) discard() {
 	}
 	s.done = true
 	s.e.mu.Lock()
-	delete(s.e.abortChs, s.key.id)
+	delete(s.e.abortChs, s.key.ID)
 	s.e.mu.Unlock()
 }

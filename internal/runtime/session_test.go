@@ -9,13 +9,26 @@ import (
 	"distlock/internal/model"
 )
 
+// backends are the lock-table implementations every session-semantics test
+// runs against: the contract ("bit-for-bit" blocking semantics) is part of
+// the Table interface, so the suite is table-driven over it.
+var backends = []Backend{BackendActor, BackendSharded}
+
+// forEachBackend runs the test once per lock-table backend.
+func forEachBackend(t *testing.T, f func(t *testing.T, b Backend)) {
+	t.Helper()
+	for _, b := range backends {
+		t.Run(b.String(), func(t *testing.T) { f(t, b) })
+	}
+}
+
 // sessionFixture builds a two-entity database and an engine over it.
-func sessionFixture(t *testing.T, strat Strategy) (*Engine, *model.DDB) {
+func sessionFixture(t *testing.T, strat Strategy, b Backend) (*Engine, *model.DDB) {
 	t.Helper()
 	d := model.NewDDB()
 	d.MustEntity("x", "s1")
 	d.MustEntity("y", "s2")
-	e, err := NewEngine(d, EngineOptions{Strategy: strat})
+	e, err := NewEngine(d, EngineOptions{Strategy: strat, Backend: b})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,136 +46,142 @@ func ent(t *testing.T, d *model.DDB, name string) model.EntityID {
 }
 
 func TestSessionDrivesTemplate(t *testing.T) {
-	e, d := sessionFixture(t, StrategyNone)
-	tmpl := buildChain(d, "A", "Lx Ly Ux Uy")
-	x, y := ent(t, d, "x"), ent(t, d, "y")
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyNone, b)
+		tmpl := buildChain(d, "A", "Lx Ly Ux Uy")
+		x, y := ent(t, d, "x"), ent(t, d, "y")
 
-	s, err := e.Begin(tmpl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx := context.Background()
-	for _, step := range []func() error{
-		func() error { return s.Lock(ctx, x) },
-		func() error { return s.Lock(ctx, y) },
-		func() error { return s.Unlock(x) },
-		func() error { return s.Unlock(y) },
-	} {
-		if err := step(); err != nil {
+		s, err := e.Begin(tmpl)
+		if err != nil {
 			t.Fatal(err)
 		}
-	}
-	if got := s.Held(); len(got) != 0 {
-		t.Fatalf("held after full run: %v", got)
-	}
-	if err := s.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	if c := e.Counters(); c.Commits != 1 || c.Aborts != 0 {
-		t.Fatalf("counters = %+v", c)
-	}
+		ctx := context.Background()
+		for _, step := range []func() error{
+			func() error { return s.Lock(ctx, x) },
+			func() error { return s.Lock(ctx, y) },
+			func() error { return s.Unlock(x) },
+			func() error { return s.Unlock(y) },
+		} {
+			if err := step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := s.Held(); len(got) != 0 {
+			t.Fatalf("held after full run: %v", got)
+		}
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if c := e.Counters(); c.Commits != 1 || c.Aborts != 0 {
+			t.Fatalf("counters = %+v", c)
+		}
+	})
 }
 
 func TestSessionEnforcesPartialOrder(t *testing.T) {
-	e, d := sessionFixture(t, StrategyNone)
-	tmpl := buildChain(d, "A", "Lx Ly Ux Uy")
-	y := ent(t, d, "y")
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyNone, b)
+		tmpl := buildChain(d, "A", "Lx Ly Ux Uy")
+		y := ent(t, d, "y")
 
-	s, err := e.Begin(tmpl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Ly before Lx violates the chain.
-	if err := s.Lock(context.Background(), y); err == nil {
-		t.Fatal("out-of-order Lock accepted")
-	}
-	if err := s.Unlock(y); err == nil {
-		t.Fatal("Unlock before Lock accepted")
-	}
-	if err := s.Commit(); err == nil {
-		t.Fatal("commit of an incomplete session accepted")
-	}
-	if err := s.Abort(); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.Abort(); err != nil {
-		t.Fatal("Abort not idempotent")
-	}
+		s, err := e.Begin(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ly before Lx violates the chain.
+		if err := s.Lock(context.Background(), y); err == nil {
+			t.Fatal("out-of-order Lock accepted")
+		}
+		if err := s.Unlock(y); err == nil {
+			t.Fatal("Unlock before Lock accepted")
+		}
+		if err := s.Commit(); err == nil {
+			t.Fatal("commit of an incomplete session accepted")
+		}
+		if err := s.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Abort(); err != nil {
+			t.Fatal("Abort not idempotent")
+		}
+	})
 }
 
 // TestSessionLockCancellation is the acceptance criterion: a Lock blocked
 // on a held entity returns promptly when its context is cancelled, and the
 // queued request is withdrawn so the entity is granted to no one stale.
 func TestSessionLockCancellation(t *testing.T) {
-	e, d := sessionFixture(t, StrategyNone)
-	a := buildChain(d, "A", "Lx Ux")
-	b := buildChain(d, "B", "Lx Ux")
-	x := ent(t, d, "x")
-	bg := context.Background()
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyNone, b)
+		a := buildChain(d, "A", "Lx Ux")
+		bt := buildChain(d, "B", "Lx Ux")
+		x := ent(t, d, "x")
+		bg := context.Background()
 
-	holder, err := e.Begin(a)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := holder.Lock(bg, x); err != nil {
-		t.Fatal(err)
-	}
-
-	waiter, err := e.Begin(b)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(bg)
-	errCh := make(chan error, 1)
-	go func() { errCh <- waiter.Lock(ctx, x) }()
-	time.Sleep(10 * time.Millisecond) // let the request queue at the site
-	cancel()
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("cancelled Lock returned %v", err)
-		}
-	case <-time.After(500 * time.Millisecond):
-		t.Fatal("cancelled Lock did not return promptly")
-	}
-	if got := waiter.Held(); len(got) != 0 {
-		t.Fatalf("cancelled waiter holds %v", got)
-	}
-
-	// The withdrawn request must not absorb the next grant: a fresh session
-	// gets the entity as soon as the holder releases it.
-	third, err := e.Begin(buildChain(d, "C", "Lx Ux"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	grant := make(chan error, 1)
-	go func() { grant <- third.Lock(bg, x) }()
-	if err := holder.Unlock(x); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-grant:
+		holder, err := e.Begin(a)
 		if err != nil {
 			t.Fatal(err)
 		}
-	case <-time.After(500 * time.Millisecond):
-		t.Fatal("entity lost after a cancelled request was withdrawn")
-	}
-	if err := third.Unlock(x); err != nil {
-		t.Fatal(err)
-	}
-	if err := third.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	if err := waiter.Abort(); err != nil {
-		t.Fatal(err)
-	}
-	if err := holder.Unlock(x); err == nil {
-		t.Fatal("double unlock accepted")
-	}
-	if err := holder.Abort(); err != nil {
-		t.Fatal(err)
-	}
+		if err := holder.Lock(bg, x); err != nil {
+			t.Fatal(err)
+		}
+
+		waiter, err := e.Begin(bt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(bg)
+		errCh := make(chan error, 1)
+		go func() { errCh <- waiter.Lock(ctx, x) }()
+		time.Sleep(10 * time.Millisecond) // let the request queue at the table
+		cancel()
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled Lock returned %v", err)
+			}
+		case <-time.After(500 * time.Millisecond):
+			t.Fatal("cancelled Lock did not return promptly")
+		}
+		if got := waiter.Held(); len(got) != 0 {
+			t.Fatalf("cancelled waiter holds %v", got)
+		}
+
+		// The withdrawn request must not absorb the next grant: a fresh session
+		// gets the entity as soon as the holder releases it.
+		third, err := e.Begin(buildChain(d, "C", "Lx Ux"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		grant := make(chan error, 1)
+		go func() { grant <- third.Lock(bg, x) }()
+		if err := holder.Unlock(x); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-grant:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(500 * time.Millisecond):
+			t.Fatal("entity lost after a cancelled request was withdrawn")
+		}
+		if err := third.Unlock(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := third.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := waiter.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if err := holder.Unlock(x); err == nil {
+			t.Fatal("double unlock accepted")
+		}
+		if err := holder.Abort(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 // TestSessionCancelGrantRace drives the cancel-vs-grant race: the waiter's
@@ -170,158 +189,186 @@ func TestSessionLockCancellation(t *testing.T) {
 // invariant holds — after Lock returns non-nil the session holds nothing
 // and the entity is grantable to others.
 func TestSessionCancelGrantRace(t *testing.T) {
-	e, d := sessionFixture(t, StrategyNone)
-	x := ent(t, d, "x")
-	bg := context.Background()
-	for i := 0; i < 200; i++ {
-		holder, _ := e.Begin(buildChain(d, "H", "Lx Ux"))
-		if err := holder.Lock(bg, x); err != nil {
-			t.Fatal(err)
-		}
-		waiter, _ := e.Begin(buildChain(d, "W", "Lx Ux"))
-		ctx, cancel := context.WithCancel(bg)
-		got := make(chan error, 1)
-		go func() { got <- waiter.Lock(ctx, x) }()
-		go cancel()
-		if err := holder.Unlock(x); err != nil {
-			t.Fatal(err)
-		}
-		err := <-got
-		switch {
-		case err == nil:
-			if err := waiter.Unlock(x); err != nil {
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyNone, b)
+		x := ent(t, d, "x")
+		bg := context.Background()
+		for i := 0; i < 200; i++ {
+			holder, _ := e.Begin(buildChain(d, "H", "Lx Ux"))
+			if err := holder.Lock(bg, x); err != nil {
 				t.Fatal(err)
 			}
-			if err := waiter.Commit(); err != nil {
+			waiter, _ := e.Begin(buildChain(d, "W", "Lx Ux"))
+			ctx, cancel := context.WithCancel(bg)
+			got := make(chan error, 1)
+			go func() { got <- waiter.Lock(ctx, x) }()
+			go cancel()
+			if err := holder.Unlock(x); err != nil {
 				t.Fatal(err)
 			}
-		case errors.Is(err, context.Canceled):
-			if len(waiter.Held()) != 0 {
-				t.Fatalf("iteration %d: cancelled waiter holds a lock", i)
+			err := <-got
+			switch {
+			case err == nil:
+				if err := waiter.Unlock(x); err != nil {
+					t.Fatal(err)
+				}
+				if err := waiter.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			case errors.Is(err, context.Canceled):
+				if len(waiter.Held()) != 0 {
+					t.Fatalf("iteration %d: cancelled waiter holds a lock", i)
+				}
+				waiter.Abort()
+			default:
+				t.Fatalf("iteration %d: unexpected error %v", i, err)
 			}
-			waiter.Abort()
-		default:
-			t.Fatalf("iteration %d: unexpected error %v", i, err)
+			// Either way the entity must be free again.
+			probe, _ := e.Begin(buildChain(d, "P", "Lx Ux"))
+			pctx, pcancel := context.WithTimeout(bg, time.Second)
+			if err := probe.Lock(pctx, x); err != nil {
+				t.Fatalf("iteration %d: entity leaked: %v", i, err)
+			}
+			pcancel()
+			probe.Unlock(x)
+			probe.Commit()
+			holder.Commit()
 		}
-		// Either way the entity must be free again.
-		probe, _ := e.Begin(buildChain(d, "P", "Lx Ux"))
-		pctx, pcancel := context.WithTimeout(bg, time.Second)
-		if err := probe.Lock(pctx, x); err != nil {
-			t.Fatalf("iteration %d: entity leaked: %v", i, err)
-		}
-		pcancel()
-		probe.Unlock(x)
-		probe.Commit()
-		holder.Commit()
-	}
+	})
 }
 
 func TestSessionWoundReturnsErrAborted(t *testing.T) {
-	e, d := sessionFixture(t, StrategyWoundWait)
-	x := ent(t, d, "x")
-	bg := context.Background()
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyWoundWait, b)
+		x := ent(t, d, "x")
+		bg := context.Background()
 
-	// Explicit instance identities: the holder is younger (higher age
-	// priority value) than the requester, so the request wounds it.
-	holder := e.beginInstance(buildChain(d, "H", "Lx Ux"), 100, 0, 100)
-	requester := e.beginInstance(buildChain(d, "R", "Lx Ux"), 50, 0, 50)
-	if err := holder.Lock(bg, x); err != nil {
-		t.Fatal(err)
-	}
-	got := make(chan error, 1)
-	go func() { got <- requester.Lock(bg, x) }()
-	// The older requester wounds the younger holder: the holder's next
-	// blocking operation (or its Doomed channel) reports the wound.
-	select {
-	case <-holder.Doomed():
-	case <-time.After(2 * time.Second):
-		t.Fatal("holder never wounded")
-	}
-	if err := holder.Abort(); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case err := <-got:
-		if err != nil {
-			t.Fatalf("older requester failed: %v", err)
+		// Explicit instance identities: the holder is younger (higher age
+		// priority value) than the requester, so the request wounds it.
+		holder := e.beginInstance(buildChain(d, "H", "Lx Ux"), 100, 0, 100)
+		requester := e.beginInstance(buildChain(d, "R", "Lx Ux"), 50, 0, 50)
+		if err := holder.Lock(bg, x); err != nil {
+			t.Fatal(err)
 		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("older requester never granted after the wound")
-	}
-	if err := requester.Unlock(x); err != nil {
-		t.Fatal(err)
-	}
-	if err := requester.Commit(); err != nil {
-		t.Fatal(err)
-	}
-	if c := e.Counters(); c.Wounds == 0 {
-		t.Fatalf("counters = %+v, want a wound", c)
-	}
+		got := make(chan error, 1)
+		go func() { got <- requester.Lock(bg, x) }()
+		// The older requester wounds the younger holder: the holder's next
+		// blocking operation (or its Doomed channel) reports the wound.
+		select {
+		case <-holder.Doomed():
+		case <-time.After(2 * time.Second):
+			t.Fatal("holder never wounded")
+		}
+		if err := holder.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatalf("older requester failed: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("older requester never granted after the wound")
+		}
+		if err := requester.Unlock(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := requester.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if c := e.Counters(); c.Wounds == 0 {
+			t.Fatalf("counters = %+v, want a wound", c)
+		}
+	})
 }
 
 // TestSessionRetryPreservesIdentity: Retry reopens the same transaction
 // instance — same id, same wound-wait age priority, next attempt epoch —
 // so a wounded transaction cannot be starved by ever-younger traffic.
 func TestSessionRetryPreservesIdentity(t *testing.T) {
-	e, d := sessionFixture(t, StrategyWoundWait)
-	tmpl := buildChain(d, "A", "Lx Ux")
-	s, err := e.Begin(tmpl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := e.Retry(s); err == nil {
-		t.Fatal("Retry of a session that has not ended accepted")
-	}
-	if err := s.Abort(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := e.Retry(s)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.ID() != s.ID() || r.prio != s.prio || r.key.epoch != s.key.epoch+1 {
-		t.Fatalf("retry identity = id %d prio %d epoch %d, want id %d prio %d epoch %d",
-			r.ID(), r.prio, r.key.epoch, s.ID(), s.prio, s.key.epoch+1)
-	}
-	x := ent(t, d, "x")
-	if err := r.Lock(context.Background(), x); err != nil {
-		t.Fatal(err)
-	}
-	if err := r.Unlock(x); err != nil {
-		t.Fatal(err)
-	}
-	if err := r.Commit(); err != nil {
-		t.Fatal(err)
-	}
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		e, d := sessionFixture(t, StrategyWoundWait, b)
+		tmpl := buildChain(d, "A", "Lx Ux")
+		s, err := e.Begin(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Retry(s); err == nil {
+			t.Fatal("Retry of a session that has not ended accepted")
+		}
+		if err := s.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Retry(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ID() != s.ID() || r.prio != s.prio || r.key.Epoch != s.key.Epoch+1 {
+			t.Fatalf("retry identity = id %d prio %d epoch %d, want id %d prio %d epoch %d",
+				r.ID(), r.prio, r.key.Epoch, s.ID(), s.prio, s.key.Epoch+1)
+		}
+		x := ent(t, d, "x")
+		if err := r.Lock(context.Background(), x); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Unlock(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
 }
 
 func TestSessionAfterEngineClose(t *testing.T) {
-	d := model.NewDDB()
-	d.MustEntity("x", "s1")
-	e, err := NewEngine(d, EngineOptions{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	tmpl := buildChain(d, "A", "Lx Ux")
-	s, err := e.Begin(tmpl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	e.Close()
-	x, _ := d.Entity("x")
-	if err := s.Lock(context.Background(), x); !errors.Is(err, ErrClosed) {
-		t.Fatalf("Lock on closed engine = %v, want ErrClosed", err)
-	}
-	if _, err := e.Begin(tmpl); !errors.Is(err, ErrClosed) {
-		t.Fatalf("Begin on closed engine = %v, want ErrClosed", err)
-	}
+	forEachBackend(t, func(t *testing.T, b Backend) {
+		d := model.NewDDB()
+		d.MustEntity("x", "s1")
+		e, err := NewEngine(d, EngineOptions{Backend: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tmpl := buildChain(d, "A", "Lx Ux")
+		s, err := e.Begin(tmpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		x, _ := d.Entity("x")
+		if err := s.Lock(context.Background(), x); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Lock on closed engine = %v, want ErrClosed", err)
+		}
+		if _, err := e.Begin(tmpl); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Begin on closed engine = %v, want ErrClosed", err)
+		}
+	})
 }
 
 func TestBeginRejectsForeignTemplate(t *testing.T) {
-	e, _ := sessionFixture(t, StrategyNone)
+	e, _ := sessionFixture(t, StrategyNone, BackendDefault)
 	other := model.NewDDB()
 	other.MustEntity("z", "s9")
 	if _, err := e.Begin(buildChain(other, "Z", "Lz Uz")); err == nil {
 		t.Fatal("foreign-DDB template accepted")
+	}
+}
+
+// TestBackendResolution: BackendDefault gives the certified tier the
+// striped fast path and keeps the deadlock-handling strategies on the
+// actor core.
+func TestBackendResolution(t *testing.T) {
+	for strat, want := range map[Strategy]Backend{
+		StrategyNone:      BackendSharded,
+		StrategyDetect:    BackendActor,
+		StrategyWoundWait: BackendActor,
+	} {
+		e, _ := sessionFixture(t, strat, BackendDefault)
+		if got := e.Backend(); got != want {
+			t.Fatalf("%v default backend = %v, want %v", strat, got, want)
+		}
+	}
+	e, _ := sessionFixture(t, StrategyNone, BackendActor)
+	if got := e.Backend(); got != BackendActor {
+		t.Fatalf("explicit actor override ignored: %v", got)
 	}
 }

@@ -7,7 +7,10 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
+	"sort"
+	"sync"
 
 	"distlock/internal/model"
 )
@@ -32,6 +35,16 @@ const (
 	// two-phase (usually certifiable) or arbitrarily shaped (frequently
 	// rejectable), so a churn stream exercises both admission outcomes.
 	PolicyChurn
+	// PolicyZipf is PolicyOrdered with hot-entity skew: each transaction's
+	// entities are drawn from a Zipf distribution over the entity space
+	// (entity e0 hottest, weight (i+1)^-s, s = Config.ZipfS), instead of
+	// uniformly. The shape stays ordered two-phase — certifiable, so the
+	// traffic lands on the certified no-deadlock-handling tier — but a few
+	// entities carry most of the lock traffic, which is the regime that
+	// separates lock-table backends: a per-site serial actor collapses all
+	// hot-entity traffic onto one goroutine, while independent entities
+	// should scale.
+	PolicyZipf
 )
 
 // String names the policy.
@@ -45,6 +58,8 @@ func (p Policy) String() string {
 		return "ordered"
 	case PolicyChurn:
 		return "churn"
+	case PolicyZipf:
+		return "zipf"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -62,8 +77,16 @@ type Config struct {
 	// CrossArcProb adds extra cross-site precedence arcs with this
 	// probability per adjacent pair of per-site chains (PolicyRandom only).
 	CrossArcProb float64
-	Seed         int64
+	// ZipfS is the skew exponent of PolicyZipf (entity i drawn with weight
+	// proportional to (i+1)^-s). Larger is hotter; 0 means DefaultZipfS.
+	ZipfS float64
+	Seed  int64
 }
+
+// DefaultZipfS is the PolicyZipf skew exponent used when Config.ZipfS is
+// unset: skewed enough that a handful of entities dominate, shallow enough
+// that transactions still touch the tail.
+const DefaultZipfS = 1.2
 
 // NewDDB builds the database of a config: sites "s0".."sK" with entities
 // "e0".."eN" assigned round-robin.
@@ -115,14 +138,19 @@ func RandomTransaction(d *model.DDB, name string, cfg Config, rng *rand.Rand) (*
 	if k < 1 {
 		k = 1
 	}
-	perm := rng.Perm(total)[:k]
-	ents := make([]model.EntityID, k)
-	for i, p := range perm {
-		ents[i] = model.EntityID(p)
+	var ents []model.EntityID
+	if cfg.Policy == PolicyZipf {
+		ents = zipfEntities(rng, total, k, cfg.ZipfS)
+	} else {
+		perm := rng.Perm(total)[:k]
+		ents = make([]model.EntityID, k)
+		for i, p := range perm {
+			ents[i] = model.EntityID(p)
+		}
 	}
 
 	switch cfg.Policy {
-	case PolicyOrdered:
+	case PolicyOrdered, PolicyZipf:
 		return orderedTwoPhase(d, name, ents, rng, true)
 	case PolicyTwoPhase:
 		return orderedTwoPhase(d, name, ents, rng, false)
@@ -134,6 +162,66 @@ func RandomTransaction(d *model.DDB, name string, cfg Config, rng *rand.Rand) (*
 	default:
 		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
 	}
+}
+
+// zipfCums memoizes the cumulative Zipf weights per (total, s): the table
+// depends only on the entity count and the exponent, both fixed across a
+// generation run, so rebuilding the O(total) prefix sums (and their
+// math.Pow calls) per transaction would waste NumTxns× the work. The
+// cached slices are read-only after construction.
+var zipfCums sync.Map // struct{ total int; s float64 } -> []float64
+
+// zipfCum returns (cached) cum[i] = sum of (j+1)^-s for j <= i.
+func zipfCum(total int, s float64) []float64 {
+	key := struct {
+		total int
+		s     float64
+	}{total, s}
+	if cum, ok := zipfCums.Load(key); ok {
+		return cum.([]float64)
+	}
+	cum := make([]float64, total)
+	sum := 0.0
+	for i := 0; i < total; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cum[i] = sum
+	}
+	actual, _ := zipfCums.LoadOrStore(key, cum)
+	return actual.([]float64)
+}
+
+// zipfEntities draws k distinct entities from a Zipf distribution over
+// [0, total): entity i has weight (i+1)^-s, so low-numbered entities are
+// hot. (math/rand/v2 has no Zipf generator, so sample the cumulative
+// weights by binary search and reject duplicates — k is small relative to
+// total in every workload we generate, so rejection is cheap.)
+func zipfEntities(rng *rand.Rand, total, k int, s float64) []model.EntityID {
+	if s <= 0 {
+		s = DefaultZipfS
+	}
+	if k >= total {
+		out := make([]model.EntityID, total)
+		for i := range out {
+			out[i] = model.EntityID(i)
+		}
+		return out
+	}
+	cum := zipfCum(total, s)
+	sum := cum[total-1]
+	seen := make(map[model.EntityID]bool, k)
+	out := make([]model.EntityID, 0, k)
+	for len(out) < k {
+		u := rng.Float64() * sum
+		e := model.EntityID(sort.SearchFloat64s(cum, u))
+		if int(e) >= total { // u == sum edge
+			e = model.EntityID(total - 1)
+		}
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // orderedTwoPhase builds a chain: all locks (in entity-ID order when

@@ -164,10 +164,63 @@ func TestLockArcOnlySystem(t *testing.T) {
 
 func TestPolicyString(t *testing.T) {
 	if PolicyRandom.String() != "random" || PolicyTwoPhase.String() != "two-phase" ||
-		PolicyOrdered.String() != "ordered" {
+		PolicyOrdered.String() != "ordered" || PolicyZipf.String() != "zipf" {
 		t.Fatal("policy names wrong")
 	}
 	if Policy(99).String() == "" {
 		t.Fatal("unknown policy should still render")
+	}
+}
+
+// TestZipfPolicySkewsHotEntities: under PolicyZipf the low-numbered
+// entities carry most of the traffic, the shape stays ordered two-phase
+// (certifiable), and generation is deterministic per seed.
+func TestZipfPolicySkewsHotEntities(t *testing.T) {
+	cfg := Config{
+		Sites: 4, EntitiesPerSite: 16, NumTxns: 200, EntitiesPerTxn: 3,
+		Policy: PolicyZipf, ZipfS: 1.2, Seed: 9,
+	}
+	sys := MustGenerate(cfg)
+	counts := make([]int, sys.DDB.NumEntities())
+	for _, txn := range sys.Txns {
+		for _, e := range txn.Entities() {
+			counts[int(e)]++
+		}
+		// Shape: ordered two-phase — locks in global entity order.
+		ents := txn.Entities()
+		for i := 0; i+1 < len(ents); i++ {
+			li, _ := txn.LockNode(ents[i])
+			lj, _ := txn.LockNode(ents[i+1])
+			if !txn.Precedes(li, lj) {
+				t.Fatalf("%s: zipf transaction not entity-ordered", txn.Name())
+			}
+		}
+	}
+	head := counts[0] + counts[1] + counts[2] + counts[3]
+	n := len(counts)
+	tail := counts[n-1] + counts[n-2] + counts[n-3] + counts[n-4]
+	if head <= 4*tail {
+		t.Fatalf("no hot-entity skew: head-4 count %d vs tail-4 count %d (%v)", head, tail, counts)
+	}
+	// Determinism: same seed, same systems.
+	again := MustGenerate(cfg)
+	for i := range sys.Txns {
+		if sys.Txns[i].String() != again.Txns[i].String() {
+			t.Fatalf("same seed, different zipf transaction %d", i)
+		}
+	}
+}
+
+// TestZipfEntitiesEdges: k >= total returns every entity; unset skew
+// falls back to DefaultZipfS.
+func TestZipfEntitiesEdges(t *testing.T) {
+	sys := MustGenerate(Config{
+		Sites: 2, EntitiesPerSite: 2, NumTxns: 2, EntitiesPerTxn: 10,
+		Policy: PolicyZipf, Seed: 3, // ZipfS unset: default
+	})
+	for _, txn := range sys.Txns {
+		if got := len(txn.Entities()); got != 4 {
+			t.Fatalf("%s accesses %d entities, want all 4", txn.Name(), got)
+		}
 	}
 }

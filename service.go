@@ -28,6 +28,24 @@ var ErrServiceClosed = runtime.ErrClosed
 // pinned to the wound-wait fallback tier and Reason/Violation explain why.
 type RegisterResult = admission.Result
 
+// LockBackend selects a tier's lock-table implementation (see
+// internal/locktable): BackendActor is the per-site message-passing core,
+// BackendSharded the striped mutex fast path, BackendDefault resolves per
+// tier (sharded for the certified no-deadlock-handling tier, actor for the
+// wound-wait fallback).
+type LockBackend = runtime.Backend
+
+const (
+	// BackendDefault resolves to the tier's proven backend: sharded for
+	// the certified tier, actor for the fallback tier.
+	BackendDefault = runtime.BackendDefault
+	// BackendActor serializes each site's grants through one goroutine.
+	BackendActor = runtime.BackendActor
+	// BackendSharded grants uncontended locks under striped mutexes with
+	// zero channel hops.
+	BackendSharded = runtime.BackendSharded
+)
+
 // ServiceOption configures Open.
 type ServiceOption func(*serviceConfig)
 
@@ -36,6 +54,8 @@ type serviceConfig struct {
 	cycleBudget  int64
 	multiplicity int
 	siteInbox    int
+	certBackend  LockBackend
+	shards       int
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -63,13 +83,36 @@ func WithMultiplicity(m int) ServiceOption {
 	return func(c *serviceConfig) { c.multiplicity = m }
 }
 
-// WithSiteInboxCapacity sets the per-site message-inbox capacity of both
-// engine tiers — the service's backpressure bound. A site's lock manager
-// drains its inbox serially; once this many requests are in flight against
-// one site, further session operations block until it catches up, so
-// overload becomes queueing delay instead of unbounded memory. Default 256.
+// WithSiteInboxCapacity sets the per-site message-inbox capacity of any
+// tier running the actor lock-table backend — that backend's backpressure
+// bound. A site's lock manager drains its inbox serially; once this many
+// requests are in flight against one site, further session operations
+// block until it catches up, so overload becomes queueing delay instead of
+// unbounded memory. Default 256. The sharded backend has no inboxes and
+// ignores the knob.
 func WithSiteInboxCapacity(n int) ServiceOption {
 	return func(c *serviceConfig) { c.siteInbox = n }
+}
+
+// WithLockBackend selects the certified tier's lock-table backend. The
+// default is BackendSharded: the static certification is exactly the proof
+// that the certified mix needs no deadlock handling, so its grants need no
+// wait-for bookkeeping and may take the striped fast path (uncontended
+// locks granted with zero channel hops). BackendActor forces the
+// conservative per-site message-passing core instead. The wound-wait
+// fallback tier always runs BackendActor — its grant-path decisions
+// (wounding, oldest-first handoff) are proven on the per-site
+// serialization domain and stay there until striped wounding is proven
+// out (see ROADMAP).
+func WithLockBackend(b LockBackend) ServiceOption {
+	return func(c *serviceConfig) { c.certBackend = b }
+}
+
+// WithShards sets the stripe count of the sharded lock-table backend
+// (default 32). More stripes admit more concurrent grant decisions; a
+// stripe costs one mutex and one map, so over-provisioning is cheap.
+func WithShards(n int) ServiceOption {
+	return func(c *serviceConfig) { c.shards = n }
 }
 
 // LockService is the long-lived client-driven lock service: the paper's
@@ -152,6 +195,8 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
 		Strategy:  runtime.StrategyNone,
+		Backend:   cfg.certBackend, // BackendDefault resolves to sharded
+		Shards:    cfg.shards,
 		SiteInbox: cfg.siteInbox,
 	})
 	if err != nil {
@@ -159,6 +204,7 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 	}
 	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
 		Strategy:  runtime.StrategyWoundWait,
+		Backend:   runtime.BackendActor,
 		SiteInbox: cfg.siteInbox,
 	})
 	if err != nil {
@@ -430,6 +476,10 @@ func (s *LockService) Snapshot() *System { return s.adm.Snapshot() }
 // Multiplicity returns the per-class session concurrency the certified
 // tier is certified (and enforced) for.
 func (s *LockService) Multiplicity() int { return s.mult }
+
+// CertifiedBackend returns the certified tier's resolved lock-table
+// backend (BackendSharded unless WithLockBackend overrode it).
+func (s *LockService) CertifiedBackend() LockBackend { return s.certified.Backend() }
 
 // TierStats are one engine tier's cumulative counters.
 type TierStats = runtime.Counters

@@ -173,17 +173,27 @@ func TestLockServiceMultiplicityBound(t *testing.T) {
 // certified and fallback classes — through the session API and asserts the
 // conservation invariants: every begun session ends in exactly one commit
 // or abort, the certified tier (no deadlock handling) never aborts, and no
-// session ends holding a lock. Runs under the CI -race step.
+// session ends holding a lock. Runs under the CI -race step, table-driven
+// over both certified-tier lock-table backends.
 func TestLockServiceRaceStress(t *testing.T) {
+	for _, backend := range []distlock.LockBackend{distlock.BackendActor, distlock.BackendSharded} {
+		t.Run(backend.String(), func(t *testing.T) { raceStress(t, backend) })
+	}
+}
+
+func raceStress(t *testing.T, backend distlock.LockBackend) {
 	const (
 		clientsPerClass = 4
 		txnsPerClient   = 25
 		mult            = 2
 	)
 	db := xyzDB()
-	svc, err := distlock.Open(db, distlock.WithMultiplicity(mult))
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(mult), distlock.WithLockBackend(backend))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := svc.CertifiedBackend(); got != backend {
+		t.Fatalf("certified backend = %v, want %v", got, backend)
 	}
 	ctx := context.Background()
 
