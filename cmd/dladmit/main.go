@@ -42,7 +42,8 @@ func main() {
 		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per registration (0 = unlimited)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		run      = flag.Bool("run", false, "serve live session traffic for the final mix")
-		backend  = flag.String("backend", "default", "certified-tier lock table: default|actor|sharded (-run)")
+		backend  = flag.String("backend", "default", "certified-tier lock table: default|actor|sharded|remote (-run)")
+		addr     = flag.String("addr", "127.0.0.1:9911", "dlserver address for -backend remote (its -sites/-entities-per-site must match)")
 		shards   = flag.Int("shards", 0, "sharded backend stripe count (0 = default) (-run)")
 		clients  = flag.Int("clients", 2, "client goroutines per class (-run)")
 		txns     = flag.Int("txns", 10, "transactions per client (-run)")
@@ -79,23 +80,30 @@ func main() {
 		mult = *clients
 		fmt.Printf("certifying for %d concurrent sessions per class\n", mult)
 	}
-	be, ok := map[string]distlock.LockBackend{
-		"default": distlock.BackendDefault,
-		"actor":   distlock.BackendActor,
-		"sharded": distlock.BackendSharded,
-	}[*backend]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "dladmit: unknown backend %q\n", *backend)
-		os.Exit(2)
-	}
-
-	svc, err := distlock.Open(ddb,
+	opts := []distlock.ServiceOption{
 		distlock.WithWorkers(*workers),
 		distlock.WithCycleBudget(*budget),
 		distlock.WithMultiplicity(mult),
-		distlock.WithLockBackend(be),
 		distlock.WithShards(*shards),
-	)
+	}
+	if *backend == "remote" {
+		// The certified tier's locks live in a dlserver: its generator
+		// flags must match ours, which the connection handshake verifies.
+		opts = append(opts, distlock.WithRemoteTable(*addr))
+	} else {
+		be, ok := map[string]distlock.LockBackend{
+			"default": distlock.BackendDefault,
+			"actor":   distlock.BackendActor,
+			"sharded": distlock.BackendSharded,
+		}[*backend]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dladmit: unknown backend %q\n", *backend)
+			os.Exit(2)
+		}
+		opts = append(opts, distlock.WithLockBackend(be))
+	}
+
+	svc, err := distlock.Open(ddb, opts...)
 	check(err)
 	defer svc.Close()
 

@@ -17,16 +17,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	goruntime "runtime"
+	"slices"
 	"strings"
 	"time"
 
 	"distlock/internal/baseline"
 	"distlock/internal/core"
 	"distlock/internal/figures"
+	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/netlock"
 	"distlock/internal/optimize"
 	"distlock/internal/reduction"
 	engine "distlock/internal/runtime"
@@ -470,14 +474,35 @@ func e11() {
 	fmt.Println("expected shape: optimizer reduces holding cost, preserves certification, improves latency under contention")
 }
 
-// E12 (extension): concurrent-session lock throughput of the two
-// lock-table backends on the certified (no-deadlock-handling) tier. The
-// same ordered-2PL class mix — uniform entity choice vs Zipf hot-entity
-// skew — is driven through the session layer on the actor backend (every
-// grant a message round trip through a per-site goroutine) and the
-// sharded backend (striped mutexes; uncontended grants take zero channel
-// hops). The ops/sec figures land in the -json Details so committed
-// baselines (BENCH_PR3.json) track the speedup across PRs.
+// lockWaitPercentile returns the p-th percentile of the recorded lock
+// waits (nearest-rank on a sorted copy).
+func lockWaitPercentile(waits []time.Duration, p float64) time.Duration {
+	if len(waits) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), waits...)
+	slices.Sort(sorted)
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return sorted[min(i, len(sorted)-1)]
+}
+
+// E12 (extension): concurrent-session lock behavior of the lock-table
+// backends on the certified (no-deadlock-handling) tier — throughput AND
+// per-Lock wait percentiles. The same ordered-2PL class mix — uniform
+// entity choice vs Zipf hot-entity skew — is driven through the session
+// layer on the actor backend (every grant a message round trip through a
+// per-site goroutine), the sharded backend (striped mutexes; uncontended
+// grants take zero channel hops), and the remote backend (a netlock
+// client↔server loopback pair: every grant a TCP round trip plus the
+// lease/fencing bookkeeping). Throughput hides queueing; the p50/p95/p99
+// wait percentiles expose it — the actor backend's serial site goroutine
+// shows up in the tail under Zipf skew long before it costs ops/sec, and
+// the remote backend's wire round trip sets its p50 floor. All figures
+// land in the -json Details so committed baselines (BENCH_PR4.json) track
+// them across PRs.
 func e12() {
 	const (
 		sites, perSite = 4, 16
@@ -487,7 +512,7 @@ func e12() {
 		txnsPerClient  = 200
 		opsPerTxn      = 2 * perTxn
 	)
-	fmt.Println("workload  backend   committed  elapsed(ms)  ops/sec")
+	fmt.Println("workload  backend   committed  elapsed(ms)  ops/sec  p50(µs)  p95(µs)  p99(µs)")
 	for _, wl := range []struct {
 		name   string
 		policy workload.Policy
@@ -499,18 +524,33 @@ func e12() {
 			Sites: sites, EntitiesPerSite: perSite, NumTxns: classes,
 			EntitiesPerTxn: perTxn, Policy: wl.policy, ZipfS: 1.2, Seed: 12,
 		})
-		for _, be := range []engine.Backend{engine.BackendActor, engine.BackendSharded} {
+		srv, err := netlock.NewServer(sys.DDB, locktable.Config{}, netlock.ServerOptions{})
+		check(err)
+		check(srv.Listen("127.0.0.1:0"))
+		for _, be := range []engine.Backend{engine.BackendActor, engine.BackendSharded, engine.BackendRemote} {
 			m, err := engine.Run(engine.Config{
 				Templates: sys.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
-				Strategy: engine.StrategyNone, Backend: be, Seed: 12,
+				Strategy: engine.StrategyNone, Backend: be, RemoteAddr: srv.Addr(),
+				MeasureLockWait: true, Seed: 12,
 			})
 			check(err)
 			ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
-			fmt.Printf("%-9s %-9s %9d %12.2f %9.0f\n",
-				wl.name, be, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops)
-			benchDetails[wl.name+"_"+be.String()+"_ops_per_sec"] = ops
+			p50 := lockWaitPercentile(m.LockWaits, 50)
+			p95 := lockWaitPercentile(m.LockWaits, 95)
+			p99 := lockWaitPercentile(m.LockWaits, 99)
+			us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+			fmt.Printf("%-9s %-9s %9d %12.2f %8.0f %8.1f %8.1f %8.1f\n",
+				wl.name, be, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops,
+				us(p50), us(p95), us(p99))
+			key := wl.name + "_" + be.String()
+			benchDetails[key+"_ops_per_sec"] = ops
+			benchDetails[key+"_lock_wait_p50_us"] = us(p50)
+			benchDetails[key+"_lock_wait_p95_us"] = us(p95)
+			benchDetails[key+"_lock_wait_p99_us"] = us(p99)
 		}
+		srv.Close()
 	}
-	fmt.Println("expected shape: sharded strictly faster on the uniform mix (no goroutine handoff per grant);")
-	fmt.Println("Zipf funnels traffic onto a few hot entities, where parked waiters cost both backends a wakeup")
+	fmt.Println("expected shape: sharded fastest (no goroutine handoff per grant) with the flattest tail;")
+	fmt.Println("Zipf skew stretches the actor backend's p99 (hot sites serialize); the remote backend's")
+	fmt.Println("p50 is the wire round trip — the price of locks that survive a client crash")
 }

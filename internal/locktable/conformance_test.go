@@ -24,7 +24,7 @@ type backendCase struct {
 }
 
 func conformanceBackends() []backendCase {
-	return []backendCase{
+	return append([]backendCase{
 		{"actor", NewActor},
 		{"sharded", NewSharded},
 		{"sharded-1stripe", func(ddb *model.DDB, cfg Config) Table {
@@ -35,7 +35,7 @@ func conformanceBackends() []backendCase {
 			cfg.Shards = 1024
 			return NewSharded(ddb, cfg)
 		}},
-	}
+	}, extraBackends...)
 }
 
 // forEachTable runs f once per backend over a fresh 4-entity, 2-site DDB.

@@ -1,0 +1,20 @@
+package locktable
+
+import "distlock/internal/model"
+
+// The conformance suite is the contract every Table implementation must
+// meet, including ones that cannot be constructed from inside this package
+// (the netlock client↔server loopback pair would be an import cycle here).
+// External test files (package locktable_test, compiled into the same test
+// binary) register such backends through this hook, and the suite runs
+// them exactly as it runs the in-process ones.
+
+var extraBackends []backendCase
+
+// RegisterConformanceBackend adds a backend to the conformance suite's
+// matrix. Call from an init in a locktable_test file; the constructor owns
+// the backend's full lifecycle (Close must tear down everything it spun
+// up).
+func RegisterConformanceBackend(name string, mk func(ddb *model.DDB, cfg Config) Table) {
+	extraBackends = append(extraBackends, backendCase{name: name, make: mk})
+}

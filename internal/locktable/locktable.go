@@ -4,7 +4,7 @@
 // Withdraw / Wound / Snapshot) so the grant machinery can be swapped
 // without touching session semantics.
 //
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - NewActor: the message-passing core — one lock-manager goroutine per
 //     database site, serial over a bounded inbox. Every operation is a
@@ -20,8 +20,13 @@
 //     3–5) proved deadlock-free needs no wait-for bookkeeping at grant
 //     time, so nothing in the hot path has to observe global state: stripes
 //     can grant independently.
+//   - NewRemote: the cross-process backend — a client speaking the netlock
+//     wire protocol (internal/netlock, which registers itself here via
+//     RegisterRemote) to a server hosting one of the in-process tables for
+//     many engine processes, with leases and fencing tokens covering the
+//     failure modes a network adds.
 //
-// Both backends implement identical blocking semantics, verified by a
+// All backends implement identical blocking semantics, verified by a
 // shared conformance suite: FIFO grant order per entity (oldest-first under
 // wound-wait), cancelled waits withdrawn before Acquire returns (a grant
 // racing the withdrawal is released, never leaked), wounds surfaced as

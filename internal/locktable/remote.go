@@ -1,0 +1,47 @@
+package locktable
+
+import (
+	"fmt"
+	"sync"
+
+	"distlock/internal/model"
+)
+
+// The remote backend is registered rather than constructed here so the
+// lock-table layer stays free of wire code: internal/netlock implements
+// Table over a length-prefixed TCP protocol and registers its dialer in
+// an init, and the runtime reaches it through NewRemote exactly like the
+// in-process constructors. (The engine imports netlock for side effects,
+// which is what arms the registration.)
+var (
+	remoteMu  sync.RWMutex
+	newRemote func(ddb *model.DDB, cfg Config, addr string) (Table, error)
+)
+
+// RegisterRemote installs the remote-table constructor. Called once, from
+// the wire backend's init.
+func RegisterRemote(mk func(ddb *model.DDB, cfg Config, addr string) (Table, error)) {
+	remoteMu.Lock()
+	defer remoteMu.Unlock()
+	newRemote = mk
+}
+
+// NewRemote dials a remote lock table at addr — a netlock server hosting
+// the same database (verified by fingerprint in the handshake). The
+// returned Table has the same blocking semantics as the in-process
+// backends (the conformance suite runs against a loopback pair), plus the
+// failure modes a network adds: a lost connection or expired lease
+// surfaces as ErrStopped/netlock errors, and the server revokes the
+// session's locks rather than leaking them.
+func NewRemote(ddb *model.DDB, cfg Config, addr string) (Table, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("locktable: remote backend needs a server address")
+	}
+	remoteMu.RLock()
+	mk := newRemote
+	remoteMu.RUnlock()
+	if mk == nil {
+		return nil, fmt.Errorf("locktable: no remote backend registered (import distlock/internal/netlock)")
+	}
+	return mk(ddb, cfg, addr)
+}

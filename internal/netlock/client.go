@@ -1,0 +1,616 @@
+package netlock
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+)
+
+// init registers the package as the locktable remote backend, so the
+// runtime can construct remote tables through locktable.NewRemote without
+// the lock-table layer depending on wire code.
+func init() {
+	locktable.RegisterRemote(func(ddb *model.DDB, cfg locktable.Config, addr string) (locktable.Table, error) {
+		return Dial(addr, ddb, cfg, DialOptions{})
+	})
+}
+
+// DialOptions tunes a client connection. The zero value heartbeats at a
+// third of the server-granted lease.
+type DialOptions struct {
+	// HeartbeatEvery overrides the renewal period (default lease/3).
+	HeartbeatEvery time.Duration
+	// NoHeartbeat disables automatic lease renewal — the session's lease
+	// expires unless the caller generates heartbeats itself. Crash and
+	// lease tests use it to stage a stalled holder.
+	NoHeartbeat bool
+	// DialTimeout bounds the TCP connect + handshake (default 5s).
+	DialTimeout time.Duration
+}
+
+// result is one response routed to its requester.
+type result struct {
+	status  byte
+	payload []byte
+}
+
+// fenceRef identifies one client-side grant record.
+type fenceRef struct {
+	ent model.EntityID
+	key locktable.InstKey
+}
+
+// Client is the wire-protocol lock table: a locktable.Table whose state
+// lives in a dlserver-hosted table in another process. All methods are
+// safe for concurrent use; Close (or a lost connection) surfaces as
+// ErrStopped exactly as an in-process table's shutdown would.
+type Client struct {
+	ddb   *model.DDB
+	cfg   locktable.Config
+	conn  net.Conn
+	lease time.Duration
+
+	nextReq atomic.Uint64
+
+	wmu sync.Mutex // frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	fences  map[fenceRef]uint64 // granted entity -> fencing token
+	closed  bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	logMu     sync.Mutex
+	cachedLog []locktable.GrantEvent
+	logCached bool
+}
+
+var _ locktable.Table = (*Client)(nil)
+
+// Dial connects to a netlock server and completes the handshake. The
+// database must be the same one the server hosts (checked by fingerprint),
+// and cfg's WoundWait/Trace must match the server's table — the grant
+// discipline is decided server-side, so a mismatched client is rejected
+// instead of running with semantics it did not ask for. cfg.OnWound is
+// invoked locally for server-pushed wounds; SiteInbox/Shards are
+// server-side tuning and ignored here.
+func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (*Client, error) {
+	if ddb == nil {
+		return nil, fmt.Errorf("netlock: nil database")
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("netlock: dial %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{
+		ddb:     ddb,
+		cfg:     cfg,
+		conn:    nc,
+		pending: map[uint64]chan result{},
+		fences:  map[fenceRef]uint64{},
+		stop:    make(chan struct{}),
+	}
+	hash := DDBHash(ddb)
+	var e enc
+	e.u8(opHello)
+	e.u64(c.nextReq.Add(1))
+	e.u32(protocolVersion)
+	e.boolean(cfg.WoundWait)
+	e.boolean(cfg.Trace)
+	e.raw(hash[:])
+	nc.SetDeadline(time.Now().Add(opts.DialTimeout))
+	if err := writeFrame(nc, e.b); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netlock: handshake: %w", err)
+	}
+	body, err := readFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netlock: handshake: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	d := dec{b: body}
+	if op := d.u8(); op != opResult {
+		nc.Close()
+		return nil, fmt.Errorf("netlock: handshake: unexpected opcode %#x", op)
+	}
+	d.u64() // reqID
+	status := d.u8()
+	if status != stOK {
+		msg := d.str()
+		nc.Close()
+		if msg == "" {
+			msg = fmt.Sprintf("status %#x", status)
+		}
+		return nil, fmt.Errorf("netlock: server rejected handshake: %s", msg)
+	}
+	d.u32() // connection id (diagnostic; the server namespaces keys itself)
+	c.lease = time.Duration(d.u64()) * time.Millisecond
+	if d.err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("netlock: handshake: %w", d.err)
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	if !opts.NoHeartbeat {
+		every := opts.HeartbeatEvery
+		if every <= 0 {
+			every = c.lease / 3
+		}
+		if every <= 0 {
+			every = time.Second
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.heartbeats(every)
+		}()
+	}
+	return c, nil
+}
+
+// readLoop routes responses to their requesters and delivers wound pushes.
+// Any read error (server gone, Close) fails every outstanding request with
+// ErrStopped.
+func (c *Client) readLoop() {
+	defer c.shutdown()
+	for {
+		body, err := readFrame(c.conn)
+		if err != nil {
+			return
+		}
+		d := dec{b: body}
+		switch op := d.u8(); op {
+		case opResult:
+			reqID := d.u64()
+			status := d.u8()
+			if d.err != nil {
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[reqID]
+			delete(c.pending, reqID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- result{status: status, payload: d.b}
+			}
+		case opWoundPush:
+			victim := d.i64()
+			if d.err != nil {
+				return
+			}
+			// Same contract as the in-process backends: the callback only
+			// signals the victim and must not call back into the table.
+			if c.cfg.OnWound != nil {
+				c.cfg.OnWound(int(victim))
+			}
+		default:
+			return
+		}
+	}
+}
+
+// heartbeats renews the lease until Close. Responses are routed and
+// discarded like any other request's.
+func (c *Client) heartbeats(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			// Don't wait for the ack: a slow server must not delay the next
+			// renewal. The reader discards it into the buffered channel.
+			reqID, _ := c.register()
+			if c.send(func(e *enc) {
+				e.u8(opHeartbeat)
+				e.u64(reqID)
+			}) != nil {
+				c.unregister(reqID)
+				return
+			}
+		}
+	}
+}
+
+// shutdown closes the transport and fails every outstanding request. It
+// backs both Close and a lost connection.
+func (c *Client) shutdown() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.conn.Close()
+	c.mu.Lock()
+	c.closed = true
+	pending := c.pending
+	c.pending = map[uint64]chan result{}
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- result{status: stStopped}
+	}
+}
+
+// register allocates a request ID and its response channel.
+func (c *Client) register() (uint64, chan result) {
+	reqID := c.nextReq.Add(1)
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ch <- result{status: stStopped}
+		return reqID, ch
+	}
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+	return reqID, ch
+}
+
+func (c *Client) unregister(reqID uint64) {
+	c.mu.Lock()
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+}
+
+// send builds and writes one frame.
+func (c *Client) send(build func(*enc)) error {
+	var e enc
+	build(&e)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	select {
+	case <-c.stop:
+		return locktable.ErrStopped
+	default:
+	}
+	if err := writeFrame(c.conn, e.b); err != nil {
+		return locktable.ErrStopped
+	}
+	return nil
+}
+
+// call is the synchronous request/response path for everything but
+// Acquire. The wait is bounded: these operations complete promptly on a
+// healthy server, so a response that outlasts several lease windows means
+// the server is wedged or partitioned (TCP alive, nobody home) — the
+// client self-fences, turning a would-be permanent hang in Release/
+// Snapshot/Unlock into the same ErrStopped a closed table gives, with the
+// server's lease machinery reclaiming whatever the session held.
+func (c *Client) call(build func(reqID uint64, e *enc)) (result, error) {
+	reqID, ch := c.register()
+	if err := c.send(func(e *enc) { build(reqID, e) }); err != nil {
+		c.unregister(reqID)
+		return result{}, err
+	}
+	bound := 3 * c.lease
+	if bound < 15*time.Second {
+		bound = 15 * time.Second
+	}
+	timer := time.NewTimer(bound)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.status == stStopped {
+			return res, locktable.ErrStopped
+		}
+		return res, nil
+	case <-timer.C:
+		c.shutdown()
+		return result{}, locktable.ErrStopped
+	}
+}
+
+// Acquire implements locktable.Table: the request blocks server-side in
+// the hosted table; cancellation and doom map to a cancel message that
+// withdraws it there, and a grant that races the cancellation is released
+// before returning.
+func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID) error {
+	reqID, ch := c.register()
+	if err := c.send(func(e *enc) {
+		e.u8(opAcquire)
+		e.u64(reqID)
+		e.key(inst.Key)
+		e.i64(inst.Prio)
+		e.i64(int64(ent))
+	}); err != nil {
+		c.unregister(reqID)
+		return locktable.ErrStopped
+	}
+	select {
+	case res := <-ch:
+		return c.finishAcquire(res, inst.Key, ent)
+	case <-ctx.Done():
+		return c.cancelAcquire(reqID, ch, inst.Key, ent, ctx.Err())
+	case <-inst.Doomed:
+		return c.cancelAcquire(reqID, ch, inst.Key, ent, locktable.ErrWounded)
+	case <-c.stop:
+		return locktable.ErrStopped
+	}
+}
+
+// finishAcquire maps an acquire result onto the Table contract, recording
+// the fencing token on a grant.
+func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.EntityID) error {
+	switch res.status {
+	case stOK:
+		d := dec{b: res.payload}
+		fence := d.u64()
+		if d.err != nil {
+			return fmt.Errorf("netlock: malformed grant: %w", d.err)
+		}
+		c.mu.Lock()
+		c.fences[fenceRef{ent: ent, key: key}] = fence
+		c.mu.Unlock()
+		return nil
+	case stWounded:
+		return locktable.ErrWounded
+	case stStopped:
+		return locktable.ErrStopped
+	case stLeaseExpired:
+		return ErrLeaseExpired
+	case stCancelled:
+		// The server withdrew the request without us asking — only possible
+		// after a revoke raced a cancel bookkeeping-wise; treat as expiry.
+		return ErrLeaseExpired
+	case stErr:
+		d := dec{b: res.payload}
+		return fmt.Errorf("netlock: acquire: %s", d.str())
+	default:
+		return fmt.Errorf("netlock: acquire: unknown status %#x", res.status)
+	}
+}
+
+// cancelAcquire withdraws an in-flight acquire after the caller's context
+// or doom fired, then waits for the server's authoritative answer: if the
+// grant won the race it is released before returning, so the instance
+// holds nothing either way.
+func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstKey, ent model.EntityID, cause error) error {
+	if err := c.send(func(e *enc) {
+		e.u8(opCancel)
+		e.u64(reqID)
+	}); err != nil {
+		// Connection gone: the request dies with the session server-side
+		// (release-on-disconnect); nothing is held.
+		return cause
+	}
+	// Bound the wait for the server's answer by the lease window (plus
+	// slack): a wedged-but-TCP-alive server must not make a cancelled
+	// Lock hang. Past the bound, self-fence — tear the session down, so
+	// "holds nothing on return" is enforced by the server's
+	// release-on-disconnect/lease machinery instead of the missing reply.
+	bound := c.lease + c.lease/2
+	if bound < 2*time.Second {
+		bound = 2 * time.Second
+	}
+	timer := time.NewTimer(bound)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		if res.status == stOK {
+			// The grant raced the cancel: record it, then give it back.
+			if c.finishAcquire(res, key, ent) == nil {
+				c.Release(ent, key)
+			}
+		}
+		return cause
+	case <-c.stop:
+		return cause
+	case <-timer.C:
+		c.shutdown()
+		return cause
+	}
+}
+
+// Release implements locktable.Table. A release of an entity the instance
+// holds no record for is the in-process no-op; a recorded grant is
+// released with its fencing token, and a stale token (the lease expired
+// and the server revoked the grant) reports ErrStaleFence — the lock was
+// not freed, and whoever holds it now keeps it.
+func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return locktable.ErrStopped
+	}
+	ref := fenceRef{ent: ent, key: key}
+	fence, held := c.fences[ref]
+	if held {
+		delete(c.fences, ref)
+	}
+	c.mu.Unlock()
+	if !held {
+		return nil
+	}
+	res, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opRelease)
+		e.u64(reqID)
+		e.i64(int64(ent))
+		e.key(key)
+		e.u64(fence)
+	})
+	switch {
+	case err != nil:
+		return locktable.ErrStopped
+	case res.status == stOK:
+		return nil
+	case res.status == stStaleFence:
+		return ErrStaleFence
+	default:
+		return fmt.Errorf("netlock: release: unknown status %#x", res.status)
+	}
+}
+
+// ReleaseAll implements locktable.Table: one wire round trip releases
+// every listed entity the instance holds a record for (the abort path).
+// Stale entries are skipped server-side — they are no longer this
+// session's to free.
+func (c *Client) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error {
+	type rel struct {
+		ent   model.EntityID
+		fence uint64
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return locktable.ErrStopped
+	}
+	rels := make([]rel, 0, len(ents))
+	for _, ent := range ents {
+		ref := fenceRef{ent: ent, key: key}
+		if fence, ok := c.fences[ref]; ok {
+			delete(c.fences, ref)
+			rels = append(rels, rel{ent: ent, fence: fence})
+		}
+	}
+	c.mu.Unlock()
+	if len(rels) == 0 {
+		return nil
+	}
+	_, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opReleaseAll)
+		e.u64(reqID)
+		e.key(key)
+		e.u32(uint32(len(rels)))
+		for _, r := range rels {
+			e.i64(int64(r.ent))
+			e.u64(r.fence)
+		}
+	})
+	if err != nil {
+		return locktable.ErrStopped
+	}
+	return nil
+}
+
+// Withdraw implements locktable.Table. The session has no pending request
+// it did not park an Acquire on (the contract forbids racing one's own
+// Acquire), so Withdraw is the granted-lock cleanup path: it reports
+// whether a recorded grant was released.
+func (c *Client) Withdraw(ent model.EntityID, key locktable.InstKey) bool {
+	c.mu.Lock()
+	ref := fenceRef{ent: ent, key: key}
+	_, held := c.fences[ref]
+	if held {
+		delete(c.fences, ref)
+	}
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || !held {
+		return false
+	}
+	res, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opWithdraw)
+		e.u64(reqID)
+		e.i64(int64(ent))
+		e.key(key)
+	})
+	if err != nil || res.status != stOK {
+		return false
+	}
+	d := dec{b: res.payload}
+	return d.boolean() && d.err == nil
+}
+
+// Wound implements locktable.Table: pending requests of the exact attempt
+// are withdrawn server-side, waking their parked Acquires (local or in
+// other processes) with ErrWounded.
+func (c *Client) Wound(key locktable.InstKey) {
+	if c.isClosed() {
+		return
+	}
+	c.call(func(reqID uint64, e *enc) {
+		e.u8(opWound)
+		e.u64(reqID)
+		e.key(key)
+	})
+}
+
+// Snapshot implements locktable.Table: the server's current wait-for
+// edges, with this session's instance IDs translated back to local
+// numbering. Edges of other sessions keep their composed server-side IDs —
+// still distinct from every local ID, so a detector can reason about them
+// without colliding.
+func (c *Client) Snapshot() []locktable.WaitEdge {
+	if c.isClosed() {
+		return nil
+	}
+	res, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opSnapshot)
+		e.u64(reqID)
+	})
+	if err != nil || res.status != stOK {
+		return nil
+	}
+	d := dec{b: res.payload}
+	edges := d.edges()
+	if d.err != nil {
+		return nil
+	}
+	return edges
+}
+
+// GrantLog implements locktable.Table (Config.Trace only). The log is the
+// server's, with this session's instance IDs translated back; it is
+// fetched once at Close so the contract's "call after Close" works even
+// though the transport is gone by then.
+func (c *Client) GrantLog() []locktable.GrantEvent {
+	c.logMu.Lock()
+	defer c.logMu.Unlock()
+	if !c.logCached && !c.isClosed() {
+		c.cachedLog = c.fetchGrantLog()
+		c.logCached = true
+	}
+	return c.cachedLog
+}
+
+func (c *Client) fetchGrantLog() []locktable.GrantEvent {
+	res, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opGrantLog)
+		e.u64(reqID)
+	})
+	if err != nil || res.status != stOK {
+		return nil
+	}
+	d := dec{b: res.payload}
+	evs := d.events()
+	if d.err != nil {
+		return nil
+	}
+	return evs
+}
+
+// Close implements locktable.Table: parked Acquires wake with ErrStopped
+// and the connection closes, which is the server's cue to release
+// everything the session still holds. Idempotent.
+func (c *Client) Close() {
+	if c.cfg.Trace {
+		c.GrantLog() // cache it while the transport still works
+	}
+	c.shutdown()
+	c.wg.Wait()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Lease returns the server-granted lease window (diagnostics and tests).
+func (c *Client) Lease() time.Duration { return c.lease }

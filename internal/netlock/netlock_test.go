@@ -1,0 +1,367 @@
+package netlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+)
+
+// The conformance suite (internal/locktable, run against a loopback pair
+// registered from its external test package) covers the blocking
+// semantics shared with the in-process backends. The tests here cover
+// what only the networked backend has: sessions that die, leases that
+// expire, fencing tokens that go stale, and wounds that cross processes.
+
+func testDDB(t *testing.T, n int) (*model.DDB, []model.EntityID) {
+	t.Helper()
+	ddb := model.NewDDB()
+	ents := make([]model.EntityID, n)
+	for i := range ents {
+		ents[i] = ddb.MustEntity(fmt.Sprintf("e%d", i), fmt.Sprintf("s%d", i%2))
+	}
+	return ddb, ents
+}
+
+func startServer(t *testing.T, ddb *model.DDB, cfg locktable.Config, opts ServerOptions) *Server {
+	t.Helper()
+	srv, err := NewServer(ddb, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func dial(t *testing.T, srv *Server, cfg locktable.Config, opts DialOptions) *Client {
+	t.Helper()
+	c, err := Dial(srv.Addr(), testClientDDB(srv), cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// testClientDDB returns the server's database — in these tests both ends
+// share the process, which is exactly what the fingerprint handshake
+// permits.
+func testClientDDB(srv *Server) *model.DDB { return srv.ddb }
+
+func acquire(t *testing.T, c *Client, id int, ent model.EntityID) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	inst := locktable.Instance{Key: locktable.InstKey{ID: id}, Prio: int64(id)}
+	if err := c.Acquire(ctx, inst, ent); err != nil {
+		t.Fatalf("Acquire(%d, %v) = %v", id, ent, err)
+	}
+}
+
+// fenceOf reads the client's recorded fencing token (white-box).
+func fenceOf(c *Client, ent model.EntityID, id int) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.fences[fenceRef{ent: ent, key: locktable.InstKey{ID: id}}]
+	return f, ok
+}
+
+// TestKilledConnMidAcquire: a connection dying while its acquire is
+// parked must not leave a ghost in the queue — and a grant racing the
+// death bounces back instead of leaking.
+func TestKilledConnMidAcquire(t *testing.T) {
+	ddb, ents := testDDB(t, 2)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+	holder := dial(t, srv, locktable.Config{}, DialOptions{})
+	victim := dial(t, srv, locktable.Config{}, DialOptions{})
+
+	acquire(t, holder, 1, ents[0])
+	parked := make(chan error, 1)
+	go func() {
+		parked <- victim.Acquire(context.Background(),
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+	}()
+	waitFor(t, func() bool { return len(holder.Snapshot()) == 1 })
+
+	victim.Close() // the wire sees exactly what a crash looks like: EOF
+	if err := <-parked; !errors.Is(err, locktable.ErrStopped) {
+		t.Fatalf("parked Acquire on killed conn = %v, want ErrStopped", err)
+	}
+	// The ghost request is withdrawn server-side; release-and-reacquire
+	// proves the entity flows past the dead session. (A grant that raced
+	// the teardown is released back by the server, so this succeeds either
+	// way — it may just take the bounce.)
+	if err := holder.Release(ents[0], locktable.InstKey{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	probe := dial(t, srv, locktable.Config{}, DialOptions{})
+	acquire(t, probe, 3, ents[0])
+	waitFor(t, func() bool { return len(probe.Snapshot()) == 0 })
+}
+
+// TestLeaseExpiryWhileHolding: a holder that stops heartbeating is
+// revoked — its lock is released to the next requester without its
+// cooperation.
+func TestLeaseExpiryWhileHolding(t *testing.T) {
+	ddb, ents := testDDB(t, 1)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: 150 * time.Millisecond})
+	stalled := dial(t, srv, locktable.Config{}, DialOptions{NoHeartbeat: true})
+	live := dial(t, srv, locktable.Config{}, DialOptions{})
+
+	acquire(t, stalled, 1, ents[0])
+	// No heartbeats: the sweeper revokes the lease, and the next acquire
+	// gets the entity without anyone releasing it.
+	acquire(t, live, 2, ents[0])
+	if err := live.Release(ents[0], locktable.InstKey{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleFenceRejected is the fencing acceptance test: a lease-expired
+// holder's late release must not free a lock the server has re-granted.
+func TestStaleFenceRejected(t *testing.T) {
+	ddb, ents := testDDB(t, 1)
+	e := ents[0]
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: 150 * time.Millisecond})
+	stalled := dial(t, srv, locktable.Config{}, DialOptions{NoHeartbeat: true})
+	next := dial(t, srv, locktable.Config{}, DialOptions{})
+
+	acquire(t, stalled, 1, e)
+	f1, ok := fenceOf(stalled, e, 1)
+	if !ok || f1 == 0 {
+		t.Fatalf("no fencing token recorded for the grant (got %d, %v)", f1, ok)
+	}
+
+	// The lease expires; the lock is re-granted to the next session with a
+	// fresh token.
+	acquire(t, next, 2, e)
+	f2, _ := fenceOf(next, e, 2)
+	if f2 <= f1 {
+		t.Fatalf("re-grant fence %d not newer than revoked fence %d", f2, f1)
+	}
+
+	// The stalled holder un-stalls and sends its release — stale token,
+	// rejected, and the re-granted lock stays held.
+	if err := stalled.Release(e, locktable.InstKey{ID: 1}); !errors.Is(err, ErrStaleFence) {
+		t.Fatalf("late release after lease expiry = %v, want ErrStaleFence", err)
+	}
+	probeCtx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := next.Acquire(probeCtx, locktable.Instance{Key: locktable.InstKey{ID: 3}, Prio: 3}, e)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("probe acquired a lock the stale release should not have freed (err=%v)", err)
+	}
+	// The rightful holder's release, with the current token, works.
+	if err := next.Release(e, locktable.InstKey{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	acquire(t, next, 3, e)
+}
+
+// TestLeaseExpiryWakesParkedAcquire: a session whose lease lapses while
+// it waits gets ErrLeaseExpired, not an eternal park.
+func TestLeaseExpiryWakesParkedAcquire(t *testing.T) {
+	ddb, ents := testDDB(t, 1)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: 150 * time.Millisecond})
+	holder := dial(t, srv, locktable.Config{}, DialOptions{})
+	stalled := dial(t, srv, locktable.Config{}, DialOptions{NoHeartbeat: true})
+
+	acquire(t, holder, 1, ents[0])
+	got := make(chan error, 1)
+	go func() {
+		got <- stalled.Acquire(context.Background(),
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+	}()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrLeaseExpired) {
+			t.Fatalf("parked Acquire past lease = %v, want ErrLeaseExpired", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease expiry did not wake the parked Acquire")
+	}
+	if edges := holder.Snapshot(); len(edges) != 0 {
+		t.Fatalf("revoked request still queued: %v", edges)
+	}
+}
+
+// TestSnapshotGrantLogAcrossReconnect: after a session dies, a fresh
+// session sees a clean wait-for graph (no ghost edges), can take the dead
+// session's entities immediately, and the grant log still carries the
+// full history — the dead session's events under composed foreign IDs,
+// its own under local IDs.
+func TestSnapshotGrantLogAcrossReconnect(t *testing.T) {
+	ddb, ents := testDDB(t, 2)
+	cfg := locktable.Config{Trace: true}
+	srv := startServer(t, ddb, cfg, ServerOptions{Lease: time.Minute})
+
+	first := dial(t, srv, cfg, DialOptions{})
+	acquire(t, first, 1, ents[0])
+	acquire(t, first, 1, ents[1])
+	if err := first.Release(ents[0], locktable.InstKey{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	first.Close() // still holding ents[1]: release-on-disconnect frees it
+
+	second := dial(t, srv, cfg, DialOptions{})
+	if edges := second.Snapshot(); len(edges) != 0 {
+		t.Fatalf("ghost wait edges after reconnect: %v", edges)
+	}
+	acquire(t, second, 1, ents[1]) // immediately grantable: nothing leaked
+
+	log := second.GrantLog()
+	var foreign, local int
+	for _, ev := range log {
+		if ev.Inst == 1 {
+			local++
+		} else if ev.Inst > 1<<32 {
+			foreign++
+		} else {
+			t.Fatalf("grant event with unexpected instance id: %+v", ev)
+		}
+	}
+	if foreign != 2 || local != 1 {
+		t.Fatalf("grant log across reconnect = %v (want 2 foreign events, 1 local)", log)
+	}
+}
+
+// TestWoundPushCrossConn: under wound-wait, an older requester in one
+// process wounds a younger holder in another — the server pushes the
+// wound to the holder's connection, which surfaces it through OnWound
+// with the holder's local instance ID.
+func TestWoundPushCrossConn(t *testing.T) {
+	ddb, ents := testDDB(t, 1)
+	srvCfg := locktable.Config{WoundWait: true}
+	srv := startServer(t, ddb, srvCfg, ServerOptions{Lease: time.Minute})
+
+	var wounded atomic.Int64
+	wounded.Store(-1)
+	youngCfg := locktable.Config{WoundWait: true, OnWound: func(id int) { wounded.Store(int64(id)) }}
+	young := dial(t, srv, youngCfg, DialOptions{})
+	old := dial(t, srv, locktable.Config{WoundWait: true}, DialOptions{})
+
+	acquire(t, young, 9, ents[0])
+	got := make(chan error, 1)
+	go func() {
+		got <- old.Acquire(context.Background(),
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+	}()
+	waitFor(t, func() bool { return wounded.Load() == 9 })
+	// The wounded holder aborts: releases, and the old requester wins.
+	if err := young.Release(ents[0], locktable.InstKey{ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandshakeRejects: a client over the wrong database, or with a
+// mismatched discipline, is told so instead of corrupting the table.
+func TestHandshakeRejects(t *testing.T) {
+	ddb, _ := testDDB(t, 2)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+
+	otherDDB, _ := testDDB(t, 3)
+	if _, err := Dial(srv.Addr(), otherDDB, locktable.Config{}, DialOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("dial over a different DDB = %v, want fingerprint rejection", err)
+	}
+	if _, err := Dial(srv.Addr(), ddb, locktable.Config{WoundWait: true}, DialOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "wound-wait") {
+		t.Fatalf("dial with mismatched wound-wait = %v, want rejection", err)
+	}
+	if _, err := Dial(srv.Addr(), ddb, locktable.Config{Trace: true}, DialOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "trace") {
+		t.Fatalf("dial with mismatched trace = %v, want rejection", err)
+	}
+}
+
+// TestFencingTokensMonotonic: every grant of an entity mints a strictly
+// newer token, across sessions and releases.
+func TestFencingTokensMonotonic(t *testing.T) {
+	ddb, ents := testDDB(t, 1)
+	e := ents[0]
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+	a := dial(t, srv, locktable.Config{}, DialOptions{})
+	b := dial(t, srv, locktable.Config{}, DialOptions{})
+
+	var last uint64
+	for i := 0; i < 3; i++ {
+		for id, c := range map[int]*Client{1: a, 2: b} {
+			acquire(t, c, id, e)
+			f, ok := fenceOf(c, e, id)
+			if !ok || f <= last {
+				t.Fatalf("grant %d/%d fence %d not newer than %d", i, id, f, last)
+			}
+			last = f
+			if err := c.Release(e, locktable.InstKey{ID: id}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestLeaseRecoveryAfterExpiry: a session that resumes heartbeating after
+// an expiry gets a fresh lease — new acquires work, the old grants stay
+// gone.
+func TestLeaseRecoveryAfterExpiry(t *testing.T) {
+	ddb, ents := testDDB(t, 2)
+	e := ents[0]
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: 150 * time.Millisecond})
+	c := dial(t, srv, locktable.Config{}, DialOptions{NoHeartbeat: true})
+
+	acquire(t, c, 1, e)
+	waitFor(t, func() bool {
+		// The revoked grant frees the entity for a probe session.
+		p := dial(t, srv, locktable.Config{}, DialOptions{})
+		defer p.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		err := p.Acquire(ctx, locktable.Instance{Key: locktable.InstKey{ID: 7}, Prio: 7}, e)
+		if err == nil {
+			p.Release(e, locktable.InstKey{ID: 7})
+			return true
+		}
+		return false
+	})
+	// Manual heartbeat: the session's next renewal restores the lease…
+	if _, err := c.call(func(reqID uint64, enc *enc) {
+		enc.u8(opHeartbeat)
+		enc.u64(reqID)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// …so new acquires succeed again (the dead grant's record is gone, and
+	// its release is stale).
+	acquire(t, c, 1, ents[1])
+	if err := c.Release(e, locktable.InstKey{ID: 1}); !errors.Is(err, ErrStaleFence) {
+		t.Fatalf("release of revoked grant = %v, want ErrStaleFence", err)
+	}
+	if err := c.Release(ents[1], locktable.InstKey{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

@@ -1,0 +1,337 @@
+// Package netlock is the cross-process lock-table backend: a server that
+// hosts any in-process locktable.Table (actor or sharded) behind a
+// length-prefixed binary request/response protocol, and a client that
+// implements the full locktable.Table interface over the wire. The session
+// layer, the service tiers, and the conformance suite run unchanged on
+// top of it — the Table interface is the contract, the network is an
+// implementation detail behind it.
+//
+// What the in-process backends get for free, the networked one must earn:
+//
+//   - Per-connection session identity. Each connection is a session; the
+//     server namespaces client instance keys by connection (the client's
+//     instance ID occupies the low 32 bits of the server-side key, the
+//     connection ID the high bits), so engines in different processes can
+//     both number their instances from 1 without colliding in the shared
+//     table.
+//
+//   - Leases. A holder in another process can crash, hang, or partition
+//     away while holding locks. Every connection holds a lease, renewed by
+//     heartbeats; when a connection disconnects, or stays silent past its
+//     lease, the server revokes it — pending acquires are withdrawn and
+//     granted locks are released to their next waiters.
+//
+//   - Fencing. Revocation alone is not enough: a revoked holder's release,
+//     already in flight (or sent after the holder un-stalls), could free a
+//     lock the server has since re-granted to someone else. Every grant
+//     therefore carries a fencing token from a per-entity counter bumped on
+//     each grant, releases must present the token they were granted, and a
+//     stale token is rejected (ErrStaleFence) — a lease-expired holder's
+//     late release can never free a re-granted lock.
+//
+//   - Server-push wound delivery. Under wound-wait the grant path decides
+//     to wound a holder that may live in another process: the server pushes
+//     a wound event to the connection owning the holder, where the client
+//     invokes its Config.OnWound exactly as an in-process backend would.
+//
+// Context cancellation maps to withdrawal exactly as in process: a
+// cancelled client Acquire sends a cancel for its in-flight request, the
+// server cancels the server-side acquire context (which withdraws the
+// request from the inner table), and if a grant raced the cancellation the
+// client releases it before returning — the instance holds nothing on a
+// non-nil return.
+package netlock
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+)
+
+// protocolVersion guards against skew between client and server builds.
+const protocolVersion = 1
+
+// maxFrame bounds a frame body; larger frames indicate a corrupt stream.
+const maxFrame = 16 << 20
+
+// Message opcodes. Client→server requests carry a request ID the matching
+// opResult echoes; opWoundPush is the one server-initiated message.
+const (
+	opHello      = 0x01 // version, woundWait, trace, ddb hash
+	opAcquire    = 0x02 // reqID, inst key, prio, entity
+	opCancel     = 0x03 // reqID of the in-flight acquire to withdraw
+	opRelease    = 0x04 // reqID, entity, inst key, fencing token
+	opReleaseAll = 0x05 // reqID, inst key, n × (entity, fencing token)
+	opWithdraw   = 0x06 // reqID, entity, inst key
+	opWound      = 0x07 // reqID, inst key
+	opSnapshot   = 0x08 // reqID
+	opGrantLog   = 0x09 // reqID
+	opHeartbeat  = 0x0a // reqID (renews the lease)
+
+	opResult    = 0x80 // reqID, status, payload per request kind
+	opWoundPush = 0x81 // holder's client-side instance ID
+)
+
+// Result statuses.
+const (
+	stOK           = 0x00
+	stWounded      = 0x01 // acquire: withdrawn by a wound
+	stStopped      = 0x02 // server shutting down
+	stCancelled    = 0x03 // acquire: withdrawn by the client's cancel
+	stStaleFence   = 0x04 // release: fencing token no longer current
+	stLeaseExpired = 0x05 // acquire/release: the connection's lease was revoked
+	stErr          = 0x06 // payload: error string
+)
+
+// ErrStaleFence is returned by Release when the presented fencing token is
+// no longer the entity's current grant: the holder's lease expired and the
+// lock was revoked (and possibly re-granted) in the meantime. The release
+// did not free anything.
+var ErrStaleFence = errors.New("netlock: stale fencing token (lease expired; lock revoked)")
+
+// ErrLeaseExpired is returned by a blocked Acquire when the server revoked
+// the connection's lease while the request waited: the request was
+// withdrawn, and any locks the session held are gone. The connection
+// itself may still be alive — the next heartbeat starts a fresh lease —
+// but the session's grants did not survive.
+var ErrLeaseExpired = errors.New("netlock: lease expired while waiting (request withdrawn, held locks revoked)")
+
+// DDBHash fingerprints a database: sites and entities, names and
+// placement, in ID order. Client and server exchange it in the handshake
+// so a client built over a different database (entity IDs meaning
+// different things) is rejected instead of silently corrupting grants.
+func DDBHash(d *model.DDB) [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.BigEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(len(s))
+		io.WriteString(h, s)
+	}
+	writeInt(d.NumSites())
+	for s := 0; s < d.NumSites(); s++ {
+		writeStr(d.SiteName(model.SiteID(s)))
+	}
+	writeInt(d.NumEntities())
+	for e := 0; e < d.NumEntities(); e++ {
+		writeStr(d.EntityName(model.EntityID(e)))
+		writeInt(int(d.SiteOf(model.EntityID(e))))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// composeKey namespaces a client instance key by its connection: the
+// connection ID occupies the high 32 bits of the server-side instance ID.
+// Client instance IDs must fit in 32 bits (engine IDs are small dense
+// integers; the handshake documents the bound).
+func composeKey(connID uint32, k locktable.InstKey) locktable.InstKey {
+	return locktable.InstKey{
+		ID:    int(int64(connID)<<32 | int64(uint32(k.ID))),
+		Epoch: k.Epoch,
+	}
+}
+
+// stripID translates a composed server-side instance ID back to the
+// client-side ID if it belongs to the given connection; foreign IDs (other
+// connections' sessions) are returned composed, which keeps them distinct
+// from every local ID.
+func stripID(connID uint32, id int) (int, bool) {
+	if uint32(uint64(id)>>32) == connID {
+		return int(uint32(id)), true
+	}
+	return id, false
+}
+
+// writeFrame sends one length-prefixed frame. Callers serialize writes per
+// connection.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netlock: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// enc builds a frame body. All integers are big-endian fixed width; the
+// messages are small and fixed-shape, so varints would buy nothing.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) raw(p []byte) { e.b = append(e.b, p...) }
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// dec consumes a frame body. The first malformed read poisons the decoder;
+// callers check err once at the end (a short frame yields zero values, and
+// the single check rejects the message).
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = errors.New("netlock: truncated frame")
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64    { return int64(d.u64()) }
+func (d *dec) boolean() bool { return d.u8() != 0 }
+func (d *dec) raw(n int) []byte {
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return make([]byte, n)
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || len(d.b) < n {
+		d.fail()
+		return ""
+	}
+	return string(d.raw(n))
+}
+
+// key encodes/decodes an instance key (client-side numbering on the wire;
+// composition is server business).
+func (e *enc) key(k locktable.InstKey) {
+	e.i64(int64(k.ID))
+	e.i64(int64(k.Epoch))
+}
+
+func (d *dec) key() locktable.InstKey {
+	id := d.i64()
+	ep := d.i64()
+	return locktable.InstKey{ID: int(id), Epoch: int(ep)}
+}
+
+// edges encodes a snapshot result.
+func (e *enc) edges(es []locktable.WaitEdge) {
+	e.u32(uint32(len(es)))
+	for _, ed := range es {
+		e.key(ed.Waiter)
+		e.i64(ed.WaiterPrio)
+		e.key(ed.Holder)
+		e.i64(ed.HolderPrio)
+	}
+}
+
+func (d *dec) edges() []locktable.WaitEdge {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/16 {
+		d.fail()
+		return nil
+	}
+	out := make([]locktable.WaitEdge, 0, n)
+	for i := 0; i < n; i++ {
+		var ed locktable.WaitEdge
+		ed.Waiter = d.key()
+		ed.WaiterPrio = d.i64()
+		ed.Holder = d.key()
+		ed.HolderPrio = d.i64()
+		out = append(out, ed)
+	}
+	return out
+}
+
+// events encodes a grant-log result.
+func (e *enc) events(evs []locktable.GrantEvent) {
+	e.u32(uint32(len(evs)))
+	for _, ev := range evs {
+		e.i64(int64(ev.Entity))
+		e.i64(int64(ev.Inst))
+		e.i64(int64(ev.Epoch))
+	}
+}
+
+func (d *dec) events() []locktable.GrantEvent {
+	n := int(d.u32())
+	if d.err != nil || n > maxFrame/24 {
+		d.fail()
+		return nil
+	}
+	out := make([]locktable.GrantEvent, 0, n)
+	for i := 0; i < n; i++ {
+		var ev locktable.GrantEvent
+		ev.Entity = model.EntityID(d.i64())
+		ev.Inst = int(d.i64())
+		ev.Epoch = int(d.i64())
+		out = append(out, ev)
+	}
+	return out
+}

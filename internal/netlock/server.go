@@ -1,0 +1,755 @@
+package netlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+)
+
+// DefaultLease is the default connection lease: a connection that neither
+// disconnects nor heartbeats within this window is revoked — its pending
+// acquires withdrawn, its granted locks released to their next waiters.
+const DefaultLease = 5 * time.Second
+
+// ServerOptions parameterizes a Server. The zero value hosts a sharded
+// table with the default lease.
+type ServerOptions struct {
+	// Lease is the heartbeat window granted to every connection. Default
+	// DefaultLease.
+	Lease time.Duration
+	// New constructs the hosted in-process table (nil: locktable.NewSharded).
+	// The server hooks its own OnWound into the config it passes down (for
+	// cross-process wound push) and records the grant log itself, so the
+	// constructor receives cfg with OnWound set by the server and Trace off.
+	New func(*model.DDB, locktable.Config) locktable.Table
+}
+
+// Server hosts one in-process lock table for remote clients. Each accepted
+// connection is a session: its instance keys are namespaced by connection,
+// its grants carry fencing tokens, and its lease is renewed by heartbeats.
+// Create with NewServer, serve with Serve, stop with Close.
+type Server struct {
+	ddb   *model.DDB
+	cfg   locktable.Config // handshake contract: WoundWait/Trace must match dialers
+	tab   locktable.Table
+	lease time.Duration
+	hash  [32]byte
+
+	ln       net.Listener
+	wg       sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	nextConn atomic.Uint32
+	connsMu  sync.RWMutex // guards conns/preConns only; never held around table calls
+	conns    map[uint32]*srvConn
+	preConns map[net.Conn]struct{} // accepted, not yet past the handshake
+
+	fenceMu sync.Mutex
+	fences  map[model.EntityID]uint64 // per-entity fencing counter
+
+	traceMu sync.Mutex
+	trace   []locktable.GrantEvent // composed IDs; translated per querying conn
+}
+
+// grantRef identifies one recorded grant of a connection.
+type grantRef struct {
+	ent model.EntityID
+	key locktable.InstKey // composed
+}
+
+// pendingAcq is one in-flight acquire of a connection: the server-side
+// goroutine blocked in the inner table's Acquire, plus the flags the
+// cancel and revoke paths set under the connection mutex.
+type pendingAcq struct {
+	cancel    context.CancelFunc
+	cancelled bool // client sent opCancel
+	revoked   bool // lease expiry withdrew the request
+}
+
+// srvConn is one client session.
+type srvConn struct {
+	id  uint32
+	net net.Conn
+
+	wmu sync.Mutex // frame writes
+
+	mu        sync.Mutex // guards the fields below; never held around table calls
+	acquires  map[uint64]*pendingAcq
+	grants    map[grantRef]uint64 // recorded grant -> fencing token
+	closed    bool
+	leaseLost bool
+
+	lastRenew atomic.Int64 // unix nanos of the last heartbeat (or hello)
+
+	ctx    context.Context // conn lifetime: cancelled on disconnect/server stop
+	cancel context.CancelFunc
+
+	// Wound push: OnWound runs inside the inner table's grant-path critical
+	// section, so it must not block on conn I/O or take mu — it drops the
+	// victim into a coalescing set a dedicated writer goroutine drains.
+	woundMu     sync.Mutex
+	woundSet    map[int64]struct{}
+	woundNotify chan struct{}
+}
+
+// NewServer builds a server hosting a fresh table over the database. The
+// table config's WoundWait is honored (the handshake requires dialers to
+// agree); cfg.OnWound must be nil (wounds are pushed to the owning
+// connection) and cfg.Trace selects server-side grant logging.
+func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Server, error) {
+	if ddb == nil {
+		return nil, fmt.Errorf("netlock: nil database")
+	}
+	if cfg.OnWound != nil {
+		return nil, fmt.Errorf("netlock: server config must not set OnWound (wounds are pushed to the owning connection)")
+	}
+	if opts.Lease <= 0 {
+		opts.Lease = DefaultLease
+	}
+	mk := opts.New
+	if mk == nil {
+		mk = locktable.NewSharded
+	}
+	s := &Server{
+		ddb:      ddb,
+		cfg:      cfg,
+		lease:    opts.Lease,
+		hash:     DDBHash(ddb),
+		stop:     make(chan struct{}),
+		conns:    map[uint32]*srvConn{},
+		preConns: map[net.Conn]struct{}{},
+		fences:   map[model.EntityID]uint64{},
+	}
+	inner := cfg
+	inner.Trace = false // the server records grants itself, with session identity
+	if cfg.WoundWait {
+		inner.OnWound = s.pushWound
+	}
+	s.tab = mk(ddb, inner)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.sweeper()
+	}()
+	return s, nil
+}
+
+// Listen starts serving on the TCP address (":0" picks a free port) and
+// returns once the listener is up; Serve runs in the background.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the listening address (after Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections on the listener until Close (or a listener
+// error) and handles each as a session.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// Close stops the server: the listener closes, every session is revoked
+// and disconnected, and the hosted table shuts down (waking any still-
+// parked acquires with ErrStopped). Close is idempotent.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connsMu.RLock()
+		conns := make([]*srvConn, 0, len(s.conns))
+		for _, c := range s.conns {
+			conns = append(conns, c)
+		}
+		pre := make([]net.Conn, 0, len(s.preConns))
+		for nc := range s.preConns {
+			pre = append(pre, nc)
+		}
+		s.connsMu.RUnlock()
+		for _, nc := range pre {
+			nc.Close() // sockets stalled in (or before) the handshake
+		}
+		for _, c := range conns {
+			s.dropConn(c)
+		}
+		s.tab.Close()
+	})
+	s.wg.Wait()
+}
+
+// handshakeTimeout bounds how long an accepted socket may take to
+// complete the hello exchange. The lease is the natural scale, floored so
+// aggressive test leases don't reject slow-starting legitimate dialers.
+func (s *Server) handshakeTimeout() time.Duration {
+	if s.lease > 5*time.Second {
+		return s.lease
+	}
+	return 5 * time.Second
+}
+
+// nextFence bumps and returns the entity's fencing counter. Called at
+// grant-record time, which is the serialization point release validity is
+// checked against.
+func (s *Server) nextFence(ent model.EntityID) uint64 {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	s.fences[ent]++
+	return s.fences[ent]
+}
+
+// sweeper revokes the lease of every connection silent past the lease
+// window. The connection itself stays open — a later heartbeat starts a
+// fresh lease — but its grants and pending acquires do not survive.
+func (s *Server) sweeper() {
+	tick := s.lease / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(tick):
+		}
+		now := time.Now().UnixNano()
+		s.connsMu.RLock()
+		var expired []*srvConn
+		for _, c := range s.conns {
+			if now-c.lastRenew.Load() > int64(s.lease) {
+				expired = append(expired, c)
+			}
+		}
+		s.connsMu.RUnlock()
+		for _, c := range expired {
+			s.revoke(c, false)
+		}
+	}
+}
+
+// revoke withdraws a connection's pending acquires and releases its
+// recorded grants — the lease-expiry and disconnect path. With
+// disconnect=false the connection survives (lease-lost until the next
+// heartbeat); with disconnect=true it is being torn down.
+func (s *Server) revoke(c *srvConn, disconnect bool) {
+	c.mu.Lock()
+	if c.leaseLost && !disconnect {
+		c.mu.Unlock()
+		return // already revoked; nothing new to take
+	}
+	c.leaseLost = true
+	for _, acq := range c.acquires {
+		if !acq.cancelled {
+			acq.revoked = true
+		}
+		acq.cancel()
+	}
+	grants := make([]grantRef, 0, len(c.grants))
+	for ref := range c.grants {
+		grants = append(grants, ref)
+	}
+	c.grants = map[grantRef]uint64{}
+	c.mu.Unlock()
+	// Table calls outside every server lock (the grant path's OnWound takes
+	// locks of its own).
+	for _, ref := range grants {
+		s.tab.Release(ref.ent, ref.key)
+	}
+}
+
+// dropConn tears a session down: revoke everything, cancel the conn
+// context, close the socket, remove it from the registry.
+func (s *Server) dropConn(c *srvConn) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	s.revoke(c, true)
+	c.cancel()
+	c.net.Close()
+	s.connsMu.Lock()
+	delete(s.conns, c.id)
+	s.connsMu.Unlock()
+}
+
+// pushWound is the inner table's OnWound: it runs inside the grant-path
+// critical section, so it only records the victim for the owning
+// connection's wound writer. Unknown owners (a session that vanished
+// between decision and push) are dropped — their locks are on their way
+// out anyway.
+func (s *Server) pushWound(composedID int) {
+	connID := uint32(uint64(composedID) >> 32)
+	clientID := int64(uint32(composedID))
+	s.connsMu.RLock()
+	c := s.conns[connID]
+	s.connsMu.RUnlock()
+	if c == nil {
+		return
+	}
+	c.woundMu.Lock()
+	if c.woundSet == nil {
+		c.woundSet = map[int64]struct{}{}
+	}
+	c.woundSet[clientID] = struct{}{}
+	c.woundMu.Unlock()
+	select {
+	case c.woundNotify <- struct{}{}:
+	default:
+	}
+}
+
+// woundWriter drains the connection's coalescing wound set into
+// opWoundPush frames.
+func (s *Server) woundWriter(c *srvConn) {
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.woundNotify:
+		}
+		c.woundMu.Lock()
+		victims := c.woundSet
+		c.woundSet = nil
+		c.woundMu.Unlock()
+		for id := range victims {
+			var e enc
+			e.u8(opWoundPush)
+			e.i64(id)
+			c.write(e.b)
+		}
+	}
+}
+
+// write sends one frame on the connection (serialized by wmu). Errors are
+// dropped: a failing connection is torn down by its read loop.
+func (c *srvConn) write(body []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	writeFrame(c.net, body)
+}
+
+// result replies to a request.
+func (c *srvConn) result(reqID uint64, status byte, payload func(*enc)) {
+	var e enc
+	e.u8(opResult)
+	e.u64(reqID)
+	e.u8(status)
+	if payload != nil {
+		payload(&e)
+	}
+	c.write(e.b)
+}
+
+// handleConn runs one session: handshake, then the request loop. Any read
+// error — including the client's Close — is the disconnect path:
+// release-on-disconnect frees everything the session held.
+func (s *Server) handleConn(nc net.Conn) {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	// Track the socket until it has a session, and bound the handshake:
+	// a dialer that never speaks (a port scanner, a stalled client) must
+	// neither pin this goroutine forever nor hang Close.
+	s.connsMu.Lock()
+	select {
+	case <-s.stop:
+		s.connsMu.Unlock()
+		nc.Close()
+		return
+	default:
+	}
+	s.preConns[nc] = struct{}{}
+	s.connsMu.Unlock()
+	nc.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
+	c, err := s.handshake(nc)
+	s.connsMu.Lock()
+	delete(s.preConns, nc)
+	s.connsMu.Unlock()
+	if err != nil {
+		nc.Close()
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.woundWriter(c)
+	}()
+	defer s.dropConn(c)
+	for {
+		body, err := readFrame(nc)
+		if err != nil {
+			return
+		}
+		if s.handleFrame(c, body) != nil {
+			return
+		}
+	}
+}
+
+// handshake validates the hello frame and registers the session.
+func (s *Server) handshake(nc net.Conn) (*srvConn, error) {
+	body, err := readFrame(nc)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: body}
+	op := d.u8()
+	reqID := d.u64()
+	version := d.u32()
+	woundWait := d.boolean()
+	trace := d.boolean()
+	hash := d.raw(32)
+	if d.err != nil || op != opHello {
+		return nil, fmt.Errorf("netlock: malformed hello")
+	}
+	reject := func(msg string) (*srvConn, error) {
+		var e enc
+		e.u8(opResult)
+		e.u64(reqID)
+		e.u8(stErr)
+		e.str(msg)
+		writeFrame(nc, e.b)
+		return nil, errors.New(msg)
+	}
+	if version != protocolVersion {
+		return reject(fmt.Sprintf("netlock: protocol version %d, server speaks %d", version, protocolVersion))
+	}
+	if [32]byte(hash) != s.hash {
+		return reject("netlock: database fingerprint mismatch (client built over a different DDB)")
+	}
+	if woundWait != s.cfg.WoundWait {
+		return reject(fmt.Sprintf("netlock: wound-wait mismatch (client %v, server %v)", woundWait, s.cfg.WoundWait))
+	}
+	if trace != s.cfg.Trace {
+		return reject(fmt.Sprintf("netlock: trace mismatch (client %v, server %v)", trace, s.cfg.Trace))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &srvConn{
+		id:          s.nextConn.Add(1),
+		net:         nc,
+		acquires:    map[uint64]*pendingAcq{},
+		grants:      map[grantRef]uint64{},
+		ctx:         ctx,
+		cancel:      cancel,
+		woundNotify: make(chan struct{}, 1),
+	}
+	c.lastRenew.Store(time.Now().UnixNano())
+	s.connsMu.Lock()
+	select {
+	case <-s.stop:
+		s.connsMu.Unlock()
+		cancel()
+		return nil, errors.New("netlock: server stopping")
+	default:
+	}
+	s.conns[c.id] = c
+	s.connsMu.Unlock()
+	c.result(reqID, stOK, func(e *enc) {
+		e.u32(c.id)
+		e.u64(uint64(s.lease / time.Millisecond))
+	})
+	return c, nil
+}
+
+// handleFrame dispatches one request. Blocking operations (Acquire) get
+// their own goroutine; everything else runs inline — the inner table's
+// non-acquire calls complete promptly, and per-connection request order is
+// preserved for them.
+func (s *Server) handleFrame(c *srvConn, body []byte) error {
+	d := dec{b: body}
+	op := d.u8()
+	reqID := d.u64()
+	switch op {
+	case opHeartbeat:
+		if d.err != nil {
+			return d.err
+		}
+		c.lastRenew.Store(time.Now().UnixNano())
+		c.mu.Lock()
+		c.leaseLost = false // a fresh lease; prior grants are gone regardless
+		c.mu.Unlock()
+		c.result(reqID, stOK, nil)
+		return nil
+
+	case opAcquire:
+		key := d.key()
+		prio := d.i64()
+		ent := model.EntityID(d.i64())
+		if d.err != nil {
+			return d.err
+		}
+		s.startAcquire(c, reqID, key, prio, ent)
+		return nil
+
+	case opCancel:
+		// reqID names the in-flight acquire to withdraw; there is no other
+		// payload.
+		if d.err != nil {
+			return d.err
+		}
+		c.mu.Lock()
+		if acq := c.acquires[reqID]; acq != nil {
+			acq.cancelled = true
+			acq.cancel()
+		}
+		c.mu.Unlock()
+		// No reply: the acquire's own result (stCancelled, or stOK if the
+		// grant won the race) is the answer.
+		return nil
+
+	case opRelease:
+		ent := model.EntityID(d.i64())
+		key := d.key()
+		fence := d.u64()
+		if d.err != nil {
+			return d.err
+		}
+		c.result(reqID, s.release(c, ent, key, fence), nil)
+		return nil
+
+	case opReleaseAll:
+		key := d.key()
+		n := int(d.u32())
+		if d.err != nil || n > maxFrame/16 {
+			// The count comes off the wire: reject before allocating.
+			return fmt.Errorf("netlock: malformed release-all frame")
+		}
+		type rel struct {
+			ent   model.EntityID
+			fence uint64
+		}
+		rels := make([]rel, 0, n)
+		for i := 0; i < n; i++ {
+			rels = append(rels, rel{model.EntityID(d.i64()), d.u64()})
+		}
+		if d.err != nil {
+			return d.err
+		}
+		for _, r := range rels {
+			s.release(c, r.ent, key, r.fence) // stale entries are not ours to free
+		}
+		c.result(reqID, stOK, nil)
+		return nil
+
+	case opWithdraw:
+		ent := model.EntityID(d.i64())
+		key := d.key()
+		if d.err != nil {
+			return d.err
+		}
+		composed := composeKey(c.id, key)
+		ref := grantRef{ent: ent, key: composed}
+		c.mu.Lock()
+		_, held := c.grants[ref]
+		if held {
+			delete(c.grants, ref)
+		}
+		c.mu.Unlock()
+		if held {
+			s.tab.Release(ent, composed)
+		}
+		c.result(reqID, stOK, func(e *enc) { e.boolean(held) })
+		return nil
+
+	case opWound:
+		key := d.key()
+		if d.err != nil {
+			return d.err
+		}
+		s.tab.Wound(composeKey(c.id, key))
+		c.result(reqID, stOK, nil)
+		return nil
+
+	case opSnapshot:
+		if d.err != nil {
+			return d.err
+		}
+		edges := s.tab.Snapshot()
+		for i := range edges {
+			edges[i].Waiter.ID, _ = stripID(c.id, edges[i].Waiter.ID)
+			edges[i].Holder.ID, _ = stripID(c.id, edges[i].Holder.ID)
+		}
+		c.result(reqID, stOK, func(e *enc) { e.edges(edges) })
+		return nil
+
+	case opGrantLog:
+		if d.err != nil {
+			return d.err
+		}
+		s.traceMu.Lock()
+		evs := make([]locktable.GrantEvent, len(s.trace))
+		copy(evs, s.trace)
+		s.traceMu.Unlock()
+		for i := range evs {
+			evs[i].Inst, _ = stripID(c.id, evs[i].Inst)
+		}
+		c.result(reqID, stOK, func(e *enc) { e.events(evs) })
+		return nil
+
+	default:
+		return fmt.Errorf("netlock: unknown opcode %#x", op)
+	}
+}
+
+// release validates the fencing token and frees the entity. The recorded
+// grant is the authority: no record means the session does not hold the
+// entity *now* — either it never did (the in-process no-op case, reported
+// stOK) or its lease was revoked (stStaleFence, reported so a late release
+// can see it did not free anything).
+func (s *Server) release(c *srvConn, ent model.EntityID, key locktable.InstKey, fence uint64) byte {
+	composed := composeKey(c.id, key)
+	ref := grantRef{ent: ent, key: composed}
+	c.mu.Lock()
+	cur, held := c.grants[ref]
+	if held && cur == fence {
+		delete(c.grants, ref)
+		c.mu.Unlock()
+		s.tab.Release(ent, composed)
+		return stOK
+	}
+	c.mu.Unlock()
+	if fence == 0 && !held {
+		return stOK // release of nothing: the in-process no-op
+	}
+	return stStaleFence
+}
+
+// startAcquire runs one client Acquire as a server-side goroutine blocked
+// in the inner table, with a per-request context the cancel and revoke
+// paths fire.
+func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID) {
+	if int(ent) < 0 || int(ent) >= s.ddb.NumEntities() {
+		c.result(reqID, stErr, func(e *enc) { e.str(fmt.Sprintf("netlock: entity %d outside the database", ent)) })
+		return
+	}
+	if key.ID < 0 || key.ID > math.MaxUint32 {
+		// Session identity composes the client ID into the low 32 bits of
+		// the server-side key; an ID outside that range would silently
+		// alias another instance, so reject it loudly instead.
+		c.result(reqID, stErr, func(e *enc) {
+			e.str(fmt.Sprintf("netlock: instance id %d outside the 32-bit session namespace", key.ID))
+		})
+		return
+	}
+	composed := composeKey(c.id, key)
+	actx, acancel := context.WithCancel(c.ctx)
+	acq := &pendingAcq{cancel: acancel}
+	c.mu.Lock()
+	if c.leaseLost {
+		// No live lease: the session must heartbeat before it may hold
+		// locks again (its earlier grants are already gone).
+		c.mu.Unlock()
+		acancel()
+		c.result(reqID, stLeaseExpired, nil)
+		return
+	}
+	c.acquires[reqID] = acq
+	c.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer acancel()
+		err := s.tab.Acquire(actx, locktable.Instance{Key: composed, Prio: prio}, ent)
+		// Atomically retire the in-flight record and decide the outcome
+		// under the connection mutex: the revoke path sees either the
+		// pending record (and cancels it) or the recorded grant (and
+		// releases it) — never a gap.
+		c.mu.Lock()
+		delete(c.acquires, reqID)
+		cancelled, revoked, dead := acq.cancelled, acq.revoked, c.closed
+		var fence uint64
+		if err == nil && !cancelled && !revoked && !dead {
+			ref := grantRef{ent: ent, key: composed}
+			if old, dup := c.grants[ref]; dup {
+				// A duplicate acquire by the current holder: the inner table
+				// returned nil without granting anything new, so the lease
+				// bookkeeping must not mint a new token or log a new grant.
+				fence = old
+			} else {
+				fence = s.nextFence(ent)
+				c.grants[ref] = fence
+				if s.cfg.Trace {
+					// Logged inside the same critical section that records
+					// the grant: any release path (client release needs this
+					// goroutine's reply first; revocation reads c.grants under
+					// this mutex) happens-after the append, so per-entity
+					// trace order is grant order.
+					s.traceMu.Lock()
+					s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch})
+					s.traceMu.Unlock()
+				}
+			}
+		}
+		c.mu.Unlock()
+		if err == nil && fence == 0 {
+			// A grant raced a cancel, a revoke, or the teardown: give it
+			// back before answering.
+			s.tab.Release(ent, composed)
+		}
+		if dead {
+			return
+		}
+		switch {
+		case err == nil && fence != 0:
+			c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
+		case err == nil && cancelled:
+			c.result(reqID, stCancelled, nil)
+		case err == nil: // revoked
+			c.result(reqID, stLeaseExpired, nil)
+		case errors.Is(err, locktable.ErrWounded):
+			c.result(reqID, stWounded, nil)
+		case errors.Is(err, locktable.ErrStopped):
+			c.result(reqID, stStopped, nil)
+		case cancelled:
+			c.result(reqID, stCancelled, nil)
+		case revoked:
+			c.result(reqID, stLeaseExpired, nil)
+		default:
+			c.result(reqID, stErr, func(e *enc) { e.str(err.Error()) })
+		}
+	}()
+}

@@ -10,6 +10,10 @@ import (
 	"distlock/internal/graph"
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+
+	// Arms locktable.NewRemote: the netlock client registers itself as the
+	// remote backend in its init.
+	_ "distlock/internal/netlock"
 )
 
 // DefaultSiteInbox is the default per-site inbox capacity of the actor
@@ -34,6 +38,10 @@ const (
 	// BackendSharded: hash-striped mutexes with per-entity FIFO wait
 	// queues; uncontended grants take zero channel hops.
 	BackendSharded
+	// BackendRemote: the cross-process backend — a netlock client speaking
+	// the wire protocol to a dlserver-hosted table (internal/netlock).
+	// Requires EngineOptions.RemoteAddr; never chosen by BackendDefault.
+	BackendRemote
 )
 
 // String names the backend.
@@ -45,6 +53,8 @@ func (b Backend) String() string {
 		return "actor"
 	case BackendSharded:
 		return "sharded"
+	case BackendRemote:
+		return "remote"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
@@ -71,6 +81,10 @@ type EngineOptions struct {
 	// Backend selects the lock-table implementation. BackendDefault picks
 	// sharded for StrategyNone and actor otherwise.
 	Backend Backend
+	// RemoteAddr is the netlock server address BackendRemote dials. The
+	// server must host the same database (the handshake verifies a
+	// fingerprint) with a matching wound-wait/trace configuration.
+	RemoteAddr string
 	// Shards is the sharded backend's stripe count. Default
 	// locktable.DefaultShards.
 	Shards int
@@ -147,6 +161,12 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		e.table = locktable.NewSharded(ddb, cfg)
 	case BackendActor:
 		e.table = locktable.NewActor(ddb, cfg)
+	case BackendRemote:
+		tab, err := locktable.NewRemote(ddb, cfg, opts.RemoteAddr)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: remote lock table: %w", err)
+		}
+		e.table = tab
 	default:
 		return nil, fmt.Errorf("runtime: unknown lock-table backend %v", opts.Backend)
 	}

@@ -85,6 +85,8 @@ type Config struct {
 	// Backend selects the lock-table implementation (BackendDefault picks
 	// sharded for StrategyNone, actor otherwise).
 	Backend Backend
+	// RemoteAddr is the netlock server address BackendRemote dials.
+	RemoteAddr string
 	// Shards is the sharded backend's stripe count (0 = default).
 	Shards int
 	// SiteInbox is the actor backend's per-site inbox capacity — that
@@ -94,7 +96,12 @@ type Config struct {
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking.
 	Trace bool
-	Seed  int64
+	// MeasureLockWait records the wall time of every Session.Lock into
+	// Metrics.LockWaits, the raw samples behind E12's latency percentiles.
+	// Collection is one slice append per lock on the client goroutine, so
+	// it perturbs the measured path by nanoseconds, not queueing behavior.
+	MeasureLockWait bool
+	Seed            int64
 }
 
 // GrantEvent records that a transaction instance (at a given attempt
@@ -114,6 +121,11 @@ type Metrics struct {
 	// CommitEpoch maps instance id -> the epoch at which it committed
 	// (only with Config.Trace).
 	CommitEpoch map[int]int
+	// LockWaits holds one wall-time sample per granted Session.Lock, in no
+	// particular order (only with Config.MeasureLockWait). Waits of
+	// attempts that ended in an abort are included: a wounded transaction's
+	// queueing time is real latency its client saw.
+	LockWaits []time.Duration
 }
 
 // Run executes the configured workload and returns metrics, or ErrStalled.
@@ -141,6 +153,7 @@ func Run(cfg Config) (*Metrics, error) {
 		Strategy:    cfg.Strategy,
 		DetectEvery: cfg.DetectEvery,
 		Backend:     cfg.Backend,
+		RemoteAddr:  cfg.RemoteAddr,
 		Shards:      cfg.Shards,
 		SiteInbox:   cfg.SiteInbox,
 		Trace:       cfg.Trace,
@@ -148,6 +161,9 @@ func Run(cfg Config) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	var waitMu sync.Mutex
+	var allWaits []time.Duration
 
 	start := time.Now()
 	done := make(chan struct{})
@@ -161,9 +177,21 @@ func Run(cfg Config) (*Metrics, error) {
 			// lock on the retry path.
 			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(client)*7919+1))
 			tmpl := cfg.Templates[client%len(cfg.Templates)]
+			var waits *[]time.Duration
+			if cfg.MeasureLockWait {
+				// Collected locally, merged once at client exit: the hot
+				// path never touches the shared slice.
+				local := make([]time.Duration, 0, cfg.TxnsPerClient)
+				waits = &local
+				defer func() {
+					waitMu.Lock()
+					allWaits = append(allWaits, local...)
+					waitMu.Unlock()
+				}()
+			}
 			for i := 0; i < cfg.TxnsPerClient; i++ {
 				id := int(nextID.Add(1))
-				if !e.runInstance(id, tmpl, rng, cfg.HoldTime) {
+				if !e.runInstance(id, tmpl, rng, cfg.HoldTime, waits) {
 					return // engine stopping
 				}
 			}
@@ -205,6 +233,7 @@ watch:
 		Detected:    int(e.detects.Load()),
 		Elapsed:     time.Since(start),
 		CommitEpoch: e.commitEp,
+		LockWaits:   allWaits,
 	}
 	if cfg.Trace {
 		m.GrantLog = map[model.EntityID][]GrantEvent{}
@@ -221,12 +250,13 @@ watch:
 // runInstance executes one transaction instance to commit, retrying after
 // deadlock-handling aborts with the instance's original age priority (so a
 // wounded transaction cannot starve under wound-wait). Returns false if
-// the engine is stopping.
-func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, hold time.Duration) bool {
+// the engine is stopping. A non-nil waits slice collects per-Lock wall
+// times.
+func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, hold time.Duration, waits *[]time.Duration) bool {
 	prio := int64(id) // arrival order = age: smaller is older
 	for epoch := 0; ; epoch++ {
 		s := e.beginInstance(tmpl, id, epoch, prio)
-		committed, stopping := e.driveOnce(s, rng, hold)
+		committed, stopping := e.driveOnce(s, rng, hold, waits)
 		if committed {
 			return true
 		}
@@ -246,7 +276,7 @@ func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, ho
 // pick a random minimal unexecuted operation and execute it. Returns
 // (committed, stopping); (false, false) means the attempt was aborted by
 // deadlock handling and the caller should retry.
-func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration) (bool, bool) {
+func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration, waits *[]time.Duration) (bool, bool) {
 	for {
 		ready := s.tmpl.MinimalNodes(s.executed)
 		if len(ready) == 0 {
@@ -260,7 +290,13 @@ func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration) (bool
 		nd := s.tmpl.Node(nid)
 		var err error
 		if nd.Kind == model.LockOp {
-			err = s.Lock(context.Background(), nd.Entity)
+			if waits != nil {
+				lockStart := time.Now()
+				err = s.Lock(context.Background(), nd.Entity)
+				*waits = append(*waits, time.Since(lockStart))
+			} else {
+				err = s.Lock(context.Background(), nd.Entity)
+			}
 		} else {
 			err = s.Unlock(nd.Entity)
 		}

@@ -205,7 +205,14 @@ func (s *Session) Unlock(ent model.EntityID) error {
 		return fmt.Errorf("runtime: %s: Unlock(%s) without holding the lock", s.tmpl.Name(), s.e.ddb.EntityName(ent))
 	}
 	if err := s.e.table.Release(ent, s.key); err != nil {
-		return ErrClosed
+		if errors.Is(err, locktable.ErrStopped) {
+			return ErrClosed
+		}
+		// The remote backend can fail a release for session-local reasons
+		// (a revoked lease's stale fencing token) that are not an engine
+		// shutdown: surface them as themselves so the caller aborts this
+		// session instead of concluding the service died.
+		return fmt.Errorf("runtime: %s: Unlock(%s): %w", s.tmpl.Name(), s.e.ddb.EntityName(ent), err)
 	}
 	delete(s.held, ent)
 	s.executed.Set(int(nid))

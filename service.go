@@ -44,6 +44,9 @@ const (
 	// BackendSharded grants uncontended locks under striped mutexes with
 	// zero channel hops.
 	BackendSharded = runtime.BackendSharded
+	// BackendRemote speaks the netlock wire protocol to a dlserver-hosted
+	// lock table in another process; select it with WithRemoteTable.
+	BackendRemote = runtime.BackendRemote
 )
 
 // ServiceOption configures Open.
@@ -56,6 +59,7 @@ type serviceConfig struct {
 	siteInbox    int
 	certBackend  LockBackend
 	shards       int
+	remoteAddr   string
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -113,6 +117,22 @@ func WithLockBackend(b LockBackend) ServiceOption {
 // stripe costs one mutex and one map, so over-provisioning is cheap.
 func WithShards(n int) ServiceOption {
 	return func(c *serviceConfig) { c.shards = n }
+}
+
+// WithRemoteTable puts the certified tier on a cross-process lock table: a
+// dlserver at addr hosting the same database (the connection handshake
+// verifies a fingerprint). Several service processes pointed at one
+// dlserver then contend for the same certified-tier locks — the paper's
+// distributed sites made literal — with the server's lease/fencing
+// machinery guaranteeing that a crashed process's locks are revoked and
+// its late releases rejected. The wound-wait fallback tier stays on a
+// process-local actor table: rejected classes are this process's private
+// traffic, not part of the shared certified mix.
+func WithRemoteTable(addr string) ServiceOption {
+	return func(c *serviceConfig) {
+		c.certBackend = BackendRemote
+		c.remoteAddr = addr
+	}
 }
 
 // LockService is the long-lived client-driven lock service: the paper's
@@ -194,10 +214,11 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		mult = 1
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:  runtime.StrategyNone,
-		Backend:   cfg.certBackend, // BackendDefault resolves to sharded
-		Shards:    cfg.shards,
-		SiteInbox: cfg.siteInbox,
+		Strategy:   runtime.StrategyNone,
+		Backend:    cfg.certBackend, // BackendDefault resolves to sharded
+		RemoteAddr: cfg.remoteAddr,
+		Shards:     cfg.shards,
+		SiteInbox:  cfg.siteInbox,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,133 @@
+package distlock_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"distlock"
+	"distlock/internal/locktable"
+	"distlock/internal/netlock"
+)
+
+// TestLockServiceRemoteTable drives two independent LockService instances
+// — two "processes", each with its own admission service and session
+// numbering — against one shared netlock server: the certified tiers of
+// both contend for the same lock space, exactly the deployment
+// WithRemoteTable exists for. Every session must commit (the mix is
+// certified, and the shared table serializes cross-service conflicts),
+// and closing one service must not disturb the other's locks.
+func TestLockServiceRemoteTable(t *testing.T) {
+	// Both services must present the same database fingerprint: build two
+	// structurally identical DDBs, as two real processes would from shared
+	// config.
+	mkDB := func() *distlock.DDB { return xyzDB() }
+	srv, err := netlock.NewServer(mkDB(), locktable.Config{}, netlock.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Multiplicity 2 keeps the Theorem-4 copy-vertex certification cheap
+	// (the three classes fully overlap, so the expanded interaction graph
+	// is dense); the extra clients serialize on the per-class slots.
+	const services, clients, mult, txns = 2, 4, 2, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, services*clients*3)
+	svcs := make([]*distlock.LockService, services)
+	for i := range svcs {
+		db := mkDB()
+		svc, err := distlock.Open(db, distlock.WithRemoteTable(srv.Addr()), distlock.WithMultiplicity(mult))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Close()
+		svcs[i] = svc
+		// The certified-ordered mix from E10: pairwise safe and
+		// deadlock-free, so it must run clean with no deadlock handling
+		// even against the other service's traffic.
+		classes := []*distlock.Transaction{
+			chain(db, "A", "Lx", "Ly", "Ux", "Uy"),
+			chain(db, "B", "Lx", "Lz", "Ux", "Uz"),
+			chain(db, "C", "Ly", "Lz", "Uy", "Uz"),
+		}
+		rs, err := svc.RegisterBatch(context.Background(), classes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rs {
+			if !r.Admitted {
+				t.Fatalf("class %s rejected: %s", r.Class, r.Reason)
+			}
+		}
+	}
+	if got := svcs[0].CertifiedBackend(); got != distlock.BackendRemote {
+		t.Fatalf("certified backend = %v, want remote", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, svc := range svcs {
+		for c := 0; c < clients; c++ {
+			for _, class := range []string{"A", "B", "C"} {
+				wg.Add(1)
+				go func(svc *distlock.LockService, class string) {
+					defer wg.Done()
+					for i := 0; i < txns; i++ {
+						sess, err := svc.Begin(ctx, class)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if err := sess.Drive(ctx); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(svc, class)
+			}
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	for i, svc := range svcs {
+		st := svc.Stats()
+		want := int64(clients * 3 * txns)
+		if st.Certified.Commits != want || st.Certified.Aborts != 0 {
+			t.Fatalf("service %d: commits=%d aborts=%d, want %d/0",
+				i, st.Certified.Commits, st.Certified.Aborts, want)
+		}
+	}
+
+	// One service going away (releasing-on-disconnect anything it still
+	// held) leaves the other fully operational.
+	svcs[0].Close()
+	sess, err := svcs[1].Begin(ctx, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Drive(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockServiceRemoteDialFailure: a bad address surfaces as an Open
+// error, not a hung service.
+func TestLockServiceRemoteDialFailure(t *testing.T) {
+	db := xyzDB()
+	_, err := distlock.Open(db, distlock.WithRemoteTable("127.0.0.1:1"))
+	if err == nil {
+		t.Fatal("Open with an unreachable remote table succeeded")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}
