@@ -37,6 +37,7 @@ func main() {
 		events   = flag.Int("events", 64, "churn events (arrivals + departures)")
 		depart   = flag.Float64("depart", 0.25, "departure probability per event")
 		policy   = flag.String("policy", "churn", "generation policy: random|two-phase|ordered|churn|zipf")
+		readFrac = flag.Float64("read-fraction", 0, "probability each generated lock is SHARED (0 = all exclusive; 0.9 = read-heavy)")
 		batch    = flag.Int("batch", 4, "register arrivals in batches of this size")
 		workers  = flag.Int("workers", 0, "pair-check worker pool (0 = GOMAXPROCS)")
 		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per registration (0 = unlimited)")
@@ -67,7 +68,7 @@ func main() {
 
 	cfg := distlock.WorkloadConfig{
 		Sites: *sites, EntitiesPerSite: *perSite, EntitiesPerTxn: *perTxn,
-		Policy: pol, CrossArcProb: 0.3, Seed: *seed,
+		Policy: pol, CrossArcProb: 0.3, ReadFraction: *readFrac, Seed: *seed,
 	}
 	ddb, trace, err := workload.ChurnTrace(cfg, *events, *depart)
 	check(err)

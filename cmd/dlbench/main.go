@@ -1,10 +1,12 @@
-// Command dlbench regenerates every experiment (E1–E12): the verified
+// Command dlbench regenerates every experiment (E1–E13): the verified
 // reconstructions of the paper's figures, the Theorem 2 reduction
 // validation, the scaling comparisons of the polynomial algorithms against
 // each other and against the exhaustive oracles, the simulated
-// prevention-vs-detection comparison that motivates the paper, and the
+// prevention-vs-detection comparison that motivates the paper, the
 // lock-table backend throughput comparison (E12: actor vs sharded on
-// uniform vs Zipf-skewed certified traffic).
+// uniform vs Zipf-skewed certified traffic), and the shared-mode payoff
+// (E13: read-heavy certified traffic with shared locks honored vs forced
+// exclusive, per backend).
 //
 // Usage:
 //
@@ -68,7 +70,7 @@ type benchReport struct {
 }
 
 func main() {
-	run := flag.String("run", "", "run only this experiment (E1..E12)")
+	run := flag.String("run", "", "run only this experiment (E1..E13)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (experiment prose suppressed)")
 	flag.Parse()
 	exps := []struct {
@@ -77,7 +79,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11},
-		{"E12", e12},
+		{"E12", e12}, {"E13", e13},
 	}
 	report := benchReport{Go: goruntime.Version(), OS: goruntime.GOOS, Arch: goruntime.GOARCH}
 	ran := false
@@ -553,4 +555,103 @@ func e12() {
 	fmt.Println("expected shape: sharded fastest (no goroutine handoff per grant) with the flattest tail;")
 	fmt.Println("Zipf skew stretches the actor backend's p99 (hot sites serialize); the remote backend's")
 	fmt.Println("p50 is the wire round trip — the price of locks that survive a client crash")
+}
+
+// exclusiveOnly rebuilds every transaction of sys with its lock modes
+// forced to exclusive — the E13 baseline: the same read-heavy programs a
+// pre-mode lock service would run, every read serializing as a write.
+func exclusiveOnly(sys *model.System) *model.System {
+	txns := make([]*model.Transaction, len(sys.Txns))
+	for i, t := range sys.Txns {
+		b := model.NewBuilder(sys.DDB, t.Name())
+		for id := 0; id < t.N(); id++ {
+			nd := t.Node(model.NodeID(id))
+			name := sys.DDB.EntityName(nd.Entity)
+			if nd.Kind == model.LockOp {
+				b.Lock(name)
+			} else {
+				b.Unlock(name)
+			}
+		}
+		for u := 0; u < t.N(); u++ {
+			for _, v := range t.Out(model.NodeID(u)) {
+				b.Arc(model.NodeID(u), model.NodeID(v))
+			}
+		}
+		txns[i] = b.MustFreeze()
+	}
+	return model.MustSystem(sys.DDB, txns...)
+}
+
+// E13 (extension): the shared-mode payoff on read-heavy certified
+// traffic. One Zipf-hot ordered-2PL class mix at ReadFraction 0.9 —
+// certifiable under the conflict-aware Theorems 3–5, so it runs on the
+// no-deadlock-handling tier — is driven twice per backend: once with the
+// template's shared locks honored, once with every lock forced exclusive
+// (what the pre-mode service did to the very same programs). A small
+// per-lock hold widens the window in which readers can overlap; the
+// shared/exclusive throughput ratio is the figure of merit (acceptance
+// gate: >= 2x on the sharded backend).
+func e13() {
+	const (
+		sites, perSite = 4, 8 // 32 entities; Zipf-hot head carries most locks
+		classes        = 8
+		perTxn         = 3
+		clients        = 16
+		txnsPerClient  = 120
+		opsPerTxn      = 2 * perTxn
+		hold           = 20 * time.Microsecond
+		readFraction   = 0.9
+	)
+	shared := workload.MustGenerate(workload.Config{
+		Sites: sites, EntitiesPerSite: perSite, NumTxns: classes,
+		EntitiesPerTxn: perTxn, Policy: workload.PolicyZipf, ZipfS: 1.2,
+		ReadFraction: readFraction, Seed: 13,
+	})
+	if ok, viol := core.SystemSafeDF(shared); !ok {
+		check(fmt.Errorf("E13 mix not certified: %v", viol))
+	}
+	excl := exclusiveOnly(shared)
+	if ok, _ := core.SystemSafeDF(excl); !ok {
+		check(fmt.Errorf("E13 exclusive-only mix not certified"))
+	}
+	fmt.Printf("read fraction %.2f, %d clients, %v hold per lock\n", readFraction, clients, hold)
+	fmt.Println("backend   committed(shared)  ops/sec(shared)  ops/sec(excl-only)  speedup")
+	for _, be := range []engine.Backend{engine.BackendActor, engine.BackendSharded, engine.BackendRemote} {
+		ops := map[string]float64{}
+		committed := map[string]int{}
+		for _, variant := range []struct {
+			name string
+			sys  *model.System
+		}{{"shared", shared}, {"exclusive", excl}} {
+			srv, err := netlock.NewServer(shared.DDB, locktable.Config{}, netlock.ServerOptions{})
+			check(err)
+			check(srv.Listen("127.0.0.1:0"))
+			m, err := engine.Run(engine.Config{
+				Templates: variant.sys.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
+				Strategy: engine.StrategyNone, Backend: be, RemoteAddr: srv.Addr(),
+				HoldTime: hold, StallTimeout: 10 * time.Second, Seed: 13,
+			})
+			srv.Close()
+			check(err)
+			ops[variant.name] = float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
+			committed[variant.name] = m.Committed
+		}
+		speedup := ops["shared"] / ops["exclusive"]
+		fmt.Printf("%-9s %17d %16.0f %19.0f %8.2fx\n",
+			be, committed["shared"], ops["shared"], ops["exclusive"], speedup)
+		key := "readheavy_" + be.String()
+		benchDetails[key+"_shared_ops_per_sec"] = ops["shared"]
+		benchDetails[key+"_exclusive_ops_per_sec"] = ops["exclusive"]
+		benchDetails[key+"_speedup"] = speedup
+		if be == engine.BackendSharded && speedup < 2 {
+			fmt.Printf("WARNING: sharded shared-mode speedup %.2fx below the 2x acceptance gate\n", speedup)
+		}
+	}
+	fmt.Println("expected shape: shared-mode throughput multiples of exclusive-only on the hot read mix —")
+	fmt.Println("readers of one hot entity overlap instead of queueing; the gap widens with hold time and")
+	fmt.Println("shrinks on the remote backend, whose wire round trip dominates the hold window. (On a")
+	fmt.Println("single scorching entity at high core counts the actor's serial inbox can even beat the")
+	fmt.Println("sharded table — every reader hammers ONE stripe mutex, a convoy the per-site goroutine")
+	fmt.Println("sidesteps by batching; across realistically spread entities E12's ordering holds)")
 }

@@ -90,6 +90,11 @@ type (
 	Op = model.Node
 	// OpKind distinguishes Lock from Unlock operations.
 	OpKind = model.OpKind
+	// Mode is the access mode of a Lock: Exclusive (write) or Shared
+	// (read). Builders declare it per lock step (Builder.LockShared /
+	// LockMode), the static tests certify conflict-aware (R/W and W/W
+	// conflict, R/R does not), and sessions acquire in it.
+	Mode = model.Mode
 )
 
 const (
@@ -97,6 +102,12 @@ const (
 	LockOp = model.LockOp
 	// UnlockOp is the "Ux" instruction: release the lock on entity x.
 	UnlockOp = model.UnlockOp
+	// Exclusive is the write lock mode: excludes every other holder. The
+	// zero value — the paper's original model is the all-exclusive case.
+	Exclusive = model.Exclusive
+	// Shared is the read lock mode: any number of shared holders overlap;
+	// only an exclusive access conflicts.
+	Shared = model.Shared
 )
 
 // Model constructors.
@@ -111,6 +122,10 @@ var (
 	Copies = model.Copies
 	// CommonEntities returns R(T1) ∩ R(T2).
 	CommonEntities = model.CommonEntities
+	// ConflictingEntities returns the common entities two transactions
+	// CONFLICT on (at least one side locks exclusively) — the interaction
+	// set of the conflict-aware static tests.
+	ConflictingEntities = model.ConflictingEntities
 )
 
 // Schedule machinery.

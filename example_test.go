@@ -7,15 +7,19 @@ import (
 	"distlock"
 )
 
-// chain builds a totally ordered transaction from op specs like "Lx".
+// chain builds a totally ordered transaction from op specs like "Lx"
+// (exclusive lock), "Sx" (shared lock), or "Ux" (unlock).
 func chain(db *distlock.DDB, name string, specs ...string) *distlock.Transaction {
 	b := distlock.NewBuilder(db, name)
 	var prev distlock.NodeID = -1
 	for _, s := range specs {
 		var id distlock.NodeID
-		if s[0] == 'L' {
+		switch s[0] {
+		case 'L':
 			id = b.Lock(s[1:])
-		} else {
+		case 'S':
+			id = b.LockShared(s[1:])
+		default:
 			id = b.Unlock(s[1:])
 		}
 		if prev >= 0 {
@@ -46,8 +50,8 @@ func ExampleLockService() {
 	fmt.Println(r1.Admitted, r3.Admitted)
 
 	sess, _ := svc.Begin(ctx, "T1")
-	sess.Lock(ctx, "x") // blocks until granted or ctx is cancelled
-	sess.Lock(ctx, "y")
+	sess.LockExclusive(ctx, "x") // blocks until granted or ctx is cancelled
+	sess.LockExclusive(ctx, "y")
 	sess.Unlock("x")
 	sess.Unlock("y")
 	fmt.Println(sess.Commit() == nil)

@@ -41,6 +41,15 @@ func main() {
 	b3.Chain(b3.Lock("y"), b3.Lock("x"), b3.Unlock("y"), b3.Unlock("x"))
 	t3 := b3.MustFreeze()
 
+	// R is a READER: it takes both entities in shared mode — and in the
+	// "wrong" order. Shared locks do not conflict with each other (only
+	// with writers), so the conflict-aware certification still admits it:
+	// its only interactions are R/W conflicts against T1 and T2, which
+	// follow the common x-before-y funnel.
+	br := distlock.NewBuilder(db, "R")
+	br.Chain(br.LockShared("x"), br.LockShared("y"), br.Unlock("x"), br.Unlock("y"))
+	r := br.MustFreeze()
+
 	// Open the lock service and register the classes. Registration is the
 	// admission decision: Theorem 3 on every interacting pair, Theorem 4 on
 	// the interaction-graph cycles — incremental, never from scratch.
@@ -50,7 +59,7 @@ func main() {
 	}
 	defer svc.Close()
 
-	for _, t := range []*distlock.Transaction{t1, t2, t3} {
+	for _, t := range []*distlock.Transaction{t1, t2, t3, r} {
 		res, err := svc.Register(ctx, t)
 		if err != nil {
 			log.Fatal(err)
@@ -74,7 +83,7 @@ func main() {
 	}{{"Lock", "x"}, {"Lock", "y"}, {"Unlock", "x"}, {"Unlock", "y"}}
 	for _, s := range steps {
 		if s.op == "Lock" {
-			err = sess.Lock(ctx, s.entity)
+			err = sess.LockExclusive(ctx, s.entity)
 		} else {
 			err = sess.Unlock(s.entity)
 		}
@@ -93,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := holder.Lock(ctx, "x"); err != nil {
+	if err := holder.LockExclusive(ctx, "x"); err != nil {
 		log.Fatal(err)
 	}
 	waiter, err := svc.Begin(ctx, "T2")
@@ -102,7 +111,7 @@ func main() {
 	}
 	short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 	defer cancel()
-	if err := waiter.Lock(short, "x"); err != nil {
+	if err := waiter.Lock(short, "x", distlock.Exclusive); err != nil {
 		fmt.Printf("T2 blocked on x, cancelled: %v\n", err)
 	}
 	waiter.Abort()

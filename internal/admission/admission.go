@@ -66,6 +66,7 @@ func FingerprintOf(t *model.Transaction) Fingerprint {
 	for id := 0; id < t.N(); id++ {
 		nd := t.Node(model.NodeID(id))
 		put(int(nd.Kind))
+		put(int(nd.Mode)) // shared vs exclusive changes every verdict
 		put(int(nd.Entity))
 	}
 	for u := 0; u < t.N(); u++ {
@@ -250,17 +251,17 @@ func (s *Service) AdmitBatch(ctx context.Context, ts []*model.Transaction) ([]Re
 		jobs = append(jobs, job{key: k, t1: a, t2: b})
 	}
 	for i, t := range ts {
-		if s.mult > 1 && len(t.Entities()) > 0 {
+		if s.mult > 1 && len(model.ConflictingEntities(t, t)) > 0 {
 			// Corollary 3 via Theorem 3: the class against its own copy.
 			add(keyOf(fps[i], fps[i]), t, t)
 		}
 		for _, c := range s.classes {
-			if len(model.CommonEntities(t, c.txn)) > 0 {
+			if len(model.ConflictingEntities(t, c.txn)) > 0 {
 				add(keyOf(fps[i], c.fp), t, c.txn)
 			}
 		}
 		for j := 0; j < i; j++ {
-			if len(model.CommonEntities(t, ts[j])) > 0 {
+			if len(model.ConflictingEntities(t, ts[j])) > 0 {
 				add(keyOf(fps[i], fps[j]), t, ts[j])
 			}
 		}
@@ -354,7 +355,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 		}
 		return rep
 	}
-	if s.mult > 1 && len(t.Entities()) > 0 {
+	if s.mult > 1 && len(model.ConflictingEntities(t, t)) > 0 {
 		if rep := lookup(t, t, fp, fp); !rep.SafeDF {
 			return reject(fmt.Sprintf("two copies of %s fail Corollary 3: %s",
 				t.Name(), rep.Reason), nil), nil
@@ -362,7 +363,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 	}
 	var nbrs []*class
 	for _, c := range s.classes {
-		if len(model.CommonEntities(t, c.txn)) == 0 {
+		if len(model.ConflictingEntities(t, c.txn)) == 0 {
 			continue
 		}
 		nbrs = append(nbrs, c)
@@ -416,7 +417,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 		for o := range c.nbrs {
 			classEdges(i, idx[o])
 		}
-		if m > 1 && len(c.txn.Entities()) > 0 {
+		if m > 1 && len(model.ConflictingEntities(c.txn, c.txn)) > 0 {
 			classEdges(i, i) // copies of one class interact with each other
 		}
 	}
@@ -433,7 +434,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 				g.AddEdge(a, v)
 			}
 		}
-		if len(t.Entities()) > 0 {
+		if len(model.ConflictingEntities(t, t)) > 0 {
 			for a := n * m; a < v; a++ {
 				g.AddEdge(a, v) // earlier candidate copies
 			}

@@ -9,6 +9,14 @@
 // is coNP-complete even for two transactions (Theorem 2) — and exist to
 // validate the polynomial algorithms on small systems and to serve as the
 // ground truth in tests and experiments.
+//
+// All oracles are shared/exclusive-mode aware through the schedule layer:
+// Exec grants shared locks concurrently (a writer excludes everyone), the
+// deadlock predicate blocks a request only on a CONFLICTING holder, and
+// D(S′) carries arcs between conflicting accesses only — so the same
+// searches are the ground truth for the generalized (conflict-aware)
+// Theorems 3–5. With every lock exclusive they are bit-for-bit the
+// paper's original definitions.
 package core
 
 import (

@@ -2,26 +2,40 @@ package core
 
 import "distlock/internal/model"
 
-// TwoCopiesSafeDF is Corollary 3: two copies of a distributed transaction T
-// are safe and deadlock-free iff there is an entity x such that Lx precedes
-// all other nodes of T, and for every other entity y there is an entity z
-// locked before Ly and unlocked after Ly.
+// TwoCopiesSafeDF is Corollary 3, generalized to shared/exclusive lock
+// modes: two copies of a distributed transaction T are safe and
+// deadlock-free iff, over W = the entities T locks EXCLUSIVELY (two
+// identical copies conflict exactly on those — a shared entity is read by
+// both copies, which neither blocks nor orders them), there is an entity
+// x ∈ W whose Lx precedes the Lock of every other w ∈ W, and for every
+// other y ∈ W there is a z ∈ W locked before Ly and unlocked after Ly.
+//
+// With every lock exclusive W = R(T) and the condition is exactly the
+// paper's: "Lx precedes every other lock of T" is equivalent to the
+// paper's "Lx precedes every other node" because each Uy is preceded by
+// its Ly.
 func TwoCopiesSafeDF(t *model.Transaction) bool {
-	ents := t.Entities()
-	if len(ents) == 0 {
+	var w []model.EntityID
+	for _, e := range t.Entities() {
+		if t.ModeOf(e) == model.Exclusive {
+			w = append(w, e)
+		}
+	}
+	if len(w) == 0 {
 		return true
 	}
-	// Find x with Lx preceding all other nodes.
+	// Find x ∈ W with Lx preceding every other w ∈ W's Lock.
 	var x model.EntityID
 	found := false
-	for _, e := range ents {
+	for _, e := range w {
 		le, _ := t.LockNode(e)
 		ok := true
-		for id := 0; id < t.N(); id++ {
-			if model.NodeID(id) == le {
+		for _, o := range w {
+			if o == e {
 				continue
 			}
-			if !t.Precedes(le, model.NodeID(id)) {
+			lo, _ := t.LockNode(o)
+			if !t.Precedes(le, lo) {
 				ok = false
 				break
 			}
@@ -35,14 +49,22 @@ func TwoCopiesSafeDF(t *model.Transaction) bool {
 	if !found {
 		return false
 	}
-	for _, y := range ents {
+	wset := make(map[model.EntityID]bool, len(w))
+	for _, e := range w {
+		wset[e] = true
+	}
+	for _, y := range w {
 		if y == x {
 			continue
 		}
 		ly, _ := t.LockNode(y)
-		// Need z with Lz ≺ Ly and Ly ≺ Uz, i.e. L_T(Ly) ∩ R_T(Ly) ≠ ∅.
+		// Need a CONFLICTING z (z ∈ W) with Lz ≺ Ly and Ly ≺ Uz, i.e. a
+		// conflicting entity in L_T(Ly) ∩ R_T(Ly).
 		ok := false
 		for _, z := range t.RT(ly) {
+			if !wset[z] {
+				continue
+			}
 			uz, _ := t.UnlockNode(z)
 			if t.Precedes(ly, uz) {
 				ok = true

@@ -18,18 +18,20 @@ import (
 // A violating extension t1 (one with L_t1(Ly) ∩ R_t2(Ly) = ∅ against the
 // minimal t2) exists iff the resulting minimal prefix does not contain Ly.
 //
-// It must agree with PairSafeDF on every input; the two are validated
-// against each other and against the Lemma-1 brute force in tests.
+// It must agree with PairSafeDF on every input — including mixed
+// shared/exclusive modes, where both algorithms work over the conflicting
+// common entities only; the two are validated against each other and
+// against the Lemma-1 brute force in tests.
 func PairSafeDFMinimalPrefix(t1, t2 *model.Transaction) bool {
-	common := model.CommonEntities(t1, t2)
-	if len(common) == 0 {
+	conflicting := model.ConflictingEntities(t1, t2)
+	if len(conflicting) == 0 {
 		return true
 	}
-	if _, ok := firstCommonLock(t1, t2, common); !ok {
+	x, ok := firstCommonLock(t1, t2, conflicting)
+	if !ok {
 		return false
 	}
-	x, _ := firstCommonLock(t1, t2, common)
-	for _, y := range common {
+	for _, y := range conflicting {
 		if y == x {
 			continue
 		}
@@ -50,10 +52,14 @@ func violatingExtensionExists(t1, t2 *model.Transaction, y model.EntityID) bool 
 	if !ok1 || !ok2 {
 		return false
 	}
-	// Z = R_T2(Ly): entities locked before Ly in T2.
+	// Z = R_T2(Ly) restricted to entities CONFLICTING between the pair:
+	// only a conflicting hold of T1's can force T2's Ly to wait, so only
+	// those entities serialize the race to y.
 	z := map[model.EntityID]bool{}
 	for _, e := range t2.RT(ly2) {
-		z[e] = true
+		if model.Conflicts(t1, t2, e) {
+			z[e] = true
+		}
 	}
 
 	// Minimal prefix V1 of T1 satisfying:

@@ -89,10 +89,12 @@ func (v *MultiViolation) String() string {
 // prefixes all contain their Lx_i step (properties (1)–(3)).
 func SystemSafeDF(sys *model.System) (bool, *MultiViolation) {
 	n := sys.N()
-	// Phase 1: all interacting pairs must pass Theorem 3.
+	// Phase 1: all interacting pairs must pass Theorem 3. Interaction is
+	// conflict-aware: two transactions that only ever read their common
+	// entities do not interact and need no pair check.
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if len(model.CommonEntities(sys.Txns[i], sys.Txns[j])) == 0 {
+			if len(model.ConflictingEntities(sys.Txns[i], sys.Txns[j])) == 0 {
 				continue
 			}
 			if rep := PairSafeDF(sys.Txns[i], sys.Txns[j]); !rep.SafeDF {
@@ -164,12 +166,13 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 	k := len(cyc)
 	txn := func(i int) *model.Transaction { return sys.Txns[cyc[mod(i, k)]] }
 
-	// x_i: the first-locked common entity of (Ti, Ti+1); exists and is
-	// unique because every interacting pair passed Theorem 3's condition (1).
+	// x_i: the first-locked CONFLICTING common entity of (Ti, Ti+1); exists
+	// and is unique because every interacting pair passed the generalized
+	// Theorem 3's condition (1).
 	xs := make([]model.EntityID, k)
 	for i := 0; i < k; i++ {
-		common := model.CommonEntities(txn(i), txn(i+1))
-		x, ok := firstCommonLock(txn(i), txn(i+1), common)
+		conflicting := model.ConflictingEntities(txn(i), txn(i+1))
+		x, ok := firstCommonLock(txn(i), txn(i+1), conflicting)
 		if !ok {
 			// Cannot happen after phase 1, but keep the check defensive.
 			return nil
@@ -177,17 +180,15 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 		xs[i] = x
 	}
 
-	// accessedBy[e] = true if entity e is accessed by any Tj in the given
-	// exclusion pattern: recomputed per i below via a helper.
-	accessSets := make([]map[model.EntityID]bool, k)
-	for i := 0; i < k; i++ {
-		m := map[model.EntityID]bool{}
-		for _, e := range txn(i).Entities() {
-			m[e] = true
-		}
-		accessSets[i] = m
-	}
-	othersAccess := func(skip ...int) map[model.EntityID]bool {
+	// conflictsWithOthers(i, skip...) = the entities Ti must avoid w.r.t.
+	// every Tj not in the skip set: exactly those of Ti's entities whose
+	// access CONFLICTS with some such Tj's access. An entity Ti and Tj both
+	// merely read neither blocks the serial replay nor adds a D-arc, so the
+	// prefixes may keep it — filtering it out of the avoid set is what
+	// makes the construction complete on R/W systems (treating shared
+	// access as interaction would shrink the prefixes below maximal and
+	// miss violations that need the shared steps executed).
+	conflictsWithOthers := func(i int, skip ...int) map[model.EntityID]bool {
 		m := map[model.EntityID]bool{}
 		for j := 0; j < k; j++ {
 			excluded := false
@@ -200,32 +201,37 @@ func tryCycle(sys *model.System, cyc []int) *MultiViolation {
 			if excluded {
 				continue
 			}
-			for e := range accessSets[j] {
-				m[e] = true
+			for _, e := range txn(i).Entities() {
+				if model.Conflicts(txn(i), txn(j), e) {
+					m[e] = true
+				}
 			}
 		}
 		return m
 	}
 
 	prefixes := make([]*model.Prefix, k)
-	// T1*: maximal prefix avoiding every entity accessed by T3..Tk
-	// (j ≠ 1,2). Avoiding ALL of Tk's entities here is load-bearing: it is
-	// what keeps the serial replay T1*;...;Tk* legal around the wrap (Tk*
-	// may use entities of T1 freely because T1* never touched them) and
-	// what forces the closing D-arc Tk -> T1 (T1 needs x_k only beyond its
-	// prefix).
-	avoid0 := othersAccess(0, 1)
+	// T1*: maximal prefix avoiding every entity on which T1 conflicts with
+	// T3..Tk (j ≠ 1,2). Avoiding ALL of Tk's conflicting entities here is
+	// load-bearing: it is what keeps the serial replay T1*;...;Tk* legal
+	// around the wrap (Tk* may use entities of T1 freely because T1* never
+	// touched a conflicting one) and what forces the closing D-arc
+	// Tk -> T1 (T1 needs x_k only beyond its prefix).
+	avoid0 := conflictsWithOthers(0, 0, 1)
 	prefixes[0] = model.MaximalPrefixAvoiding(txn(0), func(e model.EntityID) bool { return avoid0[e] })
-	// Ti* for i = 2..k: avoid Y(T*_{i-1}) — what the predecessor's prefix
-	// still HOLDS — and the entities of Tj, j ∉ {i-1, i, i+1}. Entities the
-	// predecessor's prefix has already released are fair game: the serial
-	// replay stays legal and their reuse only adds D-arcs in the cycle's
-	// own direction (T_{i-1} used x before Ti — the unsafe-but-deadlock-
-	// free violations live exactly here).
+	// Ti* for i = 2..k: avoid what the predecessor's prefix still HOLDS in
+	// a conflicting mode — Y(T*_{i-1}) filtered to conflicts — and the
+	// entities on which Ti conflicts with Tj, j ∉ {i-1, i, i+1}. Entities
+	// the predecessor's prefix has already released are fair game: the
+	// serial replay stays legal and their reuse only adds D-arcs in the
+	// cycle's own direction (T_{i-1} used x before Ti — the unsafe-but-
+	// deadlock-free violations live exactly here).
 	for i := 1; i < k; i++ {
-		avoid := othersAccess(i-1, i, i+1)
+		avoid := conflictsWithOthers(i, i-1, i, i+1)
 		for _, y := range prefixes[i-1].Y() {
-			avoid[y] = true
+			if model.Conflicts(txn(i), txn(i-1), y) {
+				avoid[y] = true
+			}
 		}
 		prefixes[i] = model.MaximalPrefixAvoiding(txn(i), func(e model.EntityID) bool { return avoid[e] })
 	}

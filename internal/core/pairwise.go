@@ -19,7 +19,9 @@ type PairReport struct {
 
 // firstCommonLock returns the entity x of Theorem 3 condition (1): x ∈ R
 // such that for every other y ∈ R, Lx precedes Ly in both transactions.
-// Such an x is unique when it exists.
+// Such an x is unique when it exists. (The conflict-aware test passes the
+// CONFLICTING common entities as R; the paper's exclusive-only test passes
+// all common entities, which is the same thing when every mode is X.)
 func firstCommonLock(t1, t2 *model.Transaction, common []model.EntityID) (model.EntityID, bool) {
 	for _, x := range common {
 		lx1, _ := t1.LockNode(x)
@@ -43,10 +45,14 @@ func firstCommonLock(t1, t2 *model.Transaction, common []model.EntityID) (model.
 	return 0, false
 }
 
-func intersects(a, b []model.EntityID) bool {
+// intersectsIn reports whether a and b share an element that the filter
+// set admits (nil filter admits everything).
+func intersectsIn(a, b []model.EntityID, filter map[model.EntityID]bool) bool {
 	set := make(map[model.EntityID]bool, len(a))
 	for _, e := range a {
-		set[e] = true
+		if filter == nil || filter[e] {
+			set[e] = true
+		}
 	}
 	for _, e := range b {
 		if set[e] {
@@ -56,40 +62,56 @@ func intersects(a, b []model.EntityID) bool {
 	return false
 }
 
-// PairSafeDF is Theorem 3: the pair {T1, T2} is safe and deadlock-free iff
+// PairSafeDF is Theorem 3, generalized to shared/exclusive lock modes:
+// the pair {T1, T2} is safe and deadlock-free iff, over the set
+// C = the CONFLICTING common entities (both access, at least one
+// exclusively — R/W and W/W conflict, R/R does not),
 //
-//	(1) there is an entity x of R = R(T1) ∩ R(T2) such that for all other
-//	    y ∈ R, Lx precedes Ly in both T1 and T2; and
-//	(2) for every y ∈ R, y ≠ x, the sets L_T1(Ly) ∩ R_T2(Ly) and
-//	    L_T2(Ly) ∩ R_T1(Ly) are both nonempty.
+//	(1) there is an entity x ∈ C such that for all other y ∈ C, Lx
+//	    precedes Ly in both T1 and T2; and
+//	(2) for every y ∈ C, y ≠ x, the sets L_T1(Ly) ∩ R_T2(Ly) and
+//	    L_T2(Ly) ∩ R_T1(Ly) both contain a conflicting entity.
+//
+// With every lock exclusive, C = R(T1) ∩ R(T2) and this is exactly the
+// paper's Theorem 3. The generalization is the conflict projection: within
+// a pair, a conflicting entity blocks and serializes exactly as an
+// exclusive one (the two holds can never overlap), while an entity both
+// transactions merely read imposes no cross-transaction constraint at all
+// — no blocking, no D-arc — so it must not count as an interaction in
+// condition (1) nor as a serialization funnel in condition (2). Validated
+// against the exhaustive Lemma-1 oracle on random R/W systems in tests.
 //
 // Runs in O(n²) for transactions given in transitively closed form.
 func PairSafeDF(t1, t2 *model.Transaction) PairReport {
 	pairEvals.Add(1)
-	common := model.CommonEntities(t1, t2)
-	if len(common) == 0 {
+	conflicting := model.ConflictingEntities(t1, t2)
+	if len(conflicting) == 0 {
 		return PairReport{SafeDF: true, FirstLock: -1,
-			Reason: "no common entities"}
+			Reason: "no conflicting common entities"}
 	}
-	x, ok := firstCommonLock(t1, t2, common)
+	conflictSet := make(map[model.EntityID]bool, len(conflicting))
+	for _, e := range conflicting {
+		conflictSet[e] = true
+	}
+	x, ok := firstCommonLock(t1, t2, conflicting)
 	if !ok {
 		return PairReport{SafeDF: false, FirstLock: -1,
-			Reason: "condition (1) fails: no common entity is locked first in both transactions"}
+			Reason: "condition (1) fails: no conflicting common entity is locked first in both transactions"}
 	}
-	for _, y := range common {
+	for _, y := range conflicting {
 		if y == x {
 			continue
 		}
 		ly1, _ := t1.LockNode(y)
 		ly2, _ := t2.LockNode(y)
-		if !intersects(t1.LT(ly1), t2.RT(ly2)) {
+		if !intersectsIn(t1.LT(ly1), t2.RT(ly2), conflictSet) {
 			return PairReport{SafeDF: false, FirstLock: x, Reason: fmt.Sprintf(
-				"condition (2) fails at %s: L_T1(L%s) ∩ R_T2(L%s) = ∅",
+				"condition (2) fails at %s: L_T1(L%s) ∩ R_T2(L%s) has no conflicting entity",
 				t1.DDB().EntityName(y), t1.DDB().EntityName(y), t1.DDB().EntityName(y))}
 		}
-		if !intersects(t2.LT(ly2), t1.RT(ly1)) {
+		if !intersectsIn(t2.LT(ly2), t1.RT(ly1), conflictSet) {
 			return PairReport{SafeDF: false, FirstLock: x, Reason: fmt.Sprintf(
-				"condition (2) fails at %s: L_T2(L%s) ∩ R_T1(L%s) = ∅",
+				"condition (2) fails at %s: L_T2(L%s) ∩ R_T1(L%s) has no conflicting entity",
 				t1.DDB().EntityName(y), t1.DDB().EntityName(y), t1.DDB().EntityName(y))}
 		}
 	}

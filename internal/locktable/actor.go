@@ -8,9 +8,13 @@ import (
 	"distlock/internal/model"
 )
 
-// actorTable is the message-passing backend: one lock-manager goroutine
-// per database site, serial over a bounded inbox. Every reply channel is
-// buffered so a site goroutine never blocks on a send.
+// actorTable is the message-passing DEBUG/REFERENCE backend: one
+// lock-manager goroutine per database site, serial over a bounded inbox.
+// Every reply channel is buffered so a site goroutine never blocks on a
+// send. It exists to cross-check the sharded backend (the production
+// default for every tier) through the conformance suite; every semantic —
+// shared/exclusive grants, FIFO and wound-wait ordering, withdrawal races
+// — must be bit-for-bit identical between the two.
 type actorTable struct {
 	cfg    Config
 	sites  []*site
@@ -57,6 +61,7 @@ type lockReq struct {
 	e     model.EntityID
 	key   InstKey
 	prio  int64
+	mode  Mode
 	reply chan error
 }
 type unlockReq struct {
@@ -83,14 +88,34 @@ type snapshotReq struct {
 type waitEntry struct {
 	key   InstKey
 	prio  int64
+	mode  Mode
 	reply chan error
 }
 
 type elock struct {
-	held       bool
-	holder     InstKey
-	holderPrio int64
-	queue      []waitEntry
+	xheld    bool
+	xholder  InstKey
+	xprio    int64
+	sholders map[InstKey]int64 // shared holders -> prio
+	queue    []waitEntry
+}
+
+// holds reports whether key currently holds the entity in any mode.
+func (l *elock) holds(key InstKey) bool {
+	if l.xheld && l.xholder == key {
+		return true
+	}
+	_, ok := l.sholders[key]
+	return ok
+}
+
+// grantable reports whether a request in the given mode is compatible
+// with the current holders (queue fairness is the caller's business).
+func (l *elock) grantable(mode Mode) bool {
+	if l.xheld {
+		return false
+	}
+	return mode == Shared || len(l.sholders) == 0
 }
 
 // site is a lock-manager goroutine for the entities of one database site.
@@ -127,18 +152,26 @@ func (st *site) loop(t *actorTable) {
 			case cancelReq:
 				st.handleCancel(t, m)
 			case woundReq:
-				st.handleWound(m.key)
+				st.handleWound(t, m.key)
 			case snapshotReq:
 				var edges []WaitEdge
 				for _, l := range st.locks {
-					if !l.held {
+					if !l.xheld && len(l.sholders) == 0 {
 						continue
 					}
 					for _, w := range l.queue {
-						edges = append(edges, WaitEdge{
-							Waiter: w.key, Holder: l.holder,
-							WaiterPrio: w.prio, HolderPrio: l.holderPrio,
-						})
+						if l.xheld {
+							edges = append(edges, WaitEdge{
+								Waiter: w.key, Holder: l.xholder,
+								WaiterPrio: w.prio, HolderPrio: l.xprio,
+							})
+						}
+						for hk, hp := range l.sholders {
+							edges = append(edges, WaitEdge{
+								Waiter: w.key, Holder: hk,
+								WaiterPrio: w.prio, HolderPrio: hp,
+							})
+						}
 					}
 				}
 				m.reply <- edges
@@ -158,11 +191,7 @@ func (st *site) lockState(e model.EntityID) *elock {
 
 func (st *site) handleLock(t *actorTable, m lockReq) {
 	l := st.lockState(m.e)
-	if !l.held {
-		st.grant(t, m.e, l, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
-		return
-	}
-	if l.holder == m.key {
+	if l.holds(m.key) {
 		// Duplicate (sessions reject re-locks before they reach the site).
 		select {
 		case m.reply <- nil:
@@ -170,16 +199,31 @@ func (st *site) handleLock(t *actorTable, m lockReq) {
 		}
 		return
 	}
-	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, reply: m.reply})
-	if t.cfg.WoundWait && m.prio < l.holderPrio && t.cfg.OnWound != nil {
-		// Older requester wounds the younger holder.
-		t.cfg.OnWound(l.holder.ID)
+	if len(l.queue) == 0 && l.grantable(m.mode) {
+		// Grantable AND no earlier waiter: FIFO fairness means a reader
+		// arriving behind a queued writer parks, it does not slip past.
+		st.grant(t, m.e, l, waitEntry{key: m.key, prio: m.prio, mode: m.mode, reply: m.reply})
+		return
+	}
+	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, mode: m.mode, reply: m.reply})
+	if t.cfg.WoundWait && t.cfg.OnWound != nil {
+		// An older requester wounds every CONFLICTING younger holder.
+		if l.xheld && m.prio < l.xprio {
+			t.cfg.OnWound(l.xholder.ID)
+		}
+		if m.mode == Exclusive {
+			for hk, hp := range l.sholders {
+				if m.prio < hp {
+					t.cfg.OnWound(hk.ID)
+				}
+			}
+		}
 	}
 }
 
 func (st *site) handleCancel(t *actorTable, m cancelReq) {
 	l := st.lockState(m.e)
-	if l.held && l.holder == m.key {
+	if l.holds(m.key) {
 		st.release(t, m.e, m.key)
 		m.reply <- true
 		return
@@ -187,6 +231,9 @@ func (st *site) handleCancel(t *actorTable, m cancelReq) {
 	for i, w := range l.queue {
 		if w.key == m.key {
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			// Removing a queued writer can unblock the readers parked
+			// behind it (and vice versa): run the grant wave.
+			st.grantWave(t, m.e, l)
 			break
 		}
 	}
@@ -195,9 +242,12 @@ func (st *site) handleCancel(t *actorTable, m cancelReq) {
 
 // handleWound drops every queued request of the victim attempt (exact
 // ID+Epoch) at this site, waking the parked acquirers with ErrWounded.
-// Grants are untouched.
-func (st *site) handleWound(key InstKey) {
-	for _, l := range st.locks {
+// Grants are untouched. A withdrawn writer may have been the only thing
+// blocking readers queued behind it, so each touched entity gets a grant
+// wave.
+func (st *site) handleWound(t *actorTable, key InstKey) {
+	for e, l := range st.locks {
+		removed := false
 		for i := 0; i < len(l.queue); {
 			if l.queue[i].key != key {
 				i++
@@ -209,32 +259,60 @@ func (st *site) handleWound(key InstKey) {
 			case w.reply <- ErrWounded:
 			default:
 			}
+			removed = true
+		}
+		if removed {
+			st.grantWave(t, e, l)
 		}
 	}
 }
 
-// release frees the entity if held by key and grants to the next waiter.
+// release frees the entity if key holds it (in either mode) and grants
+// to the next compatible waiters.
 func (st *site) release(t *actorTable, ent model.EntityID, key InstKey) {
 	l := st.lockState(ent)
-	if !l.held || l.holder != key {
-		return
+	switch {
+	case l.xheld && l.xholder == key:
+		l.xheld = false
+	default:
+		if _, ok := l.sholders[key]; !ok {
+			return
+		}
+		delete(l.sholders, key)
 	}
-	l.held = false
-	if len(l.queue) == 0 {
-		return
+	st.grantWave(t, ent, l)
+}
+
+// grantWave drains the wait queue as far as compatibility allows:
+// repeatedly pick the next waiter (FIFO, or oldest-first under
+// wound-wait) and grant it if compatible with the current holders — so
+// consecutive readers are granted as one wave, and a writer is granted
+// exactly when the last incompatible holder left.
+func (st *site) grantWave(t *actorTable, ent model.EntityID, l *elock) {
+	for len(l.queue) > 0 {
+		pick := pickNext(l.queue, func(w waitEntry) int64 { return w.prio }, t.cfg.WoundWait)
+		w := l.queue[pick]
+		if !l.grantable(w.mode) {
+			return
+		}
+		l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+		st.grant(t, ent, l, w)
 	}
-	pick := pickNext(l.queue, func(w waitEntry) int64 { return w.prio }, t.cfg.WoundWait)
-	w := l.queue[pick]
-	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-	st.grant(t, ent, l, w)
 }
 
 func (st *site) grant(t *actorTable, ent model.EntityID, l *elock, w waitEntry) {
-	l.held = true
-	l.holder = w.key
-	l.holderPrio = w.prio
+	if w.mode == Shared {
+		if l.sholders == nil {
+			l.sholders = map[InstKey]int64{}
+		}
+		l.sholders[w.key] = w.prio
+	} else {
+		l.xheld = true
+		l.xholder = w.key
+		l.xprio = w.prio
+	}
 	if t.cfg.Trace {
-		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.ID, Epoch: w.key.Epoch})
+		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.ID, Epoch: w.key.Epoch, Mode: w.mode})
 	}
 	select {
 	case w.reply <- nil:
@@ -249,11 +327,11 @@ func (t *actorTable) siteFor(ent model.EntityID) *site {
 	return t.siteOf[ent]
 }
 
-func (t *actorTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID) error {
+func (t *actorTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID, mode Mode) error {
 	st := t.siteFor(ent)
 	reply := make(chan error, 1)
 	select {
-	case st.inbox <- lockReq{e: ent, key: inst.Key, prio: inst.Prio, reply: reply}:
+	case st.inbox <- lockReq{e: ent, key: inst.Key, prio: inst.Prio, mode: mode, reply: reply}:
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-inst.Doomed:

@@ -34,7 +34,7 @@ func BenchmarkUncontendedAcquireRelease(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e := ents[i%len(ents)]
-				if err := tab.Acquire(ctx, in, e); err != nil {
+				if err := tab.Acquire(ctx, in, e, Exclusive); err != nil {
 					b.Fatal(err)
 				}
 				if err := tab.Release(e, in.Key); err != nil {
@@ -64,7 +64,7 @@ func BenchmarkParallelAcquireRelease(b *testing.B) {
 				e := ents[id%len(ents)]
 				ctx := context.Background()
 				for pb.Next() {
-					if err := tab.Acquire(ctx, in, e); err != nil {
+					if err := tab.Acquire(ctx, in, e, Exclusive); err != nil {
 						b.Error(err)
 						return
 					}

@@ -1,25 +1,28 @@
 // Package locktable is the engine's pluggable lock-grant layer: a Table
-// maps entities to exclusive locks with per-entity wait queues, and the
-// runtime engine drives it through a narrow interface (Acquire / Release /
-// Withdraw / Wound / Snapshot) so the grant machinery can be swapped
-// without touching session semantics.
+// maps entities to shared/exclusive locks with per-entity wait queues, and
+// the runtime engine drives it through a narrow interface (Acquire /
+// Release / Withdraw / Wound / Snapshot) so the grant machinery can be
+// swapped without touching session semantics.
 //
 // Three implementations exist:
 //
-//   - NewActor: the message-passing core — one lock-manager goroutine per
-//     database site, serial over a bounded inbox. Every operation is a
-//     message round trip, which makes the backend's serialization trivially
-//     auditable; it is the conservative choice for the wound-wait tier,
-//     where grant decisions (wounding, oldest-first handoff) benefit from a
-//     single serialization domain per site.
-//   - NewSharded: the fast path the paper's program pays for. Entities are
-//     split across N stripes, each a sync.Mutex guarding its entities' lock
-//     states; an uncontended Acquire is grant-and-return under one mutex —
-//     zero channel hops, no goroutine handoff — and contended waiters park
-//     on per-request channels. A mix that static certification (Theorems
-//     3–5) proved deadlock-free needs no wait-for bookkeeping at grant
-//     time, so nothing in the hot path has to observe global state: stripes
-//     can grant independently.
+//   - NewSharded: the fast path the paper's program pays for, and the
+//     default for every in-process tier. Entities are split across N
+//     stripes, each a sync.Mutex guarding its entities' lock states; an
+//     uncontended Acquire is grant-and-return under one mutex — zero
+//     channel hops, no goroutine handoff — and contended waiters park on
+//     per-request channels. A mix that static certification (Theorems 3–5)
+//     proved deadlock-free needs no wait-for bookkeeping at grant time, so
+//     nothing in the hot path has to observe global state: stripes can
+//     grant independently.
+//   - NewActor: the message-passing DEBUG/REFERENCE implementation — one
+//     lock-manager goroutine per database site, serial over a bounded
+//     inbox. Every operation is a message round trip, which makes the
+//     backend's serialization trivially auditable; it exists to
+//     cross-check the sharded backend through the conformance suite and
+//     for bisecting grant-path bugs, not to serve production traffic
+//     (it was the wound-wait default until the wound-storm soak gate
+//     proved the striped wound path; see ROADMAP).
 //   - NewRemote: the cross-process backend — a client speaking the netlock
 //     wire protocol (internal/netlock, which registers itself here via
 //     RegisterRemote) to a server hosting one of the in-process tables for
@@ -27,10 +30,13 @@
 //     failure modes a network adds.
 //
 // All backends implement identical blocking semantics, verified by a
-// shared conformance suite: FIFO grant order per entity (oldest-first under
-// wound-wait), cancelled waits withdrawn before Acquire returns (a grant
-// racing the withdrawal is released, never leaked), wounds surfaced as
-// ErrWounded, and ErrStopped after Close.
+// shared conformance suite: shared grants overlap and a writer excludes
+// everyone (any number of shared holders, at most one exclusive holder),
+// FIFO grant order per entity (a waiting writer blocks later-arriving
+// readers; oldest-first under wound-wait), cancelled waits withdrawn
+// before Acquire returns (a grant racing the withdrawal is released,
+// never leaked), wounds surfaced as ErrWounded, and ErrStopped after
+// Close.
 package locktable
 
 import (
@@ -50,6 +56,20 @@ const DefaultSiteInbox = 256
 // stripes admit more concurrent grant decisions; the per-stripe cost is one
 // mutex and one map, so over-provisioning is cheap.
 const DefaultShards = 32
+
+// Mode is the access mode of an Acquire: Exclusive (write — excludes
+// every other holder) or Shared (read — any number of shared holders may
+// hold the entity concurrently). It aliases the model's lock-step mode so
+// the runtime can pass a template node's mode straight through.
+type Mode = model.Mode
+
+const (
+	// Exclusive is the write mode (the zero value: pre-mode call sites and
+	// the paper's original model are the all-exclusive special case).
+	Exclusive = model.Exclusive
+	// Shared is the read mode.
+	Shared = model.Shared
+)
 
 // InstKey identifies one attempt (epoch) of one transaction instance.
 // Instances keep their ID across retry epochs so age priority survives a
@@ -74,31 +94,39 @@ type Instance struct {
 }
 
 // WaitEdge is one wait-for edge of a Snapshot: waiter blocks on the entity
-// holder currently holds.
+// holder currently holds. A shared-held entity emits one edge per shared
+// holder for each waiter (a queued reader also waits on the current
+// holders, never directly on the writer queued ahead of it — the writer's
+// own edges to those holders close any cycle just as well).
 type WaitEdge struct {
 	Waiter, Holder         InstKey
 	WaiterPrio, HolderPrio int64
 }
 
 // GrantEvent records that a transaction instance (at a given attempt epoch)
-// was granted the lock on an entity. Per-entity order in GrantLog is the
-// grant order at the owning site or stripe.
+// was granted the lock on an entity in the given mode. Per-entity order in
+// GrantLog is the grant order at the owning site or stripe (concurrent
+// shared grants appear in the order the backend recorded them).
 type GrantEvent struct {
 	Entity model.EntityID
 	Inst   int
 	Epoch  int
+	Mode   Mode
 }
 
 // Config parameterizes a backend. The zero value is a usable FIFO table
 // with default tuning.
 type Config struct {
 	// WoundWait enables the wound-wait priority discipline: an older
-	// requester arriving at a younger holder triggers OnWound, and a
-	// released entity is handed to its oldest waiter instead of FIFO
-	// (preserving the invariant that a holder is older than its waiters).
+	// requester arriving at a CONFLICTING younger holder triggers OnWound
+	// (once per conflicting younger holder — an exclusive requester wounds
+	// every younger shared holder, a shared requester only a younger
+	// exclusive holder), and a released entity is handed to its oldest
+	// waiter instead of FIFO (preserving the invariant that a holder is
+	// older than its conflicting waiters).
 	WoundWait bool
 	// OnWound is called with the holder's instance ID when WoundWait is on
-	// and an older requester queues behind a younger holder. The callback
+	// and an older requester queues behind a conflicting younger holder. The callback
 	// runs inside the backend's grant-path serialization domain (the actor
 	// backend's site goroutine; the sharded backend's stripe critical
 	// section) so the victim provably still holds the entity, and it must
@@ -118,19 +146,26 @@ type Config struct {
 	Shards int
 }
 
-// Table is an exclusive lock table over the entities of one database: at
-// most one instance holds each entity, waiters queue per entity. All
-// methods are safe for concurrent use.
+// Table is a shared/exclusive lock table over the entities of one
+// database: each entity is held by at most one exclusive holder or any
+// number of shared holders, waiters queue per entity. All methods are
+// safe for concurrent use.
 type Table interface {
-	// Acquire blocks until the entity is granted to the instance. It
-	// returns nil on grant; ctx.Err() if the context is cancelled while
-	// waiting (the request is withdrawn — or, if a grant raced the
-	// cancellation, released — before returning, so the instance holds
-	// nothing on a non-nil return); ErrWounded if the instance's Doomed
-	// channel fires or Wound removes the request; and ErrStopped once the
-	// table is closed. A duplicate Acquire by the current holder returns
-	// nil immediately.
-	Acquire(ctx context.Context, inst Instance, ent model.EntityID) error
+	// Acquire blocks until the entity is granted to the instance in the
+	// requested mode: an exclusive grant requires no other holder of any
+	// mode, a shared grant requires no exclusive holder AND no earlier
+	// waiter (FIFO fairness: a reader arriving behind a queued writer
+	// parks behind it rather than starving it; under wound-wait the
+	// queue drains oldest-first instead). It returns nil on grant;
+	// ctx.Err() if the context is cancelled while waiting (the request is
+	// withdrawn — or, if a grant raced the cancellation, released —
+	// before returning, so the instance holds nothing on a non-nil
+	// return); ErrWounded if the instance's Doomed channel fires or Wound
+	// removes the request; and ErrStopped once the table is closed. A
+	// duplicate Acquire by a current holder returns nil immediately
+	// regardless of mode (mode upgrades are not supported; sessions issue
+	// at most one Lock per entity).
+	Acquire(ctx context.Context, inst Instance, ent model.EntityID, mode Mode) error
 	// Release frees the entity if the instance holds it, granting it to the
 	// next waiter (FIFO, or oldest-first under wound-wait). Releasing an
 	// entity the instance does not hold is a no-op. Returns ErrStopped on a

@@ -13,12 +13,19 @@ import (
 // and contended waiters park on buffered per-request channels that the
 // granting goroutine signals while still holding the stripe.
 //
-// This is the backend the certified tier cashes the paper's program in
-// with: a statically certified mix needs no deadlock handling, hence no
-// wait-for bookkeeping at grant time, hence no reason to serialize
+// This is the backend the paper's program cashes in with — the default
+// for both the certified and the wound-wait tier (the actor backend is
+// the debug/reference implementation). A mix that static certification
+// (Theorems 3–5) proved deadlock-free needs no deadlock handling, hence
+// no wait-for bookkeeping at grant time, hence no reason to serialize
 // independent entities through one goroutine. Stripes cut across database
 // sites — a site is a certification concept, not a serialization domain,
 // once grant decisions are purely local to the entity.
+//
+// Lock modes: each entity is held by at most one exclusive holder or any
+// number of shared holders. Grant order is FIFO per entity (a waiting
+// writer blocks later readers; consecutive readers at the queue head are
+// granted as one wave) or oldest-first under wound-wait.
 type shardedTable struct {
 	cfg     Config
 	stripes []*stripe
@@ -34,10 +41,30 @@ type stripe struct {
 }
 
 type slock struct {
-	held       bool
-	holder     InstKey
-	holderPrio int64
-	queue      []*waiter // FIFO arrival order
+	xheld    bool
+	xholder  InstKey
+	xprio    int64
+	sholders map[InstKey]int64 // shared holders -> prio; nil when none ever
+	queue    []*waiter         // FIFO arrival order
+}
+
+// holds reports whether key currently holds the entity in any mode.
+func (l *slock) holds(key InstKey) bool {
+	if l.xheld && l.xholder == key {
+		return true
+	}
+	_, ok := l.sholders[key]
+	return ok
+}
+
+// grantable reports whether a request in the given mode is compatible
+// with the current holders (ignoring the queue — queue fairness is the
+// caller's business).
+func (l *slock) grantable(mode Mode) bool {
+	if l.xheld {
+		return false
+	}
+	return mode == Shared || len(l.sholders) == 0
 }
 
 // waiter is one parked request. The channel is buffered and receives at
@@ -46,6 +73,7 @@ type slock struct {
 type waiter struct {
 	key  InstKey
 	prio int64
+	mode Mode
 	ch   chan error
 }
 
@@ -82,7 +110,7 @@ func (s *stripe) lockState(e model.EntityID) *slock {
 	return l
 }
 
-func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID) error {
+func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID, mode Mode) error {
 	select {
 	case <-t.stop:
 		return ErrStopped
@@ -91,27 +119,39 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 	s := t.stripeOf(ent)
 	s.mu.Lock()
 	l := s.lockState(ent)
-	if !l.held {
-		// The fast path: grant inline, no goroutine handoff.
-		t.grantLocked(s, ent, l, inst.Key, inst.Prio)
-		s.mu.Unlock()
-		return nil
-	}
-	if l.holder == inst.Key {
+	if l.holds(inst.Key) {
 		// Duplicate (sessions reject re-locks before they reach the table).
 		s.mu.Unlock()
 		return nil
 	}
-	w := &waiter{key: inst.Key, prio: inst.Prio, ch: make(chan error, 1)}
+	if len(l.queue) == 0 && l.grantable(mode) {
+		// The fast path: grant inline, no goroutine handoff. The queue must
+		// be empty — a reader arriving behind a waiting writer parks behind
+		// it (FIFO fairness), it does not slip past on compatibility.
+		t.grantLocked(s, ent, l, inst.Key, inst.Prio, mode)
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{key: inst.Key, prio: inst.Prio, mode: mode, ch: make(chan error, 1)}
 	l.queue = append(l.queue, w)
-	if t.cfg.WoundWait && inst.Prio < l.holderPrio && t.cfg.OnWound != nil {
-		// Older requester wounds the younger holder. Delivered inside the
-		// critical section so the holder provably still holds the entity —
-		// a Release racing the decision would otherwise make this wound
-		// spurious (the actor backend decides and wounds atomically in the
-		// site goroutine; match it). OnWound must not call back into the
-		// table (see Config), so holding the stripe is safe.
-		t.cfg.OnWound(l.holder.ID)
+	if t.cfg.WoundWait && t.cfg.OnWound != nil {
+		// An older requester wounds every CONFLICTING younger holder.
+		// Delivered inside the critical section so the victims provably
+		// still hold the entity — a Release racing the decision would
+		// otherwise make the wound spurious (the actor backend decides and
+		// wounds atomically in the site goroutine; match it). OnWound must
+		// not call back into the table (see Config), so holding the stripe
+		// is safe.
+		if l.xheld && inst.Prio < l.xprio {
+			t.cfg.OnWound(l.xholder.ID)
+		}
+		if mode == Exclusive {
+			for hk, hp := range l.sholders {
+				if inst.Prio < hp {
+					t.cfg.OnWound(hk.ID)
+				}
+			}
+		}
 	}
 	s.mu.Unlock()
 	select {
@@ -138,6 +178,9 @@ func (t *shardedTable) cancelWait(s *stripe, ent model.EntityID, w *waiter) {
 	for i, q := range l.queue {
 		if q == w {
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			// Removing a queued writer can unblock the readers parked
+			// behind it (and vice versa): run the grant wave.
+			t.grantWaveLocked(s, ent, l)
 			return
 		}
 	}
@@ -159,30 +202,54 @@ func (t *shardedTable) Release(ent model.EntityID, key InstKey) error {
 	return nil
 }
 
-// releaseLocked frees the entity if held by key and grants to the next
-// waiter. Caller holds the stripe mutex.
+// releaseLocked frees the entity if key holds it (in either mode) and
+// grants to the next compatible waiters. Caller holds the stripe mutex.
 func (t *shardedTable) releaseLocked(s *stripe, ent model.EntityID, l *slock, key InstKey) {
-	if !l.held || l.holder != key {
-		return
+	switch {
+	case l.xheld && l.xholder == key:
+		l.xheld = false
+	default:
+		if _, ok := l.sholders[key]; !ok {
+			return
+		}
+		delete(l.sholders, key)
 	}
-	l.held = false
-	if len(l.queue) == 0 {
-		return
-	}
-	pick := pickNext(l.queue, func(w *waiter) int64 { return w.prio }, t.cfg.WoundWait)
-	w := l.queue[pick]
-	l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-	t.grantLocked(s, ent, l, w.key, w.prio)
-	w.ch <- nil
+	t.grantWaveLocked(s, ent, l)
 }
 
-// grantLocked marks the entity held. Caller holds the stripe mutex.
-func (t *shardedTable) grantLocked(s *stripe, ent model.EntityID, l *slock, key InstKey, prio int64) {
-	l.held = true
-	l.holder = key
-	l.holderPrio = prio
+// grantWaveLocked drains the wait queue as far as compatibility allows:
+// repeatedly pick the next waiter (FIFO, or oldest-first under
+// wound-wait) and grant it if compatible with the current holders — so
+// consecutive readers are granted as one wave, and a writer is granted
+// exactly when the last incompatible holder left. Caller holds the
+// stripe mutex.
+func (t *shardedTable) grantWaveLocked(s *stripe, ent model.EntityID, l *slock) {
+	for len(l.queue) > 0 {
+		pick := pickNext(l.queue, func(w *waiter) int64 { return w.prio }, t.cfg.WoundWait)
+		w := l.queue[pick]
+		if !l.grantable(w.mode) {
+			return
+		}
+		l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
+		t.grantLocked(s, ent, l, w.key, w.prio, w.mode)
+		w.ch <- nil
+	}
+}
+
+// grantLocked records the holder. Caller holds the stripe mutex.
+func (t *shardedTable) grantLocked(s *stripe, ent model.EntityID, l *slock, key InstKey, prio int64, mode Mode) {
+	if mode == Shared {
+		if l.sholders == nil {
+			l.sholders = map[InstKey]int64{}
+		}
+		l.sholders[key] = prio
+	} else {
+		l.xheld = true
+		l.xholder = key
+		l.xprio = prio
+	}
 	if t.cfg.Trace {
-		s.log = append(s.log, GrantEvent{Entity: ent, Inst: key.ID, Epoch: key.Epoch})
+		s.log = append(s.log, GrantEvent{Entity: ent, Inst: key.ID, Epoch: key.Epoch, Mode: mode})
 	}
 }
 
@@ -191,7 +258,7 @@ func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	l := s.lockState(ent)
-	if l.held && l.holder == key {
+	if l.holds(key) {
 		t.releaseLocked(s, ent, l, key)
 		return true
 	}
@@ -199,7 +266,9 @@ func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
 		if q.key == key {
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
 			// Leave the parked Acquire (if any) to its own select arms; a
-			// direct Withdraw caller owns the request lifecycle.
+			// direct Withdraw caller owns the request lifecycle. The queue
+			// changed, so later compatible waiters may now be grantable.
+			t.grantWaveLocked(s, ent, l)
 			break
 		}
 	}
@@ -222,7 +291,8 @@ func (t *shardedTable) ReleaseAll(ents []model.EntityID, key InstKey) error {
 func (t *shardedTable) Wound(key InstKey) {
 	for _, s := range t.stripes {
 		s.mu.Lock()
-		for _, l := range s.locks {
+		for ent, l := range s.locks {
+			removed := false
 			for i := 0; i < len(l.queue); {
 				if l.queue[i].key != key {
 					i++
@@ -231,6 +301,12 @@ func (t *shardedTable) Wound(key InstKey) {
 				w := l.queue[i]
 				l.queue = append(l.queue[:i], l.queue[i+1:]...)
 				w.ch <- ErrWounded
+				removed = true
+			}
+			if removed {
+				// A withdrawn writer may have been the only thing blocking
+				// the readers queued behind it.
+				t.grantWaveLocked(s, ent, l)
 			}
 		}
 		s.mu.Unlock()
@@ -242,14 +318,22 @@ func (t *shardedTable) Snapshot() []WaitEdge {
 	for _, s := range t.stripes {
 		s.mu.Lock()
 		for _, l := range s.locks {
-			if !l.held {
+			if !l.xheld && len(l.sholders) == 0 {
 				continue
 			}
 			for _, w := range l.queue {
-				edges = append(edges, WaitEdge{
-					Waiter: w.key, Holder: l.holder,
-					WaiterPrio: w.prio, HolderPrio: l.holderPrio,
-				})
+				if l.xheld {
+					edges = append(edges, WaitEdge{
+						Waiter: w.key, Holder: l.xholder,
+						WaiterPrio: w.prio, HolderPrio: l.xprio,
+					})
+				}
+				for hk, hp := range l.sholders {
+					edges = append(edges, WaitEdge{
+						Waiter: w.key, Holder: hk,
+						WaiterPrio: w.prio, HolderPrio: hp,
+					})
+				}
 			}
 		}
 		s.mu.Unlock()

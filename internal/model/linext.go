@@ -100,7 +100,7 @@ func Linearize(t *Transaction, order []NodeID, name string) (*Transaction, error
 		nd := t.Node(id)
 		ename := t.ddb.EntityName(nd.Entity)
 		if nd.Kind == LockOp {
-			b.Lock(ename)
+			b.LockMode(ename, nd.Mode)
 		} else {
 			b.Unlock(ename)
 		}

@@ -44,14 +44,17 @@ func (s *System) TotalNodes() int {
 	return n
 }
 
-// InteractionGraph returns the paper's G(A): an undirected graph with the
-// transactions as nodes and an edge between any two transactions that
-// access a common entity.
+// InteractionGraph returns the paper's G(A), made conflict-aware: an
+// undirected graph with the transactions as nodes and an edge between any
+// two transactions that CONFLICT on a common entity (R/W or W/W — two
+// transactions that only ever read their shared entities neither block
+// each other nor constrain serialization, so they do not interact). In
+// the all-exclusive model this is exactly the paper's common-entity graph.
 func (s *System) InteractionGraph() *graph.Ugraph {
 	g := graph.NewUgraph(len(s.Txns))
 	for i := range s.Txns {
 		for j := i + 1; j < len(s.Txns); j++ {
-			if len(CommonEntities(s.Txns[i], s.Txns[j])) > 0 {
+			if len(ConflictingEntities(s.Txns[i], s.Txns[j])) > 0 {
 				g.AddEdge(i, j)
 			}
 		}
@@ -72,7 +75,7 @@ func Copies(t *Transaction, d int) (*System, error) {
 			nd := t.Node(NodeID(id))
 			ename := t.DDB().EntityName(nd.Entity)
 			if nd.Kind == LockOp {
-				b.Lock(ename)
+				b.LockMode(ename, nd.Mode)
 			} else {
 				b.Unlock(ename)
 			}

@@ -25,13 +25,52 @@ func (k OpKind) String() string {
 	return "U"
 }
 
+// Mode is the access mode of a Lock step. The paper's Theorems 3–5 treat
+// every lock as exclusive; the generalized tests distinguish shared (read)
+// from exclusive (write) locks, with the classical conflict relation: two
+// accesses to one entity conflict unless both are shared.
+type Mode uint8
+
+const (
+	// Exclusive is the write mode: the lock excludes every other holder.
+	// It is the zero value, so all pre-mode code paths (and the paper's
+	// original model) are the all-exclusive special case.
+	Exclusive Mode = iota
+	// Shared is the read mode: any number of shared holders may hold the
+	// entity concurrently; only an exclusive access conflicts with it.
+	Shared
+)
+
+// String returns "X" or "S".
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// ConflictsWith reports whether two accesses with these modes conflict:
+// R/W and W/W conflict, R/R does not.
+func (m Mode) ConflictsWith(o Mode) bool { return m == Exclusive || o == Exclusive }
+
 // NodeID identifies an operation node within a single transaction.
 type NodeID int
 
-// Node is one operation of a locked transaction.
+// Node is one operation of a locked transaction. Mode is meaningful for
+// LockOp nodes only (an Unlock releases whatever mode was acquired).
 type Node struct {
 	Kind   OpKind
 	Entity EntityID
+	Mode   Mode
+}
+
+// opString renders the operation kind with its mode: "L" (exclusive lock),
+// "S" (shared lock), or "U" (unlock).
+func (n Node) opString() string {
+	if n.Kind == LockOp && n.Mode == Shared {
+		return "S"
+	}
+	return n.Kind.String()
 }
 
 // Builder incrementally constructs a locked transaction. Obtain one from
@@ -49,14 +88,21 @@ func NewBuilder(ddb *DDB, name string) *Builder {
 	return &Builder{ddb: ddb, name: name}
 }
 
-// Lock appends a Lock node for the named entity and returns its ID.
-// The entity must already exist in the DDB.
-func (b *Builder) Lock(entity string) NodeID { return b.add(LockOp, entity) }
+// Lock appends an exclusive (write) Lock node for the named entity and
+// returns its ID. The entity must already exist in the DDB.
+func (b *Builder) Lock(entity string) NodeID { return b.add(LockOp, entity, Exclusive) }
+
+// LockShared appends a shared (read) Lock node for the named entity and
+// returns its ID.
+func (b *Builder) LockShared(entity string) NodeID { return b.add(LockOp, entity, Shared) }
+
+// LockMode appends a Lock node in the given mode.
+func (b *Builder) LockMode(entity string, m Mode) NodeID { return b.add(LockOp, entity, m) }
 
 // Unlock appends an Unlock node for the named entity and returns its ID.
-func (b *Builder) Unlock(entity string) NodeID { return b.add(UnlockOp, entity) }
+func (b *Builder) Unlock(entity string) NodeID { return b.add(UnlockOp, entity, Exclusive) }
 
-func (b *Builder) add(kind OpKind, entity string) NodeID {
+func (b *Builder) add(kind OpKind, entity string, m Mode) NodeID {
 	if b.frozen {
 		panic("model: builder used after Freeze")
 	}
@@ -64,8 +110,11 @@ func (b *Builder) add(kind OpKind, entity string) NodeID {
 	if !ok {
 		panic(fmt.Sprintf("model: unknown entity %q in transaction %s", entity, b.name))
 	}
+	if kind == UnlockOp {
+		m = Exclusive // an Unlock has no mode of its own
+	}
 	id := NodeID(len(b.nodes))
-	b.nodes = append(b.nodes, Node{Kind: kind, Entity: e})
+	b.nodes = append(b.nodes, Node{Kind: kind, Entity: e, Mode: m})
 	return id
 }
 
@@ -297,6 +346,16 @@ func (t *Transaction) Accesses(e EntityID) bool {
 	return ok
 }
 
+// ModeOf returns the mode in which the transaction locks entity e
+// (Exclusive for entities it does not access — harmless, since every
+// caller gates on Accesses).
+func (t *Transaction) ModeOf(e EntityID) Mode {
+	if l, ok := t.lockOf[e]; ok {
+		return t.nodes[l].Mode
+	}
+	return Exclusive
+}
+
 // LockNode returns the Lx node for entity e.
 func (t *Transaction) LockNode(e EntityID) (NodeID, bool) {
 	id, ok := t.lockOf[e]
@@ -373,7 +432,7 @@ func (t *Transaction) String() string {
 		if id > 0 {
 			s += " "
 		}
-		s += fmt.Sprintf("%d:%s%s", id, nd.Kind, t.ddb.EntityName(nd.Entity))
+		s += fmt.Sprintf("%d:%s%s", id, nd.opString(), t.ddb.EntityName(nd.Entity))
 	}
 	s += " |"
 	for u := 0; u < t.N(); u++ {
@@ -384,10 +443,11 @@ func (t *Transaction) String() string {
 	return s + "}"
 }
 
-// Label returns a human-readable label such as "Lx" or "Ux" for a node.
+// Label returns a human-readable label such as "Lx" (exclusive lock),
+// "Sx" (shared lock), or "Ux" for a node.
 func (t *Transaction) Label(id NodeID) string {
 	nd := t.Node(id)
-	return nd.Kind.String() + t.ddb.EntityName(nd.Entity)
+	return nd.opString() + t.ddb.EntityName(nd.Entity)
 }
 
 func (t *Transaction) check(id NodeID) {
@@ -411,6 +471,28 @@ func CommonEntities(t1, t2 *Transaction) []EntityID {
 			i++
 		default:
 			j++
+		}
+	}
+	return out
+}
+
+// Conflicts reports whether t1 and t2 conflict on entity e: both access it
+// and at least one of the accesses is exclusive. Two shared accesses do
+// not conflict — they neither block each other nor constrain the
+// serialization order.
+func Conflicts(t1, t2 *Transaction, e EntityID) bool {
+	return t1.Accesses(e) && t2.Accesses(e) && t1.ModeOf(e).ConflictsWith(t2.ModeOf(e))
+}
+
+// ConflictingEntities returns the common entities on which t1 and t2
+// conflict, sorted by entity ID. In the all-exclusive model this is
+// exactly CommonEntities; the conflict-aware static tests (Theorems 3–5
+// generalized) interact through this set only.
+func ConflictingEntities(t1, t2 *Transaction) []EntityID {
+	var out []EntityID
+	for _, e := range CommonEntities(t1, t2) {
+		if t1.ModeOf(e).ConflictsWith(t2.ModeOf(e)) {
+			out = append(out, e)
 		}
 	}
 	return out

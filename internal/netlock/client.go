@@ -317,10 +317,10 @@ func (c *Client) call(build func(reqID uint64, e *enc)) (result, error) {
 }
 
 // Acquire implements locktable.Table: the request blocks server-side in
-// the hosted table; cancellation and doom map to a cancel message that
-// withdraws it there, and a grant that races the cancellation is released
-// before returning.
-func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID) error {
+// the hosted table (which owns all mode compatibility decisions);
+// cancellation and doom map to a cancel message that withdraws it there,
+// and a grant that races the cancellation is released before returning.
+func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode) error {
 	reqID, ch := c.register()
 	if err := c.send(func(e *enc) {
 		e.u8(opAcquire)
@@ -328,6 +328,7 @@ func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model
 		e.key(inst.Key)
 		e.i64(inst.Prio)
 		e.i64(int64(ent))
+		e.mode(mode)
 	}); err != nil {
 		c.unregister(reqID)
 		return locktable.ErrStopped

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -63,7 +64,7 @@ func acquire(t *testing.T, c *Client, id int, ent model.EntityID) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	inst := locktable.Instance{Key: locktable.InstKey{ID: id}, Prio: int64(id)}
-	if err := c.Acquire(ctx, inst, ent); err != nil {
+	if err := c.Acquire(ctx, inst, ent, locktable.Exclusive); err != nil {
 		t.Fatalf("Acquire(%d, %v) = %v", id, ent, err)
 	}
 }
@@ -89,7 +90,7 @@ func TestKilledConnMidAcquire(t *testing.T) {
 	parked := make(chan error, 1)
 	go func() {
 		parked <- victim.Acquire(context.Background(),
-			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0], locktable.Exclusive)
 	}()
 	waitFor(t, func() bool { return len(holder.Snapshot()) == 1 })
 
@@ -157,7 +158,7 @@ func TestStaleFenceRejected(t *testing.T) {
 	}
 	probeCtx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
-	err := next.Acquire(probeCtx, locktable.Instance{Key: locktable.InstKey{ID: 3}, Prio: 3}, e)
+	err := next.Acquire(probeCtx, locktable.Instance{Key: locktable.InstKey{ID: 3}, Prio: 3}, e, locktable.Exclusive)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("probe acquired a lock the stale release should not have freed (err=%v)", err)
 	}
@@ -180,7 +181,7 @@ func TestLeaseExpiryWakesParkedAcquire(t *testing.T) {
 	got := make(chan error, 1)
 	go func() {
 		got <- stalled.Acquire(context.Background(),
-			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0], locktable.Exclusive)
 	}()
 	select {
 	case err := <-got:
@@ -254,7 +255,7 @@ func TestWoundPushCrossConn(t *testing.T) {
 	got := make(chan error, 1)
 	go func() {
 		got <- old.Acquire(context.Background(),
-			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0])
+			locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}, ents[0], locktable.Exclusive)
 	}()
 	waitFor(t, func() bool { return wounded.Load() == 9 })
 	// The wounded holder aborts: releases, and the old requester wins.
@@ -328,7 +329,7 @@ func TestLeaseRecoveryAfterExpiry(t *testing.T) {
 		defer p.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 		defer cancel()
-		err := p.Acquire(ctx, locktable.Instance{Key: locktable.InstKey{ID: 7}, Prio: 7}, e)
+		err := p.Acquire(ctx, locktable.Instance{Key: locktable.InstKey{ID: 7}, Prio: 7}, e, locktable.Exclusive)
 		if err == nil {
 			p.Release(e, locktable.InstKey{ID: 7})
 			return true
@@ -364,4 +365,52 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatal("condition never became true")
+}
+
+// TestHandshakeRejectsStaleProtocolVersion: a v1 dialer (an exclusive-
+// only build that neither sends the opAcquire mode byte nor expects one
+// in grant-log events) must be rejected at the handshake with a message
+// naming both versions — never half-parsed into silently-exclusive
+// semantics.
+func TestHandshakeRejectsStaleProtocolVersion(t *testing.T) {
+	ddb, _ := testDDB(t, 2)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	hash := DDBHash(ddb)
+	var e enc
+	e.u8(opHello)
+	e.u64(1)                   // reqID
+	e.u32(protocolVersion - 1) // the previous (exclusive-only) protocol
+	e.boolean(false)           // woundWait
+	e.boolean(false)           // trace
+	e.raw(hash[:])
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeFrame(nc, e.b); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readFrame(nc)
+	if err != nil {
+		t.Fatalf("no handshake reply: %v", err)
+	}
+	d := dec{b: body}
+	if op := d.u8(); op != opResult {
+		t.Fatalf("reply opcode %#x, want opResult", op)
+	}
+	d.u64() // reqID
+	if status := d.u8(); status != stErr {
+		t.Fatalf("stale-version hello status %#x, want stErr", status)
+	}
+	msg := d.str()
+	if d.err != nil || !strings.Contains(msg, "protocol version") {
+		t.Fatalf("rejection message %q does not name the protocol version", msg)
+	}
+	// The server hung up: the next read is EOF, not a session.
+	if _, err := readFrame(nc); err == nil {
+		t.Fatal("server kept a stale-version connection open")
+	}
 }

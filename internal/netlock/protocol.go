@@ -54,7 +54,14 @@ import (
 )
 
 // protocolVersion guards against skew between client and server builds.
-const protocolVersion = 1
+// Version history:
+//
+//	1 — exclusive-only locks (PR 4).
+//	2 — shared/exclusive lock modes: opAcquire carries a mode byte and
+//	    grant-log events carry the granted mode. A v1 peer would silently
+//	    treat every lock as exclusive (or mis-parse the extra byte), so
+//	    the handshake rejects the mismatch instead.
+const protocolVersion = 2
 
 // maxFrame bounds a frame body; larger frames indicate a corrupt stream.
 const maxFrame = 16 << 20
@@ -63,7 +70,7 @@ const maxFrame = 16 << 20
 // opResult echoes; opWoundPush is the one server-initiated message.
 const (
 	opHello      = 0x01 // version, woundWait, trace, ddb hash
-	opAcquire    = 0x02 // reqID, inst key, prio, entity
+	opAcquire    = 0x02 // reqID, inst key, prio, entity, mode
 	opCancel     = 0x03 // reqID of the in-flight acquire to withdraw
 	opRelease    = 0x04 // reqID, entity, inst key, fencing token
 	opReleaseAll = 0x05 // reqID, inst key, n × (entity, fencing token)
@@ -267,6 +274,18 @@ func (d *dec) str() string {
 	return string(d.raw(n))
 }
 
+// mode encodes/decodes a lock mode as one byte.
+func (e *enc) mode(m locktable.Mode) { e.u8(byte(m)) }
+
+func (d *dec) mode() locktable.Mode {
+	b := d.u8()
+	if b > byte(locktable.Shared) {
+		d.fail()
+		return locktable.Exclusive
+	}
+	return locktable.Mode(b)
+}
+
 // key encodes/decodes an instance key (client-side numbering on the wire;
 // composition is server business).
 func (e *enc) key(k locktable.InstKey) {
@@ -316,12 +335,13 @@ func (e *enc) events(evs []locktable.GrantEvent) {
 		e.i64(int64(ev.Entity))
 		e.i64(int64(ev.Inst))
 		e.i64(int64(ev.Epoch))
+		e.mode(ev.Mode)
 	}
 }
 
 func (d *dec) events() []locktable.GrantEvent {
 	n := int(d.u32())
-	if d.err != nil || n > maxFrame/24 {
+	if d.err != nil || n > maxFrame/25 {
 		d.fail()
 		return nil
 	}
@@ -331,6 +351,7 @@ func (d *dec) events() []locktable.GrantEvent {
 		ev.Entity = model.EntityID(d.i64())
 		ev.Inst = int(d.i64())
 		ev.Epoch = int(d.i64())
+		ev.Mode = d.mode()
 		out = append(out, ev)
 	}
 	return out

@@ -519,10 +519,11 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		key := d.key()
 		prio := d.i64()
 		ent := model.EntityID(d.i64())
+		mode := d.mode()
 		if d.err != nil {
 			return d.err
 		}
-		s.startAcquire(c, reqID, key, prio, ent)
+		s.startAcquire(c, reqID, key, prio, ent, mode)
 		return nil
 
 	case opCancel:
@@ -660,8 +661,11 @@ func (s *Server) release(c *srvConn, ent model.EntityID, key locktable.InstKey, 
 
 // startAcquire runs one client Acquire as a server-side goroutine blocked
 // in the inner table, with a per-request context the cancel and revoke
-// paths fire.
-func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID) {
+// paths fire. The mode travels to the inner table untouched: grant
+// compatibility (concurrent readers, writer exclusion, queue fairness)
+// is entirely the hosted table's decision, so remote and in-process
+// sessions blocking on one entity obey one discipline.
+func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID, mode locktable.Mode) {
 	if int(ent) < 0 || int(ent) >= s.ddb.NumEntities() {
 		c.result(reqID, stErr, func(e *enc) { e.str(fmt.Sprintf("netlock: entity %d outside the database", ent)) })
 		return
@@ -693,7 +697,7 @@ func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, p
 	go func() {
 		defer s.wg.Done()
 		defer acancel()
-		err := s.tab.Acquire(actx, locktable.Instance{Key: composed, Prio: prio}, ent)
+		err := s.tab.Acquire(actx, locktable.Instance{Key: composed, Prio: prio}, ent, mode)
 		// Atomically retire the in-flight record and decide the outcome
 		// under the connection mutex: the revoke path sees either the
 		// pending record (and cancels it) or the recorded grant (and
@@ -719,7 +723,7 @@ func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, p
 					// this mutex) happens-after the append, so per-entity
 					// trace order is grant order.
 					s.traceMu.Lock()
-					s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch})
+					s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch, Mode: mode})
 					s.traceMu.Unlock()
 				}
 			}

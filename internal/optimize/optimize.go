@@ -176,7 +176,7 @@ func applyMove(sys *model.System, ti int, mv move) (*model.System, error) {
 		nd := old.Node(model.NodeID(n))
 		name := sys.DDB.EntityName(nd.Entity)
 		if nd.Kind == model.LockOp {
-			b.Lock(name)
+			b.LockMode(name, nd.Mode)
 		} else {
 			b.Unlock(name)
 		}

@@ -28,15 +28,21 @@ type Backend int
 const (
 	// BackendDefault resolves per strategy: sharded for StrategyNone (a
 	// certified mix needs no wait-for bookkeeping at grant time, so it may
-	// take the striped fast path), actor for the deadlock-handling
-	// strategies (their grant-path decisions are proven on the per-site
-	// serialization domain).
+	// take the striped fast path) AND for StrategyWoundWait (the striped
+	// wound path earned the flip: TestWoundStormSoak — Zipf-hot wound
+	// storms over every stripe configuration — has been clean in CI since
+	// PR 4). StrategyDetect still resolves to actor: the detector is the
+	// uncertified-mix escape hatch, not a throughput path, and keeps the
+	// auditable per-site serialization domain.
 	BackendDefault Backend = iota
 	// BackendActor: one lock-manager goroutine per site, every operation a
-	// message round trip.
+	// message round trip. This is the DEBUG/REFERENCE implementation —
+	// kept to cross-check the sharded backend through the conformance
+	// suite and to bisect grant-path bugs, not a production default.
 	BackendActor
-	// BackendSharded: hash-striped mutexes with per-entity FIFO wait
-	// queues; uncontended grants take zero channel hops.
+	// BackendSharded: hash-striped mutexes with per-entity shared/
+	// exclusive lock states and FIFO wait queues; uncontended grants take
+	// zero channel hops. The production backend for every in-process tier.
 	BackendSharded
 	// BackendRemote: the cross-process backend — a netlock client speaking
 	// the wire protocol to a dlserver-hosted table (internal/netlock).
@@ -60,15 +66,17 @@ func (b Backend) String() string {
 	}
 }
 
-// resolve maps BackendDefault to the strategy's proven backend.
+// resolve maps BackendDefault to the strategy's proven backend: sharded
+// for the certified tier and for wound-wait (post-soak-gate), actor only
+// for the detector strategy.
 func (b Backend) resolve(s Strategy) Backend {
 	if b != BackendDefault {
 		return b
 	}
-	if s == StrategyNone {
-		return BackendSharded
+	if s == StrategyDetect {
+		return BackendActor
 	}
-	return BackendActor
+	return BackendSharded
 }
 
 // EngineOptions parameterizes a long-lived Engine (see NewEngine). The
@@ -79,7 +87,8 @@ type EngineOptions struct {
 	// DetectEvery is the detector period (StrategyDetect only). Default 2ms.
 	DetectEvery time.Duration
 	// Backend selects the lock-table implementation. BackendDefault picks
-	// sharded for StrategyNone and actor otherwise.
+	// sharded for StrategyNone and StrategyWoundWait, actor for
+	// StrategyDetect.
 	Backend Backend
 	// RemoteAddr is the netlock server address BackendRemote dials. The
 	// server must host the same database (the handshake verifies a

@@ -292,10 +292,10 @@ func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration, waits
 		if nd.Kind == model.LockOp {
 			if waits != nil {
 				lockStart := time.Now()
-				err = s.Lock(context.Background(), nd.Entity)
+				err = s.Lock(context.Background(), nd.Entity, nd.Mode)
 				*waits = append(*waits, time.Since(lockStart))
 			} else {
-				err = s.Lock(context.Background(), nd.Entity)
+				err = s.Lock(context.Background(), nd.Entity, nd.Mode)
 			}
 		} else {
 			err = s.Unlock(nd.Entity)

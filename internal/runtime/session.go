@@ -157,16 +157,25 @@ func (s *Session) ready(nid model.NodeID, label string) error {
 	return nil
 }
 
-// Lock acquires the entity, blocking until the lock table grants it. It
-// returns promptly with ctx.Err() if the context is cancelled while
+// Lock acquires the entity in the given mode, blocking until the lock
+// table grants it. The mode must be the one the class template certifies
+// for the entity: the static admission proved safety and deadlock-freedom
+// for exactly the template's modes, so acquiring in any other mode
+// (upgrading a read to a write, or silently downgrading) would run
+// uncertified — the mismatch is rejected before the table is touched.
+// Lock returns promptly with ctx.Err() if the context is cancelled while
 // waiting (the request is withdrawn from the table first, so no lock is
 // held on return), with ErrAborted if the engine's deadlock handling
 // aborts the transaction, and with ErrClosed if the engine shuts down.
 // After a cancellation the session remains usable and Lock may be retried.
-func (s *Session) Lock(ctx context.Context, ent model.EntityID) error {
+func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode) error {
 	nid, ok := s.tmpl.LockNode(ent)
 	if !ok {
 		return fmt.Errorf("runtime: %s has no Lock(%s) operation", s.tmpl.Name(), s.e.ddb.EntityName(ent))
+	}
+	if want := s.tmpl.Node(nid).Mode; mode != want {
+		return fmt.Errorf("runtime: %s locks %s in mode %s, not %s (the certification covers the template's modes only)",
+			s.tmpl.Name(), s.e.ddb.EntityName(ent), want, mode)
 	}
 	if err := s.ready(nid, "L"+s.e.ddb.EntityName(ent)); err != nil {
 		return err
@@ -175,7 +184,7 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID) error {
 		return err
 	}
 	inst := locktable.Instance{Key: s.key, Prio: s.prio, Doomed: s.abortCh}
-	switch err := s.e.table.Acquire(ctx, inst, ent); {
+	switch err := s.e.table.Acquire(ctx, inst, ent, mode); {
 	case err == nil:
 		s.held[ent] = true
 		s.executed.Set(int(nid))

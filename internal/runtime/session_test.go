@@ -57,8 +57,8 @@ func TestSessionDrivesTemplate(t *testing.T) {
 		}
 		ctx := context.Background()
 		for _, step := range []func() error{
-			func() error { return s.Lock(ctx, x) },
-			func() error { return s.Lock(ctx, y) },
+			func() error { return s.Lock(ctx, x, model.Exclusive) },
+			func() error { return s.Lock(ctx, y, model.Exclusive) },
 			func() error { return s.Unlock(x) },
 			func() error { return s.Unlock(y) },
 		} {
@@ -89,7 +89,7 @@ func TestSessionEnforcesPartialOrder(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Ly before Lx violates the chain.
-		if err := s.Lock(context.Background(), y); err == nil {
+		if err := s.Lock(context.Background(), y, model.Exclusive); err == nil {
 			t.Fatal("out-of-order Lock accepted")
 		}
 		if err := s.Unlock(y); err == nil {
@@ -122,7 +122,7 @@ func TestSessionLockCancellation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := holder.Lock(bg, x); err != nil {
+		if err := holder.Lock(bg, x, model.Exclusive); err != nil {
 			t.Fatal(err)
 		}
 
@@ -132,7 +132,7 @@ func TestSessionLockCancellation(t *testing.T) {
 		}
 		ctx, cancel := context.WithCancel(bg)
 		errCh := make(chan error, 1)
-		go func() { errCh <- waiter.Lock(ctx, x) }()
+		go func() { errCh <- waiter.Lock(ctx, x, model.Exclusive) }()
 		time.Sleep(10 * time.Millisecond) // let the request queue at the table
 		cancel()
 		select {
@@ -154,7 +154,7 @@ func TestSessionLockCancellation(t *testing.T) {
 			t.Fatal(err)
 		}
 		grant := make(chan error, 1)
-		go func() { grant <- third.Lock(bg, x) }()
+		go func() { grant <- third.Lock(bg, x, model.Exclusive) }()
 		if err := holder.Unlock(x); err != nil {
 			t.Fatal(err)
 		}
@@ -195,13 +195,13 @@ func TestSessionCancelGrantRace(t *testing.T) {
 		bg := context.Background()
 		for i := 0; i < 200; i++ {
 			holder, _ := e.Begin(buildChain(d, "H", "Lx Ux"))
-			if err := holder.Lock(bg, x); err != nil {
+			if err := holder.Lock(bg, x, model.Exclusive); err != nil {
 				t.Fatal(err)
 			}
 			waiter, _ := e.Begin(buildChain(d, "W", "Lx Ux"))
 			ctx, cancel := context.WithCancel(bg)
 			got := make(chan error, 1)
-			go func() { got <- waiter.Lock(ctx, x) }()
+			go func() { got <- waiter.Lock(ctx, x, model.Exclusive) }()
 			go cancel()
 			if err := holder.Unlock(x); err != nil {
 				t.Fatal(err)
@@ -226,7 +226,7 @@ func TestSessionCancelGrantRace(t *testing.T) {
 			// Either way the entity must be free again.
 			probe, _ := e.Begin(buildChain(d, "P", "Lx Ux"))
 			pctx, pcancel := context.WithTimeout(bg, time.Second)
-			if err := probe.Lock(pctx, x); err != nil {
+			if err := probe.Lock(pctx, x, model.Exclusive); err != nil {
 				t.Fatalf("iteration %d: entity leaked: %v", i, err)
 			}
 			pcancel()
@@ -247,11 +247,11 @@ func TestSessionWoundReturnsErrAborted(t *testing.T) {
 		// priority value) than the requester, so the request wounds it.
 		holder := e.beginInstance(buildChain(d, "H", "Lx Ux"), 100, 0, 100)
 		requester := e.beginInstance(buildChain(d, "R", "Lx Ux"), 50, 0, 50)
-		if err := holder.Lock(bg, x); err != nil {
+		if err := holder.Lock(bg, x, model.Exclusive); err != nil {
 			t.Fatal(err)
 		}
 		got := make(chan error, 1)
-		go func() { got <- requester.Lock(bg, x) }()
+		go func() { got <- requester.Lock(bg, x, model.Exclusive) }()
 		// The older requester wounds the younger holder: the holder's next
 		// blocking operation (or its Doomed channel) reports the wound.
 		select {
@@ -308,7 +308,7 @@ func TestSessionRetryPreservesIdentity(t *testing.T) {
 				r.ID(), r.prio, r.key.Epoch, s.ID(), s.prio, s.key.Epoch+1)
 		}
 		x := ent(t, d, "x")
-		if err := r.Lock(context.Background(), x); err != nil {
+		if err := r.Lock(context.Background(), x, model.Exclusive); err != nil {
 			t.Fatal(err)
 		}
 		if err := r.Unlock(x); err != nil {
@@ -335,7 +335,7 @@ func TestSessionAfterEngineClose(t *testing.T) {
 		}
 		e.Close()
 		x, _ := d.Entity("x")
-		if err := s.Lock(context.Background(), x); !errors.Is(err, ErrClosed) {
+		if err := s.Lock(context.Background(), x, model.Exclusive); !errors.Is(err, ErrClosed) {
 			t.Fatalf("Lock on closed engine = %v, want ErrClosed", err)
 		}
 		if _, err := e.Begin(tmpl); !errors.Is(err, ErrClosed) {
@@ -358,9 +358,12 @@ func TestBeginRejectsForeignTemplate(t *testing.T) {
 // actor core.
 func TestBackendResolution(t *testing.T) {
 	for strat, want := range map[Strategy]Backend{
-		StrategyNone:      BackendSharded,
-		StrategyDetect:    BackendActor,
-		StrategyWoundWait: BackendActor,
+		StrategyNone:   BackendSharded,
+		StrategyDetect: BackendActor,
+		// Flipped post-soak-gate: TestWoundStormSoak proved the striped
+		// wound path, so wound-wait defaults to sharded too and the actor
+		// backend is the debug/reference implementation.
+		StrategyWoundWait: BackendSharded,
 	} {
 		e, _ := sessionFixture(t, strat, BackendDefault)
 		if got := e.Backend(); got != want {

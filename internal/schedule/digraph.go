@@ -7,8 +7,11 @@ import (
 
 // DigraphD builds the paper's labelled digraph D(S′) from an execution
 // state: one node per transaction and an arc Ti -> Tj (labelled x) whenever
-// both access entity x and Ti locked x in S′ before Tj did — including the
-// case where Tj has not yet executed its Lx step (Section 5).
+// both access entity x, the two accesses CONFLICT (at least one is
+// exclusive — two shared reads constrain no serialization order), and Ti
+// locked x in S′ before Tj did — including the case where Tj has not yet
+// executed its Lx step (Section 5). In the all-exclusive model every
+// common access conflicts and this is exactly the paper's digraph.
 //
 // The labels are not needed for acyclicity testing, so the returned graph
 // is unlabelled; use DigraphDArcs for the labelled arc list.
@@ -29,6 +32,9 @@ type DArc struct {
 // DigraphDArcs returns the labelled arcs of D(S′).
 func DigraphDArcs(ex *Exec) []DArc {
 	var arcs []DArc
+	conflicts := func(a, b int, e model.EntityID) bool {
+		return model.Conflicts(ex.sys.Txns[a], ex.sys.Txns[b], e)
+	}
 	for e := model.EntityID(0); int(e) < ex.sys.DDB.NumEntities(); e++ {
 		order := ex.lockOrder[e]
 		if len(order) == 0 {
@@ -38,19 +44,26 @@ func DigraphDArcs(ex *Exec) []DArc {
 		for _, i := range order {
 			locked[i] = true
 		}
-		// Arcs between lockers in lock order.
+		// Arcs between conflicting lockers in lock order. (Conflicting holds
+		// cannot overlap, so lock order is hold order is serialization order;
+		// two shared lockers are unordered and get no arc.)
 		for i := 0; i < len(order); i++ {
 			for j := i + 1; j < len(order); j++ {
-				arcs = append(arcs, DArc{From: order[i], To: order[j], Entity: e})
+				if conflicts(order[i], order[j], e) {
+					arcs = append(arcs, DArc{From: order[i], To: order[j], Entity: e})
+				}
 			}
 		}
-		// Arcs from every locker to every accessor that has not locked yet.
+		// Arcs from every locker to every conflicting accessor that has not
+		// locked yet: in any completion that accessor's lock comes later.
 		for j, t := range ex.sys.Txns {
 			if locked[j] || !t.Accesses(e) {
 				continue
 			}
 			for _, i := range order {
-				arcs = append(arcs, DArc{From: i, To: j, Entity: e})
+				if conflicts(i, j, e) {
+					arcs = append(arcs, DArc{From: i, To: j, Entity: e})
+				}
 			}
 		}
 	}

@@ -69,13 +69,15 @@ func NewReductionGraph(sys *model.System, prefixes []*model.Prefix) (*ReductionG
 	}
 
 	// Lock-handover arcs: U_i x -> L_j x for each x held by Ti in A′ and
-	// each other transaction Tj whose Lx is still remaining.
+	// each other transaction Tj whose (conflicting) Lx is still remaining —
+	// a shared holder does not make another shared locker wait, so R/R
+	// pairs get no handover arc.
 	for i, p := range prefixes {
 		for _, e := range p.LockedNotUnlocked() {
 			ux, _ := sys.Txns[i].UnlockNode(e)
 			ui := rg.indexOf[GlobalNode{Txn: i, Node: ux}]
 			for j, t := range sys.Txns {
-				if j == i || !t.Accesses(e) {
+				if j == i || !model.Conflicts(sys.Txns[i], t, e) {
 					continue
 				}
 				lx, _ := t.LockNode(e)

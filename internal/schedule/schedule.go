@@ -19,13 +19,15 @@ type Step struct {
 }
 
 // Exec is the replayable execution state of a partial schedule: which nodes
-// of each transaction have executed, who holds each entity's lock, and the
-// per-entity order in which transactions acquired the lock (needed for the
+// of each transaction have executed, who holds each entity's lock (one
+// exclusive holder, or any number of shared holders), and the per-entity
+// order in which transactions acquired the lock (needed for the
 // serialization digraph D).
 type Exec struct {
 	sys       *model.System
 	executed  []*graph.Bitset          // per transaction
-	holder    []int                    // per entity: txn index or -1
+	holder    []int                    // per entity: exclusive holder txn index or -1
+	readers   [][]int                  // per entity: shared holders, in lock order
 	lockOrder map[model.EntityID][]int // txns in order of their Lock on e
 	steps     int
 }
@@ -36,6 +38,7 @@ func NewExec(sys *model.System) *Exec {
 		sys:       sys,
 		executed:  make([]*graph.Bitset, sys.N()),
 		holder:    make([]int, sys.DDB.NumEntities()),
+		readers:   make([][]int, sys.DDB.NumEntities()),
 		lockOrder: make(map[model.EntityID][]int),
 	}
 	for i, t := range sys.Txns {
@@ -53,11 +56,17 @@ func (ex *Exec) Clone() *Exec {
 		sys:       ex.sys,
 		executed:  make([]*graph.Bitset, len(ex.executed)),
 		holder:    append([]int(nil), ex.holder...),
+		readers:   make([][]int, len(ex.readers)),
 		lockOrder: make(map[model.EntityID][]int, len(ex.lockOrder)),
 		steps:     ex.steps,
 	}
 	for i, b := range ex.executed {
 		c.executed[i] = b.Clone()
+	}
+	for e, rs := range ex.readers {
+		if len(rs) > 0 {
+			c.readers[e] = append([]int(nil), rs...)
+		}
 	}
 	for e, order := range ex.lockOrder {
 		c.lockOrder[e] = append([]int(nil), order...)
@@ -71,8 +80,34 @@ func (ex *Exec) Sys() *model.System { return ex.sys }
 // Steps returns how many operations have executed.
 func (ex *Exec) Steps() int { return ex.steps }
 
-// Holder returns the transaction currently holding the lock on e, or -1.
+// Holder returns the transaction currently holding the EXCLUSIVE lock on
+// e, or -1 (shared holders are reported by Readers).
 func (ex *Exec) Holder(e model.EntityID) int { return ex.holder[e] }
+
+// Readers returns the transactions currently holding e in shared mode, in
+// lock order. Must not be modified.
+func (ex *Exec) Readers(e model.EntityID) []int { return ex.readers[e] }
+
+// blocked reports whether a Lock on entity e in mode m by transaction txn
+// is currently blocked: a shared request is blocked by an exclusive
+// holder, an exclusive request by any holder. (A transaction never blocks
+// on itself — it has exactly one Lock node per entity, so it cannot
+// already hold what it is requesting — but the self checks stay for
+// safety.)
+func (ex *Exec) blocked(txn int, e model.EntityID, m model.Mode) bool {
+	if h := ex.holder[e]; h != -1 && h != txn {
+		return true
+	}
+	if m == model.Shared {
+		return false
+	}
+	for _, r := range ex.readers[e] {
+		if r != txn {
+			return true
+		}
+	}
+	return false
+}
 
 // Executed returns the executed-node bitset of transaction i. Must not be
 // modified.
@@ -98,7 +133,7 @@ func (ex *Exec) CanApply(s Step) bool {
 		}
 	}
 	nd := t.Node(s.Node)
-	if nd.Kind == model.LockOp && ex.holder[nd.Entity] != -1 {
+	if nd.Kind == model.LockOp && ex.blocked(s.Txn, nd.Entity, nd.Mode) {
 		return false
 	}
 	return true
@@ -115,10 +150,24 @@ func (ex *Exec) Apply(s Step) error {
 	ex.executed[s.Txn].Set(int(s.Node))
 	switch nd.Kind {
 	case model.LockOp:
-		ex.holder[nd.Entity] = s.Txn
+		if nd.Mode == model.Shared {
+			ex.readers[nd.Entity] = append(ex.readers[nd.Entity], s.Txn)
+		} else {
+			ex.holder[nd.Entity] = s.Txn
+		}
 		ex.lockOrder[nd.Entity] = append(ex.lockOrder[nd.Entity], s.Txn)
 	case model.UnlockOp:
-		ex.holder[nd.Entity] = -1
+		if ex.holder[nd.Entity] == s.Txn {
+			ex.holder[nd.Entity] = -1
+		} else {
+			rs := ex.readers[nd.Entity]
+			for i, r := range rs {
+				if r == s.Txn {
+					ex.readers[nd.Entity] = append(rs[:i:i], rs[i+1:]...)
+					break
+				}
+			}
+		}
 	}
 	ex.steps++
 	return nil
@@ -142,9 +191,13 @@ func (ex *Exec) explain(s Step) error {
 		}
 	}
 	nd := t.Node(s.Node)
-	if nd.Kind == model.LockOp && ex.holder[nd.Entity] != -1 {
-		return fmt.Errorf("schedule: %s cannot lock %s: held by %s",
-			t.Name(), ex.sys.DDB.EntityName(nd.Entity), ex.sys.Txns[ex.holder[nd.Entity]].Name())
+	if nd.Kind == model.LockOp && ex.blocked(s.Txn, nd.Entity, nd.Mode) {
+		if h := ex.holder[nd.Entity]; h != -1 {
+			return fmt.Errorf("schedule: %s cannot lock %s: held exclusively by %s",
+				t.Name(), ex.sys.DDB.EntityName(nd.Entity), ex.sys.Txns[h].Name())
+		}
+		return fmt.Errorf("schedule: %s cannot lock %s exclusively: held shared by %d readers",
+			t.Name(), ex.sys.DDB.EntityName(nd.Entity), len(ex.readers[nd.Entity]))
 	}
 	return fmt.Errorf("schedule: step %v not applicable", s)
 }
@@ -184,9 +237,9 @@ func (ex *Exec) EligibleSteps() []Step {
 
 // IsDeadlocked reports whether the current state is a deadlock: at least
 // one transaction is unfinished, and in every unfinished transaction every
-// candidate next node is a Lock operation on an entity currently locked by
-// another transaction (Section 3's definition of a deadlock partial
-// schedule).
+// candidate next node is a Lock operation blocked by a conflicting holder
+// (Section 3's definition of a deadlock partial schedule, with the lock
+// compatibility generalized to shared/exclusive modes).
 func (ex *Exec) IsDeadlocked() bool {
 	anyUnfinished := false
 	for i, t := range ex.sys.Txns {
@@ -199,10 +252,8 @@ func (ex *Exec) IsDeadlocked() bool {
 			if nd.Kind != model.LockOp {
 				return false // an Unlock could run
 			}
-			h := ex.holder[nd.Entity]
-			if h == -1 || h == i {
-				return false // the Lock could run (h == i is impossible for
-				// well-formed transactions but kept for safety)
+			if !ex.blocked(i, nd.Entity, nd.Mode) {
+				return false // the Lock could run
 			}
 		}
 	}

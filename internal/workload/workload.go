@@ -80,7 +80,14 @@ type Config struct {
 	// ZipfS is the skew exponent of PolicyZipf (entity i drawn with weight
 	// proportional to (i+1)^-s). Larger is hotter; 0 means DefaultZipfS.
 	ZipfS float64
-	Seed  int64
+	// ReadFraction is the probability that each generated lock step is a
+	// SHARED (read) lock instead of exclusive. 0 — the default — is the
+	// paper's all-exclusive model. At 0.9 a mix is read-heavy: most
+	// accesses are shared, so under conflict-aware certification most
+	// lock-table traffic can overlap. Applies to every policy (each
+	// accessed entity draws its mode independently).
+	ReadFraction float64
+	Seed         int64
 }
 
 // DefaultZipfS is the PolicyZipf skew exponent used when Config.ZipfS is
@@ -149,19 +156,39 @@ func RandomTransaction(d *model.DDB, name string, cfg Config, rng *rand.Rand) (*
 		}
 	}
 
+	modes := drawModes(ents, cfg.ReadFraction, rng)
 	switch cfg.Policy {
 	case PolicyOrdered, PolicyZipf:
-		return orderedTwoPhase(d, name, ents, rng, true)
+		return orderedTwoPhase(d, name, ents, modes, rng, true)
 	case PolicyTwoPhase:
-		return orderedTwoPhase(d, name, ents, rng, false)
+		return orderedTwoPhase(d, name, ents, modes, rng, false)
 	case PolicyChurn:
 		if rng.IntN(2) == 0 {
-			return orderedTwoPhase(d, name, ents, rng, true)
+			return orderedTwoPhase(d, name, ents, modes, rng, true)
 		}
-		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
+		return randomShaped(d, name, ents, modes, cfg.CrossArcProb, rng)
 	default:
-		return randomShaped(d, name, ents, cfg.CrossArcProb, rng)
+		return randomShaped(d, name, ents, modes, cfg.CrossArcProb, rng)
 	}
+}
+
+// drawModes assigns each accessed entity a lock mode: shared with
+// probability readFraction, exclusive otherwise. A zero fraction returns
+// nil (all exclusive) without consuming randomness, so pre-mode seeds
+// reproduce byte-identical systems.
+func drawModes(ents []model.EntityID, readFraction float64, rng *rand.Rand) map[model.EntityID]model.Mode {
+	if readFraction <= 0 {
+		return nil
+	}
+	m := make(map[model.EntityID]model.Mode, len(ents))
+	for _, e := range ents {
+		if rng.Float64() < readFraction {
+			m[e] = model.Shared
+		} else {
+			m[e] = model.Exclusive
+		}
+	}
+	return m
 }
 
 // zipfCums memoizes the cumulative Zipf weights per (total, s): the table
@@ -225,8 +252,9 @@ func zipfEntities(rng *rand.Rand, total, k int, s float64) []model.EntityID {
 }
 
 // orderedTwoPhase builds a chain: all locks (in entity-ID order when
-// ordered, else shuffled), then all unlocks in random order.
-func orderedTwoPhase(d *model.DDB, name string, ents []model.EntityID, rng *rand.Rand, ordered bool) (*model.Transaction, error) {
+// ordered, else shuffled), then all unlocks in random order. A nil modes
+// map means all-exclusive.
+func orderedTwoPhase(d *model.DDB, name string, ents []model.EntityID, modes map[model.EntityID]model.Mode, rng *rand.Rand, ordered bool) (*model.Transaction, error) {
 	locks := append([]model.EntityID(nil), ents...)
 	if ordered {
 		sortEntityIDs(locks)
@@ -245,7 +273,7 @@ func orderedTwoPhase(d *model.DDB, name string, ents []model.EntityID, rng *rand
 		prev = id
 	}
 	for _, e := range locks {
-		add(b.Lock(d.EntityName(e)))
+		add(b.LockMode(d.EntityName(e), modes[e]))
 	}
 	for _, e := range unlocks {
 		add(b.Unlock(d.EntityName(e)))
@@ -258,7 +286,7 @@ func orderedTwoPhase(d *model.DDB, name string, ents []model.EntityID, rng *rand
 // Unlock but unlocks may interleave with later locks. Chains at different
 // sites run in parallel, optionally tied together by random cross-site
 // arcs.
-func randomShaped(d *model.DDB, name string, ents []model.EntityID, crossProb float64, rng *rand.Rand) (*model.Transaction, error) {
+func randomShaped(d *model.DDB, name string, ents []model.EntityID, modes map[model.EntityID]model.Mode, crossProb float64, rng *rand.Rand) (*model.Transaction, error) {
 	bySite := map[model.SiteID][]model.EntityID{}
 	for _, e := range ents {
 		s := d.SiteOf(e)
@@ -285,7 +313,7 @@ func randomShaped(d *model.DDB, name string, ents []model.EntityID, crossProb fl
 			unlockPossible := len(held) > 0
 			doLock := lockPossible && (!unlockPossible || rng.IntN(2) == 0)
 			if doLock {
-				seq = append(seq, b.Lock(d.EntityName(se[next])))
+				seq = append(seq, b.LockMode(d.EntityName(se[next]), modes[se[next]]))
 				held = append(held, se[next])
 				next++
 			} else {

@@ -103,11 +103,11 @@ func WithSiteInboxCapacity(n int) ServiceOption {
 // that the certified mix needs no deadlock handling, so its grants need no
 // wait-for bookkeeping and may take the striped fast path (uncontended
 // locks granted with zero channel hops). BackendActor forces the
-// conservative per-site message-passing core instead. The wound-wait
-// fallback tier always runs BackendActor — its grant-path decisions
-// (wounding, oldest-first handoff) are proven on the per-site
-// serialization domain and stay there until striped wounding is proven
-// out (see ROADMAP).
+// message-passing debug/reference core instead — useful for bisecting a
+// suspected grant-path bug, not for serving traffic. The wound-wait
+// fallback tier runs BackendSharded too (the wound-storm soak gate
+// promoted striped wounding; the actor backend remains available through
+// the conformance suite as the reference semantics).
 func WithLockBackend(b LockBackend) ServiceOption {
 	return func(c *serviceConfig) { c.certBackend = b }
 }
@@ -141,10 +141,12 @@ func WithRemoteTable(addr string) ServiceOption {
 //
 //	svc, _ := distlock.Open(db)
 //	defer svc.Close()
-//	res, _ := svc.Register(ctx, t1) // Theorem 3/4 admission
+//	res, _ := svc.Register(ctx, t1)      // Theorem 3/4 admission
 //	sess, _ := svc.Begin(ctx, "T1")
-//	sess.Lock(ctx, "x")             // blocks until granted or ctx cancelled
+//	sess.Lock(ctx, "x", distlock.Shared) // readers overlap; writers exclude
 //	sess.Unlock("x")
+//	sess.LockExclusive(ctx, "y")         // the pre-mode shorthand
+//	sess.Unlock("y")
 //	sess.Commit()
 //
 // Register runs incremental Theorem 3/4 admission and pins the class to a
@@ -225,7 +227,8 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 	}
 	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
 		Strategy:  runtime.StrategyWoundWait,
-		Backend:   runtime.BackendActor,
+		Backend:   runtime.BackendDefault, // resolves to sharded post-soak-gate
+		Shards:    cfg.shards,
 		SiteInbox: cfg.siteInbox,
 	})
 	if err != nil {
@@ -582,19 +585,36 @@ func (s *Session) Held() []string {
 	return out
 }
 
-// Lock acquires the entity, blocking until the owning site grants it. It
-// returns promptly with ctx.Err() if the context is cancelled while
+// Lock acquires the entity in the given mode, blocking until the lock
+// table grants it: Shared grants overlap with other readers, Exclusive
+// excludes everyone. The mode must be the one the registered class
+// template declares for the entity — the admission decision certified
+// exactly the template's modes, so a mismatch (upgrading a certified read
+// to a write, or vice versa) is rejected without touching the table.
+// Lock returns promptly with ctx.Err() if the context is cancelled while
 // waiting (the request is withdrawn first — no lock is held on return),
 // with ErrTxnAborted if the tier's deadlock handling aborted the
 // transaction (fallback tier only; certified classes are never aborted),
 // and with ErrServiceClosed after Close. After a cancellation the session
 // remains usable and the Lock may be retried.
-func (s *Session) Lock(ctx context.Context, entity string) error {
+func (s *Session) Lock(ctx context.Context, entity string, mode Mode) error {
 	id, ok := s.svc.ddb.Entity(entity)
 	if !ok {
 		return fmt.Errorf("distlock: unknown entity %q", entity)
 	}
-	return s.inner.Lock(ctx, id)
+	return s.inner.Lock(ctx, id, mode)
+}
+
+// LockExclusive is the exclusive-mode shorthand — Lock(ctx, entity,
+// Exclusive) — compatible with the pre-mode API, where every lock was a
+// write lock.
+func (s *Session) LockExclusive(ctx context.Context, entity string) error {
+	return s.Lock(ctx, entity, Exclusive)
+}
+
+// LockShared is the shared-mode shorthand: Lock(ctx, entity, Shared).
+func (s *Session) LockShared(ctx context.Context, entity string) error {
+	return s.Lock(ctx, entity, Shared)
 }
 
 // Unlock releases a held entity (granting it to its next waiter).
@@ -641,7 +661,7 @@ func (s *Session) DriveHold(ctx context.Context, hold time.Duration) error {
 		nd := t.Node(nid)
 		var err error
 		if nd.Kind == model.LockOp {
-			err = s.inner.Lock(ctx, nd.Entity)
+			err = s.inner.Lock(ctx, nd.Entity, nd.Mode)
 		} else {
 			err = s.inner.Unlock(nd.Entity)
 		}

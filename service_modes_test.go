@@ -1,0 +1,190 @@
+package distlock_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"distlock"
+)
+
+// TestLockServiceSharedModes exercises the mode-aware public surface end
+// to end: reader classes certify against a writer (conflict-aware
+// admission), concurrent reader sessions hold one entity TOGETHER, the
+// writer is excluded until the last reader leaves, and the declared
+// template mode is enforced at Lock time.
+func TestLockServiceSharedModes(t *testing.T) {
+	db := distlock.NewDDB()
+	db.MustEntity("x", "s1")
+	db.MustEntity("y", "s2")
+	svc, err := distlock.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+
+	// Two reader classes and a writer, all touching x. The readers do not
+	// conflict with each other (R/R), so the only interaction edges are
+	// reader-writer — all funneled through the single conflicting entity.
+	for _, c := range []*distlock.Transaction{
+		chain(db, "R1", "Sx", "Ux"),
+		chain(db, "R2", "Sx", "Ux"),
+		chain(db, "W", "Lx", "Ux"),
+	} {
+		res, err := svc.Register(ctx, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Admitted {
+			t.Fatalf("class %s rejected: %s", res.Class, res.Reason)
+		}
+	}
+	if len(distlock.ConflictingEntities(
+		svc.Snapshot().Txns[0], svc.Snapshot().Txns[1])) != 0 {
+		t.Fatal("two reader classes reported as conflicting")
+	}
+
+	// Both readers hold shared x at the same time.
+	r1, err := svc.Begin(ctx, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := svc.Begin(ctx, "R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Lock(ctx, "x", distlock.Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.LockShared(ctx, "x"); err != nil { // the shorthand
+		t.Fatal(err)
+	}
+
+	// The writer is excluded while any reader holds.
+	w, err := svc.Begin(ctx, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	if err := w.LockExclusive(short, "x"); !errors.Is(err, context.DeadlineExceeded) {
+		cancel()
+		t.Fatalf("writer Lock with readers holding = %v, want deadline", err)
+	}
+	cancel()
+
+	// Release one reader: still excluded. Release both: granted.
+	if err := r1.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	short2, cancel2 := context.WithTimeout(ctx, 30*time.Millisecond)
+	if err := w.LockExclusive(short2, "x"); !errors.Is(err, context.DeadlineExceeded) {
+		cancel2()
+		t.Fatalf("writer Lock with one reader holding = %v, want deadline", err)
+	}
+	cancel2()
+	if err := r2.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LockExclusive(ctx, "x"); err != nil {
+		t.Fatalf("writer Lock after readers left: %v", err)
+	}
+	if err := w.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*distlock.Session{r1, r2, w} {
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLockServiceModeMismatchRejected: the admission certified the
+// template's modes, so acquiring in any other mode is an error before
+// the lock table is touched — and the session stays usable.
+func TestLockServiceModeMismatchRejected(t *testing.T) {
+	db := distlock.NewDDB()
+	db.MustEntity("x", "s1")
+	svc, err := distlock.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "R", "Sx", "Ux")); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := svc.Begin(ctx, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.LockExclusive(ctx, "x") // template says Shared
+	if err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("mode-mismatched Lock = %v, want a mode error", err)
+	}
+	if sess.Held() != nil && len(sess.Held()) != 0 {
+		t.Fatalf("mismatched Lock left holds: %v", sess.Held())
+	}
+	if err := sess.LockShared(ctx, "x"); err != nil {
+		t.Fatalf("session unusable after a mode mismatch: %v", err)
+	}
+	if err := sess.Unlock("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockServiceReaderCrowdCertified: at multiplicity m, copies of an
+// all-shared class do not conflict with themselves, so a reader class is
+// certified and its m sessions overlap on the same entity concurrently.
+func TestLockServiceReaderCrowdCertified(t *testing.T) {
+	db := distlock.NewDDB()
+	db.MustEntity("x", "s1")
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	res, err := svc.Register(ctx, chain(db, "R", "Sx", "Ux"))
+	if err != nil || !res.Admitted {
+		t.Fatalf("reader class at multiplicity 8: %+v, %v", res, err)
+	}
+	// All 8 sessions lock shared x and hold it at once — each Lock
+	// returns while the others still hold, which is the overlap.
+	sessions := make([]*distlock.Session, 8)
+	for i := range sessions {
+		s, err := svc.Begin(ctx, "R")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LockShared(ctx, "x"); err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+		sessions[i] = s
+	}
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		wg.Add(1)
+		go func(s *distlock.Session) {
+			defer wg.Done()
+			if err := s.Unlock("x"); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Commit(); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.Certified.Commits != 8 {
+		t.Fatalf("certified commits = %d, want 8", st.Certified.Commits)
+	}
+}

@@ -105,7 +105,7 @@ func TestLockServiceLockCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := holder.Lock(ctx, "x"); err != nil {
+	if err := holder.LockExclusive(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
 	waiter, err := svc.Begin(ctx, "A")
@@ -115,7 +115,7 @@ func TestLockServiceLockCancellation(t *testing.T) {
 	short, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	err = waiter.Lock(short, "x")
+	err = waiter.LockExclusive(short, "x")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("blocked Lock under expiring context = %v", err)
 	}
@@ -330,7 +330,7 @@ func TestDeregisterDefersEvictionUntilDrained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Lock(ctx, "x"); err != nil {
+	if err := sess.LockExclusive(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
 	if !svc.Deregister("A") {
@@ -348,7 +348,7 @@ func TestDeregisterDefersEvictionUntilDrained(t *testing.T) {
 	// Drain A: eviction happens at the last session close, reopening the
 	// certified tier for the opposite order.
 	for _, step := range []func() error{
-		func() error { return sess.Lock(ctx, "y") },
+		func() error { return sess.LockExclusive(ctx, "y") },
 		func() error { return sess.Unlock("x") },
 		func() error { return sess.Unlock("y") },
 		sess.Commit,
@@ -380,16 +380,16 @@ func TestLockServicePartialOrderEnforced(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Lock(ctx, "y"); err == nil {
+	if err := sess.LockExclusive(ctx, "y"); err == nil {
 		t.Fatal("Ly before Lx accepted against the chain A")
 	}
-	if err := sess.Lock(ctx, "z"); err == nil {
+	if err := sess.LockExclusive(ctx, "z"); err == nil {
 		t.Fatal("lock on an entity outside the class accepted")
 	}
 	if err := sess.Commit(); err == nil {
 		t.Fatal("commit of an incomplete session accepted")
 	}
-	if err := sess.Lock(ctx, "x"); err != nil {
+	if err := sess.LockExclusive(ctx, "x"); err != nil {
 		t.Fatal(err)
 	}
 	if err := sess.Abort(); err != nil {
