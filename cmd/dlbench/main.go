@@ -648,10 +648,35 @@ func e13() {
 			fmt.Printf("WARNING: sharded shared-mode speedup %.2fx below the 2x acceptance gate\n", speedup)
 		}
 	}
+	// Stripe sweep: the same shared read-heavy mix on the sharded backend
+	// across stripe counts — 1 (a single global mutex), 0 (the
+	// GOMAXPROCS-resolved adaptive default), and 1024 (static
+	// over-provisioning). With the atomic shared fast path, a reader crowd
+	// on the Zipf-hot head rides per-entity CAS instead of any stripe
+	// mutex, so the rows should be close: the stripe count prices the
+	// exclusive/slow-path traffic only, no longer the reader crowd.
+	fmt.Println("stripe sweep (sharded, shared mix):")
+	fmt.Println("shards    committed   ops/sec")
+	for _, sweep := range []struct {
+		label  string
+		shards int
+	}{{"1", 1}, {"auto", 0}, {"1024", 1024}} {
+		m, err := engine.Run(engine.Config{
+			Templates: shared.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
+			Strategy: engine.StrategyNone, Backend: engine.BackendSharded,
+			Shards: sweep.shards, HoldTime: hold, StallTimeout: 10 * time.Second, Seed: 13,
+		})
+		check(err)
+		ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
+		fmt.Printf("%-9s %10d %9.0f\n", sweep.label, m.Committed, ops)
+		benchDetails["readheavy_sharded_shared_shards_"+sweep.label+"_ops_per_sec"] = ops
+	}
 	fmt.Println("expected shape: shared-mode throughput multiples of exclusive-only on the hot read mix —")
 	fmt.Println("readers of one hot entity overlap instead of queueing; the gap widens with hold time and")
-	fmt.Println("shrinks on the remote backend, whose wire round trip dominates the hold window. (On a")
-	fmt.Println("single scorching entity at high core counts the actor's serial inbox can even beat the")
-	fmt.Println("sharded table — every reader hammers ONE stripe mutex, a convoy the per-site goroutine")
-	fmt.Println("sidesteps by batching; across realistically spread entities E12's ordering holds)")
+	fmt.Println("shrinks on the remote backend, whose wire round trip dominates the hold window. The")
+	fmt.Println("sharded backend's atomic shared fast path (one CAS per reader grant on the entity's own")
+	fmt.Println("cache line, no stripe mutex until a writer appears) keeps the reader crowd off the")
+	fmt.Println("stripes entirely, so sharded leads every row — including the single-hot-entity crowd")
+	fmt.Println("that used to convoy on one stripe mutex and lose to the actor's batching inbox — and")
+	fmt.Println("the stripe sweep is flat: stripe count now prices only the slow-path traffic")
 }

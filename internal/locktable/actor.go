@@ -2,6 +2,7 @@ package locktable
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -383,25 +384,31 @@ func (t *actorTable) Withdraw(ent model.EntityID, key InstKey) bool {
 
 // ReleaseAll pipelines the releases: every unlockReq is sent before any
 // ack is collected, so an abort over k entities costs one overlapped wave.
+// Every entity whose release failed to deliver or acknowledge surfaces in
+// the joined error, not just the last one.
 func (t *actorTable) ReleaseAll(ents []model.EntityID, key InstKey) error {
 	ack := make(chan struct{}, len(ents))
+	var errs []error
 	sent := 0
 	for _, ent := range ents {
 		if t.siteFor(ent).send(t, unlockReq{e: ent, key: key, reply: ack}) {
 			sent++
+		} else {
+			errs = append(errs, fmt.Errorf("release %d: %w", ent, ErrStopped))
 		}
 	}
 	for i := 0; i < sent; i++ {
 		select {
 		case <-ack:
 		case <-t.stop:
-			return ErrStopped
+			// The remaining releases die with the table.
+			for j := i; j < sent; j++ {
+				errs = append(errs, ErrStopped)
+			}
+			return errors.Join(errs...)
 		}
 	}
-	if sent != len(ents) {
-		return ErrStopped
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func (t *actorTable) Wound(key InstKey) {

@@ -35,6 +35,21 @@ func conformanceBackends() []backendCase {
 			cfg.Shards = 1024
 			return NewSharded(ddb, cfg)
 		}},
+		{"sharded-slowpath", func(ddb *model.DDB, cfg Config) Table {
+			// The mutex-only shared path embedders opt into (netlock server,
+			// deadlock detectors): semantics must match the CAS fast path.
+			cfg.DisableSharedFastPath = true
+			return NewSharded(ddb, cfg)
+		}},
+		{"sharded-adaptive", func(ddb *model.DDB, cfg Config) Table {
+			// A tiny initial layout with an aggressive probe, so stripe
+			// resizes land in the middle of the suite's traffic: the
+			// lockStripe re-check and the re-homing swap run under -race.
+			cfg.Shards = 2
+			cfg.MaxShards = 64
+			cfg.StripeProbe = time.Millisecond
+			return NewSharded(ddb, cfg)
+		}},
 	}, extraBackends...)
 }
 

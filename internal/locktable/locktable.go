@@ -7,14 +7,18 @@
 // Three implementations exist:
 //
 //   - NewSharded: the fast path the paper's program pays for, and the
-//     default for every in-process tier. Entities are split across N
-//     stripes, each a sync.Mutex guarding its entities' lock states; an
-//     uncontended Acquire is grant-and-return under one mutex — zero
-//     channel hops, no goroutine handoff — and contended waiters park on
-//     per-request channels. A mix that static certification (Theorems 3–5)
-//     proved deadlock-free needs no wait-for bookkeeping at grant time, so
+//     default for every in-process tier. Entities are split across a
+//     GOMAXPROCS-resolved (and contention-adaptive) number of stripes,
+//     each a sync.Mutex guarding its entities' lock states; shared
+//     Acquire/Release ride a per-entity atomic fast path that never takes
+//     the stripe mutex until a writer appears, an uncontended exclusive
+//     Acquire is grant-and-return under one mutex — zero channel hops, no
+//     goroutine handoff — and contended waiters park on per-request
+//     channels. A mix that static certification (Theorems 3–5) proved
+//     deadlock-free needs no wait-for bookkeeping at grant time, so
 //     nothing in the hot path has to observe global state: stripes can
-//     grant independently.
+//     grant independently, and a crowd of readers on one scorching entity
+//     does not serialize through anything but one cache line.
 //   - NewActor: the message-passing DEBUG/REFERENCE implementation — one
 //     lock-manager goroutine per database site, serial over a bounded
 //     inbox. Every operation is a message round trip, which makes the
@@ -41,6 +45,7 @@ package locktable
 
 import (
 	"context"
+	"time"
 
 	"distlock/internal/model"
 )
@@ -52,9 +57,10 @@ import (
 // bound converts overload into queueing delay instead of unbounded memory.
 const DefaultSiteInbox = 256
 
-// DefaultShards is the default stripe count of the sharded backend. More
-// stripes admit more concurrent grant decisions; the per-stripe cost is one
-// mutex and one map, so over-provisioning is cheap.
+// DefaultShards is the floor of the sharded backend's GOMAXPROCS-resolved
+// default stripe count (see Config.Shards). More stripes admit more
+// concurrent grant decisions; the per-stripe cost is one mutex and one
+// map, so over-provisioning is cheap.
 const DefaultShards = 32
 
 // Mode is the access mode of an Acquire: Exclusive (write — excludes
@@ -94,10 +100,12 @@ type Instance struct {
 }
 
 // WaitEdge is one wait-for edge of a Snapshot: waiter blocks on the entity
-// holder currently holds. A shared-held entity emits one edge per shared
-// holder for each waiter (a queued reader also waits on the current
-// holders, never directly on the writer queued ahead of it — the writer's
-// own edges to those holders close any cycle just as well).
+// holder currently holds. A shared-held entity emits one edge per
+// identified shared holder for each waiter, plus one edge against
+// AnonReaderKey when anonymous fast-path readers hold it (a queued reader
+// also waits on the current holders, never directly on the writer queued
+// ahead of it — the writer's own edges to those holders close any cycle
+// just as well).
 type WaitEdge struct {
 	Waiter, Holder         InstKey
 	WaiterPrio, HolderPrio int64
@@ -140,10 +148,36 @@ type Config struct {
 	// SiteInbox is the actor backend's per-site inbox capacity (its
 	// backpressure bound). Default DefaultSiteInbox.
 	SiteInbox int
-	// Shards is the sharded backend's stripe count. Default DefaultShards;
-	// 1 degenerates to a single global mutex, and counts beyond the entity
-	// count leave some stripes empty — both are legal.
+	// Shards is the sharded backend's INITIAL stripe count. Zero resolves
+	// from GOMAXPROCS (4x, power-of-two, clamped to [DefaultShards, 512])
+	// and enables adaptive splitting by default; an explicit positive
+	// count pins the table to exactly that many stripes unless MaxShards
+	// raises the cap. 1 degenerates to a single global mutex, and counts
+	// beyond the entity count leave some stripes empty — both are legal.
 	Shards int
+	// MaxShards caps adaptive stripe splitting: when the contention probe
+	// sees one stripe absorbing a disproportionate share of the traffic,
+	// the sharded backend doubles its stripe set up to this many stripes.
+	// Zero means 8x the resolved initial count (capped at 2048) when
+	// Shards is unset, or no growth at all when Shards pins the count.
+	MaxShards int
+	// StripeProbe is the sampling period of the sharded backend's
+	// contention probe (the background tick that reads the per-stripe
+	// counters and decides splits). Zero means a 15ms default; negative
+	// disables the probe (the layout stays static and StripeStats still
+	// reports the counters).
+	StripeProbe time.Duration
+	// DisableSharedFastPath forces every shared Acquire/Release of the
+	// sharded backend through the stripe mutexes. The fast path counts
+	// shared holders anonymously (a padded per-entity atomic) instead of
+	// recording their identity, which is invisible to in-process sessions
+	// — they only release what they hold — but wrong for embedders that
+	// attribute holders themselves: the netlock server composes
+	// per-connection identities into snapshot edges, and a deadlock
+	// detector walking Snapshot needs shared holders named to close
+	// cycles through them. Such callers set this; WoundWait and Trace
+	// disable the fast path implicitly.
+	DisableSharedFastPath bool
 }
 
 // Table is a shared/exclusive lock table over the entities of one
@@ -164,17 +198,25 @@ type Table interface {
 	// removes the request; and ErrStopped once the table is closed. A
 	// duplicate Acquire by a current holder returns nil immediately
 	// regardless of mode (mode upgrades are not supported; sessions issue
-	// at most one Lock per entity).
+	// at most one Lock per entity). With the sharded backend's anonymous
+	// shared fast path enabled, a duplicate SHARED Acquire is
+	// indistinguishable from a new reader and must not be issued — the
+	// session layer guarantees it never is.
 	Acquire(ctx context.Context, inst Instance, ent model.EntityID, mode Mode) error
 	// Release frees the entity if the instance holds it, granting it to the
 	// next waiter (FIFO, or oldest-first under wound-wait). Releasing an
-	// entity the instance does not hold is a no-op. Returns ErrStopped on a
-	// closed table, whose locks died with it.
+	// entity the instance does not hold is a no-op — except that with the
+	// sharded backend's anonymous shared fast path, a release while fast
+	// readers hold the entity is credited to one of them (callers must
+	// only release what they hold; the session layer guarantees it).
+	// Returns ErrStopped on a closed table, whose locks died with it.
 	Release(ent model.EntityID, key InstKey) error
 	// ReleaseAll releases every listed entity the instance holds — the
 	// abort path. On the actor backend the releases are pipelined (all
 	// sends issued before any ack is collected), so an abort costs one
-	// overlapped wave instead of len(ents) sequential round trips.
+	// overlapped wave instead of len(ents) sequential round trips. Every
+	// failed release surfaces in the returned error (errors.Join), not
+	// just the last one.
 	ReleaseAll(ents []model.EntityID, key InstKey) error
 	// Withdraw removes the instance's pending request on the entity, if
 	// any. It reports whether the request had already been granted, in
@@ -198,7 +240,10 @@ type Table interface {
 	// Snapshot returns the current wait-for edges (one per queued waiter,
 	// against the entity's holder). Edges from different sites or stripes
 	// are collected sequentially, not atomically — the same consistency a
-	// periodic deadlock detector already tolerates.
+	// periodic deadlock detector already tolerates. Waiters blocked on
+	// anonymous fast-path readers are attributed to AnonReaderKey, which
+	// never waits and so never closes a cycle; detectors that must name
+	// shared holders set Config.DisableSharedFastPath.
 	Snapshot() []WaitEdge
 	// GrantLog returns the recorded grant events (Config.Trace only).
 	// Per-entity subsequences are in grant order. Only safe to call after

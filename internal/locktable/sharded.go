@@ -2,53 +2,165 @@ package locktable
 
 import (
 	"context"
+	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"distlock/internal/model"
 )
 
-// shardedTable is the striped fast-path backend: entities are split across
-// stripes, each a mutex guarding its entities' lock states. An uncontended
-// Acquire grants under one mutex and returns — zero channel hops —
-// and contended waiters park on buffered per-request channels that the
-// granting goroutine signals while still holding the stripe.
+// shardedTable is the contention-adaptive striped backend: entities are
+// split across stripes, each a mutex guarding its entities' lock states,
+// and the stripe set itself adapts to the observed load.
+//
+// Two mechanisms keep the hot path off the mutexes:
+//
+//  1. An atomic shared-grant fast path. Each entity owns a padded atomic
+//     word (its own cache line) packing a fast-reader count with a
+//     slow-mode bit. While the bit is clear the entity has no exclusive
+//     holder and no wait queue, so a shared Acquire is one CAS increment
+//     and a shared Release one CAS decrement — no stripe mutex, no
+//     convoy. The moment a writer arrives it sets the bit under the
+//     stripe mutex, which atomically fences out new fast readers: they
+//     observe the bit and fall through to the mutex path, parking FIFO
+//     behind the writer exactly as before. Draining fast readers release
+//     through the mutex (the bit routes them there), so the writer is
+//     granted precisely when the count hits zero. FIFO
+//     writer-blocks-later-readers semantics are preserved bit-for-bit;
+//     the conformance suite proves it.
+//
+//     Fast shared grants are ANONYMOUS — a count, not a holder set — so
+//     the fast path is only enabled when nothing needs per-holder
+//     identity: it is off under WoundWait (wound decisions compare
+//     holder priorities), under Trace (the grant log records identity),
+//     and under Config.DisableSharedFastPath (for embedders like the
+//     netlock server that attribute holders themselves). Snapshot
+//     attributes waiters blocked on fast readers to AnonReaderKey.
+//
+//  2. Contention-adaptive striping. The stripe count resolves from
+//     GOMAXPROCS by default (Config.Shards > 0 pins it), each stripe
+//     counts its slow-path operations in a padded atomic, and a cheap
+//     background probe samples the counters every Config.StripeProbe:
+//     when one stripe absorbs a disproportionate share of the traffic
+//     the set is doubled (up to the MaxShards cap) by an atomic
+//     stripe-set swap that re-homes the lock states while holding every
+//     old stripe mutex. StripeStats reports the observed layout.
 //
 // This is the backend the paper's program cashes in with — the default
 // for both the certified and the wound-wait tier (the actor backend is
 // the debug/reference implementation). A mix that static certification
 // (Theorems 3–5) proved deadlock-free needs no deadlock handling, hence
 // no wait-for bookkeeping at grant time, hence no reason to serialize
-// independent entities through one goroutine. Stripes cut across database
-// sites — a site is a certification concept, not a serialization domain,
-// once grant decisions are purely local to the entity.
+// independent entities through one goroutine — or, for a crowd of
+// readers on one scorching entity, through one mutex.
 //
 // Lock modes: each entity is held by at most one exclusive holder or any
 // number of shared holders. Grant order is FIFO per entity (a waiting
 // writer blocks later readers; consecutive readers at the queue head are
 // granted as one wave) or oldest-first under wound-wait.
 type shardedTable struct {
-	cfg     Config
-	stripes []*stripe
+	cfg Config
+
+	// fast holds the per-entity packed reader state (fastSlot), indexed by
+	// the dense EntityID. Nil when the fast path is disabled (wound-wait,
+	// trace, explicit opt-out, or an oversized/absent database).
+	fast []fastSlot
+
+	// set is the current stripe set. Readers load it, lock the target
+	// stripe, and re-check the pointer (a resize may have swapped the set
+	// between the load and the lock); resizes install a doubled set while
+	// holding every old stripe mutex.
+	set       atomic.Pointer[stripeSet]
+	maxShards int
+	splits    atomic.Int64
+
+	// resizeMu serializes resizes against each other and against the
+	// whole-table walks (Wound, Snapshot), which need a stable set without
+	// per-stripe retries. Lock order: resizeMu, then stripe mutexes.
+	resizeMu sync.Mutex
+
+	// traceLog is the table-level grant log (Config.Trace only — which
+	// disables the fast path, so every grant passes through here). It is
+	// table-level rather than per-stripe so it survives resizes; per-entity
+	// order is preserved because same-entity grants serialize under the
+	// entity's stripe mutex. Lock order: stripe mutex, then traceMu.
+	traceMu  sync.Mutex
+	traceLog []GrantEvent
 
 	stop     chan struct{}
 	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// fastSlot is one entity's packed atomic reader state, padded to a cache
+// line so reader crowds on different entities never false-share.
+type fastSlot struct {
+	// state packs the fast-reader count (low 32 bits) with slowModeBit.
+	state atomic.Int64
+	_     [56]byte
+}
+
+const (
+	// slowModeBit marks an entity as mutex-managed: set whenever the
+	// entity has any slow-path state (an exclusive holder, identified
+	// shared holders, or a non-empty wait queue). While set, shared
+	// Acquire/Release fall through to the stripe mutex; it is cleared,
+	// under the mutex, when the slow state empties.
+	slowModeBit = int64(1) << 32
+	// fastCountMask extracts the fast-reader count.
+	fastCountMask = slowModeBit - 1
+
+	// maxFastPathEntities bounds the fast-slot array (64 B per entity);
+	// beyond it the table falls back to mutex-only operation.
+	maxFastPathEntities = 1 << 18
+)
+
+// AnonReaderID is the instance ID Snapshot reports as the holder of an
+// entity held by anonymous fast-path readers (see Config
+// DisableSharedFastPath). The sentinel never issues requests of its own,
+// so it cannot appear as a waiter and cannot close a wait-for cycle.
+const AnonReaderID = -1
+
+// AnonReaderKey is the InstKey form of AnonReaderID.
+var AnonReaderKey = InstKey{ID: AnonReaderID, Epoch: 0}
+
+type stripeSet struct {
+	stripes []*stripe
 }
 
 type stripe struct {
 	mu    sync.Mutex
 	locks map[model.EntityID]*slock
-	log   []GrantEvent
+
+	// retired marks a stripe replaced by a resize. Written by grow while
+	// holding mu (it holds every old stripe mutex across the swap), read
+	// by lockStripe after locking mu — so a plain bool, no atomics on the
+	// hot path.
+	retired bool
+
+	// ops counts slow-path operations against this stripe — the
+	// contention signal the split probe samples. Guarded by mu (a plain
+	// increment rides the mutex the operation already holds; the probe
+	// briefly locks each stripe to sample). lastOps is the probe
+	// goroutine's previous sample (touched only by it).
+	ops     int64
+	lastOps int64
 }
 
 type slock struct {
 	xheld    bool
 	xholder  InstKey
 	xprio    int64
-	sholders map[InstKey]int64 // shared holders -> prio; nil when none ever
+	sholders map[InstKey]int64 // identified shared holders -> prio; nil when none ever
 	queue    []*waiter         // FIFO arrival order
 }
 
-// holds reports whether key currently holds the entity in any mode.
+// holds reports whether key currently holds the entity in an identified
+// way (exclusive, or shared with the fast path off). Anonymous fast-path
+// reader grants are a count, not a holder set, so they are invisible here
+// by construction.
 func (l *slock) holds(key InstKey) bool {
 	if l.xheld && l.xholder == key {
 		return true
@@ -58,8 +170,9 @@ func (l *slock) holds(key InstKey) bool {
 }
 
 // grantable reports whether a request in the given mode is compatible
-// with the current holders (ignoring the queue — queue fairness is the
-// caller's business).
+// with the identified holders (ignoring the queue — queue fairness is the
+// caller's business; ignoring fast readers — grantableLocked folds those
+// in).
 func (l *slock) grantable(mode Mode) bool {
 	if l.xheld {
 		return false
@@ -77,28 +190,91 @@ type waiter struct {
 	ch   chan error
 }
 
+// resolveShards maps a Config.Shards value to an initial stripe count:
+// an explicit positive count is honored; otherwise the count resolves
+// from GOMAXPROCS (4x, rounded up to a power of two, clamped to
+// [DefaultShards, 512]) so the table scales with the machine instead of
+// a compile-time constant.
+func resolveShards(n int) int {
+	if n > 0 {
+		return n
+	}
+	want := 4 * runtime.GOMAXPROCS(0)
+	s := DefaultShards
+	for s < want && s < 512 {
+		s <<= 1
+	}
+	return s
+}
+
 // NewSharded builds the striped backend over the database. The table
 // serves until Close.
 func NewSharded(ddb *model.DDB, cfg Config) Table {
-	n := cfg.Shards
-	if n <= 0 {
-		n = DefaultShards
+	initial := resolveShards(cfg.Shards)
+	maxShards := initial
+	switch {
+	case cfg.MaxShards > initial:
+		maxShards = cfg.MaxShards
+	case cfg.Shards <= 0 && cfg.MaxShards == 0:
+		// Adaptive by default: a GOMAXPROCS-resolved table may split up
+		// to 8x when the probe sees a hot stripe. An explicit Shards pin
+		// stays static unless MaxShards asks otherwise.
+		maxShards = min(initial*8, 2048)
 	}
 	t := &shardedTable{
-		cfg:     cfg,
-		stripes: make([]*stripe, n),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		maxShards: maxShards,
+		stop:      make(chan struct{}),
 	}
-	for i := range t.stripes {
-		t.stripes[i] = &stripe{locks: map[model.EntityID]*slock{}}
+	if !cfg.WoundWait && !cfg.Trace && !cfg.DisableSharedFastPath &&
+		ddb != nil && ddb.NumEntities() > 0 && ddb.NumEntities() <= maxFastPathEntities {
+		t.fast = make([]fastSlot, ddb.NumEntities())
+	}
+	t.set.Store(newStripeSet(initial))
+	probeEvery := cfg.StripeProbe
+	if probeEvery == 0 {
+		probeEvery = 15 * time.Millisecond
+	}
+	if maxShards > initial && probeEvery > 0 {
+		t.wg.Add(1)
+		go t.probe(probeEvery)
 	}
 	return t
 }
 
-// stripeOf hashes an entity to its stripe. Entity IDs are dense small
-// integers, so modulo spreads them evenly.
-func (t *shardedTable) stripeOf(ent model.EntityID) *stripe {
-	return t.stripes[int(ent)%len(t.stripes)]
+func newStripeSet(n int) *stripeSet {
+	set := &stripeSet{stripes: make([]*stripe, n)}
+	for i := range set.stripes {
+		set.stripes[i] = &stripe{locks: map[model.EntityID]*slock{}}
+	}
+	return set
+}
+
+// stripeIndex hashes an entity to a stripe. Entity IDs are dense small
+// integers, but callers commonly touch STRIDED subsets (every k-th
+// entity), which a plain modulo folds onto the stripes sharing a factor
+// with k; the Fibonacci multiplier scatters strides before the reduction.
+func stripeIndex(ent model.EntityID, n int) int {
+	h := uint64(ent) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(n))
+}
+
+// lockStripe resolves the entity's stripe under the CURRENT stripe set
+// and returns it locked, bumping its contention counter. The retired
+// re-check covers a resize racing the lookup: the stripe that was locked
+// may have been retired, in which case the entity's state has moved and
+// the lookup restarts against the new set.
+func (t *shardedTable) lockStripe(ent model.EntityID) *stripe {
+	for {
+		set := t.set.Load()
+		s := set.stripes[stripeIndex(ent, len(set.stripes))]
+		s.mu.Lock()
+		if !s.retired {
+			s.ops++
+			return s
+		}
+		s.mu.Unlock()
+	}
 }
 
 func (s *stripe) lockState(e model.EntityID) *slock {
@@ -110,25 +286,95 @@ func (s *stripe) lockState(e model.EntityID) *slock {
 	return l
 }
 
+// fastCount returns the entity's current anonymous fast-reader count.
+func (t *shardedTable) fastCount(ent model.EntityID) int64 {
+	if t.fast == nil || int(ent) >= len(t.fast) {
+		return 0
+	}
+	return t.fast[ent].state.Load() & fastCountMask
+}
+
+// setSlowMode sets the entity's slow-mode bit, fencing new fast readers
+// onto the mutex path. Called under the entity's stripe mutex before any
+// slow state is created, so the invariant holds: slow state implies the
+// bit is set, hence a clear bit implies a shared CAS grant is safe.
+func (t *shardedTable) setSlowMode(ent model.EntityID) {
+	if t.fast == nil || int(ent) >= len(t.fast) {
+		return
+	}
+	slot := &t.fast[ent].state
+	for {
+		st := slot.Load()
+		if st&slowModeBit != 0 {
+			return
+		}
+		if slot.CompareAndSwap(st, st|slowModeBit) {
+			return
+		}
+	}
+}
+
+// clearSlowModeIfIdleLocked clears the slow-mode bit once the entity has
+// no slow state left (no exclusive holder, no identified shared holders,
+// no queue), re-arming the CAS fast path. Remaining fast readers are fine
+// — a clear bit with a positive count is the normal fast mode. Caller
+// holds the entity's stripe mutex.
+func (t *shardedTable) clearSlowModeIfIdleLocked(ent model.EntityID, l *slock) {
+	if t.fast == nil || int(ent) >= len(t.fast) {
+		return
+	}
+	if l.xheld || len(l.sholders) > 0 || len(l.queue) > 0 {
+		return
+	}
+	slot := &t.fast[ent].state
+	for {
+		st := slot.Load()
+		if st&slowModeBit == 0 {
+			return
+		}
+		if slot.CompareAndSwap(st, st&^slowModeBit) {
+			return
+		}
+	}
+}
+
 func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.EntityID, mode Mode) error {
 	select {
 	case <-t.stop:
 		return ErrStopped
 	default:
 	}
-	s := t.stripeOf(ent)
-	s.mu.Lock()
+	if mode == Shared && t.fast != nil && int(ent) < len(t.fast) {
+		// The atomic fast path: while the slow-mode bit is clear the
+		// entity has no writer and no queue, so a shared grant is one CAS.
+		slot := &t.fast[ent].state
+		for {
+			st := slot.Load()
+			if st&slowModeBit != 0 {
+				break // a writer (or queue) owns the entity: mutex path
+			}
+			if slot.CompareAndSwap(st, st+1) {
+				return nil
+			}
+		}
+	}
+	s := t.lockStripe(ent)
 	l := s.lockState(ent)
 	if l.holds(inst.Key) {
 		// Duplicate (sessions reject re-locks before they reach the table).
 		s.mu.Unlock()
 		return nil
 	}
-	if len(l.queue) == 0 && l.grantable(mode) {
-		// The fast path: grant inline, no goroutine handoff. The queue must
-		// be empty — a reader arriving behind a waiting writer parks behind
-		// it (FIFO fairness), it does not slip past on compatibility.
-		t.grantLocked(s, ent, l, inst.Key, inst.Prio, mode)
+	// Any slow state about to be created (a grant or a queued waiter)
+	// must be visible to the CAS path first, so late fast readers queue
+	// FIFO instead of slipping past.
+	t.setSlowMode(ent)
+	if len(l.queue) == 0 && t.grantableLocked(ent, l, mode) {
+		// Grant inline, no goroutine handoff. The queue must be empty — a
+		// reader arriving behind a waiting writer parks behind it (FIFO
+		// fairness), it does not slip past on compatibility.
+		t.grantLocked(ent, l, inst.Key, inst.Prio, mode)
+		t.clearSlowModeIfIdleLocked(ent, l)
 		s.mu.Unlock()
 		return nil
 	}
@@ -141,7 +387,8 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 		// otherwise make the wound spurious (the actor backend decides and
 		// wounds atomically in the site goroutine; match it). OnWound must
 		// not call back into the table (see Config), so holding the stripe
-		// is safe.
+		// is safe. (Wound-wait disables the fast path, so every shared
+		// holder is identified here.)
 		if l.xheld && inst.Prio < l.xprio {
 			t.cfg.OnWound(l.xholder.ID)
 		}
@@ -158,10 +405,10 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 	case err := <-w.ch:
 		return err // nil: granted; ErrWounded: withdrawn by Wound
 	case <-ctx.Done():
-		t.cancelWait(s, ent, w)
+		t.cancelWait(ent, w)
 		return ctx.Err()
 	case <-inst.Doomed:
-		t.cancelWait(s, ent, w)
+		t.cancelWait(ent, w)
 		return ErrWounded
 	case <-t.stop:
 		return ErrStopped
@@ -169,10 +416,11 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 }
 
 // cancelWait removes a parked request, or releases its grant when a grant
-// (or wound) raced the cancellation: whichever way the race went, the
-// instance holds nothing on return.
-func (t *shardedTable) cancelWait(s *stripe, ent model.EntityID, w *waiter) {
-	s.mu.Lock()
+// raced the cancellation: whichever way the race went, the instance holds
+// nothing on return. The stripe is re-resolved — the one the request was
+// parked under may have been retired by a resize.
+func (t *shardedTable) cancelWait(ent model.EntityID, w *waiter) {
+	s := t.lockStripe(ent)
 	defer s.mu.Unlock()
 	l := s.lockState(ent)
 	for i, q := range l.queue {
@@ -180,13 +428,27 @@ func (t *shardedTable) cancelWait(s *stripe, ent model.EntityID, w *waiter) {
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
 			// Removing a queued writer can unblock the readers parked
 			// behind it (and vice versa): run the grant wave.
-			t.grantWaveLocked(s, ent, l)
+			t.grantWaveLocked(ent, l)
+			t.clearSlowModeIfIdleLocked(ent, l)
 			return
 		}
 	}
-	// Not queued: a concurrent grant (release it — holder check inside) or
-	// a concurrent wound (no-op: the wound already withdrew the request).
-	t.releaseLocked(s, ent, l, w.key)
+	// Not queued: a grant or a wound raced the cancellation. The waiter's
+	// buffered channel already holds the outcome (both senders deliver it
+	// before unqueueing, under this stripe's mutex), so consult it: a
+	// grant is released — for an anonymous shared grant releaseLocked
+	// decrements the fast-reader count it incremented — and a wound left
+	// nothing held. Keying the release off the outcome (not just the
+	// instance key) matters precisely because fast grants are anonymous:
+	// a wounded waiter must not decrement some innocent reader's count.
+	select {
+	case err := <-w.ch:
+		if err == nil {
+			t.releaseLocked(ent, l, w.key)
+		}
+	default:
+		// Unreachable: removal and delivery are atomic under the mutex.
+	}
 }
 
 func (t *shardedTable) Release(ent model.EntityID, key InstKey) error {
@@ -195,26 +457,60 @@ func (t *shardedTable) Release(ent model.EntityID, key InstKey) error {
 		return ErrStopped
 	default:
 	}
-	s := t.stripeOf(ent)
-	s.mu.Lock()
-	t.releaseLocked(s, ent, s.lockState(ent), key)
+	if t.fast != nil && int(ent) < len(t.fast) {
+		// The atomic fast path: a clear slow-mode bit means no writer and
+		// no queue, so a positive count can only be fast readers — one CAS
+		// decrement releases. With the bit set the release must go through
+		// the mutex (a draining reader may be the one unblocking a parked
+		// writer).
+		slot := &t.fast[ent].state
+		for {
+			st := slot.Load()
+			if st&slowModeBit != 0 || st&fastCountMask == 0 {
+				break
+			}
+			if slot.CompareAndSwap(st, st-1) {
+				return nil
+			}
+		}
+	}
+	s := t.lockStripe(ent)
+	t.releaseLocked(ent, s.lockState(ent), key)
 	s.mu.Unlock()
 	return nil
 }
 
-// releaseLocked frees the entity if key holds it (in either mode) and
-// grants to the next compatible waiters. Caller holds the stripe mutex.
-func (t *shardedTable) releaseLocked(s *stripe, ent model.EntityID, l *slock, key InstKey) {
+// releaseLocked frees the entity if key holds it and grants to the next
+// compatible waiters. With the fast path on, shared holders are an
+// anonymous count: any release that is not the exclusive holder's and not
+// an identified shared holder's is taken as one fast reader leaving while
+// the count is positive (the session layer guarantees callers only
+// release what they hold). Caller holds the stripe mutex.
+func (t *shardedTable) releaseLocked(ent model.EntityID, l *slock, key InstKey) {
+	wasExclusive := false
 	switch {
 	case l.xheld && l.xholder == key:
 		l.xheld = false
+		wasExclusive = true
 	default:
-		if _, ok := l.sholders[key]; !ok {
+		if _, ok := l.sholders[key]; ok {
+			delete(l.sholders, key)
+		} else if t.fastCount(ent) > 0 {
+			t.fast[ent].state.Add(-1)
+		} else {
 			return
 		}
-		delete(l.sholders, key)
 	}
-	t.grantWaveLocked(s, ent, l)
+	t.grantWaveLocked(ent, l)
+	if !wasExclusive {
+		// Hysteresis: a departing writer leaves the slow-mode bit SET even
+		// when the entity goes idle, so write-dominated entities don't pay
+		// a set/clear CAS pair on the fast slot per lock/unlock cycle. A
+		// set bit with no slow state is always legal (merely conservative:
+		// shared traffic takes the mutex path); the first mutex-path reader
+		// that finds the entity idle clears it and re-arms the CAS path.
+		t.clearSlowModeIfIdleLocked(ent, l)
+	}
 }
 
 // grantWaveLocked drains the wait queue as far as compatibility allows:
@@ -223,43 +519,68 @@ func (t *shardedTable) releaseLocked(s *stripe, ent model.EntityID, l *slock, ke
 // consecutive readers are granted as one wave, and a writer is granted
 // exactly when the last incompatible holder left. Caller holds the
 // stripe mutex.
-func (t *shardedTable) grantWaveLocked(s *stripe, ent model.EntityID, l *slock) {
+func (t *shardedTable) grantWaveLocked(ent model.EntityID, l *slock) {
 	for len(l.queue) > 0 {
 		pick := pickNext(l.queue, func(w *waiter) int64 { return w.prio }, t.cfg.WoundWait)
 		w := l.queue[pick]
-		if !l.grantable(w.mode) {
+		if !t.grantableLocked(ent, l, w.mode) {
 			return
 		}
 		l.queue = append(l.queue[:pick], l.queue[pick+1:]...)
-		t.grantLocked(s, ent, l, w.key, w.prio, w.mode)
+		t.grantLocked(ent, l, w.key, w.prio, w.mode)
 		w.ch <- nil
 	}
 }
 
-// grantLocked records the holder. Caller holds the stripe mutex.
-func (t *shardedTable) grantLocked(s *stripe, ent model.EntityID, l *slock, key InstKey, prio int64, mode Mode) {
-	if mode == Shared {
+// grantableLocked folds the anonymous fast readers into the slock's
+// compatibility check: an exclusive grant additionally requires the
+// fast-reader count to have drained to zero. Caller holds the stripe
+// mutex (and, for Exclusive, has set the slow-mode bit, so the count can
+// only fall).
+func (t *shardedTable) grantableLocked(ent model.EntityID, l *slock, mode Mode) bool {
+	if !l.grantable(mode) {
+		return false
+	}
+	return mode == Shared || t.fastCount(ent) == 0
+}
+
+// grantLocked records the holder. With the fast path on, a shared grant
+// joins the anonymous reader count (so a reader wave granted past a
+// departing writer re-arms the CAS path as soon as the queue empties)
+// rather than the identified holder map. Caller holds the stripe mutex.
+func (t *shardedTable) grantLocked(ent model.EntityID, l *slock, key InstKey, prio int64, mode Mode) {
+	switch {
+	case mode == Shared && t.fast != nil && int(ent) < len(t.fast):
+		t.fast[ent].state.Add(1)
+	case mode == Shared:
 		if l.sholders == nil {
 			l.sholders = map[InstKey]int64{}
 		}
 		l.sholders[key] = prio
-	} else {
+	default:
 		l.xheld = true
 		l.xholder = key
 		l.xprio = prio
 	}
 	if t.cfg.Trace {
-		s.log = append(s.log, GrantEvent{Entity: ent, Inst: key.ID, Epoch: key.Epoch, Mode: mode})
+		// Trace disables the fast path, so every grant lands here with its
+		// identity. Lock order: stripe mutex (held), then traceMu.
+		t.traceMu.Lock()
+		t.traceLog = append(t.traceLog, GrantEvent{Entity: ent, Inst: key.ID, Epoch: key.Epoch, Mode: mode})
+		t.traceMu.Unlock()
 	}
 }
 
+// Withdraw removes the instance's pending request or identified grant.
+// Anonymous fast-path shared grants are not attributable to a key, so
+// they are invisible to Withdraw — their owners release through Release,
+// which is the only caller contract the session layer uses.
 func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
-	s := t.stripeOf(ent)
-	s.mu.Lock()
+	s := t.lockStripe(ent)
 	defer s.mu.Unlock()
 	l := s.lockState(ent)
 	if l.holds(key) {
-		t.releaseLocked(s, ent, l, key)
+		t.releaseLocked(ent, l, key)
 		return true
 	}
 	for i, q := range l.queue {
@@ -268,7 +589,8 @@ func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
 			// Leave the parked Acquire (if any) to its own select arms; a
 			// direct Withdraw caller owns the request lifecycle. The queue
 			// changed, so later compatible waiters may now be grantable.
-			t.grantWaveLocked(s, ent, l)
+			t.grantWaveLocked(ent, l)
+			t.clearSlowModeIfIdleLocked(ent, l)
 			break
 		}
 	}
@@ -277,19 +599,24 @@ func (t *shardedTable) Withdraw(ent model.EntityID, key InstKey) bool {
 
 // ReleaseAll releases the listed entities. Stripe operations are plain
 // mutex sections, so there is nothing to pipeline — the loop is already
-// round-trip free.
+// round-trip free. Every failed release surfaces in the joined error,
+// not just the last one.
 func (t *shardedTable) ReleaseAll(ents []model.EntityID, key InstKey) error {
-	var err error
+	var errs []error
 	for _, ent := range ents {
 		if e := t.Release(ent, key); e != nil {
-			err = e
+			errs = append(errs, e)
 		}
 	}
-	return err
+	return errors.Join(errs...)
 }
 
 func (t *shardedTable) Wound(key InstKey) {
-	for _, s := range t.stripes {
+	// resizeMu pins the stripe set for the whole walk (lock order:
+	// resizeMu, then stripe mutexes — same as a resize).
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	for _, s := range t.set.Load().stripes {
 		s.mu.Lock()
 		for ent, l := range s.locks {
 			removed := false
@@ -306,7 +633,8 @@ func (t *shardedTable) Wound(key InstKey) {
 			if removed {
 				// A withdrawn writer may have been the only thing blocking
 				// the readers queued behind it.
-				t.grantWaveLocked(s, ent, l)
+				t.grantWaveLocked(ent, l)
+				t.clearSlowModeIfIdleLocked(ent, l)
 			}
 		}
 		s.mu.Unlock()
@@ -314,11 +642,14 @@ func (t *shardedTable) Wound(key InstKey) {
 }
 
 func (t *shardedTable) Snapshot() []WaitEdge {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
 	var edges []WaitEdge
-	for _, s := range t.stripes {
+	for _, s := range t.set.Load().stripes {
 		s.mu.Lock()
-		for _, l := range s.locks {
-			if !l.xheld && len(l.sholders) == 0 {
+		for ent, l := range s.locks {
+			anon := t.fastCount(ent)
+			if !l.xheld && len(l.sholders) == 0 && anon == 0 {
 				continue
 			}
 			for _, w := range l.queue {
@@ -334,6 +665,16 @@ func (t *shardedTable) Snapshot() []WaitEdge {
 						WaiterPrio: w.prio, HolderPrio: hp,
 					})
 				}
+				if anon > 0 {
+					// Anonymous fast readers: one edge against the sentinel
+					// holder. The sentinel never waits, so it cannot close a
+					// cycle — detectors that must attribute shared holders
+					// disable the fast path instead (see Config).
+					edges = append(edges, WaitEdge{
+						Waiter: w.key, Holder: AnonReaderKey,
+						WaiterPrio: w.prio,
+					})
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -342,15 +683,134 @@ func (t *shardedTable) Snapshot() []WaitEdge {
 }
 
 func (t *shardedTable) GrantLog() []GrantEvent {
-	var out []GrantEvent
-	for _, s := range t.stripes {
-		s.mu.Lock()
-		out = append(out, s.log...)
-		s.mu.Unlock()
-	}
+	t.traceMu.Lock()
+	defer t.traceMu.Unlock()
+	out := make([]GrantEvent, len(t.traceLog))
+	copy(out, t.traceLog)
 	return out
 }
 
 func (t *shardedTable) Close() {
 	t.stopOnce.Do(func() { close(t.stop) })
+	t.wg.Wait()
+}
+
+// probe is the adaptive-striping background tick: it samples the
+// per-stripe contention counters and doubles the stripe set when one
+// stripe absorbs a disproportionate share of meaningful traffic.
+func (t *shardedTable) probe(every time.Duration) {
+	defer t.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+		}
+		t.maybeSplit()
+	}
+}
+
+const (
+	// probeMinOps is the minimum per-tick slow-path traffic before a
+	// split is considered: idle or trickle tables never resize.
+	probeMinOps = 512
+	// A stripe is hot when its per-tick ops exceed 1.5x the mean
+	// (max*splitSkewDen > mean*splitSkewNum). The mild threshold matters:
+	// at 2 stripes the worst possible max/mean ratio is only 2.
+	splitSkewNum = 3
+	splitSkewDen = 2
+)
+
+// maybeSplit samples the stripe counters and grows the set on observed
+// skew.
+func (t *shardedTable) maybeSplit() {
+	set := t.set.Load()
+	var total, maxDelta int64
+	for _, s := range set.stripes {
+		s.mu.Lock()
+		cur := s.ops
+		s.mu.Unlock()
+		d := cur - s.lastOps
+		s.lastOps = cur
+		total += d
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	if len(set.stripes) >= t.maxShards || total < probeMinOps {
+		return
+	}
+	mean := total / int64(len(set.stripes))
+	if mean < 1 {
+		mean = 1
+	}
+	if maxDelta*splitSkewDen <= mean*splitSkewNum {
+		return
+	}
+	t.grow(set)
+}
+
+// grow installs a doubled stripe set: every old stripe mutex is held
+// across the swap, so no slow-path operation can observe an entity in
+// two homes, and in-flight lockStripe calls re-check the set pointer
+// after locking (see lockStripe).
+func (t *shardedTable) grow(old *stripeSet) {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	if t.set.Load() != old {
+		return // a concurrent grow won
+	}
+	n := min(len(old.stripes)*2, t.maxShards)
+	if n <= len(old.stripes) {
+		return
+	}
+	for _, s := range old.stripes {
+		s.mu.Lock()
+	}
+	next := newStripeSet(n)
+	for _, s := range old.stripes {
+		for ent, l := range s.locks {
+			next.stripes[stripeIndex(ent, n)].locks[ent] = l
+		}
+	}
+	t.set.Store(next)
+	t.splits.Add(1)
+	for _, s := range old.stripes {
+		s.retired = true
+		s.mu.Unlock()
+	}
+}
+
+// StripeStats describes the sharded backend's observed stripe layout:
+// the current stripe count, how many adaptive splits have happened, and
+// the cumulative slow-path operation count per stripe (the contention
+// signal the split probe samples) — the "report hot stripes" half of the
+// adaptive story, for operators and tests.
+type StripeStats struct {
+	Stripes int
+	Splits  int64
+	Ops     []int64
+}
+
+// SampleStripes reports the table's StripeStats, or false if the table
+// is not the sharded backend. Safe on a running table.
+func SampleStripes(tab Table) (StripeStats, bool) {
+	t, ok := tab.(*shardedTable)
+	if !ok {
+		return StripeStats{}, false
+	}
+	set := t.set.Load()
+	st := StripeStats{
+		Stripes: len(set.stripes),
+		Splits:  t.splits.Load(),
+		Ops:     make([]int64, len(set.stripes)),
+	}
+	for i, s := range set.stripes {
+		s.mu.Lock()
+		st.Ops[i] = s.ops
+		s.mu.Unlock()
+	}
+	return st, true
 }

@@ -460,7 +460,9 @@ func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
 // ReleaseAll implements locktable.Table: one wire round trip releases
 // every listed entity the instance holds a record for (the abort path).
 // Stale entries are skipped server-side — they are no longer this
-// session's to free.
+// session's to free — and reported back as one ErrStaleFence-wrapping
+// error counting every skipped release, so no failure is silently
+// dropped.
 func (c *Client) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error {
 	type rel struct {
 		ent   model.EntityID
@@ -483,7 +485,7 @@ func (c *Client) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error 
 	if len(rels) == 0 {
 		return nil
 	}
-	_, err := c.call(func(reqID uint64, e *enc) {
+	res, err := c.call(func(reqID uint64, e *enc) {
 		e.u8(opReleaseAll)
 		e.u64(reqID)
 		e.key(key)
@@ -495,6 +497,11 @@ func (c *Client) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error 
 	})
 	if err != nil {
 		return locktable.ErrStopped
+	}
+	d := dec{b: res.payload}
+	if stale := d.u32(); d.err == nil && stale > 0 {
+		return fmt.Errorf("netlock: release-all: %d stale grant(s) skipped (revoked lease; no longer ours to free): %w",
+			stale, ErrStaleFence)
 	}
 	return nil
 }

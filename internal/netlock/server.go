@@ -131,6 +131,12 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 	}
 	inner := cfg
 	inner.Trace = false // the server records grants itself, with session identity
+	// The sharded backend's anonymous shared fast path is wrong here: the
+	// server composes per-connection identities into snapshot edges and
+	// grant records, and an unattributable reader count cannot be stripped
+	// back to a connection. The wire round trip dwarfs a stripe mutex
+	// anyway, so this costs nothing observable.
+	inner.DisableSharedFastPath = true
 	if cfg.WoundWait {
 		inner.OnWound = s.pushWound
 	}
@@ -570,10 +576,15 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		if d.err != nil {
 			return d.err
 		}
+		stale := uint32(0)
 		for _, r := range rels {
-			s.release(c, r.ent, key, r.fence) // stale entries are not ours to free
+			// Stale entries are not ours to free, but the client is told
+			// how many were skipped so the abort path can surface them.
+			if s.release(c, r.ent, key, r.fence) != stOK {
+				stale++
+			}
 		}
-		c.result(reqID, stOK, nil)
+		c.result(reqID, stOK, func(e *enc) { e.u32(stale) })
 		return nil
 
 	case opWithdraw:

@@ -19,6 +19,10 @@ func FuzzSystem(f *testing.F) {
 	f.Add("site : \n")
 	f.Add("txn {\n}")
 	f.Add("site s: x\ntxn T {\n a: lock x\n a -> a\n}")
+	f.Add("site s: x\ntxn T {\n a: lock x shared\n b: unlock x\n}")
+	f.Add("site s: x y\ntxn T {\n a: lock x exclusive\n b: lock y shared\n c: unlock x\n d: unlock y\n a -> b\n}")
+	f.Add("site s: x\ntxn T {\n a: lock x upgradable\n b: unlock x\n}")
+	f.Add("site s: x\ntxn T {\n a: unlock x shared\n}")
 	f.Add(strings.Repeat("site s: x\n", 50))
 	f.Fuzz(func(t *testing.T, input string) {
 		sys, err := System(strings.NewReader(input))

@@ -7,7 +7,7 @@
 //	site s2: z
 //
 //	txn T1 {
-//	  a: lock x
+//	  a: lock x shared
 //	  b: lock y
 //	  c: unlock x
 //	  d: unlock y
@@ -16,7 +16,10 @@
 //
 // Node labels are local to a transaction block. Arcs may chain with
 // repeated "->". The Lock->Unlock arc per entity is implied (the model
-// layer adds it).
+// layer adds it). A lock line takes an optional mode token — "shared"
+// (read; any number of holders overlap) or "exclusive" (write; the
+// default, so pre-mode files parse unchanged). An unlock releases
+// whatever mode was acquired and takes no mode token.
 package parse
 
 import (
@@ -131,16 +134,30 @@ func System(r io.Reader) (*model.System, error) {
 				return nil, fmt.Errorf("line %d: duplicate node label %q", lineNo, lbl)
 			}
 			fields := strings.Fields(parts[1])
-			if len(fields) != 2 {
-				return nil, fmt.Errorf("line %d: want '<label>: lock|unlock <entity>'", lineNo)
+			if len(fields) < 2 || len(fields) > 3 {
+				return nil, fmt.Errorf("line %d: want '<label>: lock <entity> [shared|exclusive]' or '<label>: unlock <entity>'", lineNo)
 			}
 			op, ent := fields[0], fields[1]
 			if _, ok := d.Entity(ent); !ok {
 				return nil, fmt.Errorf("line %d: unknown entity %q (declare it in a site line first)", lineNo, ent)
 			}
+			mode := model.Exclusive
+			if len(fields) == 3 {
+				if op != "lock" {
+					return nil, fmt.Errorf("line %d: mode token on %q (an unlock releases whatever mode was acquired)", lineNo, op)
+				}
+				switch fields[2] {
+				case "shared":
+					mode = model.Shared
+				case "exclusive":
+					mode = model.Exclusive
+				default:
+					return nil, fmt.Errorf("line %d: unknown lock mode %q (want shared or exclusive)", lineNo, fields[2])
+				}
+			}
 			switch op {
 			case "lock":
-				labels[lbl] = curBuilder.Lock(ent)
+				labels[lbl] = curBuilder.LockMode(ent, mode)
 			case "unlock":
 				labels[lbl] = curBuilder.Unlock(ent)
 			default:
@@ -198,7 +215,11 @@ func Write(w io.Writer, sys *model.System) error {
 			if nd.Kind == model.UnlockOp {
 				op = "unlock"
 			}
-			if _, err := fmt.Fprintf(w, "  n%d: %s %s\n", id, op, sys.DDB.EntityName(nd.Entity)); err != nil {
+			mode := ""
+			if nd.Kind == model.LockOp && nd.Mode == model.Shared {
+				mode = " shared"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d: %s %s%s\n", id, op, sys.DDB.EntityName(nd.Entity), mode); err != nil {
 				return err
 			}
 		}

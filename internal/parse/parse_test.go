@@ -69,6 +69,10 @@ func TestParseErrors(t *testing.T) {
 		{"node outside block", "site s: x\na: lock x\n", "outside txn block"},
 		{"garbage", "hello world\n", "cannot parse"},
 		{"semantic error surfaces", "site s: x\ntxn T {\n a: lock x\n}", "never unlocked"},
+		{"unknown mode", "site s: x\ntxn T {\n a: lock x upgradable\n b: unlock x\n}", "unknown lock mode"},
+		{"mode on unlock", "site s: x\ntxn T {\n a: lock x\n b: unlock x shared\n}", "mode token"},
+		{"too many fields", "site s: x\ntxn T {\n a: lock x shared please\n b: unlock x\n}", "want '<label>:"},
+		{"missing entity", "site s: x\ntxn T {\n a: lock\n}", "want '<label>:"},
 	}
 	for _, c := range cases {
 		_, err := System(strings.NewReader(c.in))
@@ -105,11 +109,53 @@ txn T {
 	}
 }
 
+func TestParseSharedMode(t *testing.T) {
+	in := `
+site s1: x y
+txn T {
+  a: lock x shared
+  b: lock y exclusive
+  c: unlock x
+  d: unlock y
+  a -> b -> c -> d
+}
+`
+	sys, err := System(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn := sys.Txns[0]
+	x, _ := sys.DDB.Entity("x")
+	y, _ := sys.DDB.Entity("y")
+	if m := txn.ModeOf(x); m != model.Shared {
+		t.Fatalf("x locked %v, want Shared", m)
+	}
+	if m := txn.ModeOf(y); m != model.Exclusive {
+		t.Fatalf("y locked %v, want Exclusive", m)
+	}
+	// The written form must carry the mode back through a reparse.
+	var buf bytes.Buffer
+	if err := Write(&buf, sys); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lock x shared") {
+		t.Fatalf("Write dropped the shared mode:\n%s", buf.String())
+	}
+	back, err := System(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if m := back.Txns[0].ModeOf(x); m != model.Shared {
+		t.Fatalf("round trip turned x's mode into %v", m)
+	}
+}
+
 func TestRoundTrip(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		sys := workload.MustGenerate(workload.Config{
 			Sites: 3, EntitiesPerSite: 2, NumTxns: 3, EntitiesPerTxn: 4,
-			Policy: workload.Policy(seed % 3), CrossArcProb: 0.5, Seed: seed,
+			Policy: workload.Policy(seed % 3), CrossArcProb: 0.5,
+			ReadFraction: 0.5, Seed: seed,
 		})
 		var buf bytes.Buffer
 		if err := Write(&buf, sys); err != nil {
@@ -139,6 +185,9 @@ func TestRoundTrip(t *testing.T) {
 			for a := 0; a < orig.N(); a++ {
 				if orig.Node(model.NodeID(a)).Kind != got.Node(model.NodeID(a)).Kind {
 					t.Fatalf("seed %d txn %d: node %d kind differs", seed, i, a)
+				}
+				if orig.Node(model.NodeID(a)).Mode != got.Node(model.NodeID(a)).Mode {
+					t.Fatalf("seed %d txn %d: node %d mode differs", seed, i, a)
 				}
 				on := sys.DDB.EntityName(orig.Node(model.NodeID(a)).Entity)
 				gn := back.DDB.EntityName(got.Node(model.NodeID(a)).Entity)

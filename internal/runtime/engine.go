@@ -94,9 +94,17 @@ type EngineOptions struct {
 	// server must host the same database (the handshake verifies a
 	// fingerprint) with a matching wound-wait/trace configuration.
 	RemoteAddr string
-	// Shards is the sharded backend's stripe count. Default
-	// locktable.DefaultShards.
+	// Shards is the sharded backend's initial stripe count. Zero resolves
+	// from GOMAXPROCS and enables adaptive splitting (see
+	// locktable.Config.Shards).
 	Shards int
+	// MaxShards caps the sharded backend's adaptive stripe splitting (see
+	// locktable.Config.MaxShards). Zero keeps the backend's default policy.
+	MaxShards int
+	// StripeProbe is the sharded backend's contention-probe period (see
+	// locktable.Config.StripeProbe). Zero keeps the default; negative
+	// disables the probe.
+	StripeProbe time.Duration
 	// SiteInbox is the actor backend's per-site inbox capacity, that
 	// backend's backpressure bound (see DefaultSiteInbox). Default 256.
 	SiteInbox int
@@ -122,6 +130,7 @@ type Engine struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	holds    holdTimer // high-resolution Config.HoldTime delays (lazy)
 
 	progress atomic.Int64 // bumped on every grant/commit
 	commits  atomic.Int64
@@ -155,15 +164,22 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		abortChs:    map[int]chan struct{}{},
 		commitEp:    map[int]int{},
 	}
+	e.holds.stop = e.stop
 	cfg := locktable.Config{
 		WoundWait: opts.Strategy == StrategyWoundWait,
 		OnWound: func(holderID int) {
 			e.wounds.Add(1)
 			e.signalAbort(holderID)
 		},
-		Trace:     opts.Trace,
-		SiteInbox: opts.SiteInbox,
-		Shards:    opts.Shards,
+		Trace:       opts.Trace,
+		SiteInbox:   opts.SiteInbox,
+		Shards:      opts.Shards,
+		MaxShards:   opts.MaxShards,
+		StripeProbe: opts.StripeProbe,
+		// The detector closes wait-for cycles through shared holders, so
+		// they must be named in Snapshot: anonymous fast-path readers
+		// would hide the edges and cycles would go undetected.
+		DisableSharedFastPath: opts.Strategy == StrategyDetect,
 	}
 	switch e.backend {
 	case BackendSharded:

@@ -80,15 +80,25 @@ type Config struct {
 	StallTimeout time.Duration
 	// HoldTime injects a delay after each granted lock before the client
 	// issues its next operation, widening the conflict window (simulated
-	// work / network latency). Zero means no delay.
+	// work / network latency). Zero means no delay. Delivered by a
+	// high-resolution coalescing timer (see holdTimer): per-goroutine
+	// time.After at this granularity is quantized by the parked-runtime
+	// timer wake (~1ms), and unevenly so across backends.
 	HoldTime time.Duration
 	// Backend selects the lock-table implementation (BackendDefault picks
 	// sharded for StrategyNone, actor otherwise).
 	Backend Backend
 	// RemoteAddr is the netlock server address BackendRemote dials.
 	RemoteAddr string
-	// Shards is the sharded backend's stripe count (0 = default).
+	// Shards is the sharded backend's initial stripe count (0 = resolve
+	// from GOMAXPROCS and split adaptively; see locktable.Config.Shards).
 	Shards int
+	// MaxShards caps adaptive stripe splitting (see
+	// locktable.Config.MaxShards).
+	MaxShards int
+	// StripeProbe is the contention-probe period of the sharded backend
+	// (0 = default, negative = disabled; see locktable.Config.StripeProbe).
+	StripeProbe time.Duration
 	// SiteInbox is the actor backend's per-site inbox capacity — that
 	// backend's backpressure bound (senders block once a site has this many
 	// requests in flight). Default DefaultSiteInbox (256).
@@ -155,6 +165,8 @@ func Run(cfg Config) (*Metrics, error) {
 		Backend:     cfg.Backend,
 		RemoteAddr:  cfg.RemoteAddr,
 		Shards:      cfg.Shards,
+		MaxShards:   cfg.MaxShards,
+		StripeProbe: cfg.StripeProbe,
 		SiteInbox:   cfg.SiteInbox,
 		Trace:       cfg.Trace,
 	})
@@ -315,7 +327,7 @@ func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration, waits
 		}
 		if nd.Kind == model.LockOp && hold > 0 {
 			select {
-			case <-time.After(hold):
+			case <-e.holds.wait(hold):
 			case <-s.Doomed():
 				s.Abort()
 				return false, false

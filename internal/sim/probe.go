@@ -47,18 +47,23 @@ func (s *Sim) scheduleProbeInit(inst *instance, epoch int) {
 	})
 }
 
-// forwardProbe sends the probe from a blocked instance to the holders of
-// every entity the instance is waiting for (AND-model fan-out), one
-// network hop per edge.
+// forwardProbe sends the probe from a blocked instance to every holder of
+// every entity the instance is waiting for (AND-model fan-out over both
+// the exclusive holder and any shared holders), one network hop per edge.
 func (s *Sim) forwardProbe(p probe, from *instance) {
 	for e := range from.waiting {
 		ls := s.locks[e]
-		if ls == nil || ls.holder == nil || ls.holder.done {
+		if ls == nil {
 			continue
 		}
-		holder := ls.holder
-		holderEpoch := holder.epoch
-		s.schedule(s.cfg.NetLatency, func() { s.receiveProbe(p, holder, holderEpoch) })
+		for _, h := range ls.holders() {
+			if h.done {
+				continue
+			}
+			holder := h
+			holderEpoch := holder.epoch
+			s.schedule(s.cfg.NetLatency, func() { s.receiveProbe(p, holder, holderEpoch) })
+		}
 	}
 }
 

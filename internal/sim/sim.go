@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"distlock/internal/graph"
 	"distlock/internal/model"
@@ -199,10 +200,79 @@ type waiter struct {
 	since int64
 }
 
-// lockState is the per-entity lock-manager state.
+// lockState is the per-entity lock-manager state: at most one exclusive
+// holder, or any number of shared holders, plus the wait queue.
 type lockState struct {
-	holder *instance
-	queue  []*waiter
+	xholder  *instance
+	sholders map[*instance]bool
+	queue    []*waiter
+}
+
+// holds reports whether the instance holds the entity in either mode.
+func (ls *lockState) holds(in *instance) bool {
+	return ls.xholder == in || ls.sholders[in]
+}
+
+// compatible reports whether a grant in mode m is compatible with the
+// current holders (queue fairness is the caller's business): a shared
+// grant needs no exclusive holder, an exclusive grant needs no holder at
+// all.
+func (ls *lockState) compatible(m model.Mode) bool {
+	if ls.xholder != nil {
+		return false
+	}
+	return m == model.Shared || len(ls.sholders) == 0
+}
+
+// grant records the instance as a holder in mode m.
+func (ls *lockState) grant(in *instance, m model.Mode, e model.EntityID) {
+	if m == model.Shared {
+		if ls.sholders == nil {
+			ls.sholders = map[*instance]bool{}
+		}
+		ls.sholders[in] = true
+	} else {
+		ls.xholder = in
+	}
+	in.held[e] = true
+}
+
+// drop removes the instance from the holder set, reporting whether it
+// held.
+func (ls *lockState) drop(in *instance) bool {
+	if ls.xholder == in {
+		ls.xholder = nil
+		return true
+	}
+	if ls.sholders[in] {
+		delete(ls.sholders, in)
+		return true
+	}
+	return false
+}
+
+// conflictingHolders returns the holders a request in mode m conflicts
+// with: the exclusive holder always, the shared holders only for an
+// exclusive request. Sorted by instance id — the simulator is
+// deterministic, so nothing may leak map iteration order into the event
+// sequence.
+func (ls *lockState) conflictingHolders(m model.Mode) []*instance {
+	var out []*instance
+	if ls.xholder != nil {
+		out = append(out, ls.xholder)
+	}
+	if m == model.Exclusive {
+		for h := range ls.sholders {
+			out = append(out, h)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	}
+	return out
+}
+
+// holders returns every current holder (for wait-for edges).
+func (ls *lockState) holders() []*instance {
+	return ls.conflictingHolders(model.Exclusive)
 }
 
 // Sim is the simulator state. Construct with New, drive with Run.
@@ -334,20 +404,22 @@ func (s *Sim) arrive(inst *instance, node model.NodeID, epoch int) {
 	ls := s.lock(nd.Entity)
 	switch nd.Kind {
 	case model.UnlockOp:
-		if ls.holder == inst {
-			ls.holder = nil
+		if ls.drop(inst) {
 			delete(inst.held, nd.Entity)
 			s.grantNext(nd.Entity)
 		}
 		s.complete(inst, node)
 	case model.LockOp:
-		if ls.holder == nil {
-			ls.holder = inst
-			inst.held[nd.Entity] = true
+		if len(ls.queue) == 0 && ls.compatible(nd.Mode) {
+			// Grant inline. The queue must be empty — a reader arriving
+			// behind a waiting writer parks behind it (FIFO fairness, the
+			// same writer-blocks-later-readers rule as the runtime lock
+			// tables), it does not slip past on compatibility.
+			ls.grant(inst, nd.Mode, nd.Entity)
 			s.complete(inst, node)
 			return
 		}
-		if ls.holder == inst {
+		if ls.holds(inst) {
 			s.complete(inst, node) // cannot happen for well-formed txns
 			return
 		}
@@ -381,22 +453,41 @@ func (s *Sim) conflict(inst *instance, node model.NodeID, epoch int, ls *lockSta
 			})
 		}
 	}
+	mode := inst.tmpl.Node(node).Mode
 	switch s.cfg.Strategy {
 	case StrategyWoundWait:
-		if inst.ts < ls.holder.ts {
-			// Older requester wounds the younger holder.
-			victim := ls.holder
-			enqueue()
+		// The older requester wounds every CONFLICTING younger holder — an
+		// exclusive requester wounds younger shared holders too, a shared
+		// requester only a younger exclusive holder (readers never wound
+		// readers; they do not conflict). Enqueue first so the freed
+		// entity can be granted straight to this request.
+		var victims []*instance
+		for _, h := range ls.conflictingHolders(mode) {
+			if inst.ts < h.ts {
+				victims = append(victims, h)
+			}
+		}
+		enqueue()
+		for _, v := range victims {
 			s.metrics.Wounds++
-			s.abort(victim)
-		} else {
-			enqueue()
+			s.abort(v)
 		}
 	case StrategyWaitDie:
-		if inst.ts < ls.holder.ts {
-			enqueue()
-		} else {
+		// The requester waits only if older than every conflicting holder;
+		// younger than any of them, it dies. (With no conflicting holder —
+		// a reader parked behind a queued writer for fairness — it simply
+		// waits: there is no one to die against.)
+		dies := false
+		for _, h := range ls.conflictingHolders(mode) {
+			if inst.ts >= h.ts {
+				dies = true
+				break
+			}
+		}
+		if dies {
 			s.abort(inst) // younger dies
+		} else {
+			enqueue()
 		}
 	default:
 		enqueue()
@@ -422,14 +513,18 @@ func (s *Sim) complete(inst *instance, node model.NodeID) {
 	s.issue(inst)
 }
 
-// grantNext hands the lock on e to the next live waiter. The grant order
-// is strategy-dependent and load-bearing for liveness:
+// grantNext drains the wait queue on e as far as compatibility allows:
+// repeatedly pick the next live waiter and grant it if its mode is
+// compatible with the current holders — so consecutive readers are
+// granted as one wave, and a writer is granted exactly when the last
+// incompatible holder left. The pick order is strategy-dependent and
+// load-bearing for liveness:
 //
-//   - wound-wait requires the holder to be older than every waiter (a
-//     younger requester waits only behind an older holder), so the lock
-//     goes to the OLDEST waiter — otherwise an old transaction could wait
-//     behind a freshly granted young holder that nobody wounds, recreating
-//     deadlock;
+//   - wound-wait requires the holder to be older than every conflicting
+//     waiter (a younger requester waits only behind an older holder), so
+//     the lock goes to the OLDEST waiter — otherwise an old transaction
+//     could wait behind a freshly granted young holder that nobody
+//     wounds, recreating deadlock;
 //   - wait-die requires the holder to be younger than every waiter, so the
 //     lock goes to the YOUNGEST waiter;
 //   - the remaining strategies grant in FIFO order.
@@ -463,16 +558,15 @@ func (s *Sim) grantNext(e model.EntityID) {
 			}
 		}
 		w := ls.queue[pick]
-		ls.queue = append(ls.queue[:pick], ls.queue[pick+1:]...)
-		if w.inst.done || w.epoch != w.inst.epoch {
-			continue
+		mode := w.inst.tmpl.Node(w.node).Mode
+		if !ls.compatible(mode) {
+			return
 		}
-		ls.holder = w.inst
-		w.inst.held[e] = true
+		ls.queue = append(ls.queue[:pick], ls.queue[pick+1:]...)
+		ls.grant(w.inst, mode, e)
 		delete(w.inst.waiting, e)
 		inst, node := w.inst, w.node
 		s.schedule(s.cfg.OpTime, func() { s.complete(inst, node) })
-		return
 	}
 }
 
@@ -486,8 +580,7 @@ func (s *Sim) abort(inst *instance) {
 	inst.epoch++ // invalidate in-flight messages and queued waiters
 	for e := range inst.held {
 		ls := s.locks[e]
-		if ls.holder == inst {
-			ls.holder = nil
+		if ls.drop(inst) {
 			s.grantNext(e)
 		}
 		delete(inst.held, e)
@@ -519,14 +612,24 @@ func (s *Sim) detect() {
 	}
 	g := graph.NewDigraph(2 * len(s.live))
 	for _, ls := range s.locks {
-		if ls.holder == nil {
+		holders := ls.holders()
+		if len(holders) == 0 {
 			continue
 		}
 		for _, w := range ls.queue {
-			if w.inst.done || w.epoch != w.inst.epoch || ls.holder.done {
+			if w.inst.done || w.epoch != w.inst.epoch {
 				continue
 			}
-			g.AddArc(idx(w.inst), idx(ls.holder))
+			// One edge per holder: a queued reader also waits on the shared
+			// holders (never directly on a writer queued ahead of it — the
+			// writer's own edges to those holders close any cycle just as
+			// well), matching the runtime lock tables' Snapshot.
+			for _, h := range holders {
+				if h.done {
+					continue
+				}
+				g.AddArc(idx(w.inst), idx(h))
+			}
 		}
 	}
 	for {

@@ -12,9 +12,12 @@ func buildChain(d *model.DDB, name, spec string) *model.Transaction {
 	var prev model.NodeID = -1
 	for _, tok := range strings.Fields(spec) {
 		var id model.NodeID
-		if tok[0] == 'L' {
+		switch tok[0] {
+		case 'L':
 			id = b.Lock(tok[1:])
-		} else {
+		case 'S':
+			id = b.LockShared(tok[1:])
+		default:
 			id = b.Unlock(tok[1:])
 		}
 		if prev >= 0 {
@@ -360,5 +363,110 @@ func TestProbeThreeWayRing(t *testing.T) {
 	}
 	if m.ProbeKills == 0 {
 		t.Fatal("3-way ring never triggered a probe kill")
+	}
+}
+
+// sharedReaderTemplates: every client takes only a shared lock on x.
+func sharedReaderTemplates() []*model.Transaction {
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	return []*model.Transaction{buildChain(d, "R", "Sx Ux")}
+}
+
+// sharedDeadlockTemplates: T1 holds x shared and wants y exclusively, T2
+// holds y shared and wants x exclusively — a deadlock that only exists in
+// the conflict-aware model (the waits-for cycle runs THROUGH shared
+// holders, so mode-blind handling machinery would never see it).
+func sharedDeadlockTemplates() []*model.Transaction {
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	d.MustEntity("y", "s2")
+	return []*model.Transaction{
+		buildChain(d, "T1", "Sx Ly Ux Uy"),
+		buildChain(d, "T2", "Sy Lx Uy Ux"),
+	}
+}
+
+// TestSharedReadersOverlap: shared holders must actually overlap — a
+// reader crowd on one entity finishes far sooner than the same crowd
+// serialized through exclusive locks (if the simulator granted shared
+// locks one at a time, the two makespans would be equal).
+func TestSharedReadersOverlap(t *testing.T) {
+	shared, err := Run(Config{
+		Templates: sharedReaderTemplates(), Clients: 16, TxnsPerClient: 10,
+		Strategy: StrategyNone, OpTime: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.NewDDB()
+	d.MustEntity("x", "s1")
+	excl, err := Run(Config{
+		Templates: []*model.Transaction{buildChain(d, "W", "Lx Ux")},
+		Clients:   16, TxnsPerClient: 10,
+		Strategy: StrategyNone, OpTime: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Stalled || excl.Stalled {
+		t.Fatal("single-entity mix stalled")
+	}
+	if shared.Committed != 160 || excl.Committed != 160 {
+		t.Fatalf("commits: shared %d, exclusive %d", shared.Committed, excl.Committed)
+	}
+	if shared.Makespan*2 >= excl.Makespan {
+		t.Fatalf("shared makespan %d not clearly below exclusive %d — readers are being serialized",
+			shared.Makespan, excl.Makespan)
+	}
+}
+
+// TestSharedReadersNeverWound: readers do not conflict, so an all-shared
+// mix under wound-wait (and wait-die) must commit with zero aborts.
+func TestSharedReadersNeverWound(t *testing.T) {
+	for _, strat := range []Strategy{StrategyWoundWait, StrategyWaitDie} {
+		m, err := Run(Config{
+			Templates: sharedReaderTemplates(), Clients: 12, TxnsPerClient: 15,
+			Strategy: strat, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Stalled || m.Committed != 12*15 {
+			t.Fatalf("%v: %+v", strat, m)
+		}
+		if m.Aborts != 0 || m.Wounds != 0 {
+			t.Fatalf("%v wounded non-conflicting readers: %+v", strat, m)
+		}
+	}
+}
+
+// TestSharedDeadlockHandling: the shared-holder deadlock (the cycle runs
+// through shared holders) must stall with no handling and be recovered by
+// every dynamic strategy — which requires the detector, the probes, and
+// the wound/die rules to all see shared holders as holders.
+func TestSharedDeadlockHandling(t *testing.T) {
+	tmpls := sharedDeadlockTemplates()
+	base := Config{Templates: tmpls, Clients: 2, TxnsPerClient: 8, Seed: 11}
+
+	none := base
+	none.Strategy = StrategyNone
+	none.MaxTicks = 200_000
+	if m, err := Run(none); err != nil {
+		t.Fatal(err)
+	} else if !m.Stalled {
+		t.Fatalf("shared-holder deadlock not reproduced under StrategyNone: %+v", m)
+	}
+
+	for _, strat := range []Strategy{StrategyDetect, StrategyWoundWait, StrategyWaitDie, StrategyProbe} {
+		cfg := base
+		cfg.Strategy = strat
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if m.Stalled || m.Committed != 2*8 {
+			t.Fatalf("%v failed to recover the shared-holder deadlock: %+v", strat, m)
+		}
 	}
 }

@@ -59,6 +59,8 @@ type serviceConfig struct {
 	siteInbox    int
 	certBackend  LockBackend
 	shards       int
+	maxShards    int
+	stripeProbe  time.Duration
 	remoteAddr   string
 }
 
@@ -112,11 +114,30 @@ func WithLockBackend(b LockBackend) ServiceOption {
 	return func(c *serviceConfig) { c.certBackend = b }
 }
 
-// WithShards sets the stripe count of the sharded lock-table backend
-// (default 32). More stripes admit more concurrent grant decisions; a
-// stripe costs one mutex and one map, so over-provisioning is cheap.
+// WithShards pins the sharded lock-table backend to exactly n stripes.
+// The default (0) resolves the count from GOMAXPROCS and lets the
+// backend's contention probe split hot stripes adaptively; an explicit
+// count freezes the layout unless WithMaxShards raises the cap. More
+// stripes admit more concurrent grant decisions; a stripe costs one mutex
+// and one map, so over-provisioning is cheap.
 func WithShards(n int) ServiceOption {
 	return func(c *serviceConfig) { c.shards = n }
+}
+
+// WithMaxShards caps the sharded backend's adaptive stripe splitting at n
+// stripes (see locktable.Config.MaxShards). Zero keeps the default policy:
+// 8x the resolved initial count when WithShards is unset, no growth when
+// it pins the count.
+func WithMaxShards(n int) ServiceOption {
+	return func(c *serviceConfig) { c.maxShards = n }
+}
+
+// WithStripeProbe sets the sampling period of the sharded backend's
+// contention probe — the background tick that reads per-stripe traffic
+// counters and splits a stripe absorbing a disproportionate share. Zero
+// keeps the 15ms default; a negative duration disables the probe.
+func WithStripeProbe(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.stripeProbe = d }
 }
 
 // WithRemoteTable puts the certified tier on a cross-process lock table: a
@@ -216,20 +237,24 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		mult = 1
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:   runtime.StrategyNone,
-		Backend:    cfg.certBackend, // BackendDefault resolves to sharded
-		RemoteAddr: cfg.remoteAddr,
-		Shards:     cfg.shards,
-		SiteInbox:  cfg.siteInbox,
+		Strategy:    runtime.StrategyNone,
+		Backend:     cfg.certBackend, // BackendDefault resolves to sharded
+		RemoteAddr:  cfg.remoteAddr,
+		Shards:      cfg.shards,
+		MaxShards:   cfg.maxShards,
+		StripeProbe: cfg.stripeProbe,
+		SiteInbox:   cfg.siteInbox,
 	})
 	if err != nil {
 		return nil, err
 	}
 	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:  runtime.StrategyWoundWait,
-		Backend:   runtime.BackendDefault, // resolves to sharded post-soak-gate
-		Shards:    cfg.shards,
-		SiteInbox: cfg.siteInbox,
+		Strategy:    runtime.StrategyWoundWait,
+		Backend:     runtime.BackendDefault, // resolves to sharded post-soak-gate
+		Shards:      cfg.shards,
+		MaxShards:   cfg.maxShards,
+		StripeProbe: cfg.stripeProbe,
+		SiteInbox:   cfg.siteInbox,
 	})
 	if err != nil {
 		certified.Close()
