@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,8 +44,9 @@ func main() {
 		budget   = flag.Int64("cycle-budget", 4096, "max Theorem 4 cycle checks per registration (0 = unlimited)")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		run      = flag.Bool("run", false, "serve live session traffic for the final mix")
-		backend  = flag.String("backend", "default", "certified-tier lock table: default|actor|sharded|remote (-run)")
+		backend  = flag.String("backend", "default", "certified-tier lock table: default|actor|sharded|remote|cluster (-run)")
 		addr     = flag.String("addr", "127.0.0.1:9911", "dlserver address for -backend remote (its -sites/-entities-per-site must match)")
+		addrs    = flag.String("addrs", "", "comma-separated dlserver addresses for -backend cluster (same list, same order, on every client)")
 		shards   = flag.Int("shards", 0, "sharded backend stripe count (0 = default) (-run)")
 		clients  = flag.Int("clients", 2, "client goroutines per class (-run)")
 		txns     = flag.Int("txns", 10, "transactions per client (-run)")
@@ -87,11 +89,28 @@ func main() {
 		distlock.WithMultiplicity(mult),
 		distlock.WithShards(*shards),
 	}
-	if *backend == "remote" {
+	switch {
+	case *backend == "remote":
 		// The certified tier's locks live in a dlserver: its generator
 		// flags must match ours, which the connection handshake verifies.
 		opts = append(opts, distlock.WithRemoteTable(*addr))
-	} else {
+	case *backend == "cluster":
+		// The certified tier's locks live in a hash-partitioned fleet of
+		// dlservers; every one must host the same database (each
+		// handshake verifies it) and every client the same address list.
+		list := strings.Split(*addrs, ",")
+		var clean []string
+		for _, a := range list {
+			if a = strings.TrimSpace(a); a != "" {
+				clean = append(clean, a)
+			}
+		}
+		if len(clean) == 0 {
+			fmt.Fprintln(os.Stderr, "dladmit: -backend cluster needs -addrs host:port[,host:port...]")
+			os.Exit(2)
+		}
+		opts = append(opts, distlock.WithRemoteCluster(clean...))
+	default:
 		be, ok := map[string]distlock.LockBackend{
 			"default": distlock.BackendDefault,
 			"actor":   distlock.BackendActor,

@@ -1,12 +1,14 @@
-// Command dlbench regenerates every experiment (E1–E13): the verified
+// Command dlbench regenerates every experiment (E1–E14): the verified
 // reconstructions of the paper's figures, the Theorem 2 reduction
 // validation, the scaling comparisons of the polynomial algorithms against
 // each other and against the exhaustive oracles, the simulated
 // prevention-vs-detection comparison that motivates the paper, the
 // lock-table backend throughput comparison (E12: actor vs sharded on
-// uniform vs Zipf-skewed certified traffic), and the shared-mode payoff
+// uniform vs Zipf-skewed certified traffic), the shared-mode payoff
 // (E13: read-heavy certified traffic with shared locks honored vs forced
-// exclusive, per backend).
+// exclusive, per backend), and the partitioned-lock-space scaling sweep
+// (E14: certified uniform and Zipf mixes against a hash-partitioned
+// cluster of 1/2/4 capacity-modeled dlservers vs one remote server).
 //
 // Usage:
 //
@@ -70,7 +72,7 @@ type benchReport struct {
 }
 
 func main() {
-	run := flag.String("run", "", "run only this experiment (E1..E13)")
+	run := flag.String("run", "", "run only this experiment (E1..E14)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (experiment prose suppressed)")
 	flag.Parse()
 	exps := []struct {
@@ -79,7 +81,7 @@ func main() {
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11},
-		{"E12", e12}, {"E13", e13},
+		{"E12", e12}, {"E13", e13}, {"E14", e14},
 	}
 	report := benchReport{Go: goruntime.Version(), OS: goruntime.GOOS, Arch: goruntime.GOARCH}
 	ran := false
@@ -679,4 +681,130 @@ func e13() {
 	fmt.Println("stripes entirely, so sharded leads every row — including the single-hot-entity crowd")
 	fmt.Println("that used to convoy on one stripe mutex and lose to the actor's batching inbox — and")
 	fmt.Println("the stripe sweep is flat: stripe count now prices only the slow-path traffic")
+}
+
+// E14 (extension): aggregate certified-tier capacity of the partitioned
+// lock space vs server count. The same ordered-2PL mixes as E12 — uniform
+// entity choice and Zipf hot-entity skew — are driven through the session
+// layer against one single-remote dlserver and against hash-partitioned
+// clusters of 1, 2 and 4 dlservers (internal/cluster: each entity owned
+// by exactly one server, no cross-server coordination on the certified
+// tier).
+//
+// Capacity model: every server runs with ServerOptions.ServiceTime — an
+// emulated per-request service cost paid in the connection's serial
+// request loop, standing in for the real per-request work (a durable log
+// append, a replication ack) that makes a production lock server
+// capacity-bound. The emulation is a parked sleep, so K servers sharing
+// this benchmark host overlap their service intervals exactly as K real
+// servers on K machines would overlap their real work — which is what
+// lets a single-host run measure the architecture's scaling honestly:
+// this host has 1 CPU, and without a capacity model every row would just
+// measure the shared host's syscall budget (the raw_* control rows below
+// record that wire-limited regime for transparency; they are expected
+// NOT to scale here). The figure of merit is the cluster-4srv /
+// cluster-1srv ops ratio on the uniform mix (acceptance gate: >= 2x,
+// near-linear expected); the Zipf rows show the open cost of hash
+// routing under skew — the hottest entity's owner becomes the fleet's
+// bottleneck, so scaling is sublinear.
+func e14() {
+	const (
+		sites, perSite = 8, 8 // 64 entities: enough to spread over 4 partitions
+		classes        = 8
+		perTxn         = 3
+		clients        = 24
+		txnsPerClient  = 40
+		opsPerTxn      = 2 * perTxn
+		serviceTime    = 500 * time.Microsecond
+	)
+	type row struct {
+		name    string
+		backend engine.Backend
+		servers int
+		service time.Duration
+	}
+	rows := []row{
+		{"remote-1srv", engine.BackendRemote, 1, serviceTime},
+		{"cluster-1srv", engine.BackendCluster, 1, serviceTime},
+		{"cluster-2srv", engine.BackendCluster, 2, serviceTime},
+		{"cluster-4srv", engine.BackendCluster, 4, serviceTime},
+	}
+	rawRows := []row{
+		{"raw_cluster-1srv", engine.BackendCluster, 1, 0},
+		{"raw_cluster-4srv", engine.BackendCluster, 4, 0},
+	}
+	runRow := func(wl string, sys *model.System, r row) {
+		var addrs []string
+		var srvs []*netlock.Server
+		for i := 0; i < r.servers; i++ {
+			srv, err := netlock.NewServer(sys.DDB, locktable.Config{}, netlock.ServerOptions{ServiceTime: r.service})
+			check(err)
+			check(srv.Listen("127.0.0.1:0"))
+			srvs = append(srvs, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+		m, err := engine.Run(engine.Config{
+			Templates: sys.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
+			Strategy: engine.StrategyNone, Backend: r.backend,
+			RemoteAddr: addrs[0], RemoteAddrs: addrs,
+			MeasureLockWait: true, StallTimeout: 10 * time.Second, Seed: 14,
+		})
+		for _, srv := range srvs {
+			srv.Close()
+		}
+		check(err)
+		ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
+		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+		p50 := us(lockWaitPercentile(m.LockWaits, 50))
+		p95 := us(lockWaitPercentile(m.LockWaits, 95))
+		p99 := us(lockWaitPercentile(m.LockWaits, 99))
+		fmt.Printf("%-9s %-17s %9d %12.2f %8.0f %9.1f %9.1f %9.1f\n",
+			wl, r.name, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops, p50, p95, p99)
+		key := wl + "_" + r.name
+		benchDetails[key+"_ops_per_sec"] = ops
+		benchDetails[key+"_lock_wait_p50_us"] = p50
+		benchDetails[key+"_lock_wait_p95_us"] = p95
+		benchDetails[key+"_lock_wait_p99_us"] = p99
+	}
+	fmt.Printf("capacity model: %v service time per lock-table request, %d clients\n", serviceTime, clients)
+	fmt.Println("workload  row               committed  elapsed(ms)  ops/sec  p50(µs)   p95(µs)   p99(µs)")
+	for _, wl := range []struct {
+		name   string
+		policy workload.Policy
+	}{
+		{"uniform", workload.PolicyOrdered},
+		{"zipf", workload.PolicyZipf},
+	} {
+		sys := workload.MustGenerate(workload.Config{
+			Sites: sites, EntitiesPerSite: perSite, NumTxns: classes,
+			EntitiesPerTxn: perTxn, Policy: wl.policy, ZipfS: 1.2, Seed: 14,
+		})
+		for _, r := range rows {
+			runRow(wl.name, sys, r)
+		}
+		scaling := benchDetails[wl.name+"_cluster-4srv_ops_per_sec"] / benchDetails[wl.name+"_cluster-1srv_ops_per_sec"]
+		benchDetails[wl.name+"_cluster_scaling_4v1"] = scaling
+		fmt.Printf("%s aggregate scaling, 4 servers vs 1: %.2fx\n", wl.name, scaling)
+		if wl.name == "uniform" && scaling < 2 {
+			fmt.Printf("WARNING: uniform cluster scaling %.2fx below the 2x acceptance gate\n", scaling)
+		}
+		if wl.name == "uniform" {
+			// Control: the same sweep with no capacity model — on a
+			// single-host, single-CPU run both rows just measure the shared
+			// wire/syscall budget, so this pair is expected flat. It pins
+			// what the service-time rows are correcting for.
+			for _, r := range rawRows {
+				runRow(wl.name, sys, r)
+			}
+			raw := benchDetails[wl.name+"_raw_cluster-4srv_ops_per_sec"] / benchDetails[wl.name+"_raw_cluster-1srv_ops_per_sec"]
+			benchDetails[wl.name+"_raw_cluster_scaling_4v1"] = raw
+			fmt.Printf("%s raw (wire-limited, no capacity model) scaling, 4 vs 1: %.2fx\n", wl.name, raw)
+		}
+	}
+	fmt.Println("expected shape: with per-request service cost dominating, cluster ops scale near-linearly")
+	fmt.Println("with server count on the uniform mix (independent partitions, no coordination) and")
+	fmt.Println("sublinearly under Zipf skew (the hot entity's owner is the fleet's bottleneck); the")
+	fmt.Println("single-remote and cluster-1srv rows coincide (one partition IS a remote table); the raw")
+	fmt.Println("control pair is flat on a single-CPU host, where the shared wire budget, not per-server")
+	fmt.Println("capacity, is the binding constraint")
 }

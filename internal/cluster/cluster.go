@@ -1,0 +1,282 @@
+// Package cluster is the partitioned lock space: a locktable.Table that
+// hash-routes each entity to one of N netlock servers, lifting the
+// sharded backend's striping idiom one level up — the stripes become
+// whole dlserver processes. K independent servers jointly serve one
+// lock space with no cross-server coordination on the certified tier:
+// static certification is exactly the proof that per-entity ordering
+// suffices, and every entity has exactly one owning server, so per-entity
+// fencing and leases stay per-server and each server remains the sole
+// authority for its partition.
+//
+// Cross-partition concerns live here. Snapshot and GrantLog merge the
+// per-server views under one coherent instance namespace (this cluster's
+// own sessions keep their local IDs on every partition; foreign sessions'
+// composed IDs are additionally namespaced by partition, since connection
+// IDs are only unique per server). ReleaseAll fans out to the partitions
+// that own the entities and aggregates failures with errors.Join. Wound
+// routes to every partition, because an instance may hold on one server
+// while parked on another. A lost partition degrades to ErrLeaseExpired
+// on only its slice of the entity space — the server's lease machinery
+// has already revoked that slice's grants — while every other partition
+// keeps granting.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+	"distlock/internal/netlock"
+)
+
+func init() {
+	locktable.RegisterCluster(func(ddb *model.DDB, cfg locktable.Config, addrs []string) (locktable.Table, error) {
+		return New(ddb, cfg, addrs, Options{})
+	})
+}
+
+// DefaultDialRetries is the connect-retry budget a cluster dial gets when
+// Options.Dial doesn't choose one: a cluster client typically starts
+// concurrently with its N servers, so surviving a racing startup (about
+// 800ms of `connection refused` at the default backoff) is the default
+// posture rather than an opt-in.
+const DefaultDialRetries = 5
+
+// Options tunes cluster construction.
+type Options struct {
+	// Dial tunes every partition connection. A zero DialRetries is
+	// upgraded to DefaultDialRetries; set it negative to fail on the
+	// first refused connect.
+	Dial netlock.DialOptions
+}
+
+// Table routes a locktable.Table over N netlock servers. Build with New;
+// it satisfies the same contract as the in-process backends, so the
+// conformance suite, the engine, and the detector drive it unchanged.
+type Table struct {
+	parts []*netlock.Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ locktable.Table = (*Table)(nil)
+
+// New dials one client per address and returns the routing table. Every
+// server must host the same database (each handshake verifies the
+// fingerprint) with matching WoundWait/Trace; the address list ORDER is
+// part of the cluster identity — every client process must pass the same
+// addresses in the same order to agree on entity ownership. On any dial
+// failure the already-connected partitions are closed and the error names
+// the failed partition.
+func New(ddb *model.DDB, cfg locktable.Config, addrs []string, opts Options) (*Table, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one server address")
+	}
+	dial := opts.Dial
+	if dial.DialRetries == 0 {
+		dial.DialRetries = DefaultDialRetries
+	} else if dial.DialRetries < 0 {
+		dial.DialRetries = 0
+	}
+	t := &Table{parts: make([]*netlock.Client, len(addrs))}
+	for i, addr := range addrs {
+		cli, err := netlock.Dial(addr, ddb, cfg, dial)
+		if err != nil {
+			for _, c := range t.parts[:i] {
+				c.Close()
+			}
+			return nil, fmt.Errorf("cluster: partition %d/%d: %w", i, len(addrs), err)
+		}
+		t.parts[i] = cli
+	}
+	return t, nil
+}
+
+// Partitions reports the number of servers in the cluster.
+func (t *Table) Partitions() int { return len(t.parts) }
+
+// Partition returns the index of the server that owns the entity: the
+// same Fibonacci-multiplier mix the sharded backend stripes with, one
+// level up. Deterministic in (entity, server count), so every client
+// process sharing an address list agrees on ownership with no
+// coordination.
+func (t *Table) Partition(ent model.EntityID) int {
+	h := uint64(ent) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(len(t.parts)))
+}
+
+func (t *Table) part(ent model.EntityID) *netlock.Client {
+	return t.parts[t.Partition(ent)]
+}
+
+// mapErr translates one dead partition's shutdown error into lease
+// language. ErrStopped from a partition client while the cluster itself
+// is still open means that server (or its connection) died: the server's
+// lease machinery has revoked the session's grants on that slice of the
+// entity space, which is exactly what ErrLeaseExpired reports — and the
+// cluster as a whole must not present a partial outage as a table
+// shutdown, because every other partition keeps granting. After Close
+// the translation stops and ErrStopped means what it says.
+func (t *Table) mapErr(err error) error {
+	if err == nil || !errors.Is(err, locktable.ErrStopped) {
+		return err
+	}
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return locktable.ErrStopped
+	}
+	return netlock.ErrLeaseExpired
+}
+
+// Acquire implements locktable.Table: the request goes to the entity's
+// owning partition, whose grant queue alone decides order.
+func (t *Table) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode) error {
+	return t.mapErr(t.part(ent).Acquire(ctx, inst, ent, mode))
+}
+
+// Release implements locktable.Table.
+func (t *Table) Release(ent model.EntityID, key locktable.InstKey) error {
+	return t.mapErr(t.part(ent).Release(ent, key))
+}
+
+// ReleaseAll implements locktable.Table: entities are grouped by owning
+// partition and released with one fan-out call per server, concurrently.
+// Per-partition failures are aggregated with errors.Join in partition
+// order, so a caller sees every slice that could not confirm release —
+// a dead partition contributes its lease-expiry error without blocking
+// the live partitions' releases.
+func (t *Table) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error {
+	if len(ents) == 0 {
+		return nil
+	}
+	groups := make([][]model.EntityID, len(t.parts))
+	for _, ent := range ents {
+		p := t.Partition(ent)
+		groups[p] = append(groups[p], ent)
+	}
+	errs := make([]error, len(t.parts))
+	var wg sync.WaitGroup
+	for p, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(p int, g []model.EntityID) {
+			defer wg.Done()
+			errs[p] = t.mapErr(t.parts[p].ReleaseAll(g, key))
+		}(p, g)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Withdraw implements locktable.Table.
+func (t *Table) Withdraw(ent model.EntityID, key locktable.InstKey) bool {
+	return t.part(ent).Withdraw(ent, key)
+}
+
+// Wound implements locktable.Table: the withdrawal is broadcast to every
+// partition. The cluster does not track which servers an instance is
+// parked on, and a wound must reach them all — the instance may be
+// waiting on one entity while holding others, partitions apart.
+func (t *Table) Wound(key locktable.InstKey) {
+	var wg sync.WaitGroup
+	for _, c := range t.parts {
+		wg.Add(1)
+		go func(c *netlock.Client) {
+			defer wg.Done()
+			c.Wound(key)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// foreignPartitionShift places a partition tag above netlock's composed
+// connection namespace (connection ID in bits 32..63 of the composed
+// instance ID). Folding the tag into bits 48+ assumes per-server
+// connection IDs stay below 2^16 — comfortably true for any deployment
+// this experiment tier runs (IDs are sequential per server process).
+const foreignPartitionShift = 48
+
+// renameID keeps merged cross-partition views coherent. This cluster's
+// own instance IDs come back from every partition client already
+// stripped to local numbering, so the same session appears under the
+// same ID everywhere — which is what lets a detector close a wait cycle
+// that spans servers. A FOREIGN session's ID stays composed (connection
+// ID in the high bits), and connection IDs are only unique per server:
+// server 0's conn 7 and server 1's conn 7 are different engines. The
+// partition tag keeps foreign identities distinct across partitions —
+// a false merge could invent a cross-server cycle that does not exist
+// and wound an innocent victim. (A foreign engine dialing several
+// partitions holds a different connection ID on each, so its
+// cross-partition identity is inherently unmergeable from here; staying
+// distinct is the sound direction for cycle detection.)
+func renameID(p, id int) int {
+	if id == locktable.AnonReaderID || uint64(id)>>32 == 0 {
+		return id // ours (stripped to local), or the anonymous-reader sentinel
+	}
+	return id | (p+1)<<foreignPartitionShift
+}
+
+func renameKey(p int, k locktable.InstKey) locktable.InstKey {
+	k.ID = renameID(p, k.ID)
+	return k
+}
+
+// Snapshot implements locktable.Table: the per-partition wait graphs are
+// concatenated under the merged namespace (see renameID). Entities are
+// disjoint across partitions, so no edge is ever duplicated; the result
+// is one coherent table view for StrategyDetect's detector.
+func (t *Table) Snapshot() []locktable.WaitEdge {
+	var out []locktable.WaitEdge
+	for p, c := range t.parts {
+		for _, ed := range c.Snapshot() {
+			ed.Waiter = renameKey(p, ed.Waiter)
+			ed.Holder = renameKey(p, ed.Holder)
+			out = append(out, ed)
+		}
+	}
+	return out
+}
+
+// GrantLog implements locktable.Table (Config.Trace only; call after
+// Close, like every backend). Each entity lives on exactly one partition,
+// so concatenating the per-server logs preserves every per-entity grant
+// order — the only order the contract and the serializability checker
+// rely on. Foreign instance IDs are renamed exactly as in Snapshot.
+func (t *Table) GrantLog() []locktable.GrantEvent {
+	var out []locktable.GrantEvent
+	for p, c := range t.parts {
+		for _, ev := range c.GrantLog() {
+			ev.Inst = renameID(p, ev.Inst)
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Close implements locktable.Table: every partition connection is closed
+// concurrently (each server then releases the session's grants on its
+// slice). The closed flag is set before the fan-out so that racing calls
+// observe ErrStopped — a real shutdown — rather than a feigned lease
+// expiry.
+func (t *Table) Close() {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, c := range t.parts {
+		wg.Add(1)
+		go func(c *netlock.Client) {
+			defer wg.Done()
+			c.Close()
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,420 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distlock/internal/cluster"
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+	"distlock/internal/netlock"
+	"distlock/internal/workload"
+)
+
+// startCluster brings up n loopback dlservers over one generated database
+// and a cluster table routing across them. Callers own srvs (kill one to
+// stage a partition loss); cleanup closes everything in either order.
+func startCluster(t *testing.T, n int, cfg locktable.Config) (*cluster.Table, []*netlock.Server, *model.DDB) {
+	t.Helper()
+	ddb := workload.NewDDB(workload.Config{Sites: 3, EntitiesPerSite: 8})
+	srvCfg := cfg
+	srvCfg.OnWound = nil
+	var srvs []*netlock.Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		srv, err := netlock.NewServer(ddb, srvCfg, netlock.ServerOptions{Lease: 10 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	tab, err := cluster.New(ddb, cfg, addrs, cluster.Options{
+		Dial: netlock.DialOptions{HeartbeatEvery: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tab.Close)
+	return tab, srvs, ddb
+}
+
+// entOn returns an entity owned by partition p.
+func entOn(t *testing.T, tab *cluster.Table, ddb *model.DDB, p int) model.EntityID {
+	t.Helper()
+	for i := 0; i < ddb.NumEntities(); i++ {
+		if ent := model.EntityID(i); tab.Partition(ent) == p {
+			return ent
+		}
+	}
+	t.Fatalf("no entity routed to partition %d", p)
+	return 0
+}
+
+func inst(id int) locktable.Instance {
+	return locktable.Instance{Key: locktable.InstKey{ID: id}, Prio: int64(id)}
+}
+
+// TestClusterRoutingCoversPartitions pins that the routing hash actually
+// spreads a small entity space over every server — the property all the
+// multi-partition tests below lean on.
+func TestClusterRoutingCoversPartitions(t *testing.T) {
+	tab, _, ddb := startCluster(t, 3, locktable.Config{})
+	counts := make([]int, tab.Partitions())
+	for i := 0; i < ddb.NumEntities(); i++ {
+		p := tab.Partition(model.EntityID(i))
+		if p < 0 || p >= len(counts) {
+			t.Fatalf("entity %d routed to partition %d of %d", i, p, len(counts))
+		}
+		counts[p]++
+	}
+	for p, n := range counts {
+		if n == 0 {
+			t.Fatalf("partition %d owns no entities (counts %v)", p, counts)
+		}
+	}
+}
+
+// TestClusterSnapshotMergesPartitions: one session holds entities on both
+// partitions, two others park behind it, one per partition. The merged
+// snapshot must show both wait edges under the session's single local ID —
+// the coherent-namespace property the deadlock detector depends on.
+func TestClusterSnapshotMergesPartitions(t *testing.T) {
+	tab, _, ddb := startCluster(t, 2, locktable.Config{})
+	ea, eb := entOn(t, tab, ddb, 0), entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	holder := inst(1)
+	if err := tab.Acquire(ctx, holder, ea, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Acquire(ctx, holder, eb, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	for i, ent := range []model.EntityID{ea, eb} {
+		wg.Add(1)
+		go func(id int, ent model.EntityID) {
+			defer wg.Done()
+			err := tab.Acquire(wctx, inst(id), ent, locktable.Exclusive)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("waiter %d: %v", id, err)
+			}
+			if err == nil {
+				tab.Release(ent, locktable.InstKey{ID: id})
+			}
+		}(i+2, ent)
+	}
+
+	want := map[[2]int]bool{{2, 1}: true, {3, 1}: true}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := tab.Snapshot()
+		got := map[[2]int]bool{}
+		for _, ed := range snap {
+			got[[2]int{ed.Waiter.ID, ed.Holder.ID}] = true
+		}
+		ok := len(got) == len(want)
+		for k := range want {
+			if !got[k] {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged snapshot never showed both cross-partition edges; got %v want %v", got, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wcancel()
+	wg.Wait()
+	if err := tab.ReleaseAll([]model.EntityID{ea, eb}, holder.Key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterSnapshotForeignNamespacing: a second engine (its own cluster
+// table over the same servers) reuses instance ID 1. The first engine's
+// merged snapshot must keep the foreigner distinct from its own session 1
+// AND distinct across partitions — connection IDs are only unique per
+// server, so a false merge here could invent a cross-server cycle.
+func TestClusterSnapshotForeignNamespacing(t *testing.T) {
+	tab, srvs, ddb := startCluster(t, 2, locktable.Config{})
+	ea, eb := entOn(t, tab, ddb, 0), entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var addrs []string
+	for _, s := range srvs {
+		addrs = append(addrs, s.Addr())
+	}
+	foreign, err := cluster.New(ddb, locktable.Config{}, addrs, cluster.Options{
+		Dial: netlock.DialOptions{HeartbeatEvery: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer foreign.Close()
+
+	holder := inst(1)
+	if err := tab.Acquire(ctx, holder, ea, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Acquire(ctx, holder, eb, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var wg sync.WaitGroup
+	for _, ent := range []model.EntityID{ea, eb} {
+		wg.Add(1)
+		go func(ent model.EntityID) {
+			defer wg.Done()
+			// The foreign engine's OWN session 1 — same local ID as ours.
+			err := foreign.Acquire(wctx, inst(1), ent, locktable.Exclusive)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Errorf("foreign waiter: %v", err)
+			}
+			if err == nil {
+				foreign.Release(ent, locktable.InstKey{ID: 1})
+			}
+		}(ent)
+	}
+
+	var waiters []int
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		waiters = waiters[:0]
+		for _, ed := range tab.Snapshot() {
+			if ed.Holder.ID != 1 {
+				t.Fatalf("edge holder %d; want our local session 1", ed.Holder.ID)
+			}
+			waiters = append(waiters, ed.Waiter.ID)
+		}
+		if len(waiters) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never showed both foreign waiters; got %v", waiters)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, id := range waiters {
+		if uint64(id)>>32 == 0 {
+			t.Fatalf("foreign waiter %d collides with the local ID namespace", id)
+		}
+	}
+	if waiters[0] == waiters[1] {
+		t.Fatalf("foreign session appears as one merged ID %d across partitions; identities must stay distinct", waiters[0])
+	}
+	wcancel()
+	wg.Wait()
+	if err := tab.ReleaseAll([]model.EntityID{ea, eb}, holder.Key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterGrantLogMerge: with tracing on, the merged grant log must
+// preserve each entity's grant order across the per-server logs.
+func TestClusterGrantLogMerge(t *testing.T) {
+	tab, _, ddb := startCluster(t, 2, locktable.Config{Trace: true})
+	ea, eb := entOn(t, tab, ddb, 0), entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	for _, id := range []int{1, 2} {
+		in := inst(id)
+		for _, ent := range []model.EntityID{ea, eb} {
+			if err := tab.Acquire(ctx, in, ent, locktable.Exclusive); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tab.ReleaseAll([]model.EntityID{ea, eb}, in.Key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.Close()
+	log := tab.GrantLog()
+	for _, ent := range []model.EntityID{ea, eb} {
+		var order []int
+		for _, ev := range log {
+			if ev.Entity == ent {
+				order = append(order, ev.Inst)
+			}
+		}
+		if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+			t.Fatalf("entity %d grant order %v; want [1 2] (full log %v)", ent, order, log)
+		}
+	}
+}
+
+// TestClusterWoundCrossPartition: Wound is a broadcast — the victim here
+// is parked on partition 1, and the wound must find it there.
+func TestClusterWoundCrossPartition(t *testing.T) {
+	tab, _, ddb := startCluster(t, 2, locktable.Config{})
+	eb := entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	holder := inst(1)
+	if err := tab.Acquire(ctx, holder, eb, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- tab.Acquire(ctx, inst(2), eb, locktable.Exclusive)
+	}()
+	// Wait for the victim to park, then wound it.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(tab.Snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never parked")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tab.Wound(locktable.InstKey{ID: 2})
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, locktable.ErrWounded) {
+			t.Fatalf("wounded waiter got %v; want ErrWounded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wound never reached the victim's partition")
+	}
+	if err := tab.Release(eb, holder.Key); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterReleaseAllPartialFailure: with one partition dead,
+// ReleaseAll must still release the live partition's entities and report
+// the dead slice as a lease expiry in the joined error.
+func TestClusterReleaseAllPartialFailure(t *testing.T) {
+	tab, srvs, ddb := startCluster(t, 2, locktable.Config{})
+	ea, eb := entOn(t, tab, ddb, 0), entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	holder := inst(1)
+	for _, ent := range []model.EntityID{ea, eb} {
+		if err := tab.Acquire(ctx, holder, ent, locktable.Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srvs[0].Close() // partition 0 lost; ea's grant is revoked server-side
+	time.Sleep(50 * time.Millisecond)
+
+	err := tab.ReleaseAll([]model.EntityID{ea, eb}, holder.Key)
+	if err == nil {
+		t.Fatal("ReleaseAll with a dead partition reported full success")
+	}
+	if !errors.Is(err, netlock.ErrLeaseExpired) {
+		t.Fatalf("ReleaseAll error %v; want a joined ErrLeaseExpired for the dead slice", err)
+	}
+	// The live partition must have actually released: a new session gets
+	// the lock promptly.
+	if err := tab.Acquire(ctx, inst(2), eb, locktable.Exclusive); err != nil {
+		t.Fatalf("live partition did not release: %v", err)
+	}
+	if err := tab.Release(eb, locktable.InstKey{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterPartitionLoss kills one of three servers mid-workload:
+// the other partitions must keep granting, mutual exclusion must hold
+// throughout, and sessions touching the dead slice must surface
+// ErrLeaseExpired — graceful degradation, not a hang and not a feigned
+// total shutdown.
+func TestClusterPartitionLoss(t *testing.T) {
+	tab, srvs, ddb := startCluster(t, 3, locktable.Config{})
+	const deadPart = 1
+
+	numEnts := ddb.NumEntities()
+	occ := make([]atomic.Int32, numEnts)
+	var killed atomic.Bool
+	var stop atomic.Bool
+	var liveGrantsAfterKill, expiredSeen atomic.Int64
+
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := inst(w + 1)
+			for i := w; !stop.Load(); i++ {
+				ent := model.EntityID(i % numEnts)
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := tab.Acquire(ctx, in, ent, locktable.Exclusive)
+				cancel()
+				switch {
+				case err == nil:
+					if !occ[ent].CompareAndSwap(0, 1) {
+						t.Errorf("mutual exclusion violated on entity %d", ent)
+					}
+					occ[ent].Store(0)
+					if rerr := tab.Release(ent, in.Key); rerr != nil && !errors.Is(rerr, netlock.ErrLeaseExpired) {
+						t.Errorf("release entity %d: %v", ent, rerr)
+					}
+					if killed.Load() && tab.Partition(ent) != deadPart {
+						liveGrantsAfterKill.Add(1)
+					}
+				case errors.Is(err, netlock.ErrLeaseExpired):
+					expiredSeen.Add(1)
+					if tab.Partition(ent) != deadPart {
+						t.Errorf("live partition %d surfaced lease expiry on entity %d", tab.Partition(ent), ent)
+					}
+				default:
+					t.Errorf("entity %d (partition %d): %v", ent, tab.Partition(ent), err)
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	killed.Store(true)
+	srvs[deadPart].Close()
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	if n := liveGrantsAfterKill.Load(); n == 0 {
+		t.Error("no grants on surviving partitions after the kill")
+	}
+	if n := expiredSeen.Load(); n == 0 {
+		t.Error("no session surfaced ErrLeaseExpired for the dead partition")
+	}
+
+	// Steady state after the storm: the dead slice stays expired, the
+	// survivors still grant.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	deadEnt := entOn(t, tab, ddb, deadPart)
+	if err := tab.Acquire(ctx, inst(99), deadEnt, locktable.Exclusive); !errors.Is(err, netlock.ErrLeaseExpired) {
+		t.Fatalf("acquire on dead partition: %v; want ErrLeaseExpired", err)
+	}
+	for _, p := range []int{0, 2} {
+		ent := entOn(t, tab, ddb, p)
+		if err := tab.Acquire(ctx, inst(99), ent, locktable.Exclusive); err != nil {
+			t.Fatalf("surviving partition %d stopped granting: %v", p, err)
+		}
+		if err := tab.Release(ent, locktable.InstKey{ID: 99}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

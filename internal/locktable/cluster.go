@@ -1,0 +1,50 @@
+package locktable
+
+import (
+	"fmt"
+	"sync"
+
+	"distlock/internal/model"
+)
+
+// The cluster backend is registered rather than constructed here for the
+// same reason as the remote one: the lock-table layer stays free of wire
+// and routing code. internal/cluster implements Table by hash-routing
+// each entity to one of N netlock servers and registers its constructor
+// in an init; the runtime reaches it through NewCluster exactly like the
+// in-process constructors. (The engine imports cluster for side effects,
+// which is what arms the registration.)
+var (
+	clusterMu  sync.RWMutex
+	newCluster func(ddb *model.DDB, cfg Config, addrs []string) (Table, error)
+)
+
+// RegisterCluster installs the partitioned-table constructor. Called
+// once, from the cluster backend's init.
+func RegisterCluster(mk func(ddb *model.DDB, cfg Config, addrs []string) (Table, error)) {
+	clusterMu.Lock()
+	defer clusterMu.Unlock()
+	newCluster = mk
+}
+
+// NewCluster dials a partitioned lock space: every address is a netlock
+// server hosting the same database (each handshake verifies the
+// fingerprint), and each entity is owned by exactly one of them, chosen
+// by a deterministic hash of (entity, server count) — so the address
+// list, order included, is part of the cluster identity shared by every
+// client process. The returned Table has the same blocking semantics as
+// the in-process backends (the conformance suite runs against a loopback
+// pair of servers), and a lost server degrades to lease-expiry errors on
+// only its slice of the entity space.
+func NewCluster(ddb *model.DDB, cfg Config, addrs []string) (Table, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("locktable: cluster backend needs server addresses")
+	}
+	clusterMu.RLock()
+	mk := newCluster
+	clusterMu.RUnlock()
+	if mk == nil {
+		return nil, fmt.Errorf("locktable: no cluster backend registered (import distlock/internal/cluster)")
+	}
+	return mk(ddb, cfg, addrs)
+}

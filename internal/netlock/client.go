@@ -30,8 +30,21 @@ type DialOptions struct {
 	// expires unless the caller generates heartbeats itself. Crash and
 	// lease tests use it to stage a stalled holder.
 	NoHeartbeat bool
-	// DialTimeout bounds the TCP connect + handshake (default 5s).
+	// DialTimeout bounds each TCP connect attempt + the handshake
+	// (default 5s).
 	DialTimeout time.Duration
+	// DialRetries is the number of additional connect attempts after a
+	// failed TCP dial (default 0: fail on the first error). Only the
+	// transport connect is retried — `connection refused` from a server
+	// that has not bound its listener yet is the transient this exists
+	// for (a cluster client racing an N-server startup). A server that
+	// answers and then rejects the handshake (version, fingerprint,
+	// wound-wait or trace mismatch) is a configuration error and fails
+	// immediately, retries remaining or not.
+	DialRetries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt, capped at one second. Default 25ms when DialRetries > 0.
+	RetryBackoff time.Duration
 }
 
 // result is one response routed to its requester.
@@ -90,9 +103,24 @@ func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 5 * time.Second
 	}
-	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
-	if err != nil {
-		return nil, fmt.Errorf("netlock: dial %s: %w", addr, err)
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 25 * time.Millisecond
+	}
+	var nc net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		nc, err = net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err == nil {
+			break
+		}
+		if attempt >= opts.DialRetries {
+			return nil, fmt.Errorf("netlock: dial %s: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)

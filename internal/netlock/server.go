@@ -30,6 +30,17 @@ type ServerOptions struct {
 	// cross-process wound push) and records the grant log itself, so the
 	// constructor receives cfg with OnWound set by the server and Trace off.
 	New func(*model.DDB, locktable.Config) locktable.Table
+	// ServiceTime emulates a fixed per-request service cost: each
+	// connection's serial request loop parks for this long before every
+	// lock-table mutation it carries (acquire, release, release-all,
+	// withdraw; heartbeats are exempt so lease renewal is undistorted).
+	// It models a server whose request handling does real per-request
+	// work — a durable log append, a replication ack — so capacity
+	// experiments (dlbench E14) can measure how aggregate throughput
+	// scales with server count even when every server shares one
+	// benchmark host. Zero (the default, and the right value for every
+	// production configuration) disables it.
+	ServiceTime time.Duration
 }
 
 // Server hosts one in-process lock table for remote clients. Each accepted
@@ -37,11 +48,12 @@ type ServerOptions struct {
 // its grants carry fencing tokens, and its lease is renewed by heartbeats.
 // Create with NewServer, serve with Serve, stop with Close.
 type Server struct {
-	ddb   *model.DDB
-	cfg   locktable.Config // handshake contract: WoundWait/Trace must match dialers
-	tab   locktable.Table
-	lease time.Duration
-	hash  [32]byte
+	ddb     *model.DDB
+	cfg     locktable.Config // handshake contract: WoundWait/Trace must match dialers
+	tab     locktable.Table
+	lease   time.Duration
+	service time.Duration // emulated per-request service cost (ServerOptions.ServiceTime)
+	hash    [32]byte
 
 	ln       net.Listener
 	wg       sync.WaitGroup
@@ -123,6 +135,7 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 		ddb:      ddb,
 		cfg:      cfg,
 		lease:    opts.Lease,
+		service:  opts.ServiceTime,
 		hash:     DDBHash(ddb),
 		stop:     make(chan struct{}),
 		conns:    map[uint32]*srvConn{},
@@ -509,6 +522,16 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 	d := dec{b: body}
 	op := d.u8()
 	reqID := d.u64()
+	if s.service > 0 {
+		switch op {
+		case opAcquire, opRelease, opReleaseAll, opWithdraw:
+			// Emulated service cost (ServerOptions.ServiceTime): paid in
+			// the connection's serial request loop, like the real work
+			// would be. A parked sleep, not a spin — concurrent servers
+			// on one host must overlap their service intervals.
+			time.Sleep(s.service)
+		}
+	}
 	switch op {
 	case opHeartbeat:
 		if d.err != nil {

@@ -11,9 +11,9 @@ import (
 	"distlock/internal/locktable"
 	"distlock/internal/model"
 
-	// Arms locktable.NewRemote: the netlock client registers itself as the
-	// remote backend in its init.
-	_ "distlock/internal/netlock"
+	// Arms locktable.NewCluster: the partitioned backend registers itself
+	// in its init (and imports netlock, arming locktable.NewRemote too).
+	_ "distlock/internal/cluster"
 )
 
 // DefaultSiteInbox is the default per-site inbox capacity of the actor
@@ -48,6 +48,12 @@ const (
 	// the wire protocol to a dlserver-hosted table (internal/netlock).
 	// Requires EngineOptions.RemoteAddr; never chosen by BackendDefault.
 	BackendRemote
+	// BackendCluster: the partitioned lock space — each entity hash-routed
+	// to one of N dlservers (internal/cluster), so independent servers
+	// jointly serve one lock space with no cross-server coordination on
+	// the certified tier. Requires EngineOptions.RemoteAddrs; never chosen
+	// by BackendDefault.
+	BackendCluster
 )
 
 // String names the backend.
@@ -61,6 +67,8 @@ func (b Backend) String() string {
 		return "sharded"
 	case BackendRemote:
 		return "remote"
+	case BackendCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("backend(%d)", int(b))
 	}
@@ -94,6 +102,13 @@ type EngineOptions struct {
 	// server must host the same database (the handshake verifies a
 	// fingerprint) with a matching wound-wait/trace configuration.
 	RemoteAddr string
+	// RemoteAddrs are the dlserver addresses BackendCluster dials — one
+	// partition per address, each entity owned by exactly one server. The
+	// list order is part of the cluster identity: every client process
+	// must pass the same addresses in the same order to agree on entity
+	// ownership. Every server must host the same database with matching
+	// wound-wait/trace configuration.
+	RemoteAddrs []string
 	// Shards is the sharded backend's initial stripe count. Zero resolves
 	// from GOMAXPROCS and enables adaptive splitting (see
 	// locktable.Config.Shards).
@@ -190,6 +205,12 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		tab, err := locktable.NewRemote(ddb, cfg, opts.RemoteAddr)
 		if err != nil {
 			return nil, fmt.Errorf("runtime: remote lock table: %w", err)
+		}
+		e.table = tab
+	case BackendCluster:
+		tab, err := locktable.NewCluster(ddb, cfg, opts.RemoteAddrs)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: cluster lock table: %w", err)
 		}
 		e.table = tab
 	default:

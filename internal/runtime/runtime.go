@@ -90,6 +90,9 @@ type Config struct {
 	Backend Backend
 	// RemoteAddr is the netlock server address BackendRemote dials.
 	RemoteAddr string
+	// RemoteAddrs are the dlserver addresses BackendCluster dials (one
+	// partition per address; same list, same order, on every client).
+	RemoteAddrs []string
 	// Shards is the sharded backend's initial stripe count (0 = resolve
 	// from GOMAXPROCS and split adaptively; see locktable.Config.Shards).
 	Shards int
@@ -164,6 +167,7 @@ func Run(cfg Config) (*Metrics, error) {
 		DetectEvery: cfg.DetectEvery,
 		Backend:     cfg.Backend,
 		RemoteAddr:  cfg.RemoteAddr,
+		RemoteAddrs: cfg.RemoteAddrs,
 		Shards:      cfg.Shards,
 		MaxShards:   cfg.MaxShards,
 		StripeProbe: cfg.StripeProbe,

@@ -47,6 +47,9 @@ const (
 	// BackendRemote speaks the netlock wire protocol to a dlserver-hosted
 	// lock table in another process; select it with WithRemoteTable.
 	BackendRemote = runtime.BackendRemote
+	// BackendCluster hash-partitions the certified lock space across
+	// several dlservers; select it with WithRemoteCluster.
+	BackendCluster = runtime.BackendCluster
 )
 
 // ServiceOption configures Open.
@@ -62,6 +65,7 @@ type serviceConfig struct {
 	maxShards    int
 	stripeProbe  time.Duration
 	remoteAddr   string
+	remoteAddrs  []string
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -156,6 +160,27 @@ func WithRemoteTable(addr string) ServiceOption {
 	}
 }
 
+// WithRemoteCluster puts the certified tier on a partitioned lock space:
+// each entity is hash-routed to exactly one of the dlservers at addrs,
+// so K independent servers jointly serve one certified lock space with
+// no cross-server coordination — static certification is exactly the
+// proof that per-entity ordering suffices, restated at fleet scale.
+// Every server must host the same database (each connection handshake
+// verifies a fingerprint), and every client process must pass the same
+// addresses in the same order (the list order decides entity ownership).
+// Each server remains the sole lease/fencing authority for its
+// partition; losing one degrades that slice of the entity space to
+// lease-expiry errors while the rest keep granting. As with
+// WithRemoteTable, the wound-wait fallback tier stays on a process-local
+// table: rejected classes are this process's private traffic, not part
+// of the shared certified mix.
+func WithRemoteCluster(addrs ...string) ServiceOption {
+	return func(c *serviceConfig) {
+		c.certBackend = BackendCluster
+		c.remoteAddrs = addrs
+	}
+}
+
 // LockService is the long-lived client-driven lock service: the paper's
 // program ("certify the mix statically, then run with no deadlock
 // handling") exposed as a live API.
@@ -240,6 +265,7 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		Strategy:    runtime.StrategyNone,
 		Backend:     cfg.certBackend, // BackendDefault resolves to sharded
 		RemoteAddr:  cfg.remoteAddr,
+		RemoteAddrs: cfg.remoteAddrs,
 		Shards:      cfg.shards,
 		MaxShards:   cfg.maxShards,
 		StripeProbe: cfg.stripeProbe,
