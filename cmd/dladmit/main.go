@@ -52,6 +52,8 @@ func main() {
 		txns     = flag.Int("txns", 10, "transactions per client (-run)")
 		holdUsec = flag.Int("hold", 100, "per-lock hold time in microseconds (-run)")
 		serveFor = flag.Duration("serve-timeout", 30*time.Second, "abort serving after this long — a certified-tier stall means the certification was falsified (-run)")
+		pipeline = flag.Int("pipeline", 0, "certified-tier pipeline depth on wire backends: unacknowledged acquires in flight per session (0 = synchronous) (-run)")
+		flushInt = flag.Duration("flush-interval", 0, "wire backends' batch window: flushes rate-limited to one per interval under sustained traffic (0 = immediate) (-run)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -88,6 +90,12 @@ func main() {
 		distlock.WithCycleBudget(*budget),
 		distlock.WithMultiplicity(mult),
 		distlock.WithShards(*shards),
+	}
+	if *pipeline > 0 {
+		opts = append(opts, distlock.WithPipelineDepth(*pipeline))
+	}
+	if *flushInt > 0 {
+		opts = append(opts, distlock.WithFlushInterval(*flushInt))
 	}
 	switch {
 	case *backend == "remote":

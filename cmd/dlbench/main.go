@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	goruntime "runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -72,16 +73,29 @@ type benchReport struct {
 }
 
 func main() {
-	run := flag.String("run", "", "run only this experiment (E1..E14)")
+	run := flag.String("run", "", "run only this experiment (E1..E15)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable results on stdout (experiment prose suppressed)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "dlbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	exps := []struct {
 		id string
 		fn func()
 	}{
 		{"E1", e1}, {"E2", e2}, {"E3", e3}, {"E4", e4}, {"E5", e5},
 		{"E6", e6}, {"E7", e7}, {"E8", e8}, {"E9", e9}, {"E10", e10}, {"E11", e11},
-		{"E12", e12}, {"E13", e13}, {"E14", e14},
+		{"E12", e12}, {"E13", e13}, {"E14", e14}, {"E15", e15},
 	}
 	report := benchReport{Go: goruntime.Version(), OS: goruntime.GOOS, Arch: goruntime.GOARCH}
 	ran := false
@@ -807,4 +821,95 @@ func e14() {
 	fmt.Println("single-remote and cluster-1srv rows coincide (one partition IS a remote table); the raw")
 	fmt.Println("control pair is flat on a single-CPU host, where the shared wire budget, not per-server")
 	fmt.Println("capacity, is the binding constraint")
+}
+
+// E15 (extension): wire batching and certified-chain pipelining on the
+// remote and cluster backends. The same E12 ordered-2PL uniform mix is
+// driven through the session layer in three regimes: synchronous (every
+// Lock/Unlock a full round trip — the E12-remote baseline), coalesce-only
+// (a nonzero batch window on both flush writers, operations still
+// synchronous), and pipelined (PipelineDepth 8: a certified session ships
+// its next lock request before the previous ack returns and fires
+// releases without waiting, joining outcomes at Unlock/Commit). A batch
+// window sweep at depth 8 prices the latency-for-syscalls trade, and a
+// 2-server cluster pair shows per-partition writers flushing
+// independently. Only the certified tier may run pipelined — static
+// certification is the proof that the chain cannot deadlock, which is the
+// paper's program made mechanical — so the figure of merit is how much of
+// the in-process gap the certificate buys back over a real wire:
+// acceptance gate >= 5x the synchronous remote row.
+func e15() {
+	const (
+		sites, perSite = 4, 16
+		classes        = 8
+		perTxn         = 3
+		clients        = 16
+		txnsPerClient  = 1000
+		opsPerTxn      = 2 * perTxn
+	)
+	sys := workload.MustGenerate(workload.Config{
+		Sites: sites, EntitiesPerSite: perSite, NumTxns: classes,
+		EntitiesPerTxn: perTxn, Policy: workload.PolicyOrdered, Seed: 12,
+	})
+	type row struct {
+		name    string
+		backend engine.Backend
+		servers int
+		depth   int
+		flush   time.Duration
+	}
+	rows := []row{
+		{"remote-sync", engine.BackendRemote, 1, 0, 0},
+		{"remote-coalesce", engine.BackendRemote, 1, 0, 50 * time.Microsecond},
+		{"remote-pipelined", engine.BackendRemote, 1, 8, 0},
+		{"remote-pipelined-f50us", engine.BackendRemote, 1, 8, 50 * time.Microsecond},
+		{"remote-pipelined-f200us", engine.BackendRemote, 1, 8, 200 * time.Microsecond},
+		{"cluster2-sync", engine.BackendCluster, 2, 0, 0},
+		{"cluster2-pipelined", engine.BackendCluster, 2, 8, 0},
+	}
+	fmt.Printf("uniform ordered-2PL mix (E12 parameters), %d clients x %d txns\n", clients, txnsPerClient)
+	fmt.Println("row                      committed  elapsed(ms)   ops/sec")
+	for _, r := range rows {
+		var addrs []string
+		var srvs []*netlock.Server
+		for i := 0; i < r.servers; i++ {
+			srv, err := netlock.NewServer(sys.DDB, locktable.Config{}, netlock.ServerOptions{FlushInterval: r.flush})
+			check(err)
+			check(srv.Listen("127.0.0.1:0"))
+			srvs = append(srvs, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+		m, err := engine.Run(engine.Config{
+			Templates: sys.Txns, Clients: clients, TxnsPerClient: txnsPerClient,
+			Strategy: engine.StrategyNone, Backend: r.backend,
+			RemoteAddr: addrs[0], RemoteAddrs: addrs,
+			PipelineDepth: r.depth, FlushInterval: r.flush,
+			StallTimeout: 10 * time.Second, Seed: 12,
+		})
+		for _, srv := range srvs {
+			srv.Close()
+		}
+		check(err)
+		ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
+		fmt.Printf("%-24s %9d %12.2f %9.0f\n",
+			r.name, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops)
+		benchDetails[r.name+"_ops_per_sec"] = ops
+	}
+	speedup := benchDetails["remote-pipelined_ops_per_sec"] / benchDetails["remote-sync_ops_per_sec"]
+	benchDetails["remote_pipelined_speedup"] = speedup
+	coalesce := benchDetails["remote-coalesce_ops_per_sec"] / benchDetails["remote-sync_ops_per_sec"]
+	benchDetails["remote_coalesce_speedup"] = coalesce
+	clusterSpeedup := benchDetails["cluster2-pipelined_ops_per_sec"] / benchDetails["cluster2-sync_ops_per_sec"]
+	benchDetails["cluster2_pipelined_speedup"] = clusterSpeedup
+	fmt.Printf("pipelined vs sync (remote): %.2fx  coalesce-only vs sync: %.2fx  pipelined vs sync (cluster-2): %.2fx\n",
+		speedup, coalesce, clusterSpeedup)
+	if speedup < 5 {
+		fmt.Printf("WARNING: pipelined remote speedup %.2fx below the 5x acceptance gate\n", speedup)
+	}
+	fmt.Println("expected shape: coalesce-only buys a modest factor (fewer syscalls, same round trips per")
+	fmt.Println("chain); pipelining removes the per-lock round trip from the certified chain's critical")
+	fmt.Println("path — acks stream back while the session runs ahead — so the pipelined rows recover")
+	fmt.Println("most of the wire tax and the batch window sweep shows the latency/syscall trade; the")
+	fmt.Println("wound-wait and detection tiers cannot ride this path (their mixes carry no certificate),")
+	fmt.Println("which is the paper's static-certification thesis priced on the wire")
 }

@@ -8,7 +8,12 @@
 // fencing and leases stay per-server and each server remains the sole
 // authority for its partition.
 //
-// Cross-partition concerns live here. Snapshot and GrantLog merge the
+// Cross-partition concerns live here. The async tier (certified-chain
+// pipelining) re-establishes an instance's program order at partition
+// switches — per-server wire FIFO orders nothing between servers, and
+// unfenced cross-partition pipelining reaches states the certification
+// never admitted (see the partition-fencing comment at AcquireAsync).
+// Snapshot and GrantLog merge the
 // per-server views under one coherent instance namespace (this cluster's
 // own sessions keep their local IDs on every partition; foreign sessions'
 // composed IDs are additionally namespaced by partition, since connection
@@ -26,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"distlock/internal/locktable"
 	"distlock/internal/model"
@@ -34,7 +40,7 @@ import (
 
 func init() {
 	locktable.RegisterCluster(func(ddb *model.DDB, cfg locktable.Config, addrs []string) (locktable.Table, error) {
-		return New(ddb, cfg, addrs, Options{})
+		return New(ddb, cfg, addrs, Options{Dial: netlock.DialOptions{FlushInterval: cfg.RemoteFlushInterval}})
 	})
 }
 
@@ -61,9 +67,18 @@ type Table struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// fmu guards fences and every slot inside an instFence. The blocking
+	// joins themselves happen outside the lock; fmu only serializes slot
+	// bookkeeping against the sweep.
+	fmu    sync.Mutex
+	fences map[int]*instFence
 }
 
-var _ locktable.Table = (*Table)(nil)
+var (
+	_ locktable.Table      = (*Table)(nil)
+	_ locktable.AsyncTable = (*Table)(nil)
+)
 
 // New dials one client per address and returns the routing table. Every
 // server must host the same database (each handshake verifies the
@@ -82,7 +97,7 @@ func New(ddb *model.DDB, cfg locktable.Config, addrs []string, opts Options) (*T
 	} else if dial.DialRetries < 0 {
 		dial.DialRetries = 0
 	}
-	t := &Table{parts: make([]*netlock.Client, len(addrs))}
+	t := &Table{parts: make([]*netlock.Client, len(addrs)), fences: make(map[int]*instFence)}
 	for i, addr := range addrs {
 		cli, err := netlock.Dial(addr, ddb, cfg, dial)
 		if err != nil {
@@ -140,6 +155,211 @@ func (t *Table) Acquire(ctx context.Context, inst locktable.Instance, ent model.
 	return t.mapErr(t.part(ent).Acquire(ctx, inst, ent, mode))
 }
 
+// The async tier: partition fencing.
+//
+// Pipelining is sound on ONE server because that server's read loop is
+// serial and per-instance chains admit requests to the hosted table in
+// submission order — the wire's FIFO *is* the instance's program order,
+// so the reachable lock-table states are exactly the synchronous run's
+// and the certification carries over. Across partitions that argument
+// collapses: two servers' read loops share no clock, so an instance's
+// acquire on partition B can execute while its earlier acquire on
+// partition A is still queued — two chains of the same certified mix can
+// then each hold its second entity while parked on the other's first,
+// a state no synchronous interleaving reaches, and the mix deadlocks
+// with no handler armed (this was observed, not hypothesized).
+//
+// The cluster therefore re-establishes program order at every partition
+// switch, and only there:
+//
+//   - An acquire for partition p first joins the instance's youngest
+//     still-unacked acquire on every OTHER partition. Within one
+//     partition the server chain already executes acquires in submission
+//     order, so acking the youngest proves all its predecessors resolved
+//     — one completion per partition is all the fence must hold.
+//   - A release for partition p joins the instance's unacked acquires
+//     AND releases on other partitions. Releases must carry execution
+//     receipts for this (ReleaseAsyncAcked): ordering across servers is
+//     a statement about when the release *ran*, which a fire-and-forget
+//     completion cannot witness. An acquire, by contrast, never waits on
+//     other partitions' releases: a release frame is executed inline by
+//     its read loop as soon as it arrives, unconditionally, so an
+//     acquire overtaking one can only lengthen a hold — it delays other
+//     waiters but can neither grant early nor close a waits-for cycle.
+//
+// Uncontended chains still pipeline: the fence joins are memoized
+// completions whose acks usually streamed back long before the next
+// partition switch, so the steady-state join is a non-blocking channel
+// read. What the fence costs is exactly the cross-partition reordering
+// that was unsound.
+
+// memoCompletion lets two joiners share one completion. The session owns
+// every completion the async API returns and joins each exactly once;
+// the fence must ALSO join it at the next partition switch. Both run on
+// the instance's session goroutine, so Once is never contended — it just
+// turns the second Wait into a replay of the first result.
+type memoCompletion struct {
+	inner locktable.Completion
+	once  sync.Once
+	done  atomic.Bool
+	err   error
+}
+
+func (m *memoCompletion) Wait(ctx context.Context) error {
+	m.once.Do(func() {
+		m.err = m.inner.Wait(ctx)
+		m.done.Store(true)
+	})
+	return m.err
+}
+
+// instFence is one instance's in-flight frontier: per partition, the
+// youngest unjoined acquire and release. Slots are only touched by the
+// instance's own session goroutine (the session API is serial per
+// instance) — fmu exists for the sweep, which inspects other instances'
+// slots.
+type instFence struct {
+	epoch int
+	busy  bool // a fence/submit is between begin and end; sweep must skip
+	acq   []*memoCompletion
+	rel   []*memoCompletion
+}
+
+// fenceSweepAt bounds the fence map: instance IDs are allocated
+// monotonically (one per Begin), so committed instances' entries — all
+// slots acked, imposing no further ordering — are swept out once the map
+// crosses this high-water mark.
+const fenceSweepAt = 1024
+
+func (st *instFence) settled() bool {
+	if st.busy {
+		return false
+	}
+	for _, c := range st.acq {
+		if c != nil && !c.done.Load() {
+			return false
+		}
+	}
+	for _, c := range st.rel {
+		if c != nil && !c.done.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// fenceBegin collects the completions the next operation on partition p
+// must join first, clearing their slots, and marks the instance busy so
+// the sweep leaves it alone until fenceEnd. A new epoch resets the
+// frontier: the session joined the old epoch's acquires before it ended,
+// and its releases need no ordering against a different transaction —
+// in-flight releases always execute (read loops never block on them), so
+// a stale hold can delay a later grant but never deadlock it.
+func (t *Table) fenceBegin(key locktable.InstKey, p int, forRelease bool) (*instFence, []*memoCompletion) {
+	t.fmu.Lock()
+	defer t.fmu.Unlock()
+	st := t.fences[key.ID]
+	if st == nil {
+		if len(t.fences) >= fenceSweepAt {
+			for id, old := range t.fences {
+				if old.settled() {
+					delete(t.fences, id)
+				}
+			}
+		}
+		st = &instFence{epoch: key.Epoch, acq: make([]*memoCompletion, len(t.parts)), rel: make([]*memoCompletion, len(t.parts))}
+		t.fences[key.ID] = st
+	} else if st.epoch != key.Epoch {
+		st.epoch = key.Epoch
+		clear(st.acq)
+		clear(st.rel)
+	}
+	st.busy = true
+	var join []*memoCompletion
+	for q := range t.parts {
+		if q == p {
+			continue // wire FIFO + the server chain order the home partition
+		}
+		if c := st.acq[q]; c != nil {
+			join = append(join, c)
+			st.acq[q] = nil
+		}
+		if forRelease {
+			if c := st.rel[q]; c != nil {
+				join = append(join, c)
+				st.rel[q] = nil
+			}
+		}
+	}
+	return st, join
+}
+
+// fenceEnd records the newly submitted completion (nil if the operation
+// was never submitted) and lifts the sweep guard.
+func (t *Table) fenceEnd(st *instFence, p int, forRelease bool, c *memoCompletion) {
+	t.fmu.Lock()
+	if c != nil {
+		if forRelease {
+			st.rel[p] = c
+		} else {
+			st.acq[p] = c
+		}
+	}
+	st.busy = false
+	t.fmu.Unlock()
+}
+
+// AcquireAsync implements locktable.AsyncTable: the request is submitted
+// to the entity's owning partition without waiting for the ack — after
+// fencing against the instance's unacked acquires on every other
+// partition (see the partition-fencing comment above). Within one
+// partition the chain pipelines at full depth; a partition switch costs
+// at most one join, already resolved in the uncontended steady state. A
+// fence join that fails means an earlier acquire in program order
+// failed: the chain is over, so the request is not submitted and the
+// failure is returned for the session to observe (it re-observes the
+// same error, memoized, when it joins the predecessor itself).
+func (t *Table) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode) locktable.Completion {
+	p := t.Partition(ent)
+	st, join := t.fenceBegin(inst.Key, p, false)
+	for _, c := range join {
+		if err := t.mapErr(c.Wait(context.Background())); err != nil {
+			t.fenceEnd(st, p, false, nil)
+			return locktable.ResolvedCompletion(err)
+		}
+	}
+	w := &memoCompletion{inner: t.wrap(t.parts[p].AcquireAsync(inst, ent, mode))}
+	t.fenceEnd(st, p, false, w)
+	return w
+}
+
+// ReleaseAsync implements locktable.AsyncTable: the release is submitted
+// with an execution receipt (ReleaseAsyncAcked) after fencing against
+// the instance's unacked operations on every other partition. Fence-join
+// errors are not propagated here: the session owns each joined
+// completion and surfaces its failure at commit, and a release is always
+// safe to submit regardless — freeing a lock cannot invalidate order,
+// and a failed predecessor acquire left nothing held for this release to
+// free (the partition client resolves it as the held-nothing no-op).
+func (t *Table) ReleaseAsync(ent model.EntityID, key locktable.InstKey) locktable.Completion {
+	p := t.Partition(ent)
+	st, join := t.fenceBegin(key, p, true)
+	for _, c := range join {
+		c.Wait(context.Background())
+	}
+	w := &memoCompletion{inner: t.wrap(t.parts[p].ReleaseAsyncAcked(ent, key))}
+	t.fenceEnd(st, p, true, w)
+	return w
+}
+
+// wrap applies the cluster's partition-loss translation (mapErr) to a
+// partition client's completion.
+func (t *Table) wrap(inner locktable.Completion) locktable.Completion {
+	return locktable.CompletionFunc(func(ctx context.Context) error {
+		return t.mapErr(inner.Wait(ctx))
+	})
+}
+
 // Release implements locktable.Table.
 func (t *Table) Release(ent model.EntityID, key locktable.InstKey) error {
 	return t.mapErr(t.part(ent).Release(ent, key))
@@ -152,6 +372,12 @@ func (t *Table) Release(ent model.EntityID, key locktable.InstKey) error {
 // a dead partition contributes its lease-expiry error without blocking
 // the live partitions' releases.
 func (t *Table) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error {
+	// The abort path: the session resolved every in-flight async
+	// operation before this wave, so the instance's fence frontier is
+	// dead weight — drop it rather than wait for the sweep.
+	t.fmu.Lock()
+	delete(t.fences, key.ID)
+	t.fmu.Unlock()
 	if len(ents) == 0 {
 		return nil
 	}

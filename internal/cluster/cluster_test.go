@@ -418,3 +418,124 @@ func TestClusterPartitionLoss(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterAsyncFencesPartitionSwitch pins the partition fence's core
+// guarantee: an instance's acquire on partition 1 must not execute while
+// its earlier acquire on partition 0 is still queued. Instance 9 holds
+// e0; instance 1 submits e0 (parks behind 9) and then e1 — the
+// AcquireAsync(e1) call itself must block in the fence join, so e1 stays
+// free for a third instance until 9 releases. Unfenced, e1 would be
+// granted to 1 immediately: exactly the out-of-program-order state that
+// deadlocked certified mixes.
+func TestClusterAsyncFencesPartitionSwitch(t *testing.T) {
+	tab, _, ddb := startCluster(t, 2, locktable.Config{})
+	e0 := entOn(t, tab, ddb, 0)
+	e1 := entOn(t, tab, ddb, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := tab.Acquire(ctx, inst(9), e0, locktable.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+
+	submitted2nd := make(chan locktable.Completion, 2)
+	go func() { // instance 1's session goroutine
+		submitted2nd <- tab.AcquireAsync(inst(1), e0, locktable.Exclusive)
+		submitted2nd <- tab.AcquireAsync(inst(1), e1, locktable.Exclusive)
+	}()
+
+	c0 := <-submitted2nd
+	select {
+	case <-submitted2nd:
+		t.Fatal("AcquireAsync(e1) returned while the instance's e0 acquire was still queued: partition switch not fenced")
+	case <-time.After(200 * time.Millisecond):
+	}
+	// e1 must still be grantable to someone else.
+	if err := tab.Acquire(ctx, inst(3), e1, locktable.Exclusive); err != nil {
+		t.Fatalf("e1 should be free while instance 1 is fenced: %v", err)
+	}
+	if err := tab.Release(e1, locktable.InstKey{ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := tab.Release(e0, locktable.InstKey{ID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Wait(ctx); err != nil {
+		t.Fatalf("instance 1's e0 acquire: %v", err)
+	}
+	var c1 locktable.Completion
+	select {
+	case c1 = <-submitted2nd:
+	case <-ctx.Done():
+		t.Fatal("AcquireAsync(e1) never unblocked after the fence cleared")
+	}
+	if err := c1.Wait(ctx); err != nil {
+		t.Fatalf("instance 1's e1 acquire: %v", err)
+	}
+	if err := tab.ReleaseAll([]model.EntityID{e0, e1}, locktable.InstKey{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterPipelinedChainsNoCrossPartitionDeadlock is the regression
+// for the observed cluster-pipelining deadlock: many instances drive the
+// same certified-style ordered chain — acquire a@p0 then b@p1 submitted
+// back-to-back WITHOUT joining in between, exactly as a depth-K
+// pipelined session does — and the run must drain. Before the partition
+// fence, two chains would routinely each hold its second entity while
+// parked on the other's first (b granted while a still queued), a state
+// unreachable synchronously, and the mix wedged with no deadlock
+// handling armed.
+func TestClusterPipelinedChainsNoCrossPartitionDeadlock(t *testing.T) {
+	tab, _, ddb := startCluster(t, 2, locktable.Config{})
+	a := entOn(t, tab, ddb, 0)
+	b := entOn(t, tab, ddb, 1)
+
+	const (
+		workers = 8
+		iters   = 50
+	)
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) { // one session goroutine per instance
+			key := locktable.InstKey{ID: 100 + id}
+			in := locktable.Instance{Key: key, Prio: int64(id)}
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				ca := tab.AcquireAsync(in, a, locktable.Exclusive)
+				cb := tab.AcquireAsync(in, b, locktable.Exclusive) // fences on ca internally
+				if err := ca.Wait(ctx); err != nil {
+					done <- err
+					return
+				}
+				if err := cb.Wait(ctx); err != nil {
+					done <- err
+					return
+				}
+				ra := tab.ReleaseAsync(a, key)
+				rb := tab.ReleaseAsync(b, key)
+				if err := ra.Wait(ctx); err != nil {
+					done <- err
+					return
+				}
+				if err := rb.Wait(ctx); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	timeout := time.After(60 * time.Second)
+	for w := 0; w < workers; w++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("pipelined chains wedged: cross-partition program order not restored by the fence")
+		}
+	}
+}

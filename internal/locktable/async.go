@@ -1,0 +1,82 @@
+package locktable
+
+import (
+	"context"
+
+	"distlock/internal/model"
+)
+
+// Completion is the join handle of an asynchronous table operation: the
+// operation is already in flight (its request submitted, its frame queued
+// on the wire) and Wait collects the outcome. A Completion must be waited
+// exactly once, by one goroutine.
+type Completion interface {
+	// Wait blocks until the operation resolves and returns what the
+	// synchronous call would have. For an acquire, cancelling ctx (or the
+	// instance's doom firing) abandons the wait exactly as it would abort
+	// a blocking Acquire: the request is withdrawn — or, if a grant raced
+	// the cancellation, released — before Wait returns, so the instance
+	// holds nothing on a non-nil return.
+	Wait(ctx context.Context) error
+}
+
+// AsyncTable is the optional pipelining capability a Table may implement:
+// submit-now/join-later forms of Acquire and Release, so a caller that has
+// *proved* its lock chain cannot deadlock (the paper's static
+// certification, Theorems 3–5) can keep several requests in flight instead
+// of paying one wire round trip per operation.
+//
+// The submission order of one instance's AcquireAsync calls is binding:
+// an implementation must make the requests take effect in that order (the
+// remote backend chains them server-side), so the reachable lock-table
+// states are exactly those of the synchronous run — which is what keeps a
+// certified mix deadlock-free when its acks are still in flight. Callers
+// that were NOT certified must stay on the synchronous path: pipelining
+// an uncertified chain reorders conflicting waits and can deadlock a mix
+// that wound-wait or detection would otherwise have handled cleanly.
+//
+// In-process tables do not implement this — their Acquire is already
+// sub-microsecond, and a completion object would cost more than the call.
+type AsyncTable interface {
+	Table
+	// AcquireAsync submits the acquire and returns its completion. The
+	// instance's Doomed channel is honored by Wait, like Acquire's.
+	AcquireAsync(inst Instance, ent model.EntityID, mode Mode) Completion
+	// ReleaseAsync submits the release and returns its completion — the
+	// fire-and-forget unlock whose error (ErrStaleFence, a dead server)
+	// surfaces when the caller joins, typically at commit.
+	ReleaseAsync(ent model.EntityID, key InstKey) Completion
+}
+
+// TryAcquirer is the optional non-blocking capability a Table may
+// implement: TryAcquire grants the lock if and only if it can be granted
+// immediately — the instance already holds it, or the entity has no queue
+// and no conflicting holder — and reports false otherwise without
+// queueing anything. A false return leaves the table exactly as it was;
+// the caller falls back to the blocking Acquire.
+//
+// The remote server uses this as its read-loop fast path: an acquire for
+// an instance with no pending chain is tried inline, and only a
+// contended try pays for a per-instance chain goroutine and its parked
+// request. Because a failed try queues nothing, wound-wait semantics are
+// untouched: wounding happens at queue time, inside the Acquire the
+// caller falls back to.
+type TryAcquirer interface {
+	// TryAcquire reports whether the lock was granted. The error is
+	// non-nil only for table-level failures (ErrStopped), never for
+	// contention.
+	TryAcquire(inst Instance, ent model.EntityID, mode Mode) (bool, error)
+}
+
+// CompletionFunc adapts a function to the Completion interface.
+type CompletionFunc func(ctx context.Context) error
+
+// Wait implements Completion.
+func (f CompletionFunc) Wait(ctx context.Context) error { return f(ctx) }
+
+// ResolvedCompletion is a Completion that already has its answer: the
+// operation short-circuited (a release of nothing, a submission that
+// failed before reaching the wire).
+func ResolvedCompletion(err error) Completion {
+	return CompletionFunc(func(context.Context) error { return err })
+}

@@ -167,6 +167,15 @@ type Config struct {
 	// disables the probe (the layout stays static and StripeStats still
 	// reports the counters).
 	StripeProbe time.Duration
+	// RemoteFlushInterval is the wire backends' batch window: how long a
+	// connection's flush-coalescing writer waits after waking before it
+	// drains its send queue in one buffered write + flush (see
+	// netlock.DialOptions.FlushInterval). Zero — the default, and the
+	// right value for latency-sensitive traffic — flushes as soon as the
+	// writer drains whatever has accumulated, so a lone op still goes out
+	// immediately while concurrent ops coalesce naturally. In-process
+	// backends ignore it.
+	RemoteFlushInterval time.Duration
 	// DisableSharedFastPath forces every shared Acquire/Release of the
 	// sharded backend through the stripe mutexes. The fast path counts
 	// shared holders anonymously (a padded per-entity atomic) instead of

@@ -415,6 +415,46 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 	}
 }
 
+// TryAcquire implements TryAcquirer: the inline-grant prefix of Acquire
+// with a false return where Acquire would park. It never queues, so a
+// false return has no side effect beyond the slow-mode fence Acquire
+// itself would have set (and clears it again if the entity is idle).
+func (t *shardedTable) TryAcquire(inst Instance, ent model.EntityID, mode Mode) (bool, error) {
+	select {
+	case <-t.stop:
+		return false, ErrStopped
+	default:
+	}
+	if mode == Shared && t.fast != nil && int(ent) < len(t.fast) {
+		slot := &t.fast[ent].state
+		for {
+			st := slot.Load()
+			if st&slowModeBit != 0 {
+				break
+			}
+			if slot.CompareAndSwap(st, st+1) {
+				return true, nil
+			}
+		}
+	}
+	s := t.lockStripe(ent)
+	l := s.lockState(ent)
+	if l.holds(inst.Key) {
+		s.mu.Unlock()
+		return true, nil
+	}
+	t.setSlowMode(ent)
+	if len(l.queue) == 0 && t.grantableLocked(ent, l, mode) {
+		t.grantLocked(ent, l, inst.Key, inst.Prio, mode)
+		t.clearSlowModeIfIdleLocked(ent, l)
+		s.mu.Unlock()
+		return true, nil
+	}
+	t.clearSlowModeIfIdleLocked(ent, l)
+	s.mu.Unlock()
+	return false, nil
+}
+
 // cancelWait removes a parked request, or releases its grant when a grant
 // raced the cancellation: whichever way the race went, the instance holds
 // nothing on return. The stripe is re-resolved — the one the request was

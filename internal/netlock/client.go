@@ -1,9 +1,11 @@
 package netlock
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,7 +19,7 @@ import (
 // the lock-table layer depending on wire code.
 func init() {
 	locktable.RegisterRemote(func(ddb *model.DDB, cfg locktable.Config, addr string) (locktable.Table, error) {
-		return Dial(addr, ddb, cfg, DialOptions{})
+		return Dial(addr, ddb, cfg, DialOptions{FlushInterval: cfg.RemoteFlushInterval})
 	})
 }
 
@@ -45,6 +47,20 @@ type DialOptions struct {
 	// RetryBackoff is the delay before the first retry; it doubles per
 	// attempt, capped at one second. Default 25ms when DialRetries > 0.
 	RetryBackoff time.Duration
+	// FlushInterval is the writer's batch window: flushes are rate-limited
+	// to at most one per interval, so under sustained traffic the writer
+	// parks until the window since the previous flush elapses and drains
+	// everything that accumulated in one buffered write + flush — trading
+	// up to that much latency for wider coalescing (more frames per
+	// syscall). An op arriving after idle flushes immediately (the window
+	// has long elapsed), so uncontended latency does not regress. Zero —
+	// the default — drains on every wake: a lone op flushes right away,
+	// and concurrent ops still coalesce opportunistically because the
+	// queue accumulates while the writer is busy. Must be well under the
+	// lease's heartbeat period; heartbeats ride the same writer (in a
+	// priority queue drained first), so a window rivaling the renewal
+	// period would eat the lease slack for no additional batching.
+	FlushInterval time.Duration
 }
 
 // result is one response routed to its requester.
@@ -63,6 +79,13 @@ type fenceRef struct {
 // lives in a dlserver-hosted table in another process. All methods are
 // safe for concurrent use; Close (or a lost connection) surfaces as
 // ErrStopped exactly as an in-process table's shutdown would.
+//
+// Client also implements locktable.AsyncTable: AcquireAsync/ReleaseAsync
+// submit without waiting for the reply, which the certified tier uses to
+// pipeline lock chains (see internal/runtime). One instance's acquires
+// take effect in submission order — the server chains them — so the
+// pipelined run reaches exactly the lock-table states of the synchronous
+// one.
 type Client struct {
 	ddb   *model.DDB
 	cfg   locktable.Config
@@ -71,12 +94,26 @@ type Client struct {
 
 	nextReq atomic.Uint64
 
-	wmu sync.Mutex // frame writes
+	// Outbound frames are queued and drained by one writer goroutine
+	// through a buffered writer, one flush per drain cycle — concurrent
+	// sessions' ops, fire-and-forget releases, and heartbeats coalesce
+	// into one syscall. qmu orders enqueues against shutdown: once
+	// qclosed is set, enqueue fails with ErrStopped (never a write on a
+	// closed conn).
+	qmu        sync.Mutex
+	sendb      []byte // pending request frames, length-prefixed, encoded in place
+	hbb        []byte // pending heartbeat frames: written first, so a deep queue cannot starve the lease
+	sendSpare  []byte // retired buffers recycled by the writer (double buffering)
+	hbSpare    []byte
+	qwake      chan struct{}
+	qclosed    bool
+	flushEvery time.Duration
 
 	mu      sync.Mutex
 	pending map[uint64]chan result
 	fences  map[fenceRef]uint64 // granted entity -> fencing token
 	closed  bool
+	ffErr   error // first failure pushed back for a fire-and-forget release; read by completion joins
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -87,7 +124,10 @@ type Client struct {
 	logCached bool
 }
 
-var _ locktable.Table = (*Client)(nil)
+var (
+	_ locktable.Table      = (*Client)(nil)
+	_ locktable.AsyncTable = (*Client)(nil)
+)
 
 // Dial connects to a netlock server and completes the handshake. The
 // database must be the same one the server hosts (checked by fingerprint),
@@ -126,12 +166,14 @@ func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (
 		tc.SetNoDelay(true)
 	}
 	c := &Client{
-		ddb:     ddb,
-		cfg:     cfg,
-		conn:    nc,
-		pending: map[uint64]chan result{},
-		fences:  map[fenceRef]uint64{},
-		stop:    make(chan struct{}),
+		ddb:        ddb,
+		cfg:        cfg,
+		conn:       nc,
+		pending:    map[uint64]chan result{},
+		fences:     map[fenceRef]uint64{},
+		qwake:      make(chan struct{}, 1),
+		flushEvery: opts.FlushInterval,
+		stop:       make(chan struct{}),
 	}
 	hash := DDBHash(ddb)
 	var e enc
@@ -173,10 +215,14 @@ func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (
 		nc.Close()
 		return nil, fmt.Errorf("netlock: handshake: %w", d.err)
 	}
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go func() {
 		defer c.wg.Done()
 		c.readLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.writeLoop()
 	}()
 	if !opts.NoHeartbeat {
 		every := opts.HeartbeatEvery
@@ -195,13 +241,121 @@ func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (
 	return c, nil
 }
 
+// enqueue appends one frame body to the writer's pending buffer
+// (heartbeat frames go to the priority buffer). The body is copied, so
+// the caller may reuse it immediately. Returns ErrStopped once the
+// client is shutting down — set under qmu before the transport closes,
+// so a racing op gets an honest answer instead of a write on a closed
+// conn.
+func (c *Client) enqueue(frame []byte, heartbeat bool) error {
+	c.qmu.Lock()
+	if c.qclosed {
+		c.qmu.Unlock()
+		return locktable.ErrStopped
+	}
+	if heartbeat {
+		c.hbb = appendFrame(c.hbb, frame)
+	} else {
+		c.sendb = appendFrame(c.sendb, frame)
+	}
+	c.qmu.Unlock()
+	select {
+	case c.qwake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// writeLoop is the flush-coalescing writer: it drains the send queues
+// through one buffered writer and flushes once per cycle, so everything
+// that accumulated while the previous cycle was writing — concurrent
+// sessions' requests, pipelined chains, heartbeats — leaves in one
+// syscall. A lone op still flushes immediately (the wake fires, the queue
+// holds one frame, the flush follows); FlushInterval>0 rate-limits
+// flushes instead: a wake landing within the window of the previous
+// flush parks for the remainder, so sustained traffic coalesces into at
+// most one syscall per window while an op arriving after idle (the
+// uncontended case) pays no added latency at all. Heartbeats drain first
+// each cycle: a saturated send queue must not starve the lease.
+func (c *Client) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	var lastFlush time.Time
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-c.qwake:
+		}
+		if c.flushEvery > 0 && !batchWindow(lastFlush, c.flushEvery, c.stop) {
+			return
+		}
+		yields := 0
+		for {
+			c.qmu.Lock()
+			hb, q := c.hbb, c.sendb
+			c.hbb, c.sendb = c.hbSpare, c.sendSpare
+			c.hbSpare, c.sendSpare = nil, nil
+			c.qmu.Unlock()
+			if len(hb) == 0 && len(q) == 0 {
+				// Micro-batch: before paying the flush syscall, hand the
+				// processor back a few times — a session that was about to
+				// enqueue its next pipelined frame gets to, and its frame
+				// rides this flush instead of forcing its own. Bounded, so
+				// a lone op's latency cost is a few scheduler passes.
+				if yields < writerYields {
+					yields++
+					runtime.Gosched()
+					continue
+				}
+				break
+			}
+			if len(hb) > 0 {
+				if _, err := bw.Write(hb); err != nil {
+					c.shutdown()
+					return
+				}
+			}
+			if len(q) > 0 {
+				if _, err := bw.Write(q); err != nil {
+					c.shutdown()
+					return
+				}
+			}
+			// Recycle the drained buffers: steady-state enqueues append
+			// into retired capacity instead of growing fresh buffers.
+			c.qmu.Lock()
+			if c.hbSpare == nil {
+				c.hbSpare = hb[:0]
+			}
+			if c.sendSpare == nil {
+				c.sendSpare = q[:0]
+			}
+			c.qmu.Unlock()
+			// Loop: drain whatever was enqueued during the writes into the
+			// same flush.
+		}
+		if bw.Flush() != nil {
+			c.shutdown()
+			return
+		}
+		if c.flushEvery > 0 {
+			lastFlush = time.Now()
+		}
+	}
+}
+
 // readLoop routes responses to their requesters and delivers wound pushes.
 // Any read error (server gone, Close) fails every outstanding request with
 // ErrStopped.
 func (c *Client) readLoop() {
 	defer c.shutdown()
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	// One reusable frame buffer: a routed result's payload is copied out
+	// (most replies — release and heartbeat acks — have none, and a grant
+	// carries 8 bytes of fence), so the common reply costs no allocation.
+	var rbuf []byte
 	for {
-		body, err := readFrame(c.conn)
+		body, err := readFrameInto(br, &rbuf)
 		if err != nil {
 			return
 		}
@@ -213,12 +367,28 @@ func (c *Client) readLoop() {
 			if d.err != nil {
 				return
 			}
+			if reqID == 0 {
+				// Unsolicited failure push for a fire-and-forget release:
+				// latch it for the next completion join (commit). Only the
+				// first failure is kept — any such failure means the lease
+				// was revoked, a connection-wide condition.
+				c.mu.Lock()
+				if c.ffErr == nil {
+					c.ffErr = ffStatusErr(status)
+				}
+				c.mu.Unlock()
+				continue
+			}
+			var payload []byte
+			if len(d.b) > 0 {
+				payload = append(payload, d.b...)
+			}
 			c.mu.Lock()
 			ch := c.pending[reqID]
 			delete(c.pending, reqID)
 			c.mu.Unlock()
 			if ch != nil {
-				ch <- result{status: status, payload: d.b}
+				ch <- result{status: status, payload: payload}
 			}
 		case opWoundPush:
 			victim := d.i64()
@@ -236,8 +406,10 @@ func (c *Client) readLoop() {
 	}
 }
 
-// heartbeats renews the lease until Close. Responses are routed and
-// discarded like any other request's.
+// heartbeats renews the lease until Close. The renewal frame rides the
+// flush loop's priority queue — no syscall of its own, and no ordering
+// behind a deep send queue — and its ack is routed and discarded like any
+// other request's (a slow server must not delay the next renewal).
 func (c *Client) heartbeats(every time.Duration) {
 	t := time.NewTicker(every)
 	defer t.Stop()
@@ -246,13 +418,11 @@ func (c *Client) heartbeats(every time.Duration) {
 		case <-c.stop:
 			return
 		case <-t.C:
-			// Don't wait for the ack: a slow server must not delay the next
-			// renewal. The reader discards it into the buffered channel.
 			reqID, _ := c.register()
-			if c.send(func(e *enc) {
-				e.u8(opHeartbeat)
-				e.u64(reqID)
-			}) != nil {
+			var e enc
+			e.u8(opHeartbeat)
+			e.u64(reqID)
+			if c.enqueue(e.b, true) != nil {
 				c.unregister(reqID)
 				return
 			}
@@ -260,10 +430,18 @@ func (c *Client) heartbeats(every time.Duration) {
 	}
 }
 
-// shutdown closes the transport and fails every outstanding request. It
-// backs both Close and a lost connection.
+// shutdown fails the send queue, closes the transport, and fails every
+// outstanding request. It backs both Close and a lost connection. The
+// queue closes first (under qmu): an op racing shutdown either enqueued
+// before — and is failed here through its pending channel — or finds the
+// queue closed and gets ErrStopped from enqueue; either way the answer is
+// deterministic and nothing writes to a closed conn.
 func (c *Client) shutdown() {
 	c.stopOnce.Do(func() { close(c.stop) })
+	c.qmu.Lock()
+	c.qclosed = true
+	c.sendb, c.hbb = nil, nil
+	c.qmu.Unlock()
 	c.conn.Close()
 	c.mu.Lock()
 	c.closed = true
@@ -296,21 +474,17 @@ func (c *Client) unregister(reqID uint64) {
 	c.mu.Unlock()
 }
 
-// send builds and writes one frame.
+// send builds one frame and queues it for the flush loop. The encoder
+// comes from the shared pool — enqueue copies the body into the pending
+// buffer, so the scratch space recycles immediately. This is the per-op
+// hot path.
 func (c *Client) send(build func(*enc)) error {
-	var e enc
-	build(&e)
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	select {
-	case <-c.stop:
-		return locktable.ErrStopped
-	default:
-	}
-	if err := writeFrame(c.conn, e.b); err != nil {
-		return locktable.ErrStopped
-	}
-	return nil
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	build(e)
+	err := c.enqueue(e.b, false)
+	encPool.Put(e)
+	return err
 }
 
 // call is the synchronous request/response path for everything but
@@ -344,11 +518,45 @@ func (c *Client) call(build func(reqID uint64, e *enc)) (result, error) {
 	}
 }
 
-// Acquire implements locktable.Table: the request blocks server-side in
-// the hosted table (which owns all mode compatibility decisions);
-// cancellation and doom map to a cancel message that withdraws it there,
-// and a grant that races the cancellation is released before returning.
-func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode) error {
+// acquireCompletion is one in-flight acquire: submitted, not yet joined.
+type acquireCompletion struct {
+	c      *Client
+	reqID  uint64
+	ch     chan result
+	key    locktable.InstKey
+	ent    model.EntityID
+	doomed <-chan struct{}
+}
+
+// Wait implements locktable.Completion: the parked tail of Acquire. The
+// non-blocking first receive is the pipelined steady state — by the time
+// a session joins, the ack usually streamed back long ago — and skips
+// the multi-way select.
+func (a *acquireCompletion) Wait(ctx context.Context) error {
+	select {
+	case res := <-a.ch:
+		return a.c.finishAcquire(res, a.key, a.ent)
+	default:
+	}
+	select {
+	case res := <-a.ch:
+		return a.c.finishAcquire(res, a.key, a.ent)
+	case <-ctx.Done():
+		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, ctx.Err())
+	case <-a.doomed:
+		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, locktable.ErrWounded)
+	case <-a.c.stop:
+		return locktable.ErrStopped
+	}
+}
+
+// AcquireAsync implements locktable.AsyncTable: the request is queued for
+// the wire and the caller joins the completion later. The server executes
+// one instance's acquires strictly in submission order (entering the
+// hosted table serially), so a pipelined chain reaches exactly the states
+// the synchronous chain would — the property that lets a *certified*
+// template ship its next lock request before the previous ack returns.
+func (c *Client) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode) locktable.Completion {
 	reqID, ch := c.register()
 	if err := c.send(func(e *enc) {
 		e.u8(opAcquire)
@@ -359,18 +567,17 @@ func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model
 		e.mode(mode)
 	}); err != nil {
 		c.unregister(reqID)
-		return locktable.ErrStopped
+		return locktable.ResolvedCompletion(locktable.ErrStopped)
 	}
-	select {
-	case res := <-ch:
-		return c.finishAcquire(res, inst.Key, ent)
-	case <-ctx.Done():
-		return c.cancelAcquire(reqID, ch, inst.Key, ent, ctx.Err())
-	case <-inst.Doomed:
-		return c.cancelAcquire(reqID, ch, inst.Key, ent, locktable.ErrWounded)
-	case <-c.stop:
-		return locktable.ErrStopped
-	}
+	return &acquireCompletion{c: c, reqID: reqID, ch: ch, key: inst.Key, ent: ent, doomed: inst.Doomed}
+}
+
+// Acquire implements locktable.Table: the request blocks server-side in
+// the hosted table (which owns all mode compatibility decisions);
+// cancellation and doom map to a cancel message that withdraws it there,
+// and a grant that races the cancellation is released before returning.
+func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode) error {
+	return c.AcquireAsync(inst, ent, mode).Wait(ctx)
 }
 
 // finishAcquire maps an acquire result onto the Table contract, recording
@@ -446,33 +653,25 @@ func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstK
 	}
 }
 
-// Release implements locktable.Table. A release of an entity the instance
-// holds no record for is the in-process no-op; a recorded grant is
-// released with its fencing token, and a stale token (the lease expired
-// and the server revoked the grant) reports ErrStaleFence — the lock was
-// not freed, and whoever holds it now keeps it.
-func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
+// takeFence consumes the client-side grant record for (ent, key),
+// reporting the fencing token and whether a record existed. The shared
+// front half of every release path.
+func (c *Client) takeFence(ent model.EntityID, key locktable.InstKey) (fence uint64, held, closed bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		return locktable.ErrStopped
+		return 0, false, true
 	}
 	ref := fenceRef{ent: ent, key: key}
-	fence, held := c.fences[ref]
+	fence, held = c.fences[ref]
 	if held {
 		delete(c.fences, ref)
 	}
-	c.mu.Unlock()
-	if !held {
-		return nil
-	}
-	res, err := c.call(func(reqID uint64, e *enc) {
-		e.u8(opRelease)
-		e.u64(reqID)
-		e.i64(int64(ent))
-		e.key(key)
-		e.u64(fence)
-	})
+	return fence, held, false
+}
+
+// finishRelease maps a release result onto the Table contract.
+func finishRelease(res result, err error) error {
 	switch {
 	case err != nil:
 		return locktable.ErrStopped
@@ -483,6 +682,143 @@ func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
 	default:
 		return fmt.Errorf("netlock: release: unknown status %#x", res.status)
 	}
+}
+
+// Release implements locktable.Table. A release of an entity the instance
+// holds no record for is the in-process no-op; a recorded grant is
+// released with its fencing token, and a stale token (the lease expired
+// and the server revoked the grant) reports ErrStaleFence — the lock was
+// not freed, and whoever holds it now keeps it.
+func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
+	fence, held, closed := c.takeFence(ent, key)
+	if closed {
+		return locktable.ErrStopped
+	}
+	if !held {
+		return nil
+	}
+	res, err := c.call(func(reqID uint64, e *enc) {
+		e.u8(opRelease)
+		e.u64(reqID)
+		e.i64(int64(ent))
+		e.key(key)
+		e.u64(fence)
+	})
+	return finishRelease(res, err)
+}
+
+// ffStatusErr maps an unsolicited fire-and-forget failure status onto
+// the Table error vocabulary.
+func ffStatusErr(status byte) error {
+	switch status {
+	case stStaleFence:
+		return ErrStaleFence
+	case stLeaseExpired:
+		return ErrLeaseExpired
+	default:
+		return fmt.Errorf("netlock: release failed with status %#x", status)
+	}
+}
+
+// ReleaseAsync implements locktable.AsyncTable: the release is fully
+// fire-and-forget. The frame is queued for the wire (coalescing with
+// whatever else the flush loop is carrying) with request ID zero — the
+// server applies it silently and replies only on failure, so the common
+// release costs no reply frame, no pending registration, and no join
+// wait. A failure (ErrStaleFence: the lease was revoked and the grant
+// was no longer ours to free) is pushed back unsolicited and latched
+// connection-wide; completion joins — typically at commit — report the
+// latch. The push races the join, so a failure may surface at the next
+// commit instead of this one; staleness means the lease already
+// expired, a condition the lease machinery also surfaces on every
+// subsequent acquire. The fence record is consumed at submission, so a
+// later ReleaseAll of the same entity is the usual no-op rather than a
+// double release.
+func (c *Client) ReleaseAsync(ent model.EntityID, key locktable.InstKey) locktable.Completion {
+	fence, held, closed := c.takeFence(ent, key)
+	if closed {
+		return locktable.ResolvedCompletion(locktable.ErrStopped)
+	}
+	if !held {
+		return locktable.ResolvedCompletion(nil)
+	}
+	if err := c.send(func(e *enc) {
+		e.u8(opRelease)
+		e.u64(0) // fire-and-forget: no reply expected on success
+		e.i64(int64(ent))
+		e.key(key)
+		e.u64(fence)
+	}); err != nil {
+		return locktable.ResolvedCompletion(locktable.ErrStopped)
+	}
+	return locktable.CompletionFunc(func(ctx context.Context) error {
+		c.mu.Lock()
+		err := c.ffErr
+		c.mu.Unlock()
+		return err
+	})
+}
+
+// ReleaseAsyncAcked is ReleaseAsync with an execution receipt: the
+// release is queued for the wire without waiting, but it carries a real
+// request ID, so the completion resolves only when the server has
+// actually executed it (the read loop applies releases inline, so the
+// ack proves the lock is free). The cluster backend needs this — a
+// fire-and-forget release's completion only reports the connection's
+// failure latch, which says nothing about *when* the release ran, and
+// cross-partition ordering is exactly a statement about when. On a
+// single connection the wire's FIFO makes the distinction moot, which
+// is why the plain ReleaseAsync stays receipt-free there.
+func (c *Client) ReleaseAsyncAcked(ent model.EntityID, key locktable.InstKey) locktable.Completion {
+	fence, held, closed := c.takeFence(ent, key)
+	if closed {
+		return locktable.ResolvedCompletion(locktable.ErrStopped)
+	}
+	if !held {
+		return locktable.ResolvedCompletion(nil)
+	}
+	reqID, ch := c.register()
+	if err := c.send(func(e *enc) {
+		e.u8(opRelease)
+		e.u64(reqID)
+		e.i64(int64(ent))
+		e.key(key)
+		e.u64(fence)
+	}); err != nil {
+		c.unregister(reqID)
+		return locktable.ResolvedCompletion(locktable.ErrStopped)
+	}
+	return locktable.CompletionFunc(func(ctx context.Context) error {
+		select {
+		case res := <-ch:
+			// Steady state: the ack streamed back before the join; no timer.
+			if res.status == stStopped {
+				return locktable.ErrStopped
+			}
+			return finishRelease(res, nil)
+		default:
+		}
+		// Same self-fencing bound as call(): a wedged-but-TCP-alive
+		// server must not turn this join into a permanent hang.
+		bound := 3 * c.lease
+		if bound < 15*time.Second {
+			bound = 15 * time.Second
+		}
+		timer := time.NewTimer(bound)
+		defer timer.Stop()
+		select {
+		case res := <-ch:
+			if res.status == stStopped {
+				return locktable.ErrStopped
+			}
+			return finishRelease(res, nil)
+		case <-c.stop:
+			return locktable.ErrStopped
+		case <-timer.C:
+			c.shutdown()
+			return locktable.ErrStopped
+		}
+	})
 }
 
 // ReleaseAll implements locktable.Table: one wire round trip releases
@@ -564,8 +900,9 @@ func (c *Client) Withdraw(ent model.EntityID, key locktable.InstKey) bool {
 }
 
 // Wound implements locktable.Table: pending requests of the exact attempt
-// are withdrawn server-side, waking their parked Acquires (local or in
-// other processes) with ErrWounded.
+// are withdrawn server-side — both those parked in the hosted table and
+// those still queued in the attempt's pipeline chain — waking their
+// parked Acquires (local or in other processes) with ErrWounded.
 func (c *Client) Wound(key locktable.InstKey) {
 	if c.isClosed() {
 		return

@@ -1,0 +1,251 @@
+package netlock
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"distlock/internal/locktable"
+	"distlock/internal/model"
+)
+
+// These tests cover the batching/pipelining layer: the flush-coalescing
+// writer (heartbeat priority, deterministic close) and the server-side
+// per-instance acquire chains that make client pipelining sound.
+
+// TestHeartbeatsSurviveSaturatedSendQueue: heartbeats ride the same
+// flush-coalescing writer as every other frame, but at priority — a send
+// queue saturated by pipelined traffic must not delay a renewal past the
+// lease. The lease is short and the batch window deliberately wide, so a
+// regression that queues heartbeats FIFO behind the flood (instead of
+// draining the priority queue first) expires the lease and fails ops
+// with ErrLeaseExpired.
+func TestHeartbeatsSurviveSaturatedSendQueue(t *testing.T) {
+	const (
+		flooders = 8
+		depth    = 8 // entities per flooder, pipelined per burst
+	)
+	ddb, ents := testDDB(t, flooders*depth)
+	lease := 400 * time.Millisecond
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{
+		Lease:         lease,
+		FlushInterval: 200 * time.Microsecond,
+	})
+	c := dial(t, srv, locktable.Config{}, DialOptions{
+		FlushInterval: 500 * time.Microsecond,
+	})
+
+	deadline := time.Now().Add(3 * lease)
+	errCh := make(chan error, flooders)
+	var wg sync.WaitGroup
+	for g := 0; g < flooders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// One instance per flooder over its own disjoint entity slice —
+			// the shape a certified pipelined session has. Every burst puts
+			// depth acquire frames and then depth release frames into the
+			// send queue without waiting for acks in between, keeping the
+			// queue deep across the batch window.
+			id := 1 + g
+			inst := locktable.Instance{Key: locktable.InstKey{ID: id}, Prio: int64(id)}
+			mine := ents[g*depth : (g+1)*depth]
+			for time.Now().Before(deadline) {
+				comps := make([]locktable.Completion, depth)
+				for i, e := range mine {
+					comps[i] = c.AcquireAsync(inst, e, locktable.Exclusive)
+				}
+				for i := range comps {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := comps[i].Wait(ctx)
+					cancel()
+					if err != nil {
+						errCh <- fmt.Errorf("flooder %d acquire %v: %w", g, mine[i], err)
+						return
+					}
+				}
+				rels := make([]locktable.Completion, depth)
+				for i, e := range mine {
+					rels[i] = c.ReleaseAsync(e, locktable.InstKey{ID: id})
+				}
+				for i := range rels {
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					err := rels[i].Wait(ctx)
+					cancel()
+					if err != nil {
+						errCh <- fmt.Errorf("flooder %d release %v: %w", g, mine[i], err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		// Any ErrLeaseExpired here means the flood starved a heartbeat.
+		t.Error(err)
+	}
+	// The session survived the flood with its lease intact: one more
+	// synchronous op still works.
+	acquire(t, c, 7001, ents[0])
+	if err := c.Release(ents[0], locktable.InstKey{ID: 7001}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloseFailsRacingOpsDeterministically: Close drains and fails the
+// send queue before tearing down the transport, so an op racing Close
+// gets an honest ErrStopped — never a hang waiting for a reply that will
+// not come, and never a spurious success for a frame that was dropped
+// unflushed.
+func TestCloseFailsRacingOpsDeterministically(t *testing.T) {
+	ddb, ents := testDDB(t, 4)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+
+	for round := 0; round < 5; round++ {
+		c, err := Dial(srv.Addr(), testClientDDB(srv), locktable.Config{},
+			DialOptions{FlushInterval: 100 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const racers = 8
+		errCh := make(chan error, racers)
+		var wg sync.WaitGroup
+		for g := 0; g < racers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ent := ents[g%len(ents)]
+				for i := 0; ; i++ {
+					id := 1 + g*1000 + i
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					inst := locktable.Instance{Key: locktable.InstKey{ID: id}, Prio: int64(id)}
+					err := c.Acquire(ctx, inst, ent, locktable.Exclusive)
+					cancel()
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if err := c.Release(ent, locktable.InstKey{ID: id}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(g)
+		}
+		// Let the racers build up in-flight traffic, then slam the door.
+		time.Sleep(2 * time.Millisecond)
+		c.Close()
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			if !errors.Is(err, locktable.ErrStopped) {
+				t.Fatalf("round %d: op racing Close = %v, want ErrStopped", round, err)
+			}
+		}
+	}
+}
+
+// TestWoundMidChainNoOrphanGrants: a wound that lands while an instance's
+// pipelined chain is mid-flight — one acquire parked in the table, a
+// successor still chain-queued on the server — must fail BOTH joinable
+// completions with ErrWounded and must not let the queued successor slip
+// into the table afterwards. Conservation: nothing the wounded chain
+// touched stays granted, so a fresh instance acquires every entity.
+func TestWoundMidChainNoOrphanGrants(t *testing.T) {
+	ddb, ents := testDDB(t, 3)
+	x, y, z := ents[0], ents[1], ents[2]
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+	blocker := dial(t, srv, locktable.Config{}, DialOptions{})
+	victim := dial(t, srv, locktable.Config{}, DialOptions{})
+
+	acquire(t, blocker, 1, x)
+
+	// The victim's chain: Y is granted, X parks behind the blocker, Z
+	// queues server-side behind X (same instance ⇒ same chain).
+	vi := locktable.Instance{Key: locktable.InstKey{ID: 2}, Prio: 2}
+	cy := victim.AcquireAsync(vi, y, locktable.Exclusive)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := cy.Wait(ctx); err != nil {
+		t.Fatalf("chain head acquire(Y) = %v", err)
+	}
+	cx := victim.AcquireAsync(vi, x, locktable.Exclusive)
+	cz := victim.AcquireAsync(vi, z, locktable.Exclusive)
+	// Wait until the X request is parked in the table (the wait edge is
+	// visible), so the wound provably lands mid-chain: X in the table, Z
+	// still chain-queued behind it.
+	waitFor(t, func() bool { return len(victim.Snapshot()) == 1 })
+
+	victim.Wound(locktable.InstKey{ID: 2})
+
+	if err := cx.Wait(ctx); !errors.Is(err, locktable.ErrWounded) {
+		t.Fatalf("parked acquire(X) after wound = %v, want ErrWounded", err)
+	}
+	if err := cz.Wait(ctx); !errors.Is(err, locktable.ErrWounded) {
+		t.Fatalf("chain-queued acquire(Z) after wound = %v, want ErrWounded", err)
+	}
+	// The wounded session aborts: release what it still holds (Y; the
+	// wound withdrew X and Z before any grant).
+	if err := victim.Release(y, locktable.InstKey{ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := blocker.Release(x, locktable.InstKey{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Conservation: no orphan grants anywhere — a fresh instance takes
+	// all three entities immediately.
+	probe := dial(t, srv, locktable.Config{}, DialOptions{})
+	for _, e := range []model.EntityID{x, y, z} {
+		acquire(t, probe, 9, e)
+	}
+	if edges := probe.Snapshot(); len(edges) != 0 {
+		t.Fatalf("wait edges left behind a wounded chain: %v", edges)
+	}
+}
+
+// TestPipelinedChainHappyPath: a depth-K pipelined chain over one
+// connection resolves every completion in submission order with the
+// right fencing behavior — joins after the fact see the grants, and the
+// piped releases leave the table empty.
+func TestPipelinedChainHappyPath(t *testing.T) {
+	ddb, ents := testDDB(t, 6)
+	srv := startServer(t, ddb, locktable.Config{}, ServerOptions{Lease: time.Minute})
+	c := dial(t, srv, locktable.Config{}, DialOptions{FlushInterval: 100 * time.Microsecond})
+
+	inst := locktable.Instance{Key: locktable.InstKey{ID: 3}, Prio: 3}
+	comps := make([]locktable.Completion, len(ents))
+	for i, e := range ents {
+		comps[i] = c.AcquireAsync(inst, e, locktable.Exclusive)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, comp := range comps {
+		if err := comp.Wait(ctx); err != nil {
+			t.Fatalf("pipelined acquire %d = %v", i, err)
+		}
+		if f, ok := fenceOf(c, ents[i], 3); !ok || f == 0 {
+			t.Fatalf("no fencing token after joined acquire %d", i)
+		}
+	}
+	rels := make([]locktable.Completion, len(ents))
+	for i, e := range ents {
+		rels[i] = c.ReleaseAsync(e, locktable.InstKey{ID: 3})
+	}
+	for i, rel := range rels {
+		if err := rel.Wait(ctx); err != nil {
+			t.Fatalf("pipelined release %d = %v", i, err)
+		}
+	}
+	// Everything is free again.
+	probe := dial(t, srv, locktable.Config{}, DialOptions{})
+	for _, e := range ents {
+		acquire(t, probe, 4, e)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"distlock/internal/locktable"
 	"distlock/internal/model"
@@ -182,6 +183,46 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("netlock: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// appendFrame appends one length-prefixed frame to dst. The flush loops
+// keep each connection's pending output as a single flat byte buffer —
+// frames are appended under the queue mutex and the writer swaps the
+// whole buffer out and writes it in one call — so a frame on the hot
+// path costs a memcpy, not a heap-allocated []byte plus a queue slot.
+func appendFrame(dst, body []byte) []byte {
+	n := uint32(len(body))
+	return append(append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n)), body...)
+}
+
+// encPool recycles the scratch encoders of the fixed-shape per-op frames
+// (requests, status replies): the body is copied into the connection's
+// pending buffer by appendFrame, so the encoder is free for reuse the
+// moment the enqueue returns.
+var encPool = sync.Pool{New: func() any { return &enc{b: make([]byte, 0, 128)} }}
+
+// readFrameInto reads one length-prefixed frame into *buf, growing it as
+// needed. The returned slice aliases *buf and is valid only until the
+// next call — for read loops that fully consume each frame before the
+// next (the per-op hot path reads tens of thousands of small frames a
+// second; reusing one buffer removes an allocation per frame).
+func readFrameInto(r io.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("netlock: frame of %d bytes exceeds limit", n)
+	}
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
+	}
+	body := (*buf)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}

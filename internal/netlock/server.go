@@ -1,11 +1,13 @@
 package netlock
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
 	"math"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +32,16 @@ type ServerOptions struct {
 	// cross-process wound push) and records the grant log itself, so the
 	// constructor receives cfg with OnWound set by the server and Trace off.
 	New func(*model.DDB, locktable.Config) locktable.Table
+	// FlushInterval is the reply writer's batch window, mirroring the
+	// client's DialOptions.FlushInterval: each connection's flush loop is
+	// rate-limited to at most one flush per interval, parking for the
+	// remainder of the window under sustained reply traffic so grants and
+	// acks coalesce into fewer syscalls; a reply after idle flushes
+	// immediately. Zero (the default) drains on every wake — replies
+	// still coalesce naturally whenever the table resolves several while
+	// a flush is in progress. Must be well under the lease; it delays
+	// heartbeat acks like any other reply.
+	FlushInterval time.Duration
 	// ServiceTime emulates a fixed per-request service cost: each
 	// connection's serial request loop parks for this long before every
 	// lock-table mutation it carries (acquire, release, release-all,
@@ -48,12 +60,14 @@ type ServerOptions struct {
 // its grants carry fencing tokens, and its lease is renewed by heartbeats.
 // Create with NewServer, serve with Serve, stop with Close.
 type Server struct {
-	ddb     *model.DDB
-	cfg     locktable.Config // handshake contract: WoundWait/Trace must match dialers
-	tab     locktable.Table
-	lease   time.Duration
-	service time.Duration // emulated per-request service cost (ServerOptions.ServiceTime)
-	hash    [32]byte
+	ddb        *model.DDB
+	cfg        locktable.Config // handshake contract: WoundWait/Trace must match dialers
+	tab        locktable.Table
+	tryTab     locktable.TryAcquirer // s.tab's non-blocking capability, nil if absent
+	lease      time.Duration
+	service    time.Duration // emulated per-request service cost (ServerOptions.ServiceTime)
+	flushEvery time.Duration // reply-writer batch window (ServerOptions.FlushInterval)
+	hash       [32]byte
 
 	ln       net.Listener
 	wg       sync.WaitGroup
@@ -78,13 +92,46 @@ type grantRef struct {
 	key locktable.InstKey // composed
 }
 
-// pendingAcq is one in-flight acquire of a connection: the server-side
-// goroutine blocked in the inner table's Acquire, plus the flags the
-// cancel and revoke paths set under the connection mutex.
+// pendingAcq is one in-flight acquire of a connection: either blocked in
+// the inner table's Acquire or still queued in its instance's pipeline
+// chain, plus the flags the cancel, wound, and revoke paths set under the
+// connection mutex.
 type pendingAcq struct {
 	cancel    context.CancelFunc
 	cancelled bool // client sent opCancel
 	revoked   bool // lease expiry withdrew the request
+	wounded   bool // opWound swept the request while chain-queued
+}
+
+// chainItem is one operation waiting its turn in an instance's pipeline
+// chain (see startAcquire): an acquire, or — when rel is set — a release
+// that arrived while the instance still had acquires in flight. Ordering
+// releases through the chain is what keeps a pipelined instance's
+// *executed* schedule equal to its program order: a release executed
+// inline while an earlier-submitted acquire was still chained would free
+// the entity before a lock the template ordered ahead of the unlock was
+// granted — a schedule the certificate never admitted. Release items
+// carry no pendingAcq and no context: they cannot block (the hosted
+// table's Release never waits) and are executed unconditionally — even
+// after a wound or revoke sweep, when freeing the entity (or learning
+// the fence went stale) is exactly what must still happen.
+type chainItem struct {
+	reqID uint64
+	acq   *pendingAcq
+	ctx   context.Context
+	key   locktable.InstKey // composed
+	prio  int64
+	ent   model.EntityID
+	mode  locktable.Mode
+	rel   bool
+	fence uint64 // release items only
+}
+
+// acqChain is the pipeline chain of one composed instance key: acquires
+// the client shipped before their predecessors' acks returned. Presence
+// in srvConn.chains means a worker goroutine is draining it.
+type acqChain struct {
+	q []*chainItem
 }
 
 // srvConn is one client session.
@@ -92,10 +139,18 @@ type srvConn struct {
 	id  uint32
 	net net.Conn
 
-	wmu sync.Mutex // frame writes
+	// Outbound frames (results, wound pushes) are queued and drained by
+	// one reply-writer goroutine through a buffered writer, one flush per
+	// drain cycle — grants and acks resolved while a flush is in progress
+	// coalesce into the next syscall.
+	outMu    sync.Mutex
+	outb     []byte // pending reply frames, length-prefixed, encoded in place
+	outSpare []byte // retired buffer recycled by the reply writer (double buffering)
+	outWake  chan struct{}
 
 	mu        sync.Mutex // guards the fields below; never held around table calls
 	acquires  map[uint64]*pendingAcq
+	chains    map[locktable.InstKey]*acqChain
 	grants    map[grantRef]uint64 // recorded grant -> fencing token
 	closed    bool
 	leaseLost bool
@@ -132,15 +187,16 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 		mk = locktable.NewSharded
 	}
 	s := &Server{
-		ddb:      ddb,
-		cfg:      cfg,
-		lease:    opts.Lease,
-		service:  opts.ServiceTime,
-		hash:     DDBHash(ddb),
-		stop:     make(chan struct{}),
-		conns:    map[uint32]*srvConn{},
-		preConns: map[net.Conn]struct{}{},
-		fences:   map[model.EntityID]uint64{},
+		ddb:        ddb,
+		cfg:        cfg,
+		lease:      opts.Lease,
+		service:    opts.ServiceTime,
+		flushEvery: opts.FlushInterval,
+		hash:       DDBHash(ddb),
+		stop:       make(chan struct{}),
+		conns:      map[uint32]*srvConn{},
+		preConns:   map[net.Conn]struct{}{},
+		fences:     map[model.EntityID]uint64{},
 	}
 	inner := cfg
 	inner.Trace = false // the server records grants itself, with session identity
@@ -154,6 +210,7 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 		inner.OnWound = s.pushWound
 	}
 	s.tab = mk(ddb, inner)
+	s.tryTab, _ = s.tab.(locktable.TryAcquirer)
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -382,24 +439,91 @@ func (s *Server) woundWriter(c *srvConn) {
 	}
 }
 
-// write sends one frame on the connection (serialized by wmu). Errors are
-// dropped: a failing connection is torn down by its read loop.
+// write queues one frame for the connection's reply writer. Errors are
+// dropped: a failing connection is torn down by its read loop, and frames
+// queued after the writer exits die with the connection.
 func (c *srvConn) write(body []byte) {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	writeFrame(c.net, body)
+	c.outMu.Lock()
+	c.outb = appendFrame(c.outb, body)
+	c.outMu.Unlock()
+	select {
+	case c.outWake <- struct{}{}:
+	default:
+	}
 }
 
-// result replies to a request.
+// replyWriter is the connection's reply-side flush loop, mirroring the
+// client's: it drains the outbound queue through one buffered writer and
+// flushes once per cycle, so every grant, ack, and wound push the table
+// resolved while the previous flush was in flight leaves in one syscall.
+// FlushInterval>0 rate-limits flushes: a wake within the window of the
+// previous flush parks for the remainder (wider batches under sustained
+// load), while a reply after idle flushes immediately.
+func (s *Server) replyWriter(c *srvConn) {
+	bw := bufio.NewWriterSize(c.net, 64<<10)
+	var lastFlush time.Time
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.outWake:
+		}
+		if s.flushEvery > 0 && !batchWindow(lastFlush, s.flushEvery, c.ctx.Done()) {
+			return
+		}
+		yields := 0
+		for {
+			c.outMu.Lock()
+			q := c.outb
+			c.outb = c.outSpare
+			c.outSpare = nil
+			c.outMu.Unlock()
+			if len(q) == 0 {
+				// Micro-batch: yield a few scheduler passes before the
+				// flush — a chain mid-burst gets to finish its next grant,
+				// and the ack rides this syscall instead of its own.
+				if yields < writerYields {
+					yields++
+					runtime.Gosched()
+					continue
+				}
+				break
+			}
+			if _, err := bw.Write(q); err != nil {
+				return
+			}
+			// Recycle the drained buffer so steady-state replies append
+			// into retired capacity.
+			c.outMu.Lock()
+			if c.outSpare == nil {
+				c.outSpare = q[:0]
+			}
+			c.outMu.Unlock()
+		}
+		if bw.Flush() != nil {
+			return
+		}
+		if s.flushEvery > 0 {
+			lastFlush = time.Now()
+		}
+	}
+}
+
+// result replies to a request. The encoder comes from the shared pool —
+// write copies the body into the connection's pending buffer, so the
+// scratch space recycles immediately. This is the per-op hot path;
+// variable payloads (snapshot, grant log) grow the scratch normally.
 func (c *srvConn) result(reqID uint64, status byte, payload func(*enc)) {
-	var e enc
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
 	e.u8(opResult)
 	e.u64(reqID)
 	e.u8(status)
 	if payload != nil {
-		payload(&e)
+		payload(e)
 	}
 	c.write(e.b)
+	encPool.Put(e)
 }
 
 // handleConn runs one session: handshake, then the request loop. Any read
@@ -423,7 +547,11 @@ func (s *Server) handleConn(nc net.Conn) {
 	s.preConns[nc] = struct{}{}
 	s.connsMu.Unlock()
 	nc.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
-	c, err := s.handshake(nc)
+	// Buffered reads: a client flush delivers a burst of coalesced frames,
+	// which the decode loop slices out of one read syscall instead of two
+	// per frame. Deadlines still work — bufio reads through to the socket.
+	br := bufio.NewReaderSize(nc, 64<<10)
+	c, err := s.handshake(nc, br)
 	s.connsMu.Lock()
 	delete(s.preConns, nc)
 	s.connsMu.Unlock()
@@ -432,14 +560,23 @@ func (s *Server) handleConn(nc net.Conn) {
 		return
 	}
 	nc.SetReadDeadline(time.Time{})
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go func() {
 		defer s.wg.Done()
 		s.woundWriter(c)
 	}()
+	go func() {
+		defer s.wg.Done()
+		s.replyWriter(c)
+	}()
 	defer s.dropConn(c)
+	// One reusable frame buffer: handleFrame fully decodes each request
+	// before returning (acquire parameters are copied into the chain item,
+	// everything else is consumed inline), so no frame body outlives its
+	// loop iteration.
+	var rbuf []byte
 	for {
-		body, err := readFrame(nc)
+		body, err := readFrameInto(br, &rbuf)
 		if err != nil {
 			return
 		}
@@ -449,9 +586,12 @@ func (s *Server) handleConn(nc net.Conn) {
 	}
 }
 
-// handshake validates the hello frame and registers the session.
-func (s *Server) handshake(nc net.Conn) (*srvConn, error) {
-	body, err := readFrame(nc)
+// handshake validates the hello frame and registers the session. Reads go
+// through the connection's buffered reader; the accept reply is queued for
+// the reply writer (started right after), the reject reply written
+// directly — no session, no writer.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader) (*srvConn, error) {
+	body, err := readFrame(br)
 	if err != nil {
 		return nil, err
 	}
@@ -491,9 +631,11 @@ func (s *Server) handshake(nc net.Conn) (*srvConn, error) {
 		id:          s.nextConn.Add(1),
 		net:         nc,
 		acquires:    map[uint64]*pendingAcq{},
+		chains:      map[locktable.InstKey]*acqChain{},
 		grants:      map[grantRef]uint64{},
 		ctx:         ctx,
 		cancel:      cancel,
+		outWake:     make(chan struct{}, 1),
 		woundNotify: make(chan struct{}, 1),
 	}
 	c.lastRenew.Store(time.Now().UnixNano())
@@ -578,7 +720,20 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		if d.err != nil {
 			return d.err
 		}
-		c.result(reqID, s.release(c, ent, key, fence), nil)
+		composed := composeKey(c.id, key)
+		c.mu.Lock()
+		if ch := c.chains[composed]; ch != nil {
+			// The instance still has acquires in flight: the release takes
+			// its place in the chain behind them, so it executes in program
+			// order (see chainItem). The no-chain case below is ordered by
+			// the wire itself — an empty chain means every earlier acquire
+			// of this instance already resolved.
+			ch.q = append(ch.q, &chainItem{reqID: reqID, key: composed, ent: ent, fence: fence, rel: true})
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+		s.execRelease(c, reqID, composed, ent, fence)
 		return nil
 
 	case opReleaseAll:
@@ -635,7 +790,26 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		if d.err != nil {
 			return d.err
 		}
-		s.tab.Wound(composeKey(c.id, key))
+		composed := composeKey(c.id, key)
+		// A wound must fail the attempt's chain-queued acquires too: the
+		// inner table's Wound only sees requests that have entered it, but
+		// a pipelined chain may still be holding its successors back here.
+		// Swept items answer stWounded without ever touching the table, so
+		// a wound mid-chain can never leak a post-wound grant.
+		c.mu.Lock()
+		if ch := c.chains[composed]; ch != nil {
+			for _, it := range ch.q {
+				if it.rel {
+					continue // releases still execute; only acquires are swept
+				}
+				if !it.acq.cancelled && !it.acq.revoked {
+					it.acq.wounded = true
+				}
+				it.acq.cancel()
+			}
+		}
+		c.mu.Unlock()
+		s.tab.Wound(composed)
 		c.result(reqID, stOK, nil)
 		return nil
 
@@ -676,7 +850,10 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 // stOK) or its lease was revoked (stStaleFence, reported so a late release
 // can see it did not free anything).
 func (s *Server) release(c *srvConn, ent model.EntityID, key locktable.InstKey, fence uint64) byte {
-	composed := composeKey(c.id, key)
+	return s.releaseComposed(c, ent, composeKey(c.id, key), fence)
+}
+
+func (s *Server) releaseComposed(c *srvConn, ent model.EntityID, composed locktable.InstKey, fence uint64) byte {
 	ref := grantRef{ent: ent, key: composed}
 	c.mu.Lock()
 	cur, held := c.grants[ref]
@@ -693,12 +870,36 @@ func (s *Server) release(c *srvConn, ent model.EntityID, key locktable.InstKey, 
 	return stStaleFence
 }
 
-// startAcquire runs one client Acquire as a server-side goroutine blocked
-// in the inner table, with a per-request context the cancel and revoke
-// paths fire. The mode travels to the inner table untouched: grant
-// compatibility (concurrent readers, writer exclusion, queue fairness)
-// is entirely the hosted table's decision, so remote and in-process
-// sessions blocking on one entity obey one discipline.
+// execRelease frees the entity and replies under the release reply
+// rules: an acked release (nonzero reqID) always gets its result; a
+// fire-and-forget one (reqID 0, the pipelined certified tier) is silent
+// on success and pushes a failure back as an unsolicited result the
+// client latches for its next commit. Shared by the inline path and the
+// chain worker.
+func (s *Server) execRelease(c *srvConn, reqID uint64, composed locktable.InstKey, ent model.EntityID, fence uint64) {
+	st := s.releaseComposed(c, ent, composed, fence)
+	if reqID != 0 {
+		c.result(reqID, st, nil)
+	} else if st != stOK {
+		c.result(0, st, nil)
+	}
+}
+
+// startAcquire routes one client Acquire into its instance's pipeline
+// chain: acquires of one composed instance key enter the inner table
+// strictly serially, in wire-arrival order. For a synchronous client this
+// is invisible (a session has at most one acquire in flight), but it is
+// what makes client-side pipelining sound — a chain's request N+1 cannot
+// reach the table before request N resolved, so the reachable lock-table
+// states are exactly the synchronous run's and the static certification
+// (which assumed program order) still rules out deadlock. Distinct
+// instances' chains run fully concurrently, each as one server-side
+// worker goroutine blocked in the inner table with a per-request context
+// the cancel, wound, and revoke paths fire. The mode travels to the inner
+// table untouched: grant compatibility (concurrent readers, writer
+// exclusion, queue fairness) is entirely the hosted table's decision, so
+// remote and in-process sessions blocking on one entity obey one
+// discipline.
 func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID, mode locktable.Mode) {
 	if int(ent) < 0 || int(ent) >= s.ddb.NumEntities() {
 		c.result(reqID, stErr, func(e *enc) { e.str(fmt.Sprintf("netlock: entity %d outside the database", ent)) })
@@ -714,80 +915,225 @@ func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, p
 		return
 	}
 	composed := composeKey(c.id, key)
-	actx, acancel := context.WithCancel(c.ctx)
-	acq := &pendingAcq{cancel: acancel}
+	// Inline fast path: an acquire whose instance has no active chain may
+	// try the table non-blocking right here in the read loop, skipping the
+	// per-acquire context, the in-flight record, and the chain worker. The
+	// no-chain check is race-free — this read-loop goroutine is the only
+	// creator of this connection's chains, and composed keys are namespaced
+	// per connection — and observing the chain record gone happens-after
+	// its last item resolved (runChain deletes it under c.mu), so wire
+	// order within the instance is preserved. A failed try queues nothing
+	// and falls through to the chain path, where wound-wait wounds at queue
+	// time exactly as before.
+	if s.tryTab != nil {
+		c.mu.Lock()
+		_, chained := c.chains[composed]
+		lost := c.leaseLost
+		c.mu.Unlock()
+		if lost {
+			c.result(reqID, stLeaseExpired, nil)
+			return
+		}
+		if !chained {
+			granted, err := s.tryTab.TryAcquire(locktable.Instance{Key: composed, Prio: prio}, ent, mode)
+			if err != nil {
+				c.result(reqID, stStopped, nil)
+				return
+			}
+			if granted {
+				// Mirror execAcquire's post-grant critical section: the
+				// lease or the connection may have died while the grant was
+				// minted, in which case it is given back, never recorded.
+				c.mu.Lock()
+				if c.leaseLost || c.closed {
+					dead := c.closed
+					c.mu.Unlock()
+					s.tab.Release(ent, composed)
+					if !dead {
+						c.result(reqID, stLeaseExpired, nil)
+					}
+					return
+				}
+				ref := grantRef{ent: ent, key: composed}
+				fence, dup := c.grants[ref]
+				if !dup {
+					fence = s.nextFence(ent)
+					c.grants[ref] = fence
+					if s.cfg.Trace {
+						s.traceMu.Lock()
+						s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch, Mode: mode})
+						s.traceMu.Unlock()
+					}
+				}
+				c.mu.Unlock()
+				c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
+				return
+			}
+		}
+	}
+	actx := &acqCtx{done: make(chan struct{})}
+	acq := &pendingAcq{cancel: actx.cancelFn}
+	it := &chainItem{reqID: reqID, acq: acq, ctx: actx, key: composed, prio: prio, ent: ent, mode: mode}
 	c.mu.Lock()
 	if c.leaseLost {
 		// No live lease: the session must heartbeat before it may hold
 		// locks again (its earlier grants are already gone).
 		c.mu.Unlock()
-		acancel()
+		actx.cancelFn()
 		c.result(reqID, stLeaseExpired, nil)
 		return
 	}
+	// Registered before it runs: opCancel, opWound, and revocation must
+	// reach an acquire that is still waiting its turn in the chain.
 	c.acquires[reqID] = acq
+	if ch, running := c.chains[composed]; running {
+		ch.q = append(ch.q, it)
+		c.mu.Unlock()
+		return
+	}
+	c.chains[composed] = &acqChain{}
 	c.mu.Unlock()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		defer acancel()
-		err := s.tab.Acquire(actx, locktable.Instance{Key: composed, Prio: prio}, ent, mode)
-		// Atomically retire the in-flight record and decide the outcome
-		// under the connection mutex: the revoke path sees either the
-		// pending record (and cancels it) or the recorded grant (and
-		// releases it) — never a gap.
+		s.runChain(c, composed, it)
+	}()
+}
+
+// acqCtx is the minimal cancellable context a chain item hands the inner
+// table. context.WithCancel with the connection context as parent would
+// register and unregister a child per acquire — a mutex and map touch on
+// the shared conn context, per op, on the hot path — and the propagation
+// it buys is redundant: teardown does not rely on it (revoke cancels
+// every in-flight acquire through c.acquires explicitly).
+type acqCtx struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (a *acqCtx) cancelFn()                   { a.once.Do(func() { close(a.done) }) }
+func (a *acqCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (a *acqCtx) Done() <-chan struct{}       { return a.done }
+func (a *acqCtx) Value(any) any               { return nil }
+func (a *acqCtx) Err() error {
+	select {
+	case <-a.done:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// runChain drains one instance's pipeline chain: execute the head, then
+// pull the next queued item, until the chain is empty (at which point the
+// chain record is retired and a later acquire starts a fresh worker).
+// Release items execute unconditionally in their turn (see chainItem).
+func (s *Server) runChain(c *srvConn, composed locktable.InstKey, it *chainItem) {
+	for {
+		if it.rel {
+			s.execRelease(c, it.reqID, it.key, it.ent, it.fence)
+		} else {
+			s.execAcquire(c, it)
+		}
 		c.mu.Lock()
-		delete(c.acquires, reqID)
-		cancelled, revoked, dead := acq.cancelled, acq.revoked, c.closed
-		var fence uint64
-		if err == nil && !cancelled && !revoked && !dead {
-			ref := grantRef{ent: ent, key: composed}
-			if old, dup := c.grants[ref]; dup {
-				// A duplicate acquire by the current holder: the inner table
-				// returned nil without granting anything new, so the lease
-				// bookkeeping must not mint a new token or log a new grant.
-				fence = old
-			} else {
-				fence = s.nextFence(ent)
-				c.grants[ref] = fence
-				if s.cfg.Trace {
-					// Logged inside the same critical section that records
-					// the grant: any release path (client release needs this
-					// goroutine's reply first; revocation reads c.grants under
-					// this mutex) happens-after the append, so per-entity
-					// trace order is grant order.
-					s.traceMu.Lock()
-					s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch, Mode: mode})
-					s.traceMu.Unlock()
-				}
-			}
+		ch := c.chains[composed]
+		if len(ch.q) == 0 {
+			delete(c.chains, composed)
+			c.mu.Unlock()
+			return
 		}
+		it = ch.q[0]
+		ch.q = ch.q[1:]
 		c.mu.Unlock()
-		if err == nil && fence == 0 {
-			// A grant raced a cancel, a revoke, or the teardown: give it
-			// back before answering.
-			s.tab.Release(ent, composed)
-		}
+	}
+}
+
+// execAcquire runs one chain item to its reply. An item that was
+// cancelled, wounded, or revoked while queued answers without entering
+// the inner table — the request never existed as far as the lock space is
+// concerned, so a wound mid-chain cannot leak a post-wound grant.
+func (s *Server) execAcquire(c *srvConn, it *chainItem) {
+	reqID, acq, composed, ent := it.reqID, it.acq, it.key, it.ent
+	defer acq.cancel()
+	c.mu.Lock()
+	if acq.cancelled || acq.wounded || acq.revoked || c.closed {
+		delete(c.acquires, reqID)
+		cancelled, wounded, dead := acq.cancelled, acq.wounded, c.closed
+		c.mu.Unlock()
 		if dead {
 			return
 		}
 		switch {
-		case err == nil && fence != 0:
-			c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
-		case err == nil && cancelled:
-			c.result(reqID, stCancelled, nil)
-		case err == nil: // revoked
-			c.result(reqID, stLeaseExpired, nil)
-		case errors.Is(err, locktable.ErrWounded):
-			c.result(reqID, stWounded, nil)
-		case errors.Is(err, locktable.ErrStopped):
-			c.result(reqID, stStopped, nil)
 		case cancelled:
 			c.result(reqID, stCancelled, nil)
-		case revoked:
+		case wounded:
+			c.result(reqID, stWounded, nil)
+		default: // revoked
 			c.result(reqID, stLeaseExpired, nil)
-		default:
-			c.result(reqID, stErr, func(e *enc) { e.str(err.Error()) })
 		}
-	}()
+		return
+	}
+	c.mu.Unlock()
+	err := s.tab.Acquire(it.ctx, locktable.Instance{Key: composed, Prio: it.prio}, ent, it.mode)
+	// Atomically retire the in-flight record and decide the outcome
+	// under the connection mutex: the revoke path sees either the
+	// pending record (and cancels it) or the recorded grant (and
+	// releases it) — never a gap.
+	c.mu.Lock()
+	delete(c.acquires, reqID)
+	cancelled, wounded, revoked, dead := acq.cancelled, acq.wounded, acq.revoked, c.closed
+	var fence uint64
+	if err == nil && !cancelled && !wounded && !revoked && !dead {
+		ref := grantRef{ent: ent, key: composed}
+		if old, dup := c.grants[ref]; dup {
+			// A duplicate acquire by the current holder: the inner table
+			// returned nil without granting anything new, so the lease
+			// bookkeeping must not mint a new token or log a new grant.
+			fence = old
+		} else {
+			fence = s.nextFence(ent)
+			c.grants[ref] = fence
+			if s.cfg.Trace {
+				// Logged inside the same critical section that records
+				// the grant: any release path (client release needs this
+				// goroutine's reply first; revocation reads c.grants under
+				// this mutex) happens-after the append, so per-entity
+				// trace order is grant order.
+				s.traceMu.Lock()
+				s.trace = append(s.trace, locktable.GrantEvent{Entity: ent, Inst: composed.ID, Epoch: composed.Epoch, Mode: it.mode})
+				s.traceMu.Unlock()
+			}
+		}
+	}
+	c.mu.Unlock()
+	if err == nil && fence == 0 {
+		// A grant raced a cancel, a wound, a revoke, or the teardown: give
+		// it back before answering.
+		s.tab.Release(ent, composed)
+	}
+	if dead {
+		return
+	}
+	switch {
+	case err == nil && fence != 0:
+		c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
+	case err == nil && cancelled:
+		c.result(reqID, stCancelled, nil)
+	case err == nil && wounded:
+		c.result(reqID, stWounded, nil)
+	case err == nil: // revoked
+		c.result(reqID, stLeaseExpired, nil)
+	case errors.Is(err, locktable.ErrWounded):
+		c.result(reqID, stWounded, nil)
+	case errors.Is(err, locktable.ErrStopped):
+		c.result(reqID, stStopped, nil)
+	case cancelled:
+		c.result(reqID, stCancelled, nil)
+	case wounded:
+		c.result(reqID, stWounded, nil)
+	case revoked:
+		c.result(reqID, stLeaseExpired, nil)
+	default:
+		c.result(reqID, stErr, func(e *enc) { e.str(err.Error()) })
+	}
 }

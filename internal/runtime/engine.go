@@ -123,6 +123,28 @@ type EngineOptions struct {
 	// SiteInbox is the actor backend's per-site inbox capacity, that
 	// backend's backpressure bound (see DefaultSiteInbox). Default 256.
 	SiteInbox int
+	// PipelineDepth enables certified-chain pipelining over a wire
+	// backend: sessions of a StrategyNone engine keep up to this many
+	// unacknowledged acquires in flight (shipping the next lock request
+	// before the previous ack returns) and fire releases without waiting,
+	// surfacing their errors at Commit. Zero (the default) keeps every
+	// operation synchronous. The knob only takes effect when the
+	// strategy is StrategyNone AND the backend implements
+	// locktable.AsyncTable (remote, cluster): static certification is the
+	// proof that the pipelined chain cannot deadlock, so the wound-wait
+	// and detection tiers — whose mixes carry no such proof — always run
+	// synchronously. A pipelined session trades mid-chain error locality
+	// for throughput: a failed acquire (wound, lease expiry) surfaces at
+	// the next session operation rather than at the Lock that shipped it,
+	// and a context cancellation inside a chain aborts the whole attempt
+	// instead of leaving the session resumable.
+	PipelineDepth int
+	// FlushInterval is the wire backends' batch window (see
+	// locktable.Config.RemoteFlushInterval): how long each connection's
+	// flush-coalescing writer parks after waking before draining its send
+	// queue in one syscall. Zero flushes immediately. In-process backends
+	// ignore it.
+	FlushInterval time.Duration
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking. The log is only safe to read after Close.
 	Trace bool
@@ -141,6 +163,12 @@ type Engine struct {
 	table       locktable.Table
 	detectEvery time.Duration
 	trace       bool
+
+	// async/pipeline: certified-chain pipelining (EngineOptions.
+	// PipelineDepth), armed only when the strategy is StrategyNone and
+	// the table implements the async capability.
+	async    locktable.AsyncTable
+	pipeline int
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -186,11 +214,12 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 			e.wounds.Add(1)
 			e.signalAbort(holderID)
 		},
-		Trace:       opts.Trace,
-		SiteInbox:   opts.SiteInbox,
-		Shards:      opts.Shards,
-		MaxShards:   opts.MaxShards,
-		StripeProbe: opts.StripeProbe,
+		Trace:               opts.Trace,
+		SiteInbox:           opts.SiteInbox,
+		Shards:              opts.Shards,
+		MaxShards:           opts.MaxShards,
+		StripeProbe:         opts.StripeProbe,
+		RemoteFlushInterval: opts.FlushInterval,
 		// The detector closes wait-for cycles through shared holders, so
 		// they must be named in Snapshot: anonymous fast-path readers
 		// would hide the edges and cycles would go undetected.
@@ -215,6 +244,17 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		e.table = tab
 	default:
 		return nil, fmt.Errorf("runtime: unknown lock-table backend %v", opts.Backend)
+	}
+	if opts.PipelineDepth > 0 && opts.Strategy == StrategyNone {
+		// Pipelining is gated on the paper's thesis: only a statically
+		// certified mix (StrategyNone) has the deadlock-freedom proof that
+		// makes shipping lock request N+1 before ack N sound. Backends
+		// without the async capability (all in-process ones) silently stay
+		// synchronous — their acquires are already sub-microsecond.
+		if at, ok := e.table.(locktable.AsyncTable); ok {
+			e.async = at
+			e.pipeline = opts.PipelineDepth
+		}
 	}
 	if e.strategy == StrategyDetect {
 		e.wg.Add(1)

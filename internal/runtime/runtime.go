@@ -106,6 +106,13 @@ type Config struct {
 	// backend's backpressure bound (senders block once a site has this many
 	// requests in flight). Default DefaultSiteInbox (256).
 	SiteInbox int
+	// PipelineDepth enables certified-chain pipelining on wire backends
+	// (StrategyNone only; see EngineOptions.PipelineDepth). Zero keeps
+	// every operation synchronous.
+	PipelineDepth int
+	// FlushInterval is the wire backends' batch window (see
+	// EngineOptions.FlushInterval). Zero flushes immediately.
+	FlushInterval time.Duration
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking.
 	Trace bool
@@ -163,16 +170,18 @@ func Run(cfg Config) (*Metrics, error) {
 		cfg.StallTimeout = 250 * time.Millisecond
 	}
 	e, err := NewEngine(ddb, EngineOptions{
-		Strategy:    cfg.Strategy,
-		DetectEvery: cfg.DetectEvery,
-		Backend:     cfg.Backend,
-		RemoteAddr:  cfg.RemoteAddr,
-		RemoteAddrs: cfg.RemoteAddrs,
-		Shards:      cfg.Shards,
-		MaxShards:   cfg.MaxShards,
-		StripeProbe: cfg.StripeProbe,
-		SiteInbox:   cfg.SiteInbox,
-		Trace:       cfg.Trace,
+		Strategy:      cfg.Strategy,
+		DetectEvery:   cfg.DetectEvery,
+		Backend:       cfg.Backend,
+		RemoteAddr:    cfg.RemoteAddr,
+		RemoteAddrs:   cfg.RemoteAddrs,
+		Shards:        cfg.Shards,
+		MaxShards:     cfg.MaxShards,
+		StripeProbe:   cfg.StripeProbe,
+		SiteInbox:     cfg.SiteInbox,
+		PipelineDepth: cfg.PipelineDepth,
+		FlushInterval: cfg.FlushInterval,
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		return nil, err

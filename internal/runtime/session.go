@@ -50,6 +50,17 @@ type Session struct {
 	abortCh  chan struct{}
 	done     bool
 	doomed   bool
+
+	// Pipelined state (engines with certified-chain pipelining armed; see
+	// EngineOptions.PipelineDepth). pendAcq holds in-flight acquires by
+	// entity, pendQ their submission order (the join-oldest window);
+	// rels the fire-and-forget release completions Commit joins; pipeErr
+	// poisons the session once any joined completion failed — every later
+	// operation reports it, and Abort cleans up whatever is in flight.
+	pendAcq map[model.EntityID]locktable.Completion
+	pendQ   []model.EntityID
+	rels    []locktable.Completion
+	pipeErr error
 }
 
 // Begin opens a session for one instance of the template transaction. The
@@ -184,6 +195,9 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 		return err
 	}
 	inst := locktable.Instance{Key: s.key, Prio: s.prio, Doomed: s.abortCh}
+	if s.e.async != nil {
+		return s.lockPipelined(ctx, inst, ent, mode, nid)
+	}
 	switch err := s.e.table.Acquire(ctx, inst, ent, mode); {
 	case err == nil:
 		s.held[ent] = true
@@ -200,6 +214,70 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 	}
 }
 
+// mapTableErr maps a lock-table error onto the session contract (the
+// same mapping the synchronous Lock applies inline).
+func (s *Session) mapTableErr(err error) error {
+	switch {
+	case errors.Is(err, locktable.ErrWounded):
+		s.doomed = true
+		return ErrAborted
+	case errors.Is(err, locktable.ErrStopped):
+		return ErrClosed
+	default:
+		return err
+	}
+}
+
+// lockPipelined is Lock on a pipelined engine: the acquire is submitted
+// and optimistically counted as held — certification proved the grant
+// cannot deadlock, so the chain's next request ships before this ack
+// returns — and only when more than PipelineDepth acquires are
+// unacknowledged does the session park on the oldest. A join failure
+// (wound, lease expiry, shutdown) poisons the session: the optimistic
+// grants were a bet on the acks, and once one fails the attempt is over —
+// the caller aborts, which resolves everything still in flight before
+// releasing.
+func (s *Session) lockPipelined(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode model.Mode, nid model.NodeID) error {
+	if s.pipeErr != nil {
+		return s.mapTableErr(s.pipeErr)
+	}
+	if s.pendAcq == nil {
+		s.pendAcq = map[model.EntityID]locktable.Completion{}
+	}
+	s.pendAcq[ent] = s.e.async.AcquireAsync(inst, ent, mode)
+	s.pendQ = append(s.pendQ, ent)
+	s.held[ent] = true
+	s.executed.Set(int(nid))
+	s.e.progress.Add(1)
+	for len(s.pendQ) > s.e.pipeline {
+		oldest := s.pendQ[0]
+		s.pendQ = s.pendQ[1:]
+		if err := s.joinAcquire(ctx, oldest); err != nil {
+			return s.mapTableErr(err)
+		}
+	}
+	return nil
+}
+
+// joinAcquire collects the in-flight acquire of ent, if any. On failure
+// the optimistic hold is rolled back (the completion's Wait guarantees
+// nothing is held on a non-nil return) and the session is poisoned.
+func (s *Session) joinAcquire(ctx context.Context, ent model.EntityID) error {
+	comp := s.pendAcq[ent]
+	if comp == nil {
+		return nil
+	}
+	delete(s.pendAcq, ent)
+	if err := comp.Wait(ctx); err != nil {
+		delete(s.held, ent)
+		if s.pipeErr == nil {
+			s.pipeErr = err
+		}
+		return err
+	}
+	return nil
+}
+
 // Unlock releases a held entity. It completes as soon as the lock table
 // processes the release (granting the entity to its next waiter).
 func (s *Session) Unlock(ent model.EntityID) error {
@@ -213,6 +291,9 @@ func (s *Session) Unlock(ent model.EntityID) error {
 	if !s.held[ent] {
 		return fmt.Errorf("runtime: %s: Unlock(%s) without holding the lock", s.tmpl.Name(), s.e.ddb.EntityName(ent))
 	}
+	if s.e.async != nil {
+		return s.unlockPipelined(ent, nid)
+	}
 	if err := s.e.table.Release(ent, s.key); err != nil {
 		if errors.Is(err, locktable.ErrStopped) {
 			return ErrClosed
@@ -223,6 +304,32 @@ func (s *Session) Unlock(ent model.EntityID) error {
 		// session instead of concluding the service died.
 		return fmt.Errorf("runtime: %s: Unlock(%s): %w", s.tmpl.Name(), s.e.ddb.EntityName(ent), err)
 	}
+	delete(s.held, ent)
+	s.executed.Set(int(nid))
+	return nil
+}
+
+// unlockPipelined is Unlock on a pipelined engine: the release is
+// fire-and-forget — queued for the wire, its completion joined at Commit
+// — so the chain never parks here. The one wait it may pay is the
+// entity's own acquire ack, if it is still in flight: the release needs
+// the fencing token that ack carries, and on an uncontended chain the ack
+// has usually streamed back by unlock time, overlapped with the
+// operations in between. The session does NOT wait for its other
+// in-flight acquires — ordering the release behind them is the table's
+// job, not the session's: the netlock server queues a release behind the
+// instance's still-chained acquires (program order on each server's
+// slice), and the cluster backend fences partition switches, so the
+// executed schedule stays inside the certified system while this
+// goroutine runs ahead.
+func (s *Session) unlockPipelined(ent model.EntityID, nid model.NodeID) error {
+	if s.pipeErr != nil {
+		return s.mapTableErr(s.pipeErr)
+	}
+	if err := s.joinAcquire(context.Background(), ent); err != nil {
+		return s.mapTableErr(err)
+	}
+	s.rels = append(s.rels, s.e.async.ReleaseAsync(ent, s.key))
 	delete(s.held, ent)
 	s.executed.Set(int(nid))
 	return nil
@@ -242,6 +349,22 @@ func (s *Session) Commit() error {
 	}
 	if len(s.held) > 0 {
 		return fmt.Errorf("runtime: %s: commit while holding %d locks", s.tmpl.Name(), len(s.held))
+	}
+	if len(s.rels) > 0 {
+		// The fire-and-forget releases settle here: this is where a
+		// pipelined session's deferred errors (a stale fence after lease
+		// expiry, a dead server) surface. A failed release means the
+		// attempt did not cleanly return its locks — the caller aborts,
+		// exactly as it would on a failed synchronous Unlock.
+		for _, rc := range s.rels {
+			if err := rc.Wait(context.Background()); err != nil && s.pipeErr == nil {
+				s.pipeErr = err
+			}
+		}
+		s.rels = nil
+	}
+	if s.pipeErr != nil {
+		return fmt.Errorf("runtime: %s: commit: pipelined operation failed: %w", s.tmpl.Name(), s.pipeErr)
 	}
 	s.done = true
 	s.e.mu.Lock()
@@ -271,6 +394,21 @@ func (s *Session) Abort() error {
 	default:
 	}
 	s.done = true
+	if len(s.pendAcq) > 0 {
+		// Resolve every in-flight acquire with an already-cancelled
+		// context before the release wave: each Wait withdraws its request
+		// — or releases the grant that raced the withdrawal — so nothing
+		// can land *after* the wave and leak. An acquire that did resolve
+		// into a grant keeps its fence record and is swept by ReleaseAll
+		// below like any other hold.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for _, comp := range s.pendAcq {
+			comp.Wait(ctx)
+		}
+		s.pendAcq = nil
+		s.pendQ = nil
+	}
 	ents := make([]model.EntityID, 0, len(s.held))
 	for ent := range s.held {
 		ents = append(ents, ent)

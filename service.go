@@ -66,6 +66,8 @@ type serviceConfig struct {
 	stripeProbe  time.Duration
 	remoteAddr   string
 	remoteAddrs  []string
+	pipeline     int
+	flushEvery   time.Duration
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -181,6 +183,37 @@ func WithRemoteCluster(addrs ...string) ServiceOption {
 	}
 }
 
+// WithPipelineDepth lets certified-tier sessions on a wire backend
+// (WithRemoteTable, WithRemoteCluster) keep up to depth unacknowledged
+// lock acquisitions in flight: Lock ships the request and returns
+// immediately, Unlock fires the release without waiting, and any error a
+// pipelined operation hits surfaces at the next session call (ultimately
+// at Commit). Static certification is what makes this sound — a certified
+// chain cannot deadlock, so shipping lock k+1 before lock k's ack returns
+// changes only latency, never the set of reachable lock-table states (the
+// server applies one session's acquires strictly in submission order).
+// The wound-wait fallback tier always runs synchronously: its mixes carry
+// no such proof, so each acquire must observe its outcome before the next.
+// Zero (the default) keeps every operation synchronous; in-process
+// backends ignore the knob.
+func WithPipelineDepth(depth int) ServiceOption {
+	return func(c *serviceConfig) { c.pipeline = depth }
+}
+
+// WithFlushInterval sets the wire backends' batch window: each
+// connection's flush-coalescing writer rate-limits itself to one
+// buffered-write+flush per interval under sustained traffic (an op
+// arriving after idle still flushes immediately). Zero (the default)
+// flushes as soon as the writer drains, which already coalesces frames
+// that arrive while a flush is in progress; a small positive window
+// (tens of microseconds) trades that much latency for fewer, larger
+// syscalls under concurrent load on many-core hosts. Must be well under
+// the server lease (heartbeats ride the same writer, at priority).
+// In-process backends ignore the knob.
+func WithFlushInterval(d time.Duration) ServiceOption {
+	return func(c *serviceConfig) { c.flushEvery = d }
+}
+
 // LockService is the long-lived client-driven lock service: the paper's
 // program ("certify the mix statically, then run with no deadlock
 // handling") exposed as a live API.
@@ -262,14 +295,16 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		mult = 1
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:    runtime.StrategyNone,
-		Backend:     cfg.certBackend, // BackendDefault resolves to sharded
-		RemoteAddr:  cfg.remoteAddr,
-		RemoteAddrs: cfg.remoteAddrs,
-		Shards:      cfg.shards,
-		MaxShards:   cfg.maxShards,
-		StripeProbe: cfg.stripeProbe,
-		SiteInbox:   cfg.siteInbox,
+		Strategy:      runtime.StrategyNone,
+		Backend:       cfg.certBackend, // BackendDefault resolves to sharded
+		RemoteAddr:    cfg.remoteAddr,
+		RemoteAddrs:   cfg.remoteAddrs,
+		Shards:        cfg.shards,
+		MaxShards:     cfg.maxShards,
+		StripeProbe:   cfg.stripeProbe,
+		SiteInbox:     cfg.siteInbox,
+		PipelineDepth: cfg.pipeline,
+		FlushInterval: cfg.flushEvery,
 	})
 	if err != nil {
 		return nil, err
