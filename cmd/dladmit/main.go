@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,6 +55,7 @@ func main() {
 		serveFor = flag.Duration("serve-timeout", 30*time.Second, "abort serving after this long — a certified-tier stall means the certification was falsified (-run)")
 		pipeline = flag.Int("pipeline", 0, "certified-tier pipeline depth on wire backends: unacknowledged acquires in flight per session (0 = synchronous) (-run)")
 		flushInt = flag.Duration("flush-interval", 0, "wire backends' batch window: flushes rate-limited to one per interval under sustained traffic (0 = immediate) (-run)")
+		stats    = flag.Bool("stats", false, "dump the full ServiceStats snapshot as JSON on stdout before exit (see doc comment for the fields)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -189,6 +191,35 @@ func main() {
 
 	if *run {
 		serve(ctx, svc, *clients, *txns, time.Duration(*holdUsec)*time.Microsecond, *serveFor)
+	}
+	if *stats {
+		dumpStats(svc)
+	}
+}
+
+// dumpStats emits the service's full ServiceStats snapshot as indented
+// JSON on stdout — the machine-readable exit report scripts diff or
+// archive. Field guide:
+//
+//   - admission: certification work and decisions — live set size,
+//     admitted/rejected/evicted classes, pair_checks (PairSafeDF
+//     evaluations actually run), cache_hits vs cache_misses on the
+//     fingerprint-keyed pair-verdict cache, cycles_checked (Theorem 4),
+//     and budget_exhausted (classes rejected for exceeding -cycle-budget).
+//   - certified / fallback: one block per engine tier — commits, aborts,
+//     wounds, detected deadlocks, the pipelined_ops/sync_ops split, the
+//     tier's lock-table counters (grants, shared_grants split into
+//     fast_path_hits + slow_shared_grants, releases, held = grants −
+//     releases, wounds, stripe_splits, queue_depth histogram), and the
+//     lock_wait_ns/hold_time_ns histograms (all-zero unless the service
+//     measures latency; dladmit does not enable it).
+//   - begun: sessions opened. Conservation: after all sessions close,
+//     begun == certified.commits+aborts + fallback.commits+aborts.
+func dumpStats(svc *distlock.LockService) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(svc.Stats()); err != nil {
+		check(err)
 	}
 }
 

@@ -21,12 +21,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"math/rand"
 	"os"
 	goruntime "runtime"
 	"runtime/pprof"
-	"slices"
 	"strings"
 	"time"
 
@@ -492,20 +490,8 @@ func e11() {
 	fmt.Println("expected shape: optimizer reduces holding cost, preserves certification, improves latency under contention")
 }
 
-// lockWaitPercentile returns the p-th percentile of the recorded lock
-// waits (nearest-rank on a sorted copy).
-func lockWaitPercentile(waits []time.Duration, p float64) time.Duration {
-	if len(waits) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), waits...)
-	slices.Sort(sorted)
-	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	return sorted[min(i, len(sorted)-1)]
-}
+// nsToUS converts a histogram-snapshot nanosecond figure to microseconds.
+func nsToUS(ns int64) float64 { return float64(ns) / 1000 }
 
 // E12 (extension): concurrent-session lock behavior of the lock-table
 // backends on the certified (no-deadlock-handling) tier — throughput AND
@@ -553,18 +539,17 @@ func e12() {
 			})
 			check(err)
 			ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
-			p50 := lockWaitPercentile(m.LockWaits, 50)
-			p95 := lockWaitPercentile(m.LockWaits, 95)
-			p99 := lockWaitPercentile(m.LockWaits, 99)
-			us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+			p50 := nsToUS(m.LockWait.P50)
+			p95 := nsToUS(m.LockWait.P95)
+			p99 := nsToUS(m.LockWait.P99)
 			fmt.Printf("%-9s %-9s %9d %12.2f %8.0f %8.1f %8.1f %8.1f\n",
 				wl.name, be, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops,
-				us(p50), us(p95), us(p99))
+				p50, p95, p99)
 			key := wl.name + "_" + be.String()
 			benchDetails[key+"_ops_per_sec"] = ops
-			benchDetails[key+"_lock_wait_p50_us"] = us(p50)
-			benchDetails[key+"_lock_wait_p95_us"] = us(p95)
-			benchDetails[key+"_lock_wait_p99_us"] = us(p99)
+			benchDetails[key+"_lock_wait_p50_us"] = p50
+			benchDetails[key+"_lock_wait_p95_us"] = p95
+			benchDetails[key+"_lock_wait_p99_us"] = p99
 		}
 		srv.Close()
 	}
@@ -768,10 +753,9 @@ func e14() {
 		}
 		check(err)
 		ops := float64(m.Committed*opsPerTxn) / m.Elapsed.Seconds()
-		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
-		p50 := us(lockWaitPercentile(m.LockWaits, 50))
-		p95 := us(lockWaitPercentile(m.LockWaits, 95))
-		p99 := us(lockWaitPercentile(m.LockWaits, 99))
+		p50 := nsToUS(m.LockWait.P50)
+		p95 := nsToUS(m.LockWait.P95)
+		p99 := nsToUS(m.LockWait.P99)
 		fmt.Printf("%-9s %-17s %9d %12.2f %8.0f %9.1f %9.1f %9.1f\n",
 			wl, r.name, m.Committed, float64(m.Elapsed.Microseconds())/1000, ops, p50, p95, p99)
 		key := wl + "_" + r.name

@@ -44,6 +44,7 @@ func main() {
 		woundWait = flag.Bool("wound-wait", false, "host a wound-wait table (for a fallback tier); dialers must agree")
 		lease     = flag.Duration("lease", netlock.DefaultLease, "connection lease: a client silent this long is revoked")
 		svcTime   = flag.Duration("service-time", 0, "emulated per-request service cost (capacity experiments only; 0 disables)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
@@ -79,6 +80,14 @@ func main() {
 	}
 	fmt.Printf("dlserver: serving %d entities across %d sites on %s (%s table, wound-wait=%v, lease %v)\n",
 		ddb.NumEntities(), ddb.NumSites(), srv.Addr(), *backend, *woundWait, *lease)
+	if *debugAddr != "" {
+		dbg, err := startDebug(*debugAddr, srv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dlserver:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dlserver: debug endpoints on http://%s (/metrics, /debug/vars, /debug/pprof)\n", dbg)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

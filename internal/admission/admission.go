@@ -124,13 +124,18 @@ type Options struct {
 // Stats summarizes the work a Service has done since creation. Counters are
 // cumulative; Live is the current certified-set size.
 type Stats struct {
-	Live          int
-	Admitted      int64
-	Rejected      int64
-	Evicted       int64
-	PairChecks    int64 // PairSafeDF evaluations actually performed
-	CacheHits     int64 // pair verdicts answered from the fingerprint cache
-	CyclesChecked int64 // Theorem 4 cycle checks (all through a new vertex)
+	Live          int   `json:"live"`
+	Admitted      int64 `json:"admitted"`
+	Rejected      int64 `json:"rejected"`
+	Evicted       int64 `json:"evicted"`
+	PairChecks    int64 `json:"pair_checks"`    // PairSafeDF evaluations actually performed
+	CacheHits     int64 `json:"cache_hits"`     // pair verdicts answered from the fingerprint cache
+	CacheMisses   int64 `json:"cache_misses"`   // pair verdicts that had to be dispatched for evaluation
+	CyclesChecked int64 `json:"cycles_checked"` // Theorem 4 cycle checks (all through a new vertex)
+	// BudgetExhausted counts classes rejected conservatively because
+	// certifying them would exceed Options.CycleBudget — the admission
+	// latency/admission rate trade made visible.
+	BudgetExhausted int64 `json:"budget_exhausted"`
 }
 
 // Result reports one admission decision.
@@ -248,6 +253,7 @@ func (s *Service) AdmitBatch(ctx context.Context, ts []*model.Transaction) ([]Re
 			s.stats.CacheHits++
 			return
 		}
+		s.stats.CacheMisses++
 		jobs = append(jobs, job{key: k, t1: a, t2: b})
 	}
 	for i, t := range ts {
@@ -351,6 +357,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 			// Unreachable from AdmitBatch; keep the slow path for safety.
 			rep = core.PairSafeDF(a, b)
 			s.cache[keyOf(ka, kb)] = rep
+			s.stats.CacheMisses++
 			s.stats.PairChecks++
 		}
 		return rep
@@ -465,6 +472,7 @@ func (s *Service) admitOne(ctx context.Context, t *model.Transaction, fp Fingerp
 			t.Name(), viol), viol), nil
 	}
 	if overBudget {
+		s.stats.BudgetExhausted++
 		return reject(fmt.Sprintf(
 			"certifying %s needs more than %d cycle checks (CycleBudget); rejected conservatively",
 			t.Name(), s.budget), nil), nil

@@ -36,6 +36,7 @@ import (
 	"distlock/internal/locktable"
 	"distlock/internal/model"
 	"distlock/internal/netlock"
+	"distlock/internal/obs"
 )
 
 func init() {
@@ -64,6 +65,18 @@ type Options struct {
 // conformance suite, the engine, and the detector drive it unchanged.
 type Table struct {
 	parts []*netlock.Client
+
+	// m is the merged table bundle: every partition client counts its
+	// grants and releases into it, so the cluster's counters read like one
+	// table's. expiries counts lease expiries surfaced to callers PER
+	// PARTITION — counted client-side, because a killed server cannot
+	// count its own demise; a dead partition's slice of the entity space
+	// shows up here while the survivors' counters stay at zero.
+	// fenceJoins counts partition-switch fence joins (the cross-partition
+	// ordering cost the async tier pays; see the fencing comment below).
+	m          *obs.TableMetrics
+	expiries   []obs.Counter
+	fenceJoins obs.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -97,7 +110,16 @@ func New(ddb *model.DDB, cfg locktable.Config, addrs []string, opts Options) (*T
 	} else if dial.DialRetries < 0 {
 		dial.DialRetries = 0
 	}
-	t := &Table{parts: make([]*netlock.Client, len(addrs)), fences: make(map[int]*instFence)}
+	t := &Table{
+		parts:    make([]*netlock.Client, len(addrs)),
+		fences:   make(map[int]*instFence),
+		m:        cfg.Metrics,
+		expiries: make([]obs.Counter, len(addrs)),
+	}
+	if t.m == nil {
+		t.m = obs.NewTableMetrics()
+	}
+	cfg.Metrics = t.m // every partition client counts into the merged bundle
 	for i, addr := range addrs {
 		cli, err := netlock.Dial(addr, ddb, cfg, dial)
 		if err != nil {
@@ -113,6 +135,25 @@ func New(ddb *model.DDB, cfg locktable.Config, addrs []string, opts Options) (*T
 
 // Partitions reports the number of servers in the cluster.
 func (t *Table) Partitions() int { return len(t.parts) }
+
+// Metrics returns the merged table bundle every partition client counts
+// into — the cluster's traffic read as one table's. Safe concurrent with
+// traffic and after Close.
+func (t *Table) Metrics() *obs.TableMetrics { return t.m }
+
+// PartitionMetrics returns partition p's wire instrumentation (its
+// connection's frames, flushes, batch width, heartbeats, expiries
+// surfaced on that connection, pipeline depth).
+func (t *Table) PartitionMetrics(p int) *obs.WireMetrics { return t.parts[p].Metrics() }
+
+// PartitionExpiries reports how many lease expiries callers have been
+// handed for entities owned by partition p. Nonzero exactly on the
+// partitions that died or were partitioned away.
+func (t *Table) PartitionExpiries(p int) int64 { return t.expiries[p].Load() }
+
+// FenceJoins reports how many partition-switch fence joins the async
+// tier has performed — the cross-partition ordering cost of pipelining.
+func (t *Table) FenceJoins() int64 { return t.fenceJoins.Load() }
 
 // Partition returns the index of the server that owns the entity: the
 // same Fibonacci-multiplier mix the sharded backend stripes with, one
@@ -149,10 +190,24 @@ func (t *Table) mapErr(err error) error {
 	return netlock.ErrLeaseExpired
 }
 
+// mapErrAt is mapErr plus the per-partition expiry ledger: every lease
+// expiry surfaced to a caller is charged to the partition that produced
+// it. Counted here — on the client side — because a killed server cannot
+// count its own expiries; the survivors' counters staying at zero is what
+// certifies the outage stayed contained to one partition.
+func (t *Table) mapErrAt(p int, err error) error {
+	err = t.mapErr(err)
+	if errors.Is(err, netlock.ErrLeaseExpired) {
+		t.expiries[p].Inc()
+	}
+	return err
+}
+
 // Acquire implements locktable.Table: the request goes to the entity's
 // owning partition, whose grant queue alone decides order.
 func (t *Table) Acquire(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode) error {
-	return t.mapErr(t.part(ent).Acquire(ctx, inst, ent, mode))
+	p := t.Partition(ent)
+	return t.mapErrAt(p, t.parts[p].Acquire(ctx, inst, ent, mode))
 }
 
 // The async tier: partition fencing.
@@ -322,13 +377,14 @@ func (t *Table) fenceEnd(st *instFence, p int, forRelease bool, c *memoCompletio
 func (t *Table) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode) locktable.Completion {
 	p := t.Partition(ent)
 	st, join := t.fenceBegin(inst.Key, p, false)
+	t.fenceJoins.Add(int64(len(join)))
 	for _, c := range join {
 		if err := t.mapErr(c.Wait(context.Background())); err != nil {
 			t.fenceEnd(st, p, false, nil)
 			return locktable.ResolvedCompletion(err)
 		}
 	}
-	w := &memoCompletion{inner: t.wrap(t.parts[p].AcquireAsync(inst, ent, mode))}
+	w := &memoCompletion{inner: t.wrap(p, t.parts[p].AcquireAsync(inst, ent, mode))}
 	t.fenceEnd(st, p, false, w)
 	return w
 }
@@ -344,25 +400,27 @@ func (t *Table) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode l
 func (t *Table) ReleaseAsync(ent model.EntityID, key locktable.InstKey) locktable.Completion {
 	p := t.Partition(ent)
 	st, join := t.fenceBegin(key, p, true)
+	t.fenceJoins.Add(int64(len(join)))
 	for _, c := range join {
 		c.Wait(context.Background())
 	}
-	w := &memoCompletion{inner: t.wrap(t.parts[p].ReleaseAsyncAcked(ent, key))}
+	w := &memoCompletion{inner: t.wrap(p, t.parts[p].ReleaseAsyncAcked(ent, key))}
 	t.fenceEnd(st, p, true, w)
 	return w
 }
 
-// wrap applies the cluster's partition-loss translation (mapErr) to a
-// partition client's completion.
-func (t *Table) wrap(inner locktable.Completion) locktable.Completion {
+// wrap applies the cluster's partition-loss translation (and the per-
+// partition expiry ledger) to a partition client's completion.
+func (t *Table) wrap(p int, inner locktable.Completion) locktable.Completion {
 	return locktable.CompletionFunc(func(ctx context.Context) error {
-		return t.mapErr(inner.Wait(ctx))
+		return t.mapErrAt(p, inner.Wait(ctx))
 	})
 }
 
 // Release implements locktable.Table.
 func (t *Table) Release(ent model.EntityID, key locktable.InstKey) error {
-	return t.mapErr(t.part(ent).Release(ent, key))
+	p := t.Partition(ent)
+	return t.mapErrAt(p, t.parts[p].Release(ent, key))
 }
 
 // ReleaseAll implements locktable.Table: entities are grouped by owning
@@ -395,7 +453,7 @@ func (t *Table) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error {
 		wg.Add(1)
 		go func(p int, g []model.EntityID) {
 			defer wg.Done()
-			errs[p] = t.mapErr(t.parts[p].ReleaseAll(g, key))
+			errs[p] = t.mapErrAt(p, t.parts[p].ReleaseAll(g, key))
 		}(p, g)
 	}
 	wg.Wait()

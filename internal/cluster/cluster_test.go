@@ -417,6 +417,19 @@ func TestClusterPartitionLoss(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+
+	// The per-partition expiry counters attribute the failure exactly:
+	// the dead partition absorbed every lease expiry the workload saw,
+	// the survivors none — the direct form of what the error-path checks
+	// above only infer.
+	if n := tab.PartitionExpiries(deadPart); n == 0 {
+		t.Error("dead partition's expiry counter is zero despite surfaced lease expiries")
+	}
+	for _, p := range []int{0, 2} {
+		if n := tab.PartitionExpiries(p); n != 0 {
+			t.Errorf("surviving partition %d counted %d lease expiries, want 0", p, n)
+		}
+	}
 }
 
 // TestClusterAsyncFencesPartitionSwitch pins the partition fence's core

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // actorTable is the message-passing DEBUG/REFERENCE backend: one
@@ -18,6 +19,8 @@ import (
 // — must be bit-for-bit identical between the two.
 type actorTable struct {
 	cfg    Config
+	m      *obs.TableMetrics
+	tr     *obs.Ring
 	sites  []*site
 	siteOf []*site // indexed by EntityID
 
@@ -32,8 +35,13 @@ func NewActor(ddb *model.DDB, cfg Config) Table {
 	if cfg.SiteInbox <= 0 {
 		cfg.SiteInbox = DefaultSiteInbox
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewTableMetrics()
+	}
 	t := &actorTable{
 		cfg:    cfg,
+		m:      cfg.Metrics,
+		tr:     cfg.Tracer,
 		siteOf: make([]*site, ddb.NumEntities()),
 		stop:   make(chan struct{}),
 	}
@@ -206,6 +214,7 @@ func (st *site) handleLock(t *actorTable, m lockReq) {
 		st.grant(t, m.e, l, waitEntry{key: m.key, prio: m.prio, mode: m.mode, reply: m.reply})
 		return
 	}
+	t.m.QueueDepth.Record(int64(len(l.queue)))
 	l.queue = append(l.queue, waitEntry{key: m.key, prio: m.prio, mode: m.mode, reply: m.reply})
 	if t.cfg.WoundWait && t.cfg.OnWound != nil {
 		// An older requester wounds every CONFLICTING younger holder.
@@ -260,6 +269,8 @@ func (st *site) handleWound(t *actorTable, key InstKey) {
 			case w.reply <- ErrWounded:
 			default:
 			}
+			t.m.Wounds.Inc()
+			t.tr.Record(obs.EvWound, int(e), w.key.ID, w.key.Epoch, uint8(w.mode))
 			removed = true
 		}
 		if removed {
@@ -281,6 +292,7 @@ func (st *site) release(t *actorTable, ent model.EntityID, key InstKey) {
 		}
 		delete(l.sholders, key)
 	}
+	t.m.Releases.Inc(uint64(key.ID))
 	st.grantWave(t, ent, l)
 }
 
@@ -312,6 +324,12 @@ func (st *site) grant(t *actorTable, ent model.EntityID, l *elock, w waitEntry) 
 		l.xholder = w.key
 		l.xprio = w.prio
 	}
+	hint := uint64(w.key.ID)
+	t.m.Grants.Inc(hint)
+	if w.mode == Shared {
+		t.m.SlowShared.Inc(hint)
+	}
+	t.tr.Record(obs.EvGrant, int(ent), w.key.ID, w.key.Epoch, uint8(w.mode))
 	if t.cfg.Trace {
 		st.log = append(st.log, GrantEvent{Entity: ent, Inst: w.key.ID, Epoch: w.key.Epoch, Mode: w.mode})
 	}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // DefaultSiteInbox is the default per-site inbox capacity of the actor
@@ -187,6 +188,24 @@ type Config struct {
 	// cycles through them. Such callers set this; WoundWait and Trace
 	// disable the fast path implicitly.
 	DisableSharedFastPath bool
+	// Metrics receives the backend's operation counters (grants by path,
+	// releases, wounds, stripe splits, queue-depth samples). Counting is
+	// always on — a nil Metrics is normalized to a private bundle — and
+	// allocation-free; supplying a shared bundle lets an embedder (the
+	// engine, the cluster router) aggregate several backends into one
+	// view. Remote backends count CLIENT-side: the bundle covers exactly
+	// the traffic this table object generated, and the server keeps its
+	// own authoritative bundle across all its clients.
+	Metrics *obs.TableMetrics
+	// Tracer, when non-nil, receives grant/wound events into a lossy
+	// ring buffer. Unlike Trace — whose grant log needs identified
+	// holders and therefore disables the sharded backend's CAS shared
+	// fast path — the tracer is fed from the fast path itself (the
+	// requesting instance's identity is in hand at the CAS site even
+	// though the table records the grant anonymously), so observing a
+	// reader crowd does not change its behavior. Lossy by contract: a
+	// full ring overwrites its oldest events.
+	Tracer *obs.Ring
 }
 
 // Table is a shared/exclusive lock table over the entities of one

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // shardedTable is the contention-adaptive striped backend: entities are
@@ -62,6 +63,13 @@ import (
 // granted as one wave) or oldest-first under wound-wait.
 type shardedTable struct {
 	cfg Config
+
+	// m counts grants/releases/wounds (always on; normalized from
+	// Config.Metrics) and tr is the optional lossy event tracer. Both are
+	// hot-path safe: striped padded atomics and a mutex-free ring, so
+	// neither disables the CAS fast path the way Config.Trace does.
+	m  *obs.TableMetrics
+	tr *obs.Ring
 
 	// fast holds the per-entity packed reader state (fastSlot), indexed by
 	// the dense EntityID. Nil when the fast path is disabled (wound-wait,
@@ -221,8 +229,13 @@ func NewSharded(ddb *model.DDB, cfg Config) Table {
 		// stays static unless MaxShards asks otherwise.
 		maxShards = min(initial*8, 2048)
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewTableMetrics()
+	}
 	t := &shardedTable{
 		cfg:       cfg,
+		m:         cfg.Metrics,
+		tr:        cfg.Tracer,
 		maxShards: maxShards,
 		stop:      make(chan struct{}),
 	}
@@ -354,6 +367,10 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 				break // a writer (or queue) owns the entity: mutex path
 			}
 			if slot.CompareAndSwap(st, st+1) {
+				// One striped inc, not two: FastHits implies a grant and
+				// Snapshot folds it into the grant total.
+				t.m.FastHits.Inc(uint64(inst.Key.ID))
+				t.tr.Record(obs.EvGrant, int(ent), inst.Key.ID, inst.Key.Epoch, uint8(mode))
 				return nil
 			}
 		}
@@ -378,6 +395,7 @@ func (t *shardedTable) Acquire(ctx context.Context, inst Instance, ent model.Ent
 		s.mu.Unlock()
 		return nil
 	}
+	t.m.QueueDepth.Record(int64(len(l.queue)))
 	w := &waiter{key: inst.Key, prio: inst.Prio, mode: mode, ch: make(chan error, 1)}
 	l.queue = append(l.queue, w)
 	if t.cfg.WoundWait && t.cfg.OnWound != nil {
@@ -433,6 +451,10 @@ func (t *shardedTable) TryAcquire(inst Instance, ent model.EntityID, mode Mode) 
 				break
 			}
 			if slot.CompareAndSwap(st, st+1) {
+				// One striped inc, not two: FastHits implies a grant and
+				// Snapshot folds it into the grant total.
+				t.m.FastHits.Inc(uint64(inst.Key.ID))
+				t.tr.Record(obs.EvGrant, int(ent), inst.Key.ID, inst.Key.Epoch, uint8(mode))
 				return true, nil
 			}
 		}
@@ -510,6 +532,7 @@ func (t *shardedTable) Release(ent model.EntityID, key InstKey) error {
 				break
 			}
 			if slot.CompareAndSwap(st, st-1) {
+				t.m.Releases.Inc(uint64(key.ID))
 				return nil
 			}
 		}
@@ -541,6 +564,7 @@ func (t *shardedTable) releaseLocked(ent model.EntityID, l *slock, key InstKey) 
 			return
 		}
 	}
+	t.m.Releases.Inc(uint64(key.ID))
 	t.grantWaveLocked(ent, l)
 	if !wasExclusive {
 		// Hysteresis: a departing writer leaves the slow-mode bit SET even
@@ -602,6 +626,12 @@ func (t *shardedTable) grantLocked(ent model.EntityID, l *slock, key InstKey, pr
 		l.xholder = key
 		l.xprio = prio
 	}
+	hint := uint64(key.ID)
+	t.m.Grants.Inc(hint)
+	if mode == Shared {
+		t.m.SlowShared.Inc(hint)
+	}
+	t.tr.Record(obs.EvGrant, int(ent), key.ID, key.Epoch, uint8(mode))
 	if t.cfg.Trace {
 		// Trace disables the fast path, so every grant lands here with its
 		// identity. Lock order: stripe mutex (held), then traceMu.
@@ -668,6 +698,8 @@ func (t *shardedTable) Wound(key InstKey) {
 				w := l.queue[i]
 				l.queue = append(l.queue[:i], l.queue[i+1:]...)
 				w.ch <- ErrWounded
+				t.m.Wounds.Inc()
+				t.tr.Record(obs.EvWound, int(ent), w.key.ID, w.key.Epoch, uint8(w.mode))
 				removed = true
 			}
 			if removed {
@@ -817,6 +849,7 @@ func (t *shardedTable) grow(old *stripeSet) {
 	}
 	t.set.Store(next)
 	t.splits.Add(1)
+	t.m.Splits.Inc()
 	for _, s := range old.stripes {
 		s.retired = true
 		s.mu.Unlock()

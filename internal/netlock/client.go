@@ -12,6 +12,7 @@ import (
 
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // init registers the package as the locktable remote backend, so the
@@ -103,11 +104,20 @@ type Client struct {
 	qmu        sync.Mutex
 	sendb      []byte // pending request frames, length-prefixed, encoded in place
 	hbb        []byte // pending heartbeat frames: written first, so a deep queue cannot starve the lease
+	sendn      int64  // frames pending in sendb (swapped out with it by the writer)
+	hbn        int64  // frames pending in hbb
 	sendSpare  []byte // retired buffers recycled by the writer (double buffering)
 	hbSpare    []byte
 	qwake      chan struct{}
 	qclosed    bool
 	flushEvery time.Duration
+
+	// Observability. m is the client-side view of the hosted table's
+	// traffic (the server keeps its own authoritative bundle); wm covers
+	// this connection's wire behavior; tr is the optional lossy event ring.
+	m  *obs.TableMetrics
+	wm *obs.WireMetrics
+	tr *obs.Ring
 
 	mu      sync.Mutex
 	pending map[uint64]chan result
@@ -174,6 +184,12 @@ func Dial(addr string, ddb *model.DDB, cfg locktable.Config, opts DialOptions) (
 		qwake:      make(chan struct{}, 1),
 		flushEvery: opts.FlushInterval,
 		stop:       make(chan struct{}),
+		m:          cfg.Metrics,
+		wm:         obs.NewWireMetrics(),
+		tr:         cfg.Tracer,
+	}
+	if c.m == nil {
+		c.m = obs.NewTableMetrics()
 	}
 	hash := DDBHash(ddb)
 	var e enc
@@ -255,8 +271,10 @@ func (c *Client) enqueue(frame []byte, heartbeat bool) error {
 	}
 	if heartbeat {
 		c.hbb = appendFrame(c.hbb, frame)
+		c.hbn++
 	} else {
 		c.sendb = appendFrame(c.sendb, frame)
+		c.sendn++
 	}
 	c.qmu.Unlock()
 	select {
@@ -290,12 +308,17 @@ func (c *Client) writeLoop() {
 			return
 		}
 		yields := 0
+		var cycleFrames, cycleBytes int64
 		for {
 			c.qmu.Lock()
 			hb, q := c.hbb, c.sendb
+			hbN, qN := c.hbn, c.sendn
 			c.hbb, c.sendb = c.hbSpare, c.sendSpare
+			c.hbn, c.sendn = 0, 0
 			c.hbSpare, c.sendSpare = nil, nil
 			c.qmu.Unlock()
+			cycleFrames += hbN + qN
+			cycleBytes += int64(len(hb) + len(q))
 			if len(hb) == 0 && len(q) == 0 {
 				// Micro-batch: before paying the flush syscall, hand the
 				// processor back a few times — a session that was about to
@@ -338,6 +361,14 @@ func (c *Client) writeLoop() {
 			c.shutdown()
 			return
 		}
+		if cycleFrames > 0 {
+			// One completed cycle is one write syscall; the frame count it
+			// carried is the realized batch width.
+			c.wm.Frames.Add(cycleFrames)
+			c.wm.Bytes.Add(cycleBytes)
+			c.wm.Flushes.Inc()
+			c.wm.BatchWidth.Record(cycleFrames)
+		}
 		if c.flushEvery > 0 {
 			lastFlush = time.Now()
 		}
@@ -372,6 +403,12 @@ func (c *Client) readLoop() {
 				// latch it for the next completion join (commit). Only the
 				// first failure is kept — any such failure means the lease
 				// was revoked, a connection-wide condition.
+				switch status {
+				case stStaleFence:
+					c.wm.FenceRejections.Inc()
+				case stLeaseExpired:
+					c.wm.LeaseExpiries.Inc()
+				}
 				c.mu.Lock()
 				if c.ffErr == nil {
 					c.ffErr = ffStatusErr(status)
@@ -388,6 +425,7 @@ func (c *Client) readLoop() {
 			delete(c.pending, reqID)
 			c.mu.Unlock()
 			if ch != nil {
+				c.wm.InFlight.Add(-1)
 				ch <- result{status: status, payload: payload}
 			}
 		case opWoundPush:
@@ -397,6 +435,8 @@ func (c *Client) readLoop() {
 			}
 			// Same contract as the in-process backends: the callback only
 			// signals the victim and must not call back into the table.
+			c.m.Wounds.Inc()
+			c.tr.Record(obs.EvWound, 0, int(victim), 0, 0)
 			if c.cfg.OnWound != nil {
 				c.cfg.OnWound(int(victim))
 			}
@@ -426,6 +466,7 @@ func (c *Client) heartbeats(every time.Duration) {
 				c.unregister(reqID)
 				return
 			}
+			c.wm.HeartbeatsSent.Inc()
 		}
 	}
 }
@@ -448,6 +489,7 @@ func (c *Client) shutdown() {
 	pending := c.pending
 	c.pending = map[uint64]chan result{}
 	c.mu.Unlock()
+	c.wm.InFlight.Add(-int64(len(pending)))
 	for _, ch := range pending {
 		ch <- result{status: stStopped}
 	}
@@ -464,14 +506,21 @@ func (c *Client) register() (uint64, chan result) {
 		return reqID, ch
 	}
 	c.pending[reqID] = ch
+	depth := int64(len(c.pending))
 	c.mu.Unlock()
+	c.wm.InFlight.Add(1)
+	c.wm.PipelineDepth.Record(depth)
 	return reqID, ch
 }
 
 func (c *Client) unregister(reqID uint64) {
 	c.mu.Lock()
+	_, present := c.pending[reqID]
 	delete(c.pending, reqID)
 	c.mu.Unlock()
+	if present {
+		c.wm.InFlight.Add(-1)
+	}
 }
 
 // send builds one frame and queues it for the flush loop. The encoder
@@ -525,6 +574,7 @@ type acquireCompletion struct {
 	ch     chan result
 	key    locktable.InstKey
 	ent    model.EntityID
+	mode   locktable.Mode
 	doomed <-chan struct{}
 }
 
@@ -535,16 +585,16 @@ type acquireCompletion struct {
 func (a *acquireCompletion) Wait(ctx context.Context) error {
 	select {
 	case res := <-a.ch:
-		return a.c.finishAcquire(res, a.key, a.ent)
+		return a.c.finishAcquire(res, a.key, a.ent, a.mode)
 	default:
 	}
 	select {
 	case res := <-a.ch:
-		return a.c.finishAcquire(res, a.key, a.ent)
+		return a.c.finishAcquire(res, a.key, a.ent, a.mode)
 	case <-ctx.Done():
-		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, ctx.Err())
+		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, a.mode, ctx.Err())
 	case <-a.doomed:
-		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, locktable.ErrWounded)
+		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, a.mode, locktable.ErrWounded)
 	case <-a.c.stop:
 		return locktable.ErrStopped
 	}
@@ -569,7 +619,7 @@ func (c *Client) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode 
 		c.unregister(reqID)
 		return locktable.ResolvedCompletion(locktable.ErrStopped)
 	}
-	return &acquireCompletion{c: c, reqID: reqID, ch: ch, key: inst.Key, ent: ent, doomed: inst.Doomed}
+	return &acquireCompletion{c: c, reqID: reqID, ch: ch, key: inst.Key, ent: ent, mode: mode, doomed: inst.Doomed}
 }
 
 // Acquire implements locktable.Table: the request blocks server-side in
@@ -581,8 +631,10 @@ func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model
 }
 
 // finishAcquire maps an acquire result onto the Table contract, recording
-// the fencing token on a grant.
-func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.EntityID) error {
+// the fencing token on a grant. Grants are counted here — client-side, so
+// this connection's table bundle covers exactly the traffic it generated
+// (the server keeps its own authoritative bundle for the hosted table).
+func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.EntityID, mode locktable.Mode) error {
 	switch res.status {
 	case stOK:
 		d := dec{b: res.payload}
@@ -593,16 +645,25 @@ func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.Enti
 		c.mu.Lock()
 		c.fences[fenceRef{ent: ent, key: key}] = fence
 		c.mu.Unlock()
+		hint := uint64(key.ID)
+		c.m.Grants.Inc(hint)
+		if mode == locktable.Shared {
+			c.m.SlowShared.Inc(hint)
+		}
+		c.tr.Record(obs.EvGrant, int(ent), key.ID, key.Epoch, uint8(mode))
 		return nil
 	case stWounded:
 		return locktable.ErrWounded
 	case stStopped:
 		return locktable.ErrStopped
 	case stLeaseExpired:
+		c.wm.LeaseExpiries.Inc()
+		c.tr.Record(obs.EvExpiry, int(ent), key.ID, key.Epoch, uint8(mode))
 		return ErrLeaseExpired
 	case stCancelled:
 		// The server withdrew the request without us asking — only possible
 		// after a revoke raced a cancel bookkeeping-wise; treat as expiry.
+		c.wm.LeaseExpiries.Inc()
 		return ErrLeaseExpired
 	case stErr:
 		d := dec{b: res.payload}
@@ -616,7 +677,7 @@ func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.Enti
 // or doom fired, then waits for the server's authoritative answer: if the
 // grant won the race it is released before returning, so the instance
 // holds nothing either way.
-func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstKey, ent model.EntityID, cause error) error {
+func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstKey, ent model.EntityID, mode locktable.Mode, cause error) error {
 	if err := c.send(func(e *enc) {
 		e.u8(opCancel)
 		e.u64(reqID)
@@ -640,7 +701,7 @@ func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstK
 	case res := <-ch:
 		if res.status == stOK {
 			// The grant raced the cancel: record it, then give it back.
-			if c.finishAcquire(res, key, ent) == nil {
+			if c.finishAcquire(res, key, ent, mode) == nil {
 				c.Release(ent, key)
 			}
 		}
@@ -666,18 +727,23 @@ func (c *Client) takeFence(ent model.EntityID, key locktable.InstKey) (fence uin
 	fence, held = c.fences[ref]
 	if held {
 		delete(c.fences, ref)
+		// The client-side un-hold: the grant record is consumed here, so
+		// this is where Grants − Releases = records still held balances
+		// (whatever the server replies, the record is no longer ours).
+		c.m.Releases.Inc(uint64(key.ID))
 	}
 	return fence, held, false
 }
 
 // finishRelease maps a release result onto the Table contract.
-func finishRelease(res result, err error) error {
+func (c *Client) finishRelease(res result, err error) error {
 	switch {
 	case err != nil:
 		return locktable.ErrStopped
 	case res.status == stOK:
 		return nil
 	case res.status == stStaleFence:
+		c.wm.FenceRejections.Inc()
 		return ErrStaleFence
 	default:
 		return fmt.Errorf("netlock: release: unknown status %#x", res.status)
@@ -704,7 +770,7 @@ func (c *Client) Release(ent model.EntityID, key locktable.InstKey) error {
 		e.key(key)
 		e.u64(fence)
 	})
-	return finishRelease(res, err)
+	return c.finishRelease(res, err)
 }
 
 // ffStatusErr maps an unsolicited fire-and-forget failure status onto
@@ -795,7 +861,7 @@ func (c *Client) ReleaseAsyncAcked(ent model.EntityID, key locktable.InstKey) lo
 			if res.status == stStopped {
 				return locktable.ErrStopped
 			}
-			return finishRelease(res, nil)
+			return c.finishRelease(res, nil)
 		default:
 		}
 		// Same self-fencing bound as call(): a wedged-but-TCP-alive
@@ -811,7 +877,7 @@ func (c *Client) ReleaseAsyncAcked(ent model.EntityID, key locktable.InstKey) lo
 			if res.status == stStopped {
 				return locktable.ErrStopped
 			}
-			return finishRelease(res, nil)
+			return c.finishRelease(res, nil)
 		case <-c.stop:
 			return locktable.ErrStopped
 		case <-timer.C:
@@ -849,6 +915,7 @@ func (c *Client) ReleaseAll(ents []model.EntityID, key locktable.InstKey) error 
 	if len(rels) == 0 {
 		return nil
 	}
+	c.m.Releases.Add(uint64(key.ID), int64(len(rels)))
 	res, err := c.call(func(reqID uint64, e *enc) {
 		e.u8(opReleaseAll)
 		e.u64(reqID)
@@ -886,6 +953,7 @@ func (c *Client) Withdraw(ent model.EntityID, key locktable.InstKey) bool {
 	if closed || !held {
 		return false
 	}
+	c.m.Releases.Inc(uint64(key.ID))
 	res, err := c.call(func(reqID uint64, e *enc) {
 		e.u8(opWithdraw)
 		e.u64(reqID)
@@ -987,3 +1055,13 @@ func (c *Client) isClosed() bool {
 
 // Lease returns the server-granted lease window (diagnostics and tests).
 func (c *Client) Lease() time.Duration { return c.lease }
+
+// Metrics returns this connection's wire instrumentation (frames, bytes,
+// flushes, batch width, heartbeats, lease expiries surfaced to callers,
+// pipeline depth). Safe concurrent with traffic and after Close.
+func (c *Client) Metrics() *obs.WireMetrics { return c.wm }
+
+// TableMetrics returns the client-side view of the hosted table's traffic
+// — Config.Metrics when the caller supplied one (the cluster backend
+// shares one bundle across all partition clients), else a private bundle.
+func (c *Client) TableMetrics() *obs.TableMetrics { return c.m }

@@ -126,6 +126,16 @@ func TestLeaseExpiryWhileHolding(t *testing.T) {
 	if err := live.Release(ents[0], locktable.InstKey{ID: 2}); err != nil {
 		t.Fatal(err)
 	}
+	// The server's wire counters attribute the revocation: exactly one
+	// lease expired (the stalled session), and the live session's
+	// renewals were received — the sweep fired for missed heartbeats, not
+	// for everyone.
+	if n := srv.Metrics().LeaseExpiries.Load(); n != 1 {
+		t.Fatalf("server counted %d lease expiries, want 1", n)
+	}
+	if n := srv.Metrics().HeartbeatsRecv.Load(); n == 0 {
+		t.Fatal("server counted no heartbeats from the live session")
+	}
 }
 
 // TestStaleFenceRejected is the fencing acceptance test: a lease-expired
@@ -155,6 +165,9 @@ func TestStaleFenceRejected(t *testing.T) {
 	// rejected, and the re-granted lock stays held.
 	if err := stalled.Release(e, locktable.InstKey{ID: 1}); !errors.Is(err, ErrStaleFence) {
 		t.Fatalf("late release after lease expiry = %v, want ErrStaleFence", err)
+	}
+	if n := srv.Metrics().FenceRejections.Load(); n != 1 {
+		t.Fatalf("server counted %d fence rejections, want 1", n)
 	}
 	probeCtx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()

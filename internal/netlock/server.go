@@ -14,6 +14,7 @@ import (
 
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // DefaultLease is the default connection lease: a connection that neither
@@ -84,6 +85,13 @@ type Server struct {
 
 	traceMu sync.Mutex
 	trace   []locktable.GrantEvent // composed IDs; translated per querying conn
+
+	// Observability. tm is the hosted table's bundle (the inner table
+	// counts into it); wm aggregates the reply side of every connection;
+	// tr is the optional lossy event ring (lease expiries land here).
+	tm *obs.TableMetrics
+	wm *obs.WireMetrics
+	tr *obs.Ring
 }
 
 // grantRef identifies one recorded grant of a connection.
@@ -145,6 +153,7 @@ type srvConn struct {
 	// coalesce into the next syscall.
 	outMu    sync.Mutex
 	outb     []byte // pending reply frames, length-prefixed, encoded in place
+	outn     int64  // frames pending in outb (swapped out with it by the reply writer)
 	outSpare []byte // retired buffer recycled by the reply writer (double buffering)
 	outWake  chan struct{}
 
@@ -197,9 +206,16 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 		conns:      map[uint32]*srvConn{},
 		preConns:   map[net.Conn]struct{}{},
 		fences:     map[model.EntityID]uint64{},
+		tm:         cfg.Metrics,
+		wm:         obs.NewWireMetrics(),
+		tr:         cfg.Tracer,
+	}
+	if s.tm == nil {
+		s.tm = obs.NewTableMetrics()
 	}
 	inner := cfg
-	inner.Trace = false // the server records grants itself, with session identity
+	inner.Metrics = s.tm // the hosted table counts into the server's bundle
+	inner.Trace = false  // the server records grants itself, with session identity
 	// The sharded backend's anonymous shared fast path is wrong here: the
 	// server composes per-connection identities into snapshot edges and
 	// grant records, and an unattributable reader count cannot be stripped
@@ -294,6 +310,16 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Metrics returns the server's wire instrumentation: reply frames, bytes
+// and flushes aggregated across every connection, heartbeats received,
+// leases the sweeper revoked, and stale-fence release rejections. Safe
+// concurrent with traffic and after Close.
+func (s *Server) Metrics() *obs.WireMetrics { return s.wm }
+
+// TableMetrics returns the hosted table's bundle — the authoritative
+// server-side counts (clients keep per-connection views of their own).
+func (s *Server) TableMetrics() *obs.TableMetrics { return s.tm }
+
 // handshakeTimeout bounds how long an accepted socket may take to
 // complete the hello exchange. The lease is the natural scale, floored so
 // aggressive test leases don't reject slow-starting legitimate dialers.
@@ -353,6 +379,7 @@ func (s *Server) revoke(c *srvConn, disconnect bool) {
 		c.mu.Unlock()
 		return // already revoked; nothing new to take
 	}
+	expired := !c.leaseLost && !disconnect // a live session missed its window
 	c.leaseLost = true
 	for _, acq := range c.acquires {
 		if !acq.cancelled {
@@ -366,9 +393,15 @@ func (s *Server) revoke(c *srvConn, disconnect bool) {
 	}
 	c.grants = map[grantRef]uint64{}
 	c.mu.Unlock()
+	if expired {
+		s.wm.LeaseExpiries.Inc()
+	}
 	// Table calls outside every server lock (the grant path's OnWound takes
 	// locks of its own).
 	for _, ref := range grants {
+		if expired {
+			s.tr.Record(obs.EvExpiry, int(ref.ent), ref.key.ID, ref.key.Epoch, 0)
+		}
 		s.tab.Release(ref.ent, ref.key)
 	}
 }
@@ -445,6 +478,7 @@ func (s *Server) woundWriter(c *srvConn) {
 func (c *srvConn) write(body []byte) {
 	c.outMu.Lock()
 	c.outb = appendFrame(c.outb, body)
+	c.outn++
 	c.outMu.Unlock()
 	select {
 	case c.outWake <- struct{}{}:
@@ -472,12 +506,17 @@ func (s *Server) replyWriter(c *srvConn) {
 			return
 		}
 		yields := 0
+		var cycleFrames, cycleBytes int64
 		for {
 			c.outMu.Lock()
 			q := c.outb
+			qN := c.outn
 			c.outb = c.outSpare
+			c.outn = 0
 			c.outSpare = nil
 			c.outMu.Unlock()
+			cycleFrames += qN
+			cycleBytes += int64(len(q))
 			if len(q) == 0 {
 				// Micro-batch: yield a few scheduler passes before the
 				// flush — a chain mid-burst gets to finish its next grant,
@@ -502,6 +541,14 @@ func (s *Server) replyWriter(c *srvConn) {
 		}
 		if bw.Flush() != nil {
 			return
+		}
+		if cycleFrames > 0 {
+			// One completed cycle is one write syscall, shared here across
+			// every reply and wound push it carried.
+			s.wm.Frames.Add(cycleFrames)
+			s.wm.Bytes.Add(cycleBytes)
+			s.wm.Flushes.Inc()
+			s.wm.BatchWidth.Record(cycleFrames)
 		}
 		if s.flushEvery > 0 {
 			lastFlush = time.Now()
@@ -679,6 +726,7 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		if d.err != nil {
 			return d.err
 		}
+		s.wm.HeartbeatsRecv.Inc()
 		c.lastRenew.Store(time.Now().UnixNano())
 		c.mu.Lock()
 		c.leaseLost = false // a fresh lease; prior grants are gone regardless
@@ -867,6 +915,7 @@ func (s *Server) releaseComposed(c *srvConn, ent model.EntityID, composed lockta
 	if fence == 0 && !held {
 		return stOK // release of nothing: the in-process no-op
 	}
+	s.wm.FenceRejections.Inc()
 	return stStaleFence
 }
 

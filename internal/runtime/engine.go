@@ -10,6 +10,7 @@ import (
 	"distlock/internal/graph"
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 
 	// Arms locktable.NewCluster: the partitioned backend registers itself
 	// in its init (and imports netlock, arming locktable.NewRemote too).
@@ -148,6 +149,24 @@ type EngineOptions struct {
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking. The log is only safe to read after Close.
 	Trace bool
+	// Metrics is the lock-table counter bundle the engine threads into its
+	// backend. Nil allocates a private bundle (counting is always on —
+	// see internal/obs); pass a shared bundle to aggregate several engines.
+	Metrics *obs.TableMetrics
+	// Tracer is an optional lossy ring-buffer event tracer (grants, wounds,
+	// expiries). Unlike Trace it does NOT disable the sharded backend's CAS
+	// fast path: the ring is fed from the fast path itself and needs no
+	// holder identity bookkeeping. Nil disables event tracing.
+	Tracer *obs.Ring
+	// MeasureLockWait arms the engine's lock-wait histogram (see
+	// Engine.LockWait): two clock reads per granted Lock. MeasureHoldTime
+	// arms the hold-time histogram (Engine.HoldTime): grant-stamp
+	// bookkeeping per lock plus a third clock read at release. Both off by
+	// default: they are the instruments that add time.Now calls to the
+	// per-operation path, so they stay opt-in while the counters are
+	// unconditional.
+	MeasureLockWait bool
+	MeasureHoldTime bool
 }
 
 // Engine is a long-lived lock-service core: a pluggable lock table
@@ -182,6 +201,19 @@ type Engine struct {
 	detects  atomic.Int64
 	nextID   atomic.Int64
 
+	// Observability (see internal/obs). metrics is the backend's counter
+	// bundle; tracer the optional event ring; pipelinedOps/syncOps split
+	// lock operations by path — certified-chain pipelined submission vs
+	// the synchronous fallback every other configuration takes. lockWait
+	// and holdTime are non-nil only with EngineOptions.MeasureLockWait /
+	// MeasureHoldTime respectively.
+	metrics      *obs.TableMetrics
+	tracer       *obs.Ring
+	pipelinedOps obs.StripedCounter
+	syncOps      obs.StripedCounter
+	lockWait     *obs.Histogram
+	holdTime     *obs.Histogram
+
 	mu       sync.Mutex
 	abortChs map[int]chan struct{} // instance id -> abort signal
 	commitEp map[int]int           // instance id -> commit epoch (Trace only)
@@ -206,9 +238,22 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		stop:        make(chan struct{}),
 		abortChs:    map[int]chan struct{}{},
 		commitEp:    map[int]int{},
+		metrics:     opts.Metrics,
+		tracer:      opts.Tracer,
+	}
+	if e.metrics == nil {
+		e.metrics = obs.NewTableMetrics()
+	}
+	if opts.MeasureLockWait {
+		e.lockWait = new(obs.Histogram)
+	}
+	if opts.MeasureHoldTime {
+		e.holdTime = new(obs.Histogram)
 	}
 	e.holds.stop = e.stop
 	cfg := locktable.Config{
+		Metrics: e.metrics,
+		Tracer:  opts.Tracer,
 		WoundWait: opts.Strategy == StrategyWoundWait,
 		OnWound: func(holderID int) {
 			e.wounds.Add(1)
@@ -277,22 +322,51 @@ func (e *Engine) Backend() Backend { return e.backend }
 
 // Counters is a snapshot of the engine's cumulative counters.
 type Counters struct {
-	Commits  int64
-	Aborts   int64
-	Wounds   int64
-	Detected int64
+	Commits  int64 `json:"commits"`
+	Aborts   int64 `json:"aborts"`
+	Wounds   int64 `json:"wounds"`
+	Detected int64 `json:"detected"`
+	// PipelinedOps counts lock operations submitted through the
+	// certified-chain async path; SyncOps those that took the synchronous
+	// fallback (in-process backends, or strategies without the
+	// certification proof). Their split is the realized pipelining ratio.
+	// Sessions tally locally and flush at session end, so live reads lag
+	// open sessions' in-flight operations; exact once sessions close.
+	PipelinedOps int64 `json:"pipelined_ops"`
+	SyncOps      int64 `json:"sync_ops"`
 }
 
 // Counters returns the engine's cumulative counters. Safe to call on a
 // running engine.
 func (e *Engine) Counters() Counters {
 	return Counters{
-		Commits:  e.commits.Load(),
-		Aborts:   e.aborts.Load(),
-		Wounds:   e.wounds.Load(),
-		Detected: e.detects.Load(),
+		Commits:      e.commits.Load(),
+		Aborts:       e.aborts.Load(),
+		Wounds:       e.wounds.Load(),
+		Detected:     e.detects.Load(),
+		PipelinedOps: e.pipelinedOps.Load(),
+		SyncOps:      e.syncOps.Load(),
 	}
 }
+
+// TableMetrics returns the engine's lock-table counter bundle
+// (EngineOptions.Metrics, or the private one). Safe to read concurrently
+// with traffic and after Close.
+func (e *Engine) TableMetrics() *obs.TableMetrics { return e.metrics }
+
+// Tracer returns the engine's event ring (nil unless EngineOptions.Tracer
+// was set).
+func (e *Engine) Tracer() *obs.Ring { return e.tracer }
+
+// LockWait summarizes the engine's lock-wait histogram: the wall time of
+// every granted Session.Lock, in nanoseconds. Zeros unless
+// EngineOptions.MeasureLockWait armed it.
+func (e *Engine) LockWait() obs.HistogramSnapshot { return e.lockWait.Snapshot() }
+
+// HoldTime summarizes the engine's hold-time histogram: grant-to-release
+// wall time of every cleanly unlocked lock, in nanoseconds. Zeros unless
+// EngineOptions.MeasureHoldTime armed it.
+func (e *Engine) HoldTime() obs.HistogramSnapshot { return e.holdTime.Snapshot() }
 
 // Close stops the lock table (and detector) and waits for them to exit.
 // Session operations blocked in the engine return ErrClosed; locks still

@@ -32,6 +32,7 @@ import (
 
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // Strategy selects the engine's deadlock handling.
@@ -116,10 +117,13 @@ type Config struct {
 	// Trace records per-entity lock-grant order for post-run
 	// serializability checking.
 	Trace bool
-	// MeasureLockWait records the wall time of every Session.Lock into
-	// Metrics.LockWaits, the raw samples behind E12's latency percentiles.
-	// Collection is one slice append per lock on the client goroutine, so
-	// it perturbs the measured path by nanoseconds, not queueing behavior.
+	// MeasureLockWait records the wall time of every Session.Lock into the
+	// engine's fixed-bucket histogram (Metrics.LockWait), the samples
+	// behind E12's latency percentiles. Collection is two clock reads and
+	// one histogram record per lock on the client goroutine — bounded
+	// memory however long the run, unlike the raw-sample slice it replaced
+	// — so it perturbs the measured path by nanoseconds, not queueing
+	// behavior.
 	MeasureLockWait bool
 	Seed            int64
 }
@@ -141,11 +145,20 @@ type Metrics struct {
 	// CommitEpoch maps instance id -> the epoch at which it committed
 	// (only with Config.Trace).
 	CommitEpoch map[int]int
-	// LockWaits holds one wall-time sample per granted Session.Lock, in no
-	// particular order (only with Config.MeasureLockWait). Waits of
-	// attempts that ended in an abort are included: a wounded transaction's
-	// queueing time is real latency its client saw.
-	LockWaits []time.Duration
+	// LockWait summarizes the wall time of every granted Session.Lock in
+	// nanoseconds (only with Config.MeasureLockWait; zeros otherwise).
+	// Waits of attempts that ended in an abort are included: a wounded
+	// transaction's queueing time is real latency its client saw.
+	LockWait obs.HistogramSnapshot
+	// HoldTime summarizes grant-to-release wall time in nanoseconds.
+	// Always zeros from Run: hold-time tracking prices a third clock read
+	// per operation, so only the service layer arms it (see
+	// distlock.WithLatencyMetrics); the field keeps the shapes aligned.
+	HoldTime obs.HistogramSnapshot
+	// Table is the lock-table counter bundle of the run's engine: grants,
+	// fast-path vs slow-path shared grants, releases, wounds, stripe
+	// splits, queue-depth distribution.
+	Table obs.TableCounters
 }
 
 // Run executes the configured workload and returns metrics, or ErrStalled.
@@ -170,25 +183,23 @@ func Run(cfg Config) (*Metrics, error) {
 		cfg.StallTimeout = 250 * time.Millisecond
 	}
 	e, err := NewEngine(ddb, EngineOptions{
-		Strategy:      cfg.Strategy,
-		DetectEvery:   cfg.DetectEvery,
-		Backend:       cfg.Backend,
-		RemoteAddr:    cfg.RemoteAddr,
-		RemoteAddrs:   cfg.RemoteAddrs,
-		Shards:        cfg.Shards,
-		MaxShards:     cfg.MaxShards,
-		StripeProbe:   cfg.StripeProbe,
-		SiteInbox:     cfg.SiteInbox,
-		PipelineDepth: cfg.PipelineDepth,
-		FlushInterval: cfg.FlushInterval,
-		Trace:         cfg.Trace,
+		Strategy:        cfg.Strategy,
+		DetectEvery:     cfg.DetectEvery,
+		Backend:         cfg.Backend,
+		RemoteAddr:      cfg.RemoteAddr,
+		RemoteAddrs:     cfg.RemoteAddrs,
+		Shards:          cfg.Shards,
+		MaxShards:       cfg.MaxShards,
+		StripeProbe:     cfg.StripeProbe,
+		SiteInbox:       cfg.SiteInbox,
+		PipelineDepth:   cfg.PipelineDepth,
+		FlushInterval:   cfg.FlushInterval,
+		Trace:           cfg.Trace,
+		MeasureLockWait: cfg.MeasureLockWait,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	var waitMu sync.Mutex
-	var allWaits []time.Duration
 
 	start := time.Now()
 	done := make(chan struct{})
@@ -202,21 +213,9 @@ func Run(cfg Config) (*Metrics, error) {
 			// lock on the retry path.
 			rng := rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(client)*7919+1))
 			tmpl := cfg.Templates[client%len(cfg.Templates)]
-			var waits *[]time.Duration
-			if cfg.MeasureLockWait {
-				// Collected locally, merged once at client exit: the hot
-				// path never touches the shared slice.
-				local := make([]time.Duration, 0, cfg.TxnsPerClient)
-				waits = &local
-				defer func() {
-					waitMu.Lock()
-					allWaits = append(allWaits, local...)
-					waitMu.Unlock()
-				}()
-			}
 			for i := 0; i < cfg.TxnsPerClient; i++ {
 				id := int(nextID.Add(1))
-				if !e.runInstance(id, tmpl, rng, cfg.HoldTime, waits) {
+				if !e.runInstance(id, tmpl, rng, cfg.HoldTime) {
 					return // engine stopping
 				}
 			}
@@ -258,7 +257,9 @@ watch:
 		Detected:    int(e.detects.Load()),
 		Elapsed:     time.Since(start),
 		CommitEpoch: e.commitEp,
-		LockWaits:   allWaits,
+		LockWait:    e.LockWait(),
+		HoldTime:    e.HoldTime(),
+		Table:       e.metrics.Snapshot(),
 	}
 	if cfg.Trace {
 		m.GrantLog = map[model.EntityID][]GrantEvent{}
@@ -275,13 +276,13 @@ watch:
 // runInstance executes one transaction instance to commit, retrying after
 // deadlock-handling aborts with the instance's original age priority (so a
 // wounded transaction cannot starve under wound-wait). Returns false if
-// the engine is stopping. A non-nil waits slice collects per-Lock wall
-// times.
-func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, hold time.Duration, waits *[]time.Duration) bool {
+// the engine is stopping. Lock-wait samples land in the engine's
+// histogram when Config.MeasureLockWait armed it.
+func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, hold time.Duration) bool {
 	prio := int64(id) // arrival order = age: smaller is older
 	for epoch := 0; ; epoch++ {
 		s := e.beginInstance(tmpl, id, epoch, prio)
-		committed, stopping := e.driveOnce(s, rng, hold, waits)
+		committed, stopping := e.driveOnce(s, rng, hold)
 		if committed {
 			return true
 		}
@@ -301,7 +302,7 @@ func (e *Engine) runInstance(id int, tmpl *model.Transaction, rng *rand.Rand, ho
 // pick a random minimal unexecuted operation and execute it. Returns
 // (committed, stopping); (false, false) means the attempt was aborted by
 // deadlock handling and the caller should retry.
-func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration, waits *[]time.Duration) (bool, bool) {
+func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration) (bool, bool) {
 	for {
 		ready := s.tmpl.MinimalNodes(s.executed)
 		if len(ready) == 0 {
@@ -315,13 +316,9 @@ func (e *Engine) driveOnce(s *Session, rng *rand.Rand, hold time.Duration, waits
 		nd := s.tmpl.Node(nid)
 		var err error
 		if nd.Kind == model.LockOp {
-			if waits != nil {
-				lockStart := time.Now()
-				err = s.Lock(context.Background(), nd.Entity, nd.Mode)
-				*waits = append(*waits, time.Since(lockStart))
-			} else {
-				err = s.Lock(context.Background(), nd.Entity, nd.Mode)
-			}
+			// Session.Lock itself records the wait sample when
+			// MeasureLockWait armed the engine's histogram.
+			err = s.Lock(context.Background(), nd.Entity, nd.Mode)
 		} else {
 			err = s.Unlock(nd.Entity)
 		}

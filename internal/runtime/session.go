@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"time"
 
 	"distlock/internal/graph"
 	"distlock/internal/locktable"
@@ -61,6 +62,24 @@ type Session struct {
 	pendQ   []model.EntityID
 	rels    []locktable.Completion
 	pipeErr error
+
+	// lockedAt records held entities' grant times in unix nanos, for the
+	// engine's hold-time histogram. Empty unless
+	// EngineOptions.MeasureHoldTime armed it. A linear-scanned slice, not
+	// a map: sessions hold a handful of entities and the bookkeeping runs
+	// once per lock on the measured path.
+	lockedAt []grantStamp
+
+	// nsync/npipe tally this session's lock operations by path, flushed
+	// to the engine's counters once at session end — a plain increment
+	// per Lock instead of a striped atomic on the hot path.
+	nsync, npipe int64
+}
+
+// grantStamp is one held entity's grant time (unix nanos).
+type grantStamp struct {
+	ent model.EntityID
+	at  int64
 }
 
 // Begin opens a session for one instance of the template transaction. The
@@ -195,11 +214,24 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 		return err
 	}
 	inst := locktable.Instance{Key: s.key, Prio: s.prio, Doomed: s.abortCh}
+	var lockStart time.Time
+	if s.e.lockWait != nil || s.e.holdTime != nil {
+		lockStart = time.Now()
+	}
 	if s.e.async != nil {
-		return s.lockPipelined(ctx, inst, ent, mode, nid)
+		err := s.lockPipelined(ctx, inst, ent, mode, nid)
+		if err == nil {
+			// Counted as pipelined at submission: the optimistic hold is
+			// the path's defining move, whether or not a join parked.
+			s.npipe++
+			s.noteGranted(ent, lockStart)
+		}
+		return err
 	}
 	switch err := s.e.table.Acquire(ctx, inst, ent, mode); {
 	case err == nil:
+		s.nsync++
+		s.noteGranted(ent, lockStart)
 		s.held[ent] = true
 		s.executed.Set(int(nid))
 		s.e.progress.Add(1)
@@ -211,6 +243,45 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 		return ErrClosed
 	default:
 		return err // context cancellation: the table withdrew the request
+	}
+}
+
+// noteGranted records one granted lock's wait sample and grant time.
+// No-op unless a latency histogram is armed — the counters are
+// unconditional, but the latency instruments are the one piece that
+// would add time.Now calls to a path that has no timestamp. With only
+// lock-wait armed (EngineOptions.MeasureLockWait, the runtime.Run
+// configuration) the grant pays exactly the two clock reads the
+// pre-histogram slice collection paid; hold-time tracking
+// (EngineOptions.MeasureHoldTime) adds the grant-stamp bookkeeping and
+// a third read at release.
+func (s *Session) noteGranted(ent model.EntityID, start time.Time) {
+	if s.e.lockWait == nil && s.e.holdTime == nil {
+		return
+	}
+	now := time.Now()
+	if s.e.lockWait != nil {
+		s.e.lockWait.Record(now.Sub(start).Nanoseconds())
+	}
+	if s.e.holdTime != nil {
+		s.lockedAt = append(s.lockedAt, grantStamp{ent: ent, at: now.UnixNano()})
+	}
+}
+
+// noteReleased records one cleanly released lock's hold-time sample.
+func (s *Session) noteReleased(ent model.EntityID) {
+	if s.e.holdTime == nil {
+		return
+	}
+	for i := range s.lockedAt {
+		if s.lockedAt[i].ent == ent {
+			at := s.lockedAt[i].at
+			last := len(s.lockedAt) - 1
+			s.lockedAt[i] = s.lockedAt[last]
+			s.lockedAt = s.lockedAt[:last]
+			s.e.holdTime.Record(time.Now().UnixNano() - at)
+			return
+		}
 	}
 }
 
@@ -304,6 +375,7 @@ func (s *Session) Unlock(ent model.EntityID) error {
 		// session instead of concluding the service died.
 		return fmt.Errorf("runtime: %s: Unlock(%s): %w", s.tmpl.Name(), s.e.ddb.EntityName(ent), err)
 	}
+	s.noteReleased(ent)
 	delete(s.held, ent)
 	s.executed.Set(int(nid))
 	return nil
@@ -330,6 +402,7 @@ func (s *Session) unlockPipelined(ent model.EntityID, nid model.NodeID) error {
 		return s.mapTableErr(err)
 	}
 	s.rels = append(s.rels, s.e.async.ReleaseAsync(ent, s.key))
+	s.noteReleased(ent)
 	delete(s.held, ent)
 	s.executed.Set(int(nid))
 	return nil
@@ -367,6 +440,7 @@ func (s *Session) Commit() error {
 		return fmt.Errorf("runtime: %s: commit: pipelined operation failed: %w", s.tmpl.Name(), s.pipeErr)
 	}
 	s.done = true
+	s.flushOps()
 	s.e.mu.Lock()
 	delete(s.e.abortChs, s.key.ID)
 	if s.e.trace {
@@ -376,6 +450,21 @@ func (s *Session) Commit() error {
 	s.e.commits.Add(1)
 	s.e.progress.Add(1)
 	return nil
+}
+
+// flushOps moves the session's per-path op tallies into the engine's
+// counters. Called once at every session end (commit, abort, discard),
+// so Engine.Counters lags a live session's in-flight operations but is
+// exact once the session closes.
+func (s *Session) flushOps() {
+	if s.nsync != 0 {
+		s.e.syncOps.Add(uint64(s.key.ID), s.nsync)
+		s.nsync = 0
+	}
+	if s.npipe != 0 {
+		s.e.pipelinedOps.Add(uint64(s.key.ID), s.npipe)
+		s.npipe = 0
+	}
 }
 
 // Abort closes the session, releasing every held lock through the lock
@@ -394,6 +483,7 @@ func (s *Session) Abort() error {
 	default:
 	}
 	s.done = true
+	s.flushOps()
 	if len(s.pendAcq) > 0 {
 		// Resolve every in-flight acquire with an already-cancelled
 		// context before the release wave: each Wait withdraws its request
@@ -433,6 +523,7 @@ func (s *Session) discard() {
 		return
 	}
 	s.done = true
+	s.flushOps()
 	s.e.mu.Lock()
 	delete(s.e.abortChs, s.key.ID)
 	s.e.mu.Unlock()

@@ -10,6 +10,7 @@ import (
 
 	"distlock/internal/admission"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 	"distlock/internal/runtime"
 )
 
@@ -68,6 +69,7 @@ type serviceConfig struct {
 	remoteAddrs  []string
 	pipeline     int
 	flushEvery   time.Duration
+	latency      bool
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -214,6 +216,17 @@ func WithFlushInterval(d time.Duration) ServiceOption {
 	return func(c *serviceConfig) { c.flushEvery = d }
 }
 
+// WithLatencyMetrics turns on the per-tier lock-wait and hold-time
+// histograms reported by Stats (TierStats.LockWait / TierStats.HoldTime).
+// Counter metrics (grants, releases, fast-path hits, wounds) are always
+// on — they are single atomic adds on state the grant path already owns —
+// but the latency histograms price two time.Now calls per lock on paths
+// that otherwise read no clock, so they are opt-in. Off (the default) the
+// snapshots read all-zero.
+func WithLatencyMetrics() ServiceOption {
+	return func(c *serviceConfig) { c.latency = true }
+}
+
 // LockService is the long-lived client-driven lock service: the paper's
 // program ("certify the mix statically, then run with no deadlock
 // handling") exposed as a live API.
@@ -295,27 +308,31 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		mult = 1
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:      runtime.StrategyNone,
-		Backend:       cfg.certBackend, // BackendDefault resolves to sharded
-		RemoteAddr:    cfg.remoteAddr,
-		RemoteAddrs:   cfg.remoteAddrs,
-		Shards:        cfg.shards,
-		MaxShards:     cfg.maxShards,
-		StripeProbe:   cfg.stripeProbe,
-		SiteInbox:     cfg.siteInbox,
-		PipelineDepth: cfg.pipeline,
-		FlushInterval: cfg.flushEvery,
+		Strategy:        runtime.StrategyNone,
+		Backend:         cfg.certBackend, // BackendDefault resolves to sharded
+		RemoteAddr:      cfg.remoteAddr,
+		RemoteAddrs:     cfg.remoteAddrs,
+		Shards:          cfg.shards,
+		MaxShards:       cfg.maxShards,
+		StripeProbe:     cfg.stripeProbe,
+		SiteInbox:       cfg.siteInbox,
+		PipelineDepth:   cfg.pipeline,
+		FlushInterval:   cfg.flushEvery,
+		MeasureLockWait: cfg.latency,
+		MeasureHoldTime: cfg.latency,
 	})
 	if err != nil {
 		return nil, err
 	}
 	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:    runtime.StrategyWoundWait,
-		Backend:     runtime.BackendDefault, // resolves to sharded post-soak-gate
-		Shards:      cfg.shards,
-		MaxShards:   cfg.maxShards,
-		StripeProbe: cfg.stripeProbe,
-		SiteInbox:   cfg.siteInbox,
+		Strategy:        runtime.StrategyWoundWait,
+		Backend:         runtime.BackendDefault, // resolves to sharded post-soak-gate
+		Shards:          cfg.shards,
+		MaxShards:       cfg.maxShards,
+		StripeProbe:     cfg.stripeProbe,
+		SiteInbox:       cfg.siteInbox,
+		MeasureLockWait: cfg.latency,
+		MeasureHoldTime: cfg.latency,
 	})
 	if err != nil {
 		certified.Close()
@@ -591,8 +608,22 @@ func (s *LockService) Multiplicity() int { return s.mult }
 // backend (BackendSharded unless WithLockBackend overrode it).
 func (s *LockService) CertifiedBackend() LockBackend { return s.certified.Backend() }
 
-// TierStats are one engine tier's cumulative counters.
-type TierStats = runtime.Counters
+// TierStats are one engine tier's cumulative counters: the session-level
+// tallies (commits, aborts, wounds, certified-pipelined vs synchronous
+// operations) plus the tier's lock-table counter bundle and — when the
+// service was opened WithLatencyMetrics — lock-wait and hold-time
+// histogram snapshots in nanoseconds.
+type TierStats struct {
+	runtime.Counters
+	// Table is the tier's lock-table counter bundle. Grants−Releases is
+	// the number of lock records currently held through this tier;
+	// FastHits+SlowShared equals the shared grants.
+	Table obs.TableCounters `json:"table"`
+	// LockWait and HoldTime are nanosecond histograms of time-to-grant
+	// and grant-to-release; all-zero unless WithLatencyMetrics was set.
+	LockWait obs.HistogramSnapshot `json:"lock_wait_ns"`
+	HoldTime obs.HistogramSnapshot `json:"hold_time_ns"`
+}
 
 // ServiceStats snapshots the service's counters: the admission service's
 // cumulative work and decisions, both engine tiers, and the number of
@@ -600,19 +631,29 @@ type TierStats = runtime.Counters
 // commit or abort, so after all sessions close,
 // Begun == Certified.Commits+Certified.Aborts+Fallback.Commits+Fallback.Aborts.
 type ServiceStats struct {
-	Admission AdmissionStats
-	Certified TierStats
-	Fallback  TierStats
-	Begun     int64
+	Admission AdmissionStats `json:"admission"`
+	Certified TierStats      `json:"certified"`
+	Fallback  TierStats      `json:"fallback"`
+	Begun     int64          `json:"begun"`
 }
 
-// Stats returns a snapshot of the service's counters. Safe on a live
-// service.
+func tierStats(e *runtime.Engine) TierStats {
+	return TierStats{
+		Counters: e.Counters(),
+		Table:    e.TableMetrics().Snapshot(),
+		LockWait: e.LockWait(),
+		HoldTime: e.HoldTime(),
+	}
+}
+
+// Stats returns a snapshot of the service's counters. Every field is read
+// with atomic loads from state that outlives the engines, so Stats is safe
+// on a live service, concurrently with Close, and after Close.
 func (s *LockService) Stats() ServiceStats {
 	return ServiceStats{
 		Admission: s.adm.Stats(),
-		Certified: s.certified.Counters(),
-		Fallback:  s.fallback.Counters(),
+		Certified: tierStats(s.certified),
+		Fallback:  tierStats(s.fallback),
 		Begun:     s.begun.Load(),
 	}
 }

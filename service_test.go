@@ -399,3 +399,88 @@ func TestLockServicePartialOrderEnforced(t *testing.T) {
 		t.Fatal("abort left locks held")
 	}
 }
+
+// TestStatsConcurrentWithClose: Stats is documented safe on a live
+// service, concurrently with Close, and after Close. Drive real traffic
+// (with latency histograms enabled, so every metrics source is live),
+// hammer Stats from readers while Close races the last sessions, and
+// check the conservation identities on the post-Close snapshot.
+func TestStatsConcurrentWithClose(t *testing.T) {
+	db := xyzDB()
+	svc, err := distlock.Open(db, distlock.WithMultiplicity(2), distlock.WithLatencyMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := svc.Register(ctx, chain(db, "A", "Lx", "Ly", "Ux", "Uy")); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions = 40
+	var drove sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		drove.Add(1)
+		go func() {
+			defer drove.Done()
+			sess, err := svc.Begin(ctx, "A")
+			if err != nil {
+				return // Close may already have won the race
+			}
+			// Ignore errors: a session caught by Close mid-drive aborts.
+			_ = sess.Drive(ctx)
+		}()
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := svc.Stats()
+				if st.Certified.Table.Held < 0 {
+					t.Errorf("negative held count in live snapshot: %+v", st.Certified.Table)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let some sessions through, then Close while readers and any
+	// stragglers are still running.
+	time.Sleep(2 * time.Millisecond)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drove.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Stats after Close still works and the ledgers balance: every begun
+	// session ended in exactly one commit or abort, and committed
+	// sessions released what they locked.
+	st := svc.Stats()
+	ended := st.Certified.Commits + st.Certified.Aborts +
+		st.Fallback.Commits + st.Fallback.Aborts
+	if st.Begun != ended {
+		t.Fatalf("begun %d != commits+aborts %d after Close", st.Begun, ended)
+	}
+	tab := st.Certified.Table
+	if tab.Grants != tab.Releases {
+		t.Fatalf("certified tier leaked holds: %d grants vs %d releases", tab.Grants, tab.Releases)
+	}
+	if st.Certified.Commits > 0 {
+		if tab.Grants == 0 {
+			t.Fatal("committed sessions granted no locks")
+		}
+		if st.Certified.LockWait.Count == 0 {
+			t.Fatal("latency metrics enabled but lock-wait histogram is empty")
+		}
+	}
+}
