@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"distlock"
+	"distlock/internal/obs"
 	"distlock/internal/workload"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "certified-tier pipeline depth on wire backends: unacknowledged acquires in flight per session (0 = synchronous) (-run)")
 		flushInt = flag.Duration("flush-interval", 0, "wire backends' batch window: flushes rate-limited to one per interval under sustained traffic (0 = immediate) (-run)")
 		stats    = flag.Bool("stats", false, "dump the full ServiceStats snapshot as JSON on stdout before exit (see doc comment for the fields)")
+		traceN   = flag.Int("trace-sample", 0, "sample 1 in N lock ops into end-to-end stage traces and print the slowest 10 waterfalls after serving (0 = off; negative = default rate)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -98,6 +100,9 @@ func main() {
 	}
 	if *flushInt > 0 {
 		opts = append(opts, distlock.WithFlushInterval(*flushInt))
+	}
+	if *traceN != 0 {
+		opts = append(opts, distlock.WithTraceSampling(*traceN))
 	}
 	switch {
 	case *backend == "remote":
@@ -192,6 +197,9 @@ func main() {
 	if *run {
 		serve(ctx, svc, *clients, *txns, time.Duration(*holdUsec)*time.Microsecond, *serveFor)
 	}
+	if *traceN != 0 {
+		printSlowest(svc)
+	}
 	if *stats {
 		dumpStats(svc)
 	}
@@ -220,6 +228,36 @@ func dumpStats(svc *distlock.LockService) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(svc.Stats()); err != nil {
 		check(err)
+	}
+}
+
+// printSlowest renders the slowest sampled operation traces as
+// stage-by-stage waterfalls: each line is one op, total latency first,
+// then every stage the op passed through with the time attributed to it
+// (the gap since the previous present stage) in microseconds. Stages a
+// span never reached — server stages on in-process backends, for
+// example — are simply omitted.
+func printSlowest(svc *distlock.LockService) {
+	spans := svc.SlowestSpans(10)
+	if len(spans) == 0 {
+		fmt.Println("\ntrace sampling armed but no spans recorded (too few ops for the sampling rate?)")
+		return
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Printf("\nslowest %d sampled ops (stage-by-stage, µs attributed to each stage):\n", len(spans))
+	for i, rec := range spans {
+		kind := "acquire"
+		if rec.Kind == obs.SpanRelease {
+			kind = "release"
+		}
+		fmt.Printf("  #%-2d %s entity=%d part=%d total=%.1fµs\n", i+1, kind, rec.Entity, rec.Part, us(rec.Total()))
+		line := make([]string, 0, obs.NumStages)
+		for s := 0; s < obs.NumStages; s++ {
+			if g := rec.Gap(obs.Stage(s)); g >= 0 {
+				line = append(line, fmt.Sprintf("%s +%.1f", obs.Stage(s), us(g)))
+			}
+		}
+		fmt.Printf("      %s\n", strings.Join(line, " | "))
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -34,6 +35,10 @@ func startDebug(addr string, srv *netlock.Server) (string, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writeMetrics(w, srv.TableMetrics().Snapshot(), srv.Metrics().Snapshot())
 	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeTrace(w, srv.Spans())
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -43,6 +48,34 @@ func startDebug(addr string, srv *netlock.Server) (string, error) {
 
 	go http.Serve(ln, mux) //nolint:errcheck // dies with the process
 	return ln.Addr().String(), nil
+}
+
+// writeTrace dumps the server-side span ring as JSON: the sampled
+// operations the server has recently stamped through its stages
+// (receive → chain start → grant → reply enqueue → reply flush), plus
+// the slowest ten by server-resident time. complete_spans counts spans
+// with every server stage present — the cluster smoke test asserts it
+// is nonzero after a traced run.
+func writeTrace(w http.ResponseWriter, ring *obs.SpanRing) {
+	recs := ring.Spans()
+	complete := 0
+	for _, r := range recs {
+		if r.Complete(obs.StageServerRecv, obs.StageReplyFlush) {
+			complete++
+		}
+	}
+	out := struct {
+		Recorded      uint64           `json:"recorded"`
+		CompleteSpans int              `json:"complete_spans"`
+		Spans         []obs.SpanRecord `json:"spans"`
+		Slowest       []obs.SpanRecord `json:"slowest"`
+	}{
+		Recorded:      ring.Recorded(),
+		CompleteSpans: complete,
+		Spans:         recs,
+		Slowest:       obs.TopSpansByTotal(recs, 10),
+	}
+	json.NewEncoder(w).Encode(out) //nolint:errcheck // best-effort debug dump
 }
 
 // writeMetrics renders the snapshots in the Prometheus text exposition

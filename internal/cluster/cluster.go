@@ -89,8 +89,10 @@ type Table struct {
 }
 
 var (
-	_ locktable.Table      = (*Table)(nil)
-	_ locktable.AsyncTable = (*Table)(nil)
+	_ locktable.Table             = (*Table)(nil)
+	_ locktable.AsyncTable        = (*Table)(nil)
+	_ locktable.SpannedTable      = (*Table)(nil)
+	_ locktable.SpannedAsyncTable = (*Table)(nil)
 )
 
 // New dials one client per address and returns the routing table. Every
@@ -375,7 +377,28 @@ func (t *Table) fenceEnd(st *instFence, p int, forRelease bool, c *memoCompletio
 // failure is returned for the session to observe (it re-observes the
 // same error, memoized, when it joins the predecessor itself).
 func (t *Table) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode) locktable.Completion {
+	return t.acquireAsync(inst, ent, mode, nil)
+}
+
+// AcquireAsyncSpan implements locktable.SpannedAsyncTable: the span is
+// tagged with the owning partition, then rides the partition client's
+// traced submit. Fence joins happen before the submit, so a cross-
+// partition switch's join latency shows up — correctly — in the sampled
+// op's submit→enqueue gap.
+func (t *Table) AcquireAsyncSpan(inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) locktable.Completion {
+	return t.acquireAsync(inst, ent, mode, sp)
+}
+
+// AcquireSpan implements locktable.SpannedTable.
+func (t *Table) AcquireSpan(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) error {
 	p := t.Partition(ent)
+	sp.SetPartition(p)
+	return t.mapErrAt(p, t.parts[p].AcquireSpan(ctx, inst, ent, mode, sp))
+}
+
+func (t *Table) acquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) locktable.Completion {
+	p := t.Partition(ent)
+	sp.SetPartition(p)
 	st, join := t.fenceBegin(inst.Key, p, false)
 	t.fenceJoins.Add(int64(len(join)))
 	for _, c := range join {
@@ -384,7 +407,13 @@ func (t *Table) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode l
 			return locktable.ResolvedCompletion(err)
 		}
 	}
-	w := &memoCompletion{inner: t.wrap(p, t.parts[p].AcquireAsync(inst, ent, mode))}
+	var inner locktable.Completion
+	if sp != nil {
+		inner = t.parts[p].AcquireAsyncSpan(inst, ent, mode, sp)
+	} else {
+		inner = t.parts[p].AcquireAsync(inst, ent, mode)
+	}
+	w := &memoCompletion{inner: t.wrap(p, inner)}
 	t.fenceEnd(st, p, false, w)
 	return w
 }

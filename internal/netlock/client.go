@@ -111,6 +111,13 @@ type Client struct {
 	qwake      chan struct{}
 	qclosed    bool
 	flushEvery time.Duration
+	// flushSpans holds sampled spans riding queued frames. The writer
+	// drains it with the buffers and stamps StageFlush strictly BEFORE the
+	// flush syscall: the stamp therefore happens-before the server sees
+	// the frame, which happens-before the reply that lets the session
+	// commit (and recycle) the span — no stamp can land on a recycled
+	// carrier.
+	flushSpans []*obs.Span
 
 	// Observability. m is the client-side view of the hosted table's
 	// traffic (the server keeps its own authoritative bundle); wm covers
@@ -135,8 +142,10 @@ type Client struct {
 }
 
 var (
-	_ locktable.Table      = (*Client)(nil)
-	_ locktable.AsyncTable = (*Client)(nil)
+	_ locktable.Table             = (*Client)(nil)
+	_ locktable.AsyncTable        = (*Client)(nil)
+	_ locktable.SpannedTable      = (*Client)(nil)
+	_ locktable.SpannedAsyncTable = (*Client)(nil)
 )
 
 // Dial connects to a netlock server and completes the handshake. The
@@ -284,6 +293,30 @@ func (c *Client) enqueue(frame []byte, heartbeat bool) error {
 	return nil
 }
 
+// enqueueSpan is enqueue for a sampled request frame: the span joins
+// flushSpans in the same critical section as its frame, so the writer
+// stamps StageFlush on exactly the spans whose frames its cycle carries.
+func (c *Client) enqueueSpan(frame []byte, sp *obs.Span) error {
+	if sp == nil {
+		return c.enqueue(frame, false)
+	}
+	sp.Stamp(obs.StageEnqueue)
+	c.qmu.Lock()
+	if c.qclosed {
+		c.qmu.Unlock()
+		return locktable.ErrStopped
+	}
+	c.sendb = appendFrame(c.sendb, frame)
+	c.sendn++
+	c.flushSpans = append(c.flushSpans, sp)
+	c.qmu.Unlock()
+	select {
+	case c.qwake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
 // writeLoop is the flush-coalescing writer: it drains the send queues
 // through one buffered writer and flushes once per cycle, so everything
 // that accumulated while the previous cycle was writing — concurrent
@@ -298,6 +331,7 @@ func (c *Client) enqueue(frame []byte, heartbeat bool) error {
 func (c *Client) writeLoop() {
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	var lastFlush time.Time
+	var spanBatch []*obs.Span // reused across cycles; sampled frames only
 	for {
 		select {
 		case <-c.stop:
@@ -316,6 +350,10 @@ func (c *Client) writeLoop() {
 			c.hbb, c.sendb = c.hbSpare, c.sendSpare
 			c.hbn, c.sendn = 0, 0
 			c.hbSpare, c.sendSpare = nil, nil
+			if len(c.flushSpans) > 0 {
+				spanBatch = append(spanBatch, c.flushSpans...)
+				c.flushSpans = c.flushSpans[:0]
+			}
 			c.qmu.Unlock()
 			cycleFrames += hbN + qN
 			cycleBytes += int64(len(hb) + len(q))
@@ -356,6 +394,16 @@ func (c *Client) writeLoop() {
 			c.qmu.Unlock()
 			// Loop: drain whatever was enqueued during the writes into the
 			// same flush.
+		}
+		if len(spanBatch) > 0 {
+			// Stamp before the syscall: program order on this goroutine puts
+			// the stamp ahead of the kernel hand-off, hence ahead of any
+			// reply — the ordering Commit's recycling relies on.
+			for i, sp := range spanBatch {
+				sp.Stamp(obs.StageFlush)
+				spanBatch[i] = nil
+			}
+			spanBatch = spanBatch[:0]
 		}
 		if bw.Flush() != nil {
 			c.shutdown()
@@ -536,6 +584,16 @@ func (c *Client) send(build func(*enc)) error {
 	return err
 }
 
+// sendSpan is send with a sampled span riding the frame.
+func (c *Client) sendSpan(build func(*enc), sp *obs.Span) error {
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	build(e)
+	err := c.enqueueSpan(e.b, sp)
+	encPool.Put(e)
+	return err
+}
+
 // call is the synchronous request/response path for everything but
 // Acquire. The wait is bounded: these operations complete promptly on a
 // healthy server, so a response that outlasts several lease windows means
@@ -576,6 +634,7 @@ type acquireCompletion struct {
 	ent    model.EntityID
 	mode   locktable.Mode
 	doomed <-chan struct{}
+	sp     *obs.Span // non-nil iff the op is sampled
 }
 
 // Wait implements locktable.Completion: the parked tail of Acquire. The
@@ -585,12 +644,12 @@ type acquireCompletion struct {
 func (a *acquireCompletion) Wait(ctx context.Context) error {
 	select {
 	case res := <-a.ch:
-		return a.c.finishAcquire(res, a.key, a.ent, a.mode)
+		return a.c.finishAcquire(res, a.key, a.ent, a.mode, a.sp)
 	default:
 	}
 	select {
 	case res := <-a.ch:
-		return a.c.finishAcquire(res, a.key, a.ent, a.mode)
+		return a.c.finishAcquire(res, a.key, a.ent, a.mode, a.sp)
 	case <-ctx.Done():
 		return a.c.cancelAcquire(a.reqID, a.ch, a.key, a.ent, a.mode, ctx.Err())
 	case <-a.doomed:
@@ -607,19 +666,41 @@ func (a *acquireCompletion) Wait(ctx context.Context) error {
 // the synchronous chain would — the property that lets a *certified*
 // template ship its next lock request before the previous ack returns.
 func (c *Client) AcquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode) locktable.Completion {
+	return c.acquireAsync(inst, ent, mode, nil)
+}
+
+// AcquireAsyncSpan implements locktable.SpannedAsyncTable: AcquireAsync
+// with a sampled span riding along. The frame grows one trailing marker
+// byte — legal on the v2 protocol because the decoder ignores leftover
+// bytes — which tells the server to time its stages and send them back as
+// deltas on the grant reply.
+func (c *Client) AcquireAsyncSpan(inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) locktable.Completion {
+	return c.acquireAsync(inst, ent, mode, sp)
+}
+
+// AcquireSpan implements locktable.SpannedTable: the traced synchronous
+// acquire.
+func (c *Client) AcquireSpan(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) error {
+	return c.acquireAsync(inst, ent, mode, sp).Wait(ctx)
+}
+
+func (c *Client) acquireAsync(inst locktable.Instance, ent model.EntityID, mode locktable.Mode, sp *obs.Span) locktable.Completion {
 	reqID, ch := c.register()
-	if err := c.send(func(e *enc) {
+	if err := c.sendSpan(func(e *enc) {
 		e.u8(opAcquire)
 		e.u64(reqID)
 		e.key(inst.Key)
 		e.i64(inst.Prio)
 		e.i64(int64(ent))
 		e.mode(mode)
-	}); err != nil {
+		if sp != nil {
+			e.u8(1) // sampled marker: ask the server to time this op
+		}
+	}, sp); err != nil {
 		c.unregister(reqID)
 		return locktable.ResolvedCompletion(locktable.ErrStopped)
 	}
-	return &acquireCompletion{c: c, reqID: reqID, ch: ch, key: inst.Key, ent: ent, mode: mode, doomed: inst.Doomed}
+	return &acquireCompletion{c: c, reqID: reqID, ch: ch, key: inst.Key, ent: ent, mode: mode, doomed: inst.Doomed, sp: sp}
 }
 
 // Acquire implements locktable.Table: the request blocks server-side in
@@ -634,7 +715,7 @@ func (c *Client) Acquire(ctx context.Context, inst locktable.Instance, ent model
 // the fencing token on a grant. Grants are counted here — client-side, so
 // this connection's table bundle covers exactly the traffic it generated
 // (the server keeps its own authoritative bundle for the hosted table).
-func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.EntityID, mode locktable.Mode) error {
+func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.EntityID, mode locktable.Mode, sp *obs.Span) error {
 	switch res.status {
 	case stOK:
 		d := dec{b: res.payload}
@@ -642,6 +723,13 @@ func (c *Client) finishAcquire(res result, key locktable.InstKey, ent model.Enti
 		if d.err != nil {
 			return fmt.Errorf("netlock: malformed grant: %w", d.err)
 		}
+		if sp != nil && len(d.b) >= 24 {
+			// Server stage trailer: chain-start, grant and reply-enqueue as
+			// ns deltas from server receipt — never wall clocks, so host
+			// skew cannot corrupt the waterfall.
+			sp.ServerDeltas(int64(d.u64()), int64(d.u64()), int64(d.u64()))
+		}
+		sp.Stamp(obs.StageWakeup)
 		c.mu.Lock()
 		c.fences[fenceRef{ent: ent, key: key}] = fence
 		c.mu.Unlock()
@@ -701,7 +789,7 @@ func (c *Client) cancelAcquire(reqID uint64, ch chan result, key locktable.InstK
 	case res := <-ch:
 		if res.status == stOK {
 			// The grant raced the cancel: record it, then give it back.
-			if c.finishAcquire(res, key, ent, mode) == nil {
+			if c.finishAcquire(res, key, ent, mode, nil) == nil {
 				c.Release(ent, key)
 			}
 		}

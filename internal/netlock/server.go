@@ -88,10 +88,14 @@ type Server struct {
 
 	// Observability. tm is the hosted table's bundle (the inner table
 	// counts into it); wm aggregates the reply side of every connection;
-	// tr is the optional lossy event ring (lease expiries land here).
-	tm *obs.TableMetrics
-	wm *obs.WireMetrics
-	tr *obs.Ring
+	// tr is the optional lossy event ring (lease expiries land here);
+	// spans holds the server-side waterfalls of client-sampled ops (idle
+	// cost zero — a span starts only when a request carries the sampled
+	// marker byte).
+	tm    *obs.TableMetrics
+	wm    *obs.WireMetrics
+	tr    *obs.Ring
+	spans *obs.SpanRing
 }
 
 // grantRef identifies one recorded grant of a connection.
@@ -132,7 +136,8 @@ type chainItem struct {
 	ent   model.EntityID
 	mode  locktable.Mode
 	rel   bool
-	fence uint64 // release items only
+	fence uint64    // release items only
+	sp    *obs.Span // non-nil iff the client sampled this acquire
 }
 
 // acqChain is the pipeline chain of one composed instance key: acquires
@@ -155,6 +160,11 @@ type srvConn struct {
 	outb     []byte // pending reply frames, length-prefixed, encoded in place
 	outn     int64  // frames pending in outb (swapped out with it by the reply writer)
 	outSpare []byte // retired buffer recycled by the reply writer (double buffering)
+	// outSpans holds server spans whose grant replies are queued in outb;
+	// the reply writer stamps StageReplyFlush just before its flush syscall
+	// and commits them to the server ring (sole owner at that point — the
+	// chain goroutine let go when it queued the reply).
+	outSpans []*obs.Span
 	outWake  chan struct{}
 
 	mu        sync.Mutex // guards the fields below; never held around table calls
@@ -209,6 +219,7 @@ func NewServer(ddb *model.DDB, cfg locktable.Config, opts ServerOptions) (*Serve
 		tm:         cfg.Metrics,
 		wm:         obs.NewWireMetrics(),
 		tr:         cfg.Tracer,
+		spans:      obs.NewSpanRing(256),
 	}
 	if s.tm == nil {
 		s.tm = obs.NewTableMetrics()
@@ -319,6 +330,11 @@ func (s *Server) Metrics() *obs.WireMetrics { return s.wm }
 // TableMetrics returns the hosted table's bundle — the authoritative
 // server-side counts (clients keep per-connection views of their own).
 func (s *Server) TableMetrics() *obs.TableMetrics { return s.tm }
+
+// Spans returns the server-side span ring: the in-server waterfalls
+// (receive → chain start → grant → reply enqueue → reply flush) of ops the
+// clients sampled. Safe concurrent with traffic.
+func (s *Server) Spans() *obs.SpanRing { return s.spans }
 
 // handshakeTimeout bounds how long an accepted socket may take to
 // complete the hello exchange. The lease is the natural scale, floored so
@@ -486,6 +502,21 @@ func (c *srvConn) write(body []byte) {
 	}
 }
 
+// writeSpan is write for a sampled grant reply: the span joins outSpans in
+// the same critical section as its frame, so the reply writer stamps and
+// commits exactly the spans whose replies its cycle carries.
+func (c *srvConn) writeSpan(body []byte, sp *obs.Span) {
+	c.outMu.Lock()
+	c.outb = appendFrame(c.outb, body)
+	c.outn++
+	c.outSpans = append(c.outSpans, sp)
+	c.outMu.Unlock()
+	select {
+	case c.outWake <- struct{}{}:
+	default:
+	}
+}
+
 // replyWriter is the connection's reply-side flush loop, mirroring the
 // client's: it drains the outbound queue through one buffered writer and
 // flushes once per cycle, so every grant, ack, and wound push the table
@@ -496,6 +527,7 @@ func (c *srvConn) write(body []byte) {
 func (s *Server) replyWriter(c *srvConn) {
 	bw := bufio.NewWriterSize(c.net, 64<<10)
 	var lastFlush time.Time
+	var spanBatch []*obs.Span // reused across cycles; sampled replies only
 	for {
 		select {
 		case <-c.ctx.Done():
@@ -514,6 +546,10 @@ func (s *Server) replyWriter(c *srvConn) {
 			c.outb = c.outSpare
 			c.outn = 0
 			c.outSpare = nil
+			if len(c.outSpans) > 0 {
+				spanBatch = append(spanBatch, c.outSpans...)
+				c.outSpans = c.outSpans[:0]
+			}
 			c.outMu.Unlock()
 			cycleFrames += qN
 			cycleBytes += int64(len(q))
@@ -538,6 +574,17 @@ func (s *Server) replyWriter(c *srvConn) {
 				c.outSpare = q[:0]
 			}
 			c.outMu.Unlock()
+		}
+		if len(spanBatch) > 0 {
+			// Stamp the reply-flush stage before the syscall (program order
+			// keeps it honest within a few microseconds) and commit: this
+			// goroutine is the span's last holder.
+			for i, sp := range spanBatch {
+				sp.Stamp(obs.StageReplyFlush)
+				sp.Commit()
+				spanBatch[i] = nil
+			}
+			spanBatch = spanBatch[:0]
 		}
 		if bw.Flush() != nil {
 			return
@@ -571,6 +618,41 @@ func (c *srvConn) result(reqID uint64, status byte, payload func(*enc)) {
 	}
 	c.write(e.b)
 	encPool.Put(e)
+}
+
+// resultSpan is result for a sampled grant: the reply grows a 24-byte
+// trailer — chain-start, grant, and reply-enqueue offsets as ns deltas
+// from server receipt — which the client re-anchors into its own timeline
+// (deltas, never wall clocks, so host skew is irrelevant). Legal on the v2
+// protocol because the grant decoder ignores leftover bytes.
+func (c *srvConn) resultSpan(reqID uint64, status byte, sp *obs.Span, payload func(*enc)) {
+	if sp == nil {
+		c.result(reqID, status, payload)
+		return
+	}
+	e := encPool.Get().(*enc)
+	e.b = e.b[:0]
+	e.u8(opResult)
+	e.u64(reqID)
+	e.u8(status)
+	if payload != nil {
+		payload(e)
+	}
+	sp.Stamp(obs.StageReplyEnqueue)
+	e.u64(uint64(nonNeg(sp.Offset(obs.StageChainStart))))
+	e.u64(uint64(nonNeg(sp.Offset(obs.StageGrant))))
+	e.u64(uint64(nonNeg(sp.Offset(obs.StageReplyEnqueue))))
+	c.writeSpan(e.b, sp)
+	encPool.Put(e)
+}
+
+// nonNeg floors a stage offset at zero for the wire (an absent stage
+// encodes as a zero delta).
+func nonNeg(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // handleConn runs one session: handshake, then the request loop. Any read
@@ -742,7 +824,14 @@ func (s *Server) handleFrame(c *srvConn, body []byte) error {
 		if d.err != nil {
 			return d.err
 		}
-		s.startAcquire(c, reqID, key, prio, ent, mode)
+		var sp *obs.Span
+		if len(d.b) > 0 && d.u8() == 1 {
+			// The client sampled this op: time its server-side stages. An
+			// unsampled acquire pays exactly this length check.
+			sp = s.spans.Start(obs.SpanAcquire, int32(ent))
+			sp.Stamp(obs.StageServerRecv)
+		}
+		s.startAcquire(c, reqID, key, prio, ent, mode, sp)
 		return nil
 
 	case opCancel:
@@ -949,7 +1038,7 @@ func (s *Server) execRelease(c *srvConn, reqID uint64, composed locktable.InstKe
 // exclusion, queue fairness) is entirely the hosted table's decision, so
 // remote and in-process sessions blocking on one entity obey one
 // discipline.
-func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID, mode locktable.Mode) {
+func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, prio int64, ent model.EntityID, mode locktable.Mode, sp *obs.Span) {
 	if int(ent) < 0 || int(ent) >= s.ddb.NumEntities() {
 		c.result(reqID, stErr, func(e *enc) { e.str(fmt.Sprintf("netlock: entity %d outside the database", ent)) })
 		return
@@ -984,12 +1073,14 @@ func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, p
 			return
 		}
 		if !chained {
+			sp.Stamp(obs.StageChainStart) // inline path: "chain start" is the try itself
 			granted, err := s.tryTab.TryAcquire(locktable.Instance{Key: composed, Prio: prio}, ent, mode)
 			if err != nil {
 				c.result(reqID, stStopped, nil)
 				return
 			}
 			if granted {
+				sp.Stamp(obs.StageGrant)
 				// Mirror execAcquire's post-grant critical section: the
 				// lease or the connection may have died while the grant was
 				// minted, in which case it is given back, never recorded.
@@ -1015,14 +1106,14 @@ func (s *Server) startAcquire(c *srvConn, reqID uint64, key locktable.InstKey, p
 					}
 				}
 				c.mu.Unlock()
-				c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
+				c.resultSpan(reqID, stOK, sp, func(e *enc) { e.u64(fence) })
 				return
 			}
 		}
 	}
 	actx := &acqCtx{done: make(chan struct{})}
 	acq := &pendingAcq{cancel: actx.cancelFn}
-	it := &chainItem{reqID: reqID, acq: acq, ctx: actx, key: composed, prio: prio, ent: ent, mode: mode}
+	it := &chainItem{reqID: reqID, acq: acq, ctx: actx, key: composed, prio: prio, ent: ent, mode: mode, sp: sp}
 	c.mu.Lock()
 	if c.leaseLost {
 		// No live lease: the session must heartbeat before it may hold
@@ -1123,7 +1214,11 @@ func (s *Server) execAcquire(c *srvConn, it *chainItem) {
 		return
 	}
 	c.mu.Unlock()
+	it.sp.Stamp(obs.StageChainStart) // may overwrite a failed inline try's stamp with the real chain start
 	err := s.tab.Acquire(it.ctx, locktable.Instance{Key: composed, Prio: it.prio}, ent, it.mode)
+	if err == nil {
+		it.sp.Stamp(obs.StageGrant)
+	}
 	// Atomically retire the in-flight record and decide the outcome
 	// under the connection mutex: the revoke path sees either the
 	// pending record (and cancels it) or the recorded grant (and
@@ -1165,7 +1260,7 @@ func (s *Server) execAcquire(c *srvConn, it *chainItem) {
 	}
 	switch {
 	case err == nil && fence != 0:
-		c.result(reqID, stOK, func(e *enc) { e.u64(fence) })
+		c.resultSpan(reqID, stOK, it.sp, func(e *enc) { e.u64(fence) })
 	case err == nil && cancelled:
 		c.result(reqID, stCancelled, nil)
 	case err == nil && wounded:

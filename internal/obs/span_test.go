@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// assertMonotone fails unless the record's present stages are
+// non-negative and non-decreasing in stage order — the invariant clamp
+// guarantees on every committed span.
+func assertMonotone(t *testing.T, rec SpanRecord) {
+	t.Helper()
+	prev := int64(0)
+	for i := 0; i < NumStages; i++ {
+		v := rec.Stages[i]
+		if v < 0 {
+			continue
+		}
+		if v < prev {
+			t.Fatalf("stage %v offset %d precedes earlier stage at %d: %+v", Stage(i), v, prev, rec)
+		}
+		prev = v
+	}
+}
+
+func TestSpanRoundTrip(t *testing.T) {
+	ring := NewSpanRing(16)
+	sp := ring.Start(SpanAcquire, 7)
+	sp.SetPartition(3)
+	sp.Stamp(StageSubmit)
+	sp.Stamp(StageGrant)
+	sp.Stamp(StageWakeup)
+	rec := sp.Commit()
+
+	if rec.Kind != SpanAcquire || rec.Part != 3 || rec.Entity != 7 {
+		t.Fatalf("identity lost: %+v", rec)
+	}
+	if rec.Seq != 1 || ring.Recorded() != 1 {
+		t.Fatalf("seq %d recorded %d, want 1/1", rec.Seq, ring.Recorded())
+	}
+	for _, s := range []Stage{StageSubmit, StageGrant, StageWakeup} {
+		if rec.Stages[s] < 0 {
+			t.Fatalf("stamped stage %v absent: %+v", s, rec)
+		}
+	}
+	for _, s := range []Stage{StageEnqueue, StageFlush, StageServerRecv, StageChainStart, StageReplyEnqueue, StageReplyFlush} {
+		if rec.Stages[s] != -1 {
+			t.Fatalf("unstamped stage %v present: %+v", s, rec)
+		}
+	}
+	assertMonotone(t, rec)
+	if rec.Total() != rec.Stages[StageWakeup] {
+		t.Fatalf("Total %d != wakeup %d", rec.Total(), rec.Stages[StageWakeup])
+	}
+
+	got := ring.Spans()
+	if len(got) != 1 || got[0] != rec {
+		t.Fatalf("ring decode mismatch: %+v vs %+v", got, rec)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var ring *SpanRing
+	if ring.Start(SpanAcquire, 1) != nil {
+		t.Fatal("nil ring handed out a span")
+	}
+	if ring.Recorded() != 0 || ring.Cap() != 0 || ring.Spans() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	var sp *Span
+	sp.Stamp(StageSubmit)
+	sp.SetPartition(1)
+	sp.ServerDeltas(1, 2, 3)
+	if sp.Offset(StageSubmit) != -1 {
+		t.Fatal("nil span offset not -1")
+	}
+	if rec := sp.Commit(); rec.Seq != 0 {
+		t.Fatalf("nil span commit produced %+v", rec)
+	}
+	var h *StageHistograms
+	h.Record(SpanRecord{})
+	if h.Snapshot() != nil {
+		t.Fatal("nil histograms not inert")
+	}
+}
+
+// TestSpanServerDeltaAnchoring pins the skew-free re-anchoring rule: the
+// server's deltas (ns since server receipt) land inside the client's
+// flush→wakeup window with the unattributed network remainder split
+// evenly across the two crossings.
+func TestSpanServerDeltaAnchoring(t *testing.T) {
+	ring := NewSpanRing(8)
+	sp := ring.Start(SpanAcquire, 1)
+	for i := 0; i < NumStages; i++ {
+		sp.st[i].Store(-1)
+	}
+	sp.st[StageSubmit].Store(0)
+	sp.st[StageFlush].Store(1000)
+	sp.st[StageWakeup].Store(11000)
+	sp.ServerDeltas(100, 200, 400)
+	rec := sp.Commit()
+
+	// net = 11000-1000-400 = 9600; anchor = 1000 + 4800 = 5800.
+	want := map[Stage]int64{
+		StageServerRecv:   5800,
+		StageChainStart:   5900,
+		StageGrant:        6000,
+		StageReplyEnqueue: 6200,
+	}
+	for s, w := range want {
+		if rec.Stages[s] != w {
+			t.Fatalf("stage %v = %d, want %d (%+v)", s, rec.Stages[s], w, rec)
+		}
+	}
+	assertMonotone(t, rec)
+}
+
+// TestSpanClampMonotone: decode-side sanitation — out-of-order or
+// overshooting offsets are clamped monotone and bounded by the final
+// present stage, absent stages untouched.
+func TestSpanClampMonotone(t *testing.T) {
+	rec := SpanRecord{}
+	for i := range rec.Stages {
+		rec.Stages[i] = -1
+	}
+	rec.Stages[StageSubmit] = 50
+	rec.Stages[StageEnqueue] = 10 // behind submit: must be pulled up
+	rec.Stages[StageGrant] = 9000 // past wakeup: must be pulled down
+	rec.Stages[StageWakeup] = 500
+	rec.clamp()
+	assertMonotone(t, rec)
+	if rec.Stages[StageEnqueue] != 50 {
+		t.Fatalf("enqueue not clamped up: %+v", rec)
+	}
+	if rec.Stages[StageGrant] != 500 {
+		t.Fatalf("grant not clamped to final stage: %+v", rec)
+	}
+	if rec.Stages[StageFlush] != -1 {
+		t.Fatalf("absent stage materialized: %+v", rec)
+	}
+}
+
+func TestSpanGapTotalComplete(t *testing.T) {
+	rec := SpanRecord{}
+	for i := range rec.Stages {
+		rec.Stages[i] = -1
+	}
+	rec.Stages[StageSubmit] = 10
+	rec.Stages[StageFlush] = 40 // enqueue absent: gap skips it
+	rec.Stages[StageWakeup] = 100
+	if g := rec.Gap(StageSubmit); g != 10 {
+		t.Fatalf("Gap(submit) = %d, want 10", g)
+	}
+	if g := rec.Gap(StageFlush); g != 30 {
+		t.Fatalf("Gap(flush) = %d, want 30 (skipping absent enqueue)", g)
+	}
+	if g := rec.Gap(StageEnqueue); g != -1 {
+		t.Fatalf("Gap of absent stage = %d, want -1", g)
+	}
+	if rec.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", rec.Total())
+	}
+	if !rec.Complete(StageSubmit, StageSubmit) || rec.Complete(StageSubmit, StageFlush) {
+		t.Fatalf("Complete misreports: %+v", rec)
+	}
+}
+
+// TestSpanRingLossy: the ring keeps the newest records once wrapped, and
+// Recorded counts every commit ever made.
+func TestSpanRingLossy(t *testing.T) {
+	ring := NewSpanRing(16)
+	const total = 100
+	for i := 0; i < total; i++ {
+		sp := ring.Start(SpanAcquire, int32(i))
+		sp.Stamp(StageSubmit)
+		sp.Commit()
+	}
+	if ring.Recorded() != total {
+		t.Fatalf("recorded %d, want %d", ring.Recorded(), total)
+	}
+	recs := ring.Spans()
+	if len(recs) != ring.Cap() {
+		t.Fatalf("resident %d, want cap %d", len(recs), ring.Cap())
+	}
+	for i, rec := range recs {
+		if want := uint64(total - ring.Cap() + 1 + i); rec.Seq != want {
+			t.Fatalf("resident seq[%d] = %d, want %d (newest survive)", i, rec.Seq, want)
+		}
+	}
+}
+
+// TestSpanRingConcurrent hammers the ring from several committing
+// goroutines while a reader snapshots continuously: every decoded record
+// must be internally consistent (monotone stages, plausible entity),
+// proving torn slots are discarded rather than surfaced. Run with -race.
+func TestSpanRingConcurrent(t *testing.T) {
+	ring := NewSpanRing(32)
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range ring.Spans() {
+				assertMonotone(t, rec)
+				if rec.Kind != SpanAcquire || rec.Entity < 0 || rec.Entity >= writers*perWriter {
+					t.Errorf("torn record surfaced: %+v", rec)
+					return
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := ring.Start(SpanAcquire, int32(w*perWriter+i))
+				sp.Stamp(StageSubmit)
+				sp.Stamp(StageGrant)
+				sp.Stamp(StageWakeup)
+				sp.Commit()
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if ring.Recorded() != writers*perWriter {
+		t.Fatalf("recorded %d, want %d", ring.Recorded(), writers*perWriter)
+	}
+}
+
+func TestTopSpansAndStageHistograms(t *testing.T) {
+	mk := func(total int64) SpanRecord {
+		rec := SpanRecord{}
+		for i := range rec.Stages {
+			rec.Stages[i] = -1
+		}
+		rec.Stages[StageSubmit] = 0
+		rec.Stages[StageGrant] = total / 2
+		rec.Stages[StageWakeup] = total
+		return rec
+	}
+	recs := []SpanRecord{mk(100), mk(900), mk(500)}
+	top := TopSpansByTotal(recs, 2)
+	if len(top) != 2 || top[0].Total() != 900 || top[1].Total() != 500 {
+		t.Fatalf("TopSpansByTotal wrong order: %+v", top)
+	}
+
+	var h StageHistograms
+	for _, r := range []SpanRecord{mk(100), mk(900), mk(500)} {
+		h.Record(r)
+	}
+	snap := h.Snapshot()
+	if len(snap) == 0 || snap[0].Stage != "total" || snap[0].Count != 3 {
+		t.Fatalf("snapshot missing total row: %+v", snap)
+	}
+	for _, row := range snap[1:] {
+		if row.Count != 3 {
+			t.Fatalf("stage row %s count %d, want 3", row.Stage, row.Count)
+		}
+		if row.Stage == StageFlush.String() {
+			t.Fatalf("absent stage got a row: %+v", snap)
+		}
+	}
+}

@@ -167,7 +167,21 @@ type EngineOptions struct {
 	// unconditional.
 	MeasureLockWait bool
 	MeasureHoldTime bool
+	// TraceSampleEvery arms end-to-end op tracing: roughly one in this
+	// many lock operations is sampled into a span recording its full stage
+	// waterfall (submit → enqueue → flush → server → grant → reply →
+	// wakeup; see internal/obs). Zero (the default) disables tracing
+	// entirely; negative selects DefaultTraceSample. Unsampled operations
+	// pay one predicted branch; sampling never disarms the sharded
+	// backend's CAS shared fast path, because in-process spans are stamped
+	// by the session layer, not the table.
+	TraceSampleEvery int
 }
+
+// DefaultTraceSample is the sampling period TraceSampleEvery < 0 selects:
+// frequent enough that a benchmark run collects hundreds of waterfalls,
+// sparse enough that the clock reads vanish in the op cost.
+const DefaultTraceSample = 64
 
 // Engine is a long-lived lock-service core: a pluggable lock table
 // (internal/locktable — per-site actor goroutines, or hash-striped
@@ -214,6 +228,18 @@ type Engine struct {
 	lockWait     *obs.Histogram
 	holdTime     *obs.Histogram
 
+	// Op tracing (EngineOptions.TraceSampleEvery): spans holds the sampled
+	// waterfalls, stageHist their per-stage gap distributions, spanEvery
+	// the sampling period. spanTable/asyncSpan are the backend's traced
+	// acquire capabilities, nil for in-process backends (whose single
+	// "grant" stage the session stamps itself — the table, and in
+	// particular the sharded CAS fast path, never sees a span).
+	spans     *obs.SpanRing
+	stageHist *obs.StageHistograms
+	spanEvery int
+	spanTable locktable.SpannedTable
+	asyncSpan locktable.SpannedAsyncTable
+
 	mu       sync.Mutex
 	abortChs map[int]chan struct{} // instance id -> abort signal
 	commitEp map[int]int           // instance id -> commit epoch (Trace only)
@@ -252,8 +278,8 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 	}
 	e.holds.stop = e.stop
 	cfg := locktable.Config{
-		Metrics: e.metrics,
-		Tracer:  opts.Tracer,
+		Metrics:   e.metrics,
+		Tracer:    opts.Tracer,
 		WoundWait: opts.Strategy == StrategyWoundWait,
 		OnWound: func(holderID int) {
 			e.wounds.Add(1)
@@ -289,6 +315,16 @@ func NewEngine(ddb *model.DDB, opts EngineOptions) (*Engine, error) {
 		e.table = tab
 	default:
 		return nil, fmt.Errorf("runtime: unknown lock-table backend %v", opts.Backend)
+	}
+	if opts.TraceSampleEvery != 0 {
+		e.spanEvery = opts.TraceSampleEvery
+		if e.spanEvery < 0 {
+			e.spanEvery = DefaultTraceSample
+		}
+		e.spans = obs.NewSpanRing(1024)
+		e.stageHist = new(obs.StageHistograms)
+		e.spanTable, _ = e.table.(locktable.SpannedTable)
+		e.asyncSpan, _ = e.table.(locktable.SpannedAsyncTable)
 	}
 	if opts.PipelineDepth > 0 && opts.Strategy == StrategyNone {
 		// Pipelining is gated on the paper's thesis: only a statically
@@ -367,6 +403,26 @@ func (e *Engine) LockWait() obs.HistogramSnapshot { return e.lockWait.Snapshot()
 // wall time of every cleanly unlocked lock, in nanoseconds. Zeros unless
 // EngineOptions.MeasureHoldTime armed it.
 func (e *Engine) HoldTime() obs.HistogramSnapshot { return e.holdTime.Snapshot() }
+
+// Spans returns the engine's sampled-span ring (nil unless
+// EngineOptions.TraceSampleEvery armed tracing). Safe to read concurrently
+// with traffic.
+func (e *Engine) Spans() *obs.SpanRing { return e.spans }
+
+// StageLatency summarizes the per-stage gap distributions of every span
+// / the engine committed: where a sampled op's latency went, stage by stage.
+// Nil unless tracing is armed.
+func (e *Engine) StageLatency() []obs.StageLatency { return e.stageHist.Snapshot() }
+
+// recordSpan commits a completed span and folds it into the per-stage
+// distributions. The caller must be the span's last holder (see
+// obs.Span.Commit).
+func (e *Engine) recordSpan(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	e.stageHist.Record(sp.Commit())
+}
 
 // Close stops the lock table (and detector) and waits for them to exit.
 // Session operations blocked in the engine return ErrClosed; locks still

@@ -125,7 +125,13 @@ type Config struct {
 	// — so it perturbs the measured path by nanoseconds, not queueing
 	// behavior.
 	MeasureLockWait bool
-	Seed            int64
+	// TraceSample arms end-to-end op tracing at roughly one span per this
+	// many lock operations (negative = DefaultTraceSample, zero = off; see
+	// EngineOptions.TraceSampleEvery). Sampled waterfalls land in
+	// Metrics.Spans and their per-stage distributions in
+	// Metrics.TraceStages.
+	TraceSample int
+	Seed        int64
 }
 
 // GrantEvent records that a transaction instance (at a given attempt
@@ -159,6 +165,12 @@ type Metrics struct {
 	// fast-path vs slow-path shared grants, releases, wounds, stripe
 	// splits, queue-depth distribution.
 	Table obs.TableCounters
+	// Spans holds the sampled op waterfalls still resident in the engine's
+	// span ring at run end, and TraceStages their per-stage gap
+	// distributions across the whole run (only with Config.TraceSample;
+	// nil otherwise).
+	Spans       []obs.SpanRecord
+	TraceStages []obs.StageLatency
 }
 
 // Run executes the configured workload and returns metrics, or ErrStalled.
@@ -183,19 +195,20 @@ func Run(cfg Config) (*Metrics, error) {
 		cfg.StallTimeout = 250 * time.Millisecond
 	}
 	e, err := NewEngine(ddb, EngineOptions{
-		Strategy:        cfg.Strategy,
-		DetectEvery:     cfg.DetectEvery,
-		Backend:         cfg.Backend,
-		RemoteAddr:      cfg.RemoteAddr,
-		RemoteAddrs:     cfg.RemoteAddrs,
-		Shards:          cfg.Shards,
-		MaxShards:       cfg.MaxShards,
-		StripeProbe:     cfg.StripeProbe,
-		SiteInbox:       cfg.SiteInbox,
-		PipelineDepth:   cfg.PipelineDepth,
-		FlushInterval:   cfg.FlushInterval,
-		Trace:           cfg.Trace,
-		MeasureLockWait: cfg.MeasureLockWait,
+		Strategy:         cfg.Strategy,
+		DetectEvery:      cfg.DetectEvery,
+		Backend:          cfg.Backend,
+		RemoteAddr:       cfg.RemoteAddr,
+		RemoteAddrs:      cfg.RemoteAddrs,
+		Shards:           cfg.Shards,
+		MaxShards:        cfg.MaxShards,
+		StripeProbe:      cfg.StripeProbe,
+		SiteInbox:        cfg.SiteInbox,
+		PipelineDepth:    cfg.PipelineDepth,
+		FlushInterval:    cfg.FlushInterval,
+		Trace:            cfg.Trace,
+		MeasureLockWait:  cfg.MeasureLockWait,
+		TraceSampleEvery: cfg.TraceSample,
 	})
 	if err != nil {
 		return nil, err
@@ -260,6 +273,10 @@ watch:
 		LockWait:    e.LockWait(),
 		HoldTime:    e.HoldTime(),
 		Table:       e.metrics.Snapshot(),
+	}
+	if e.spans != nil {
+		m.Spans = e.spans.Spans()
+		m.TraceStages = e.StageLatency()
 	}
 	if cfg.Trace {
 		m.GrantLog = map[model.EntityID][]GrantEvent{}

@@ -10,6 +10,7 @@ import (
 	"distlock/internal/graph"
 	"distlock/internal/locktable"
 	"distlock/internal/model"
+	"distlock/internal/obs"
 )
 
 // ErrAborted is returned by session operations after the engine's deadlock
@@ -74,6 +75,14 @@ type Session struct {
 	// to the engine's counters once at session end — a plain increment
 	// per Lock instead of a striped atomic on the hot path.
 	nsync, npipe int64
+
+	// Op-trace sampling (engines with TraceSampleEvery armed). spanTick is
+	// the session's plain-int sampling counter — no atomics on the op path
+	// — seeded from the instance id so short sessions collectively still
+	// sample at the aggregate 1-in-N rate. pendSpans holds the spans of
+	// in-flight pipelined acquires by entity, committed at join.
+	spanTick  int
+	pendSpans map[model.EntityID]*obs.Span
 }
 
 // grantStamp is one held entity's grant time (unix nanos).
@@ -134,10 +143,28 @@ func (e *Engine) beginInstance(tmpl *model.Transaction, id, epoch int, prio int6
 		held:     map[model.EntityID]bool{},
 		abortCh:  make(chan struct{}, 1),
 	}
+	if e.spans != nil {
+		// Stagger sessions across the sampling period: sessions run a
+		// handful of ops each, so without the seed most would never reach
+		// the 1-in-N threshold and hot classes would go unsampled.
+		s.spanTick = (id * 7) % e.spanEvery
+	}
 	e.mu.Lock()
 	e.abortChs[id] = s.abortCh
 	e.mu.Unlock()
 	return s
+}
+
+// spanDue ticks the session's sampling counter and reports whether this op
+// is the one-in-spanEvery that gets a span. Only called when tracing is
+// armed.
+func (s *Session) spanDue() bool {
+	s.spanTick++
+	if s.spanTick >= s.e.spanEvery {
+		s.spanTick = 0
+		return true
+	}
+	return false
 }
 
 // ID returns the session's engine-wide instance id.
@@ -218,8 +245,13 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 	if s.e.lockWait != nil || s.e.holdTime != nil {
 		lockStart = time.Now()
 	}
+	var sp *obs.Span
+	if s.e.spans != nil && s.spanDue() {
+		sp = s.e.spans.Start(obs.SpanAcquire, int32(ent))
+		sp.Stamp(obs.StageSubmit)
+	}
 	if s.e.async != nil {
-		err := s.lockPipelined(ctx, inst, ent, mode, nid)
+		err := s.lockPipelined(ctx, inst, ent, mode, nid, sp)
 		if err == nil {
 			// Counted as pipelined at submission: the optimistic hold is
 			// the path's defining move, whether or not a join parked.
@@ -228,8 +260,24 @@ func (s *Session) Lock(ctx context.Context, ent model.EntityID, mode model.Mode)
 		}
 		return err
 	}
-	switch err := s.e.table.Acquire(ctx, inst, ent, mode); {
+	var err error
+	if sp != nil && s.e.spanTable != nil {
+		err = s.e.spanTable.AcquireSpan(ctx, inst, ent, mode, sp)
+	} else {
+		err = s.e.table.Acquire(ctx, inst, ent, mode)
+	}
+	switch {
 	case err == nil:
+		if sp != nil {
+			if s.e.spanTable == nil {
+				// In-process backend: the whole acquire is one grant stage,
+				// stamped here so the table — in particular the sharded
+				// CAS shared fast path — never sees a span.
+				sp.Stamp(obs.StageGrant)
+				sp.Stamp(obs.StageWakeup)
+			}
+			s.e.recordSpan(sp)
+		}
 		s.nsync++
 		s.noteGranted(ent, lockStart)
 		s.held[ent] = true
@@ -308,14 +356,22 @@ func (s *Session) mapTableErr(err error) error {
 // grants were a bet on the acks, and once one fails the attempt is over —
 // the caller aborts, which resolves everything still in flight before
 // releasing.
-func (s *Session) lockPipelined(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode model.Mode, nid model.NodeID) error {
+func (s *Session) lockPipelined(ctx context.Context, inst locktable.Instance, ent model.EntityID, mode model.Mode, nid model.NodeID, sp *obs.Span) error {
 	if s.pipeErr != nil {
 		return s.mapTableErr(s.pipeErr)
 	}
 	if s.pendAcq == nil {
 		s.pendAcq = map[model.EntityID]locktable.Completion{}
 	}
-	s.pendAcq[ent] = s.e.async.AcquireAsync(inst, ent, mode)
+	if sp != nil && s.e.asyncSpan != nil {
+		s.pendAcq[ent] = s.e.asyncSpan.AcquireAsyncSpan(inst, ent, mode, sp)
+		if s.pendSpans == nil {
+			s.pendSpans = map[model.EntityID]*obs.Span{}
+		}
+		s.pendSpans[ent] = sp
+	} else {
+		s.pendAcq[ent] = s.e.async.AcquireAsync(inst, ent, mode)
+	}
 	s.pendQ = append(s.pendQ, ent)
 	s.held[ent] = true
 	s.executed.Set(int(nid))
@@ -339,13 +395,20 @@ func (s *Session) joinAcquire(ctx context.Context, ent model.EntityID) error {
 		return nil
 	}
 	delete(s.pendAcq, ent)
+	sp := s.pendSpans[ent] // nil map and absent entity both yield nil
+	if sp != nil {
+		delete(s.pendSpans, ent)
+	}
 	if err := comp.Wait(ctx); err != nil {
 		delete(s.held, ent)
 		if s.pipeErr == nil {
 			s.pipeErr = err
 		}
-		return err
+		return err // failed op: the span is dropped, never committed
 	}
+	// The client's Wait stamped StageWakeup; the join is the span's last
+	// holder, so it commits here.
+	s.e.recordSpan(sp)
 	return nil
 }
 
@@ -365,6 +428,14 @@ func (s *Session) Unlock(ent model.EntityID) error {
 	if s.e.async != nil {
 		return s.unlockPipelined(ent, nid)
 	}
+	// Synchronous releases are traced session-level only (submit + wakeup):
+	// the interesting decomposition is the acquire's, and pipelined
+	// releases are fire-and-forget — there is no wakeup to stamp.
+	var sp *obs.Span
+	if s.e.spans != nil && s.spanDue() {
+		sp = s.e.spans.Start(obs.SpanRelease, int32(ent))
+		sp.Stamp(obs.StageSubmit)
+	}
 	if err := s.e.table.Release(ent, s.key); err != nil {
 		if errors.Is(err, locktable.ErrStopped) {
 			return ErrClosed
@@ -374,6 +445,10 @@ func (s *Session) Unlock(ent model.EntityID) error {
 		// shutdown: surface them as themselves so the caller aborts this
 		// session instead of concluding the service died.
 		return fmt.Errorf("runtime: %s: Unlock(%s): %w", s.tmpl.Name(), s.e.ddb.EntityName(ent), err)
+	}
+	if sp != nil {
+		sp.Stamp(obs.StageWakeup)
+		s.e.recordSpan(sp)
 	}
 	s.noteReleased(ent)
 	delete(s.held, ent)
@@ -498,6 +573,7 @@ func (s *Session) Abort() error {
 		}
 		s.pendAcq = nil
 		s.pendQ = nil
+		s.pendSpans = nil // aborted ops' spans are dropped, never committed
 	}
 	ents := make([]model.EntityID, 0, len(s.held))
 	for ent := range s.held {

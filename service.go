@@ -70,6 +70,7 @@ type serviceConfig struct {
 	pipeline     int
 	flushEvery   time.Duration
 	latency      bool
+	traceSample  int
 }
 
 // WithWorkers bounds the worker pool evaluating uncached Theorem 3 pair
@@ -227,6 +228,26 @@ func WithLatencyMetrics() ServiceOption {
 	return func(c *serviceConfig) { c.latency = true }
 }
 
+// WithTraceSampling turns on sampled end-to-end operation tracing on
+// both tiers: roughly one in every lock acquisition is stamped through
+// the full waterfall — session submit, client-queue enqueue, wire flush,
+// server pickup, chain start, table grant, reply enqueue/flush, and
+// completion wakeup — into a fixed lossy ring plus per-stage histograms,
+// all readable through Stats (TierStats.TraceStages) and SlowestSpans.
+// On in-process backends only the submit/grant/wakeup stages exist; on
+// wire backends the server stages travel back as clock-skew-free
+// durations piggybacked on the grant reply. every <= 0 selects the
+// default rate (1 in 64). Unsampled operations pay one predicted branch;
+// sampling never disarms the sharded table's shared-mode CAS fast path.
+func WithTraceSampling(every int) ServiceOption {
+	return func(c *serviceConfig) {
+		if every <= 0 {
+			every = runtime.DefaultTraceSample
+		}
+		c.traceSample = every
+	}
+}
+
 // LockService is the long-lived client-driven lock service: the paper's
 // program ("certify the mix statically, then run with no deadlock
 // handling") exposed as a live API.
@@ -308,31 +329,33 @@ func Open(ddb *DDB, opts ...ServiceOption) (*LockService, error) {
 		mult = 1
 	}
 	certified, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:        runtime.StrategyNone,
-		Backend:         cfg.certBackend, // BackendDefault resolves to sharded
-		RemoteAddr:      cfg.remoteAddr,
-		RemoteAddrs:     cfg.remoteAddrs,
-		Shards:          cfg.shards,
-		MaxShards:       cfg.maxShards,
-		StripeProbe:     cfg.stripeProbe,
-		SiteInbox:       cfg.siteInbox,
-		PipelineDepth:   cfg.pipeline,
-		FlushInterval:   cfg.flushEvery,
-		MeasureLockWait: cfg.latency,
-		MeasureHoldTime: cfg.latency,
+		Strategy:         runtime.StrategyNone,
+		Backend:          cfg.certBackend, // BackendDefault resolves to sharded
+		RemoteAddr:       cfg.remoteAddr,
+		RemoteAddrs:      cfg.remoteAddrs,
+		Shards:           cfg.shards,
+		MaxShards:        cfg.maxShards,
+		StripeProbe:      cfg.stripeProbe,
+		SiteInbox:        cfg.siteInbox,
+		PipelineDepth:    cfg.pipeline,
+		FlushInterval:    cfg.flushEvery,
+		MeasureLockWait:  cfg.latency,
+		MeasureHoldTime:  cfg.latency,
+		TraceSampleEvery: cfg.traceSample,
 	})
 	if err != nil {
 		return nil, err
 	}
 	fallback, err := runtime.NewEngine(ddb, runtime.EngineOptions{
-		Strategy:        runtime.StrategyWoundWait,
-		Backend:         runtime.BackendDefault, // resolves to sharded post-soak-gate
-		Shards:          cfg.shards,
-		MaxShards:       cfg.maxShards,
-		StripeProbe:     cfg.stripeProbe,
-		SiteInbox:       cfg.siteInbox,
-		MeasureLockWait: cfg.latency,
-		MeasureHoldTime: cfg.latency,
+		Strategy:         runtime.StrategyWoundWait,
+		Backend:          runtime.BackendDefault, // resolves to sharded post-soak-gate
+		Shards:           cfg.shards,
+		MaxShards:        cfg.maxShards,
+		StripeProbe:      cfg.stripeProbe,
+		SiteInbox:        cfg.siteInbox,
+		MeasureLockWait:  cfg.latency,
+		MeasureHoldTime:  cfg.latency,
+		TraceSampleEvery: cfg.traceSample,
 	})
 	if err != nil {
 		certified.Close()
@@ -623,6 +646,10 @@ type TierStats struct {
 	// and grant-to-release; all-zero unless WithLatencyMetrics was set.
 	LockWait obs.HistogramSnapshot `json:"lock_wait_ns"`
 	HoldTime obs.HistogramSnapshot `json:"hold_time_ns"`
+	// TraceStages are the per-stage latency histograms of the tier's
+	// sampled operation traces ("total" first, then each stamped stage);
+	// nil unless the service was opened WithTraceSampling.
+	TraceStages []obs.StageLatency `json:"trace_stages,omitempty"`
 }
 
 // ServiceStats snapshots the service's counters: the admission service's
@@ -639,10 +666,11 @@ type ServiceStats struct {
 
 func tierStats(e *runtime.Engine) TierStats {
 	return TierStats{
-		Counters: e.Counters(),
-		Table:    e.TableMetrics().Snapshot(),
-		LockWait: e.LockWait(),
-		HoldTime: e.HoldTime(),
+		Counters:    e.Counters(),
+		Table:       e.TableMetrics().Snapshot(),
+		LockWait:    e.LockWait(),
+		HoldTime:    e.HoldTime(),
+		TraceStages: e.StageLatency(),
 	}
 }
 
@@ -656,6 +684,21 @@ func (s *LockService) Stats() ServiceStats {
 		Fallback:  tierStats(s.fallback),
 		Begun:     s.begun.Load(),
 	}
+}
+
+// SlowestSpans returns the n slowest sampled operation traces currently
+// held in the two tiers' span rings, slowest first. Empty unless the
+// service was opened WithTraceSampling. The rings are lossy and
+// fixed-size, so this is "slowest recently", not "slowest ever".
+func (s *LockService) SlowestSpans(n int) []obs.SpanRecord {
+	var recs []obs.SpanRecord
+	if r := s.certified.Spans(); r != nil {
+		recs = append(recs, r.Spans()...)
+	}
+	if r := s.fallback.Spans(); r != nil {
+		recs = append(recs, r.Spans()...)
+	}
+	return obs.TopSpansByTotal(recs, n)
 }
 
 // Close shuts the service down: both engine tiers stop and session
